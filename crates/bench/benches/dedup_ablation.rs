@@ -1,0 +1,74 @@
+//! Ablation for §III-C3 duplicate detection: total work to drain a
+//! queue containing 30% duplicates, with binders on vs off. With
+//! binders the duplicates cost a pointer write instead of a (simulated)
+//! calculation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_docstore::Database;
+use mp_fireworks::{rapidfire, Binder, Firework, LaunchPad, LaunchReport, Stage, Workflow};
+use serde_json::json;
+use std::hint::black_box;
+
+/// Build a launchpad holding `n` jobs of which ~30% are duplicates.
+fn pad_with_duplicates(n: usize, binders: bool) -> LaunchPad {
+    let pad = LaunchPad::new(Database::new()).unwrap();
+    let distinct = (n * 7 / 10).max(1);
+    let fws: Vec<Firework> = (0..n)
+        .map(|i| {
+            let identity = i % distinct; // duplicates collide here
+            let mut fw = Firework::new(
+                format!("fw{i}"),
+                "calc",
+                Stage(json!({"identity": identity})),
+            );
+            if binders {
+                fw = fw.with_binder(Binder::new(format!("fp-{identity}"), "GGA"));
+            }
+            fw
+        })
+        .collect();
+    pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+    pad
+}
+
+/// Drain the queue; the executor's spin stands in for the calculation.
+fn drain(pad: &LaunchPad) -> usize {
+    let stats = rapidfire(pad, "w", &json!({}), usize::MAX, |_doc| {
+        // A "calculation": even a cheap DFT run costs orders of
+        // magnitude more than any queue bookkeeping, which is exactly
+        // why the paper's Binder pointers pay off. ~2 ms of work here.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        black_box(acc);
+        LaunchReport::Success {
+            task_doc: json!({"output": {"ok": true}}),
+        }
+    })
+    .unwrap();
+    stats.completed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(10);
+    for &n in &[200usize, 600] {
+        group.bench_with_input(BenchmarkId::new("without_binders", n), &n, |b, &n| {
+            b.iter(|| {
+                let pad = pad_with_duplicates(n, false);
+                black_box(drain(&pad))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_binders", n), &n, |b, &n| {
+            b.iter(|| {
+                let pad = pad_with_duplicates(n, true);
+                black_box(drain(&pad))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

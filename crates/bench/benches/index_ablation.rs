@@ -1,0 +1,65 @@
+//! Ablation: the same job-selection query with and without the indexes
+//! the LaunchPad creates — quantifying why the queue-as-collection
+//! design stays fast as `engines` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_docstore::Database;
+use serde_json::json;
+use std::hint::black_box;
+
+fn engines_db(n: usize, indexed: bool) -> Database {
+    let db = Database::new();
+    let engines = db.collection("engines");
+    if indexed {
+        engines.create_index("state", false).unwrap();
+        engines.create_index("spec.nelectrons", false).unwrap();
+    }
+    let states = ["COMPLETED", "COMPLETED", "COMPLETED", "READY", "RUNNING"];
+    for i in 0..n {
+        engines
+            .insert_one(json!({
+                "state": states[i % states.len()],
+                "spec": {
+                    "elements": ["Li", "Fe", "O"],
+                    "nelectrons": (i % 400) as f64,
+                    "walltime_s": 3600,
+                },
+                "launches": i % 3,
+            }))
+            .unwrap();
+    }
+    db.profiler().set_enabled(false);
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_ablation");
+    for &n in &[2_000usize, 20_000] {
+        for &indexed in &[false, true] {
+            let db = engines_db(n, indexed);
+            let engines = db.collection("engines");
+            let label = if indexed { "indexed" } else { "full_scan" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("claim_query_{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            engines
+                                .find(&json!({
+                                    "state": "READY",
+                                    "spec.elements": {"$all": ["Li", "O"]},
+                                    "spec.nelectrons": {"$lte": 200},
+                                }))
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ingest-path throughput: MPS records and reduced task documents, with
+//! varying index load — the datastore's write-side cost (the paper chose
+//! MongoDB accepting "relative weakness for ... write-heavy workloads").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_docstore::Database;
+use mp_matsci::IcsdGenerator;
+use serde_json::Value;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    let batch: Vec<Value> = IcsdGenerator::new(5)
+        .generate(200)
+        .iter()
+        .map(|r| r.to_doc())
+        .collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    for &nindexes in &[0usize, 2, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("mps_batch_200", nindexes),
+            &nindexes,
+            |b, &nix| {
+                b.iter(|| {
+                    let db = Database::new();
+                    db.profiler().set_enabled(false);
+                    let coll = db.collection("mps");
+                    let paths = ["formula", "chemsys", "elements", "nsites", "nelectrons"];
+                    for p in paths.iter().take(nix) {
+                        coll.create_index(p, false).unwrap();
+                    }
+                    for doc in &batch {
+                        let mut d = doc.clone();
+                        // Strip _id so repeated inserts don't collide.
+                        d.as_object_mut().unwrap().remove("_id");
+                        coll.insert_one(d).unwrap();
+                    }
+                    black_box(coll.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

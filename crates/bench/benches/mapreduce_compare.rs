@@ -1,0 +1,54 @@
+//! Criterion bench for §IV-B2: builtin single-threaded MapReduce vs the
+//! Hadoop-style parallel engine on the materials-view grouping job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_docstore::{BuiltinEngine, HadoopEngine, MapReduce};
+use serde_json::{json, Value};
+use std::hint::black_box;
+
+fn tasks(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            json!({
+                "mps_id": format!("mps-{}", i % (n / 4).max(1)),
+                "output": {"energy_per_atom": -(i as f64 % 13.0)},
+            })
+        })
+        .collect()
+}
+
+fn run(engine: &dyn MapReduce, docs: &[Value]) -> usize {
+    let map = |d: &Value, emit: &mut dyn FnMut(Value, Value)| {
+        emit(d["mps_id"].clone(), d["output"]["energy_per_atom"].clone());
+    };
+    let reduce = |_k: &Value, vs: &[Value]| -> Value {
+        vs.iter()
+            .filter_map(Value::as_f64)
+            .fold(f64::INFINITY, f64::min)
+            .into()
+    };
+    engine.run(docs, &map, &reduce).unwrap().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let docs = tasks(n);
+        // The builtin engine models MongoDB's JS interpreter tax.
+        let builtin = BuiltinEngine::with_overhead_ns(15_000);
+        let hadoop = HadoopEngine::new(
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        );
+        group.bench_with_input(BenchmarkId::new("builtin_js", n), &n, |b, _| {
+            b.iter(|| black_box(run(&builtin, &docs)))
+        });
+        group.bench_with_input(BenchmarkId::new("hadoop_parallel", n), &n, |b, _| {
+            b.iter(|| black_box(run(&hadoop, &docs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Analytics cost: convex-hull stability analysis (the pymatgen-style
+//! phase diagram) as entry count and dimensionality grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_matsci::analysis::phase_diagram::{PdEntry, PhaseDiagram};
+use mp_matsci::{Composition, Element};
+use std::hint::black_box;
+
+fn entries(nel: usize, per_system: usize) -> Vec<PdEntry> {
+    let symbols = ["Li", "Fe", "O", "P", "Mn"];
+    let els: Vec<Element> = symbols[..nel]
+        .iter()
+        .map(|s| Element::from_symbol(s).unwrap())
+        .collect();
+    let mut out = Vec::new();
+    for (i, &el) in els.iter().enumerate() {
+        out.push(PdEntry::new(
+            format!("ref{i}"),
+            Composition::from_pairs([(el, 1.0)]),
+            0.0,
+        ));
+    }
+    // Deterministic pseudo-random interior compositions.
+    let mut state = 12345u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 1000.0
+    };
+    for i in 0..per_system {
+        let mut pairs = Vec::new();
+        for &el in &els {
+            pairs.push((el, 1.0 + (next() * 4.0).floor()));
+        }
+        let comp = Composition::from_pairs(pairs);
+        out.push(PdEntry::new(format!("e{i}"), comp, -next() * 3.0));
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_diagram");
+    group.sample_size(10);
+    for &(nel, n) in &[(2usize, 30usize), (3, 60), (4, 100)] {
+        let es = entries(nel, n);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{nel}el_hull"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let pd = PhaseDiagram::new(es.clone()).unwrap();
+                    let stable = pd.stable_entries(1e-8).len();
+                    black_box(stable)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

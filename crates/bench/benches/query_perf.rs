@@ -1,0 +1,74 @@
+//! Criterion bench behind Fig. 5: in-process latency of the web UI's
+//! query mix against a populated `materials` collection, with and
+//! without indexes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_docstore::{Database, FindOptions, SortDir};
+use serde_json::json;
+use std::hint::black_box;
+
+fn populate(n: usize, indexed: bool) -> Database {
+    let db = Database::new();
+    let mats = db.collection("materials");
+    if indexed {
+        mats.create_index("formula", false).unwrap();
+        mats.create_index("chemsys", false).unwrap();
+        mats.create_index("output.band_gap", false).unwrap();
+    }
+    let els = ["Li", "Na", "Fe", "Co", "Ni", "Mn", "O", "S", "P", "F"];
+    for i in 0..n {
+        let e1 = els[i % els.len()];
+        let e2 = els[(i * 3 + 1) % els.len()];
+        mats.insert_one(json!({
+            "formula": format!("{e1}{e2}{}", i % 7 + 1),
+            "chemsys": format!("{e1}-{e2}"),
+            "elements": [e1, e2],
+            "nelements": 2,
+            "nsites": i % 20 + 2,
+            "output": {"energy_per_atom": -(i as f64 % 9.0) - 1.0,
+                        "band_gap": (i % 50) as f64 / 10.0},
+        }))
+        .unwrap();
+    }
+    db.profiler().set_enabled(false);
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_query_mix");
+    for &n in &[1_000usize, 10_000] {
+        let db = populate(n, true);
+        let mats = db.collection("materials");
+        group.bench_with_input(BenchmarkId::new("point_lookup", n), &n, |b, _| {
+            b.iter(|| black_box(mats.find(&json!({"formula": "LiFe3"})).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("chemsys_browse", n), &n, |b, _| {
+            b.iter(|| black_box(mats.find(&json!({"chemsys": "Fe-O"})).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("range_scan", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    mats.find(&json!({"output.band_gap": {"$gte": 1.0, "$lt": 2.0}}))
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sorted_top20", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    mats.find_with(
+                        &json!({"nelements": 2}),
+                        &FindOptions::all()
+                            .sort_by("output.energy_per_atom", SortDir::Asc)
+                            .limit(20),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Workflow-engine overhead: claims + state updates per second through
+//! the datastore-backed queue — the machinery the paper reports as "a
+//! negligible fraction of the time to perform the calculations".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_docstore::Database;
+use mp_fireworks::{rapidfire, Firework, LaunchPad, LaunchReport, Stage, Workflow};
+use serde_json::json;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workflow_engine");
+    group.sample_size(10);
+    for &n in &[100usize, 500] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("claim_run_complete", n), &n, |b, &n| {
+            b.iter(|| {
+                let pad = LaunchPad::new(Database::new()).unwrap();
+                let fws: Vec<Firework> = (0..n)
+                    .map(|i| {
+                        Firework::new(
+                            format!("fw{i}"),
+                            "j",
+                            Stage(json!({"elements": ["Li", "O"], "nelectrons": i})),
+                        )
+                    })
+                    .collect();
+                pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+                let stats = rapidfire(&pad, "w", &json!({}), usize::MAX, |_| {
+                    LaunchReport::Success {
+                        task_doc: json!({"output": {"energy": -1.0}}),
+                    }
+                })
+                .unwrap();
+                black_box(stats.completed)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chain_promotion", n), &n, |b, &n| {
+            b.iter(|| {
+                // A linear chain exercises the promotion path n times.
+                let pad = LaunchPad::new(Database::new()).unwrap();
+                let fws: Vec<Firework> = (0..n)
+                    .map(|i| {
+                        let fw = Firework::new(format!("fw{i}"), "j", Stage(json!({})));
+                        if i > 0 {
+                            fw.after(&format!("fw{}", i - 1))
+                        } else {
+                            fw
+                        }
+                    })
+                    .collect();
+                pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+                let stats = rapidfire(&pad, "w", &json!({}), usize::MAX, |_| {
+                    LaunchReport::Success {
+                        task_doc: json!({"output": {}}),
+                    }
+                })
+                .unwrap();
+                black_box(stats.completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

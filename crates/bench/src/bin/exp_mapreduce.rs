@@ -1,0 +1,99 @@
+//! §IV-B2 / §IV-C2 — MapReduce engine comparison: the built-in
+//! single-threaded engine ("severely limited by implementation within a
+//! single-threaded Javascript engine") vs. the Hadoop-style parallel
+//! runtime, which the paper found "can be several times faster".
+//!
+//! The job is the production one: group `tasks` by `mps_id` and pick the
+//! best result (the materials-view build), across dataset sizes and
+//! worker counts.
+//!
+//! ```text
+//! cargo run -p mp-bench --bin exp_mapreduce --release
+//! ```
+
+use mp_bench::table;
+use mp_docstore::{BuiltinEngine, HadoopEngine, MapReduce};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn synth_tasks(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            json!({
+                "_id": format!("t{i}"),
+                "mps_id": format!("mps-{}", i % (n / 3).max(1)),
+                "status": "converged",
+                "formula": "X", "elements": ["X"],
+                "output": {"energy_per_atom": -(i as f64 % 11.0) - 1.0,
+                            "scf_trace": (0..24).map(|k| -5.0 - k as f64 * 0.1).collect::<Vec<f64>>()},
+            })
+        })
+        .collect()
+}
+
+fn group_best(engine: &dyn MapReduce, docs: &[Value]) -> usize {
+    let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
+        emit(doc["mps_id"].clone(), doc.clone());
+    };
+    let reduce = |_k: &Value, vs: &[Value]| -> Value {
+        vs.iter()
+            .min_by(|a, b| {
+                a["output"]["energy_per_atom"]
+                    .as_f64()
+                    .unwrap_or(0.0)
+                    .partial_cmp(&b["output"]["energy_per_atom"].as_f64().unwrap_or(0.0))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .cloned()
+            .unwrap_or(Value::Null)
+    };
+    engine.run(docs, &map, &reduce).expect("mapreduce runs").len()
+}
+
+fn time_it(f: impl FnOnce() -> usize) -> (f64, usize) {
+    let t = Instant::now();
+    let n = f();
+    (t.elapsed().as_secs_f64() * 1000.0, n)
+}
+
+fn main() {
+    println!("=== §IV-B2: builtin single-threaded vs Hadoop-style MapReduce ===\n");
+    // The interpreter tax of the single-threaded JS engine, modelled as
+    // a fixed per-document cost (MongoDB 2.x's JS map calls cost tens of
+    // microseconds each).
+    let builtin = BuiltinEngine::with_overhead_ns(15_000);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let hadoop = HadoopEngine::new(workers);
+    let hadoop1 = HadoopEngine::new(1);
+
+    let mut rows = Vec::new();
+    for &n in &[2_000usize, 10_000, 50_000] {
+        let docs = synth_tasks(n);
+        let (t_builtin, k1) = time_it(|| group_best(&builtin, &docs));
+        let (t_h1, _) = time_it(|| group_best(&hadoop1, &docs));
+        let (t_hn, k2) = time_it(|| group_best(&hadoop, &docs));
+        assert_eq!(k1, k2, "engines must agree");
+        rows.push(vec![
+            format!("{n}"),
+            format!("{k1}"),
+            format!("{t_builtin:.1}"),
+            format!("{t_h1:.1}"),
+            format!("{t_hn:.1}"),
+            format!("{:.1}x", t_builtin / t_hn),
+        ]);
+    }
+    let par_hdr = format!("hadoop-{workers}w(ms)");
+    println!(
+        "{}",
+        table(
+            &["docs", "groups", "builtin(ms)", "hadoop-1w(ms)", &par_hdr, "speedup"],
+            &rows
+        )
+    );
+    println!("host parallelism: {workers} core(s)");
+    println!();
+    println!("expected shape: the Hadoop-style engine wins by 'several times', as");
+    println!("the paper found. Two independent causes are modelled: (1) it avoids");
+    println!("the single-threaded JS interpreter tax of Mongo's builtin engine, and");
+    println!("(2) on multi-core hosts it additionally scales across workers.");
+}

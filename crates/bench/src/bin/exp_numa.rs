@@ -1,0 +1,56 @@
+//! §IV-A2 — running a big-memory datastore on NUMA hardware.
+//!
+//! "Databases such as MongoDB, where a single multi-threaded process
+//! uses most of the system's memory, are atypical workloads for these
+//! systems. Using the numactl program, it is possible to interleave the
+//! allocated memory with a minimal impact to performance."
+//!
+//! Sweeps the datastore working set on a modelled four-socket node and
+//! reports the throughput of the default first-touch policy vs
+//! `numactl --interleave=all`.
+//!
+//! ```text
+//! cargo run -p mp-bench --bin exp_numa
+//! ```
+
+use mp_bench::table;
+use mp_hpcsim::{MemPolicy, NumaNode};
+
+fn main() {
+    let node = NumaNode::default();
+    println!("=== §IV-A2: NUMA placement for the datastore process ===\n");
+    println!(
+        "node: {} sockets x {} GB, local {} ns, remote {} ns\n",
+        node.sockets, node.mem_per_socket_gb, node.local_ns, node.remote_ns
+    );
+
+    let mut rows = Vec::new();
+    for (ws, ft, il) in node.policy_sweep(8) {
+        rows.push(vec![
+            format!("{ws:.0}"),
+            format!("{:.3}", ft),
+            format!("{:.3}", il),
+            format!("{:+.1}%", (il / ft - 1.0) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["working set (GB)", "first-touch", "interleave", "interleave vs ft"],
+            &rows
+        )
+    );
+
+    let full = node.mem_per_socket_gb * node.sockets as f64;
+    let ft_full = node.relative_throughput(MemPolicy::FirstTouch, full);
+    let il_full = node.relative_throughput(MemPolicy::Interleave, full);
+    println!("paper's claim, checked:");
+    println!(
+        "  at a DB using most of the machine ({full:.0} GB), interleaving costs only {:.1}% \
+         vs first-touch — 'a minimal impact to performance': {}",
+        (1.0 - il_full / ft_full) * 100.0,
+        (1.0 - il_full / ft_full).abs() < 0.05
+    );
+    println!("  and unlike first-touch, interleave latency is flat as the working set");
+    println!("  grows — no cliff when the DB outgrows one socket's memory.");
+}

@@ -1,0 +1,97 @@
+//! §IV-D2 — "Future scalability can leverage the sharding and
+//! replication capabilities built in to MongoDB."
+//!
+//! The paper defers this to future work; we built it, so we measure it:
+//! targeted vs scatter-gather routing on a hash-sharded cluster, shard
+//! balance, replica-set read scaling, staleness, and failover loss
+//! bounds.
+//!
+//! ```text
+//! cargo run -p mp-bench --release --bin exp_sharding
+//! ```
+
+use mp_bench::table;
+use mp_docstore::{ReadPreference, ReplicaSet, ShardedCluster};
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    println!("=== §IV-D2: sharding and replication (built, not just envisioned) ===\n");
+
+    // --- sharding: routing and balance ---
+    let n_docs = 20_000;
+    let mut rows = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let cluster = ShardedCluster::new(shards, "chemsys");
+        for i in 0..n_docs {
+            cluster
+                .insert_one(
+                    "materials",
+                    json!({"chemsys": format!("sys-{}", i % 997),
+                           "gap": (i % 50) as f64 / 10.0}),
+                )
+                .unwrap();
+        }
+        // Targeted query: equality on the shard key.
+        let t = Instant::now();
+        for q in 0..200 {
+            cluster
+                .find("materials", &json!({"chemsys": format!("sys-{}", q)}))
+                .unwrap();
+        }
+        let targeted_ms = t.elapsed().as_secs_f64() * 1000.0;
+        // Scatter-gather: range on a non-key field.
+        let t = Instant::now();
+        for _ in 0..20 {
+            cluster
+                .find("materials", &json!({"gap": {"$gte": 4.5}}))
+                .unwrap();
+        }
+        let scatter_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let dist = cluster.distribution("materials");
+        let imbalance = *dist.iter().max().unwrap() as f64 / *dist.iter().min().unwrap().max(&1) as f64;
+        rows.push(vec![
+            format!("{shards}"),
+            format!("{targeted_ms:.0}"),
+            format!("{scatter_ms:.0}"),
+            format!("{imbalance:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["shards", "200 targeted (ms)", "20 scatter (ms)", "max/min balance"],
+            &rows
+        )
+    );
+    println!("shape: targeted reads stay flat (one shard each) while each shard");
+    println!("holds 1/N of the data; hash sharding keeps the balance near 1.\n");
+
+    // --- replication: lag and failover ---
+    let rs = ReplicaSet::new(2, 500);
+    for i in 0..2_000 {
+        rs.insert_one("m", json!({ "i": i })).unwrap();
+    }
+    println!("replica set: 2 secondaries, batch 500/round");
+    let mut round = 0;
+    loop {
+        let lag = rs.replicate().unwrap();
+        round += 1;
+        println!("  after round {round}: max lag {lag} entries");
+        if lag == 0 {
+            break;
+        }
+    }
+    let sec = rs.find(ReadPreference::Secondary, "m", &json!({})).unwrap();
+    println!("  secondary serves {} documents (read scaling enabled)", sec.len());
+
+    let mut rs = ReplicaSet::new(2, 300);
+    for i in 0..1_000 {
+        rs.insert_one("m", json!({ "i": i })).unwrap();
+    }
+    rs.replicate().unwrap(); // 300 applied
+    let lost = rs.failover().unwrap();
+    println!("\nfailover drill: primary lost after partial replication");
+    println!("  writes lost: {lost} (bounded by the replication lag — the durability");
+    println!("  cost of async replication the production deployment had to weigh)");
+}

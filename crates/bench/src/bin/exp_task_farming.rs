@@ -1,0 +1,93 @@
+//! §IV-A1 — batch-queue limits vs. task farming. Same workload, three
+//! configurations:
+//!
+//! 1. one-job-per-calculation under a per-user queued-job cap of 8
+//!    (the default HPC reality — queue pressure everywhere);
+//! 2. the same but with an advance reservation (what MP negotiated
+//!    with NERSC);
+//! 3. task farming: 25 calculations per batch allocation, no
+//!    reservation needed — fewer queue slots *and* smoother walltimes.
+//!
+//! ```text
+//! cargo run -p mp-bench --bin exp_task_farming --release [--n 400]
+//! ```
+
+use mp_bench::table;
+use mp_core::{CampaignReport, MaterialsProject, SubmissionMode};
+use mp_hpcsim::{queue_slots_saved, BatchConfig, ClusterSpec, Reservation};
+use mp_matsci::Element;
+
+fn run_config(
+    n: usize,
+    mode: SubmissionMode,
+    reservation: bool,
+) -> Result<CampaignReport, Box<dyn std::error::Error>> {
+    let mut batch = BatchConfig::default(); // cap = 8, backfill on
+    if reservation {
+        batch.reservations.push(Reservation {
+            user: "mp-prod".into(),
+            start: 0.0,
+            end: f64::INFINITY,
+        });
+    }
+    let mut mp = MaterialsProject::new()?
+        .with_cluster(ClusterSpec::small())
+        .with_batch_config(batch)
+        .with_mode(mode);
+    let recs = mp.ingest_icsd(n, 4242)?;
+    mp.submit_calculations(&recs)?;
+    Ok(mp.run_campaign(120)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .skip_while(|a| a != "--n")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let _ = Element::from_symbol("Li")?;
+    println!("=== §IV-A1: queue limits, reservations, and task farming ({n} calcs) ===\n");
+
+    let capped = run_config(n, SubmissionMode::OneJobPerCalc, false)?;
+    let reserved = run_config(n, SubmissionMode::OneJobPerCalc, true)?;
+    let farmed = run_config(n, SubmissionMode::TaskFarming { tasks_per_farm: 25 }, false)?;
+
+    let row = |name: &str, r: &CampaignReport| -> Vec<String> {
+        vec![
+            name.into(),
+            r.completed.to_string(),
+            r.batch_jobs.to_string(),
+            r.queue_rejections.to_string(),
+            format!("{:.1}", r.makespan_s / 3600.0),
+            r.rounds.to_string(),
+        ]
+    };
+    println!(
+        "{}",
+        table(
+            &["configuration", "completed", "batch jobs", "queue rejections", "makespan(h)", "rounds"],
+            &[
+                row("cap=8, no reservation", &capped),
+                row("cap=8 + reservation (paper)", &reserved),
+                row("task farming, 25/farm", &farmed),
+            ],
+        )
+    );
+
+    println!("queue-slot arithmetic: {n} calcs at 25/farm need {} fewer queue entries",
+        queue_slots_saved(n, 25));
+    println!();
+    println!("expected shape (paper §IV-A1):");
+    println!(" - without help, the per-user cap forces constant resubmission churn;");
+    println!(" - the reservation removes the rejections entirely;");
+    println!(" - farming achieves the same completions with ~{}x fewer batch jobs",
+        (reserved.batch_jobs as f64 / farmed.batch_jobs.max(1) as f64).round());
+    println!(" - farming also smooths walltime variance: each farm's duration is the");
+    println!("   sum of many heavy-tailed task runtimes (law of large numbers).");
+
+    assert!(capped.queue_rejections > reserved.queue_rejections,
+        "reservation must reduce rejections");
+    assert!(farmed.batch_jobs < reserved.batch_jobs,
+        "farming must reduce batch job count");
+    Ok(())
+}

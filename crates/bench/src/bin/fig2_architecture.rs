@@ -1,0 +1,103 @@
+//! Figure 2 — "Materials Project architecture. The datastore serves all
+//! four major functions, clockwise from upper-left: Parallel
+//! computation, Data analytics, Data dissemination, and Data validation
+//! and verification."
+//!
+//! This harness *proves* the figure's claim on a live run: all four
+//! roles execute against the same database instance, and the per-role
+//! operation counts are read back from the store's own profiler.
+//!
+//! ```text
+//! cargo run -p mp-bench --release --bin fig2_architecture
+//! ```
+
+use mp_bench::table;
+use mp_docstore::{HadoopEngine, MapReduce};
+use mp_mapi::ApiRequest;
+use mp_matsci::Element;
+use mp_core::MaterialsProject;
+use serde_json::json;
+
+fn ops_since(mp: &MaterialsProject, start: u64) -> u64 {
+    mp.database().profiler().total_ops() - start
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Figure 2: one datastore, four roles ===\n");
+    let mut mp = MaterialsProject::new()?;
+    let li = Element::from_symbol("Li")?;
+
+    // Role 1: parallel computation — the workflow engine keeps its
+    // queue and task state in the store.
+    let t0 = mp.database().profiler().total_ops();
+    let recs = mp.ingest_icsd(50, 2)?;
+    mp.submit_calculations(&recs)?;
+    let report = mp.run_campaign(25)?;
+    let ops_compute = ops_since(&mp, t0);
+
+    // Role 2: data analytics — derived views, MapReduce, hulls.
+    let t0 = mp.database().profiler().total_ops();
+    mp.build_views(li)?;
+    let ops_analytics = ops_since(&mp, t0);
+
+    // Role 3: data V&V — MapReduce consistency checks.
+    let t0 = mp.database().profiler().total_ops();
+    let violations = mp.run_vnv()?;
+    let clean = mp_mapi::vnv_clean(&violations);
+    let ops_vnv = ops_since(&mp, t0);
+
+    // Role 4: data dissemination — the Materials API + portal.
+    let t0 = mp.database().profiler().total_ops();
+    let api = mp.materials_api();
+    let mats = mp.database().collection("materials").find(&json!({}))?;
+    for (i, m) in mats.iter().take(50).enumerate() {
+        let f = m["formula"].as_str().unwrap_or("?");
+        api.handle(&ApiRequest::get(&format!("/rest/v1/materials/{f}")).at(i as f64 * 3.0));
+    }
+    let ops_dissemination = ops_since(&mp, t0);
+
+    let rows = vec![
+        vec![
+            "parallel computation".into(),
+            ops_compute.to_string(),
+            format!("{} tasks via engines/tasks/binders", report.completed),
+        ],
+        vec![
+            "data analytics".into(),
+            ops_analytics.to_string(),
+            format!("{} materials + spectra + batteries", mats.len()),
+        ],
+        vec![
+            "data V&V".into(),
+            ops_vnv.to_string(),
+            format!("consistency checks clean: {clean}"),
+        ],
+        vec![
+            "data dissemination".into(),
+            ops_dissemination.to_string(),
+            "50 Materials API requests".into(),
+        ],
+    ];
+    println!("{}", table(&["role (Fig. 2 box)", "store ops", "what ran"], &rows));
+
+    // The figure's architectural claim: these were all THE SAME database.
+    println!("collections now present in the single shared datastore:");
+    for name in mp.database().collection_names() {
+        println!("  {name:<16} {:>6} docs", mp.database().collection(&name).len());
+    }
+    println!("\nqueue + analytics + V&V + web served by one deployment — no ETL");
+    println!("between roles, which is the paper's central design argument.");
+
+    // And the same store can be the back end for the parallel MapReduce
+    // engine, simultaneously (role overlap, §III-B4).
+    let tasks = mp.database().collection("tasks").dump();
+    let groups = HadoopEngine::new(2)
+        .run(
+            &tasks,
+            &|d, emit| emit(d["chemsys"].clone(), json!(1)),
+            &mp_docstore::mapreduce::sum_reduce,
+        )?
+        .len();
+    println!("(bonus: parallel MapReduce grouped those tasks into {groups} systems)");
+    Ok(())
+}

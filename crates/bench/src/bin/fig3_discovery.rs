@@ -1,0 +1,123 @@
+//! Figure 3 — "Envisioned materials discovery workflow. User ideas (a)
+//! for candidate materials (b) are submitted for computation (c), stored
+//! in user sandboxes (d), analyzed (e), and eventually released to the
+//! public (f)."
+//!
+//! Walks all six steps as the envisioned external scientist, against a
+//! running deployment — including the sandbox and publication steps the
+//! paper marks as future work.
+//!
+//! ```text
+//! cargo run -p mp-bench --release --bin fig3_discovery
+//! ```
+
+use mp_mapi::{ApiRequest, MpClient, Sandbox};
+use mp_matsci::{prototypes, Element, MpsRecord, MpsSource, PhaseDiagram};
+use mp_core::MaterialsProject;
+use serde_json::json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Figure 3: the materials discovery loop, end to end ===\n");
+    // The standing public deployment the scientist mines for ideas.
+    let mut mp = MaterialsProject::new()?;
+    let seedrecs = mp.ingest_icsd(40, 9)?;
+    mp.submit_calculations(&seedrecs)?;
+    mp.run_campaign(25)?;
+    let li = Element::from_symbol("Li")?;
+    mp.build_views(li)?;
+    let scientist = "maria@research.edu";
+
+    // (a) ideas — data mining of the MP database.
+    let api = mp.materials_api();
+    let client = MpClient::new(&api);
+    let known = client.query(
+        &json!({"elements": "Li", "band_gap": {"$gt": 1.0}}),
+        &["formula", "band_gap"],
+    )?;
+    println!("(a) ideas: mined {} known Li compounds with a gap; what about", known.len());
+    println!("    a layered Li-V oxide nobody computed yet?\n");
+
+    // (b) candidate materials serialized as MPS records.
+    let candidate = prototypes::layered_amo2(li, Element::from_symbol("V")?, Element::from_symbol("O")?);
+    let rec = MpsRecord::new(
+        "mps-user-1",
+        candidate,
+        MpsSource::User {
+            account: scientist.into(),
+        },
+    );
+    mp.database().collection("mps").insert_one(rec.to_doc())?;
+    println!("(b) candidate: {} serialized as MPS record {}\n", rec.structure.formula(), rec.mps_id);
+
+    // (c) submitted for computation through the same workflow engine.
+    mp.submit_relax_static_workflows(std::slice::from_ref(&rec))?;
+    let report = mp.run_campaign(15)?;
+    println!("(c) computed: {} task(s) including the user candidate\n", report.completed);
+
+    // (d) results land in the user's sandbox, private by default.
+    let sandbox = Sandbox::new(mp.database());
+    let task = mp
+        .database()
+        .collection("tasks")
+        .find_one(&json!({"mps_id": "mps-user-1", "task_type": "static"}))?
+        .expect("user task computed");
+    let sandbox_id = sandbox.upload(
+        scientist,
+        json!({"kind": "calculation", "formula": rec.structure.formula(),
+               "energy_per_atom": task["output"]["energy_per_atom"],
+               "task_id": task["_id"]}),
+    )?;
+    println!(
+        "(d) sandboxed: visible to anonymous users: {} (private by default)\n",
+        sandbox.visible_to(None)?.len()
+    );
+
+    // (e) analysis with the open analytics platform: is it stable?
+    let mut entries = client.get_entries_in_chemsys(&["Li", "V", "O"])?;
+    for el_sym in ["Li", "V", "O"] {
+        let el = Element::from_symbol(el_sym)?;
+        if !entries
+            .iter()
+            .any(|e| e.composition.num_elements() == 1 && e.composition.amount(el) > 0.0)
+        {
+            entries.push(mp_matsci::PdEntry::new(
+                format!("ref-{el_sym}"),
+                mp_matsci::Composition::from_pairs([(el, 1.0)]),
+                mp_core::elemental_reference(el),
+            ));
+        }
+    }
+    let epa = task["output"]["energy_per_atom"].as_f64().expect("energy");
+    entries.push(mp_matsci::PdEntry::new(
+        "user-candidate",
+        rec.composition(),
+        epa,
+    ));
+    let pd = PhaseDiagram::new(entries)?;
+    let idx = pd
+        .entries
+        .iter()
+        .position(|e| e.id == "user-candidate")
+        .expect("candidate entry");
+    let decomp = pd.decomposition(idx);
+    println!(
+        "(e) analyzed: E above hull = {:.3} eV/atom ({})\n",
+        decomp.e_above_hull,
+        if decomp.e_above_hull < 0.05 { "promising!" } else { "metastable" }
+    );
+
+    // (f) after the paper is accepted: publish to the community.
+    sandbox.publish(scientist, &sandbox_id)?;
+    println!(
+        "(f) published: visible to anonymous users: {}",
+        sandbox.visible_to(None)?.len()
+    );
+    // ... and the loop restarts: the published record is new input for
+    // someone else's step (a).
+    let again = api.handle(&ApiRequest::get("/rest/v1/tasks/count").at(1e6));
+    println!(
+        "\nthe loop closes: the public database now answers {} tasks to the next scientist",
+        again.payload()["count"]
+    );
+    Ok(())
+}

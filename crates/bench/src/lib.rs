@@ -1,0 +1,134 @@
+//! Shared harness utilities for the experiment binaries and benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md's experiment index); the helpers here
+//! build populated deployments and render ASCII tables/plots so the
+//! binaries stay focused on their experiment.
+
+use mp_core::MaterialsProject;
+use mp_docstore::Result;
+use mp_matsci::Element;
+
+/// Build a deployment with `n` ICSD records fully computed and all
+/// derived views built — the standing state most experiments start from.
+pub fn populated_deployment(n: usize, seed: u64) -> Result<MaterialsProject> {
+    let mut mp = MaterialsProject::new()?;
+    let recs = mp.ingest_icsd(n, seed)?;
+    mp.submit_calculations(&recs)?;
+    mp.run_campaign(40)?;
+    let li = Element::from_symbol("Li").expect("Li");
+    mp.build_views(li)?;
+    Ok(mp)
+}
+
+/// Render an ASCII horizontal bar chart.
+pub fn bar_chart(rows: &[(String, usize)], width: usize) -> String {
+    let max = rows.iter().map(|(_, n)| *n).max().unwrap_or(1).max(1);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(8);
+    let mut out = String::new();
+    for (label, n) in rows {
+        let bar = "#".repeat(n * width / max);
+        out.push_str(&format!("{label:>label_w$} | {bar} {n}\n"));
+    }
+    out
+}
+
+/// Render an ASCII scatter plot of (x, y, glyph) points.
+pub fn scatter_plot(
+    points: &[(f64, f64, char)],
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    cols: usize,
+    rows: usize,
+) -> String {
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y, glyph) in points {
+        if x < x_range.0 || x > x_range.1 || y < y_range.0 || y > y_range.1 {
+            continue;
+        }
+        let cx = ((x - x_range.0) / (x_range.1 - x_range.0) * (cols - 1) as f64) as usize;
+        let cy = ((y - y_range.0) / (y_range.1 - y_range.0) * (rows - 1) as f64) as usize;
+        let gy = rows - 1 - cy;
+        // Screened points never overwrite known-material markers.
+        if grid[gy][cx] != '*' {
+            grid[gy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let yv = y_range.1 - (y_range.1 - y_range.0) * i as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{yv:6.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "       +{}\n        {:<10.0}{:>width$.0}\n",
+        "-".repeat(cols),
+        x_range.0,
+        x_range.1,
+        width = cols.saturating_sub(10)
+    ));
+    out
+}
+
+/// Simple aligned table printer: header + rows.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{c:>w$}  ", w = widths.get(i).copied().unwrap_or(4)));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    let mut out = String::new();
+    let hdr: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&dashes, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_renders() {
+        let rows = vec![("a".to_string(), 10), ("bb".to_string(), 5)];
+        let s = bar_chart(&rows, 20);
+        assert!(s.contains("a |"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn scatter_plot_places_points() {
+        let s = scatter_plot(&[(5.0, 5.0, 'o')], (0.0, 10.0), (0.0, 10.0), 21, 11);
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn table_aligns() {
+        let s = table(
+            &["name", "n"],
+            &[vec!["x".into(), "10".into()], vec!["yy".into(), "5".into()]],
+        );
+        assert!(s.starts_with("name"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn small_deployment_builds() {
+        let mp = populated_deployment(8, 3).unwrap();
+        assert!(mp.database().collection("materials").len() >= 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mp-core — the integrated Materials Project system
+//!
+//! Wires every substrate together around the single shared datastore,
+//! exactly as Fig. 2 of the paper draws it:
+//!
+//! * **Parallel computation** — [`project::MaterialsProject`] claims
+//!   FireWorks jobs, assembles inputs ([`assembler`]), runs them through
+//!   the simulated batch system and DFT engine;
+//! * **Data V&V / loading** — [`loading::DataLoader`] performs the
+//!   offline post-processing step (workers can't reach the datastore),
+//!   and [`project::MaterialsProject::run_vnv`] runs the MapReduce
+//!   consistency checks;
+//! * **Data analytics** — [`analytics`] derives materials, stability,
+//!   batteries, band structures and XRD patterns;
+//! * **Data dissemination** — [`project::MaterialsProject::materials_api`]
+//!   serves it all over the Materials API.
+
+pub mod analytics;
+pub mod assembler;
+pub mod loading;
+pub mod project;
+
+pub use analytics::{
+    build_all_views, build_bandstructures, build_batteries, build_phase_diagrams, build_xrd,
+    conversion_reaction, elemental_reference,
+};
+pub use assembler::{assemble, make_spec, render_input_files, AssembledJob};
+pub use loading::{DataLoader, StagedResult};
+pub use project::{analyze_run, CampaignReport, MaterialsProject, SubmissionMode};

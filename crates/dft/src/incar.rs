@@ -1,0 +1,193 @@
+//! Calculation parameters — the INCAR-style control dictionary.
+//!
+//! FireWorks `Stage` objects carry these parameters as plain dicts
+//! (§III-C2: "each job ... is specified as a dictionary of runtime
+//! parameters"); the `Assembler` turns them into the input files a run
+//! consumes. This module is the typed view of that dictionary plus
+//! its JSON round-trip.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Electronic minimization algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// Blocked-Davidson: robust, slower.
+    Normal,
+    /// RMM-DIIS: fast but fragile for difficult systems.
+    Fast,
+    /// Conjugate-gradient fallback: slowest, most robust.
+    All,
+}
+
+/// Typed calculation parameters with VASP-flavoured names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incar {
+    /// Plane-wave cutoff (eV).
+    pub encut: f64,
+    /// SCF convergence criterion (eV).
+    pub ediff: f64,
+    /// Max SCF iterations.
+    pub nelm: u32,
+    /// Electronic algorithm.
+    pub algo: Algo,
+    /// Number of bands (0 = auto).
+    pub nbands: u32,
+    /// Density mixing parameter (0, 1].
+    pub amix: f64,
+    /// Ionic relaxation scheme (2 = conjugate gradient, relevant to
+    /// ZBRENT-class failures).
+    pub ibrion: i32,
+    /// Spin polarized?
+    pub ispin: bool,
+}
+
+impl Default for Incar {
+    fn default() -> Self {
+        Incar {
+            encut: 520.0,
+            ediff: 1e-5,
+            nelm: 60,
+            algo: Algo::Fast,
+            nbands: 0,
+            amix: 0.4,
+            ibrion: 2,
+            ispin: false,
+        }
+    }
+}
+
+/// Validation failure for a parameter set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncarError(pub String);
+
+impl std::fmt::Display for IncarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid INCAR: {}", self.0)
+    }
+}
+impl std::error::Error for IncarError {}
+
+impl Incar {
+    /// Check physical sanity of the parameters.
+    pub fn validate(&self) -> Result<(), IncarError> {
+        if !(50.0..=2000.0).contains(&self.encut) {
+            return Err(IncarError(format!("ENCUT {} outside [50, 2000]", self.encut)));
+        }
+        if self.ediff <= 0.0 || self.ediff > 1e-2 {
+            return Err(IncarError(format!("EDIFF {} outside (0, 1e-2]", self.ediff)));
+        }
+        if self.nelm == 0 || self.nelm > 10_000 {
+            return Err(IncarError(format!("NELM {} outside [1, 10000]", self.nelm)));
+        }
+        if self.amix <= 0.0 || self.amix > 1.0 {
+            return Err(IncarError(format!("AMIX {} outside (0, 1]", self.amix)));
+        }
+        Ok(())
+    }
+
+    /// To the flat JSON dict form stored in Stage documents.
+    pub fn to_dict(&self) -> Value {
+        serde_json::to_value(self).expect("Incar serializes")
+    }
+
+    /// From the dict form; missing keys take defaults, like real input
+    /// parsers do.
+    pub fn from_dict(v: &Value) -> Result<Incar, IncarError> {
+        let mut base = serde_json::to_value(Incar::default()).expect("default serializes");
+        if let (Some(bm), Some(vm)) = (base.as_object_mut(), v.as_object()) {
+            for (k, val) in vm {
+                bm.insert(k.clone(), val.clone());
+            }
+        }
+        let inc: Incar = serde_json::from_value(base)
+            .map_err(|e| IncarError(format!("parse: {e}")))?;
+        inc.validate()?;
+        Ok(inc)
+    }
+}
+
+/// k-point mesh specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kpoints {
+    /// Mesh subdivisions along each reciprocal axis.
+    pub mesh: [u32; 3],
+}
+
+impl Kpoints {
+    /// Γ-only mesh.
+    pub fn gamma_only() -> Self {
+        Kpoints { mesh: [1, 1, 1] }
+    }
+
+    /// Automatic mesh from a linear k-density and the lattice lengths:
+    /// longer axes get fewer divisions.
+    pub fn automatic(lengths: [f64; 3], kppra: f64) -> Self {
+        // kppra = k-points per reciprocal Å, a linear density.
+        let mesh = lengths.map(|l| ((kppra / l).ceil() as u32).max(1));
+        Kpoints { mesh }
+    }
+
+    /// Total k-points in the mesh.
+    pub fn total(&self) -> u32 {
+        self.mesh[0] * self.mesh[1] * self.mesh[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn defaults_validate() {
+        Incar::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_bounds() {
+        for bad in [
+            Incar { encut: 10.0, ..Incar::default() },
+            Incar { ediff: 0.0, ..Incar::default() },
+            Incar { amix: 1.5, ..Incar::default() },
+            Incar { nelm: 0, ..Incar::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn dict_roundtrip() {
+        let i = Incar { encut: 400.0, algo: Algo::Normal, ..Incar::default() };
+        let d = i.to_dict();
+        let back = Incar::from_dict(&d).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn partial_dict_takes_defaults() {
+        let d = json!({"encut": 300.0});
+        let i = Incar::from_dict(&d).unwrap();
+        assert_eq!(i.encut, 300.0);
+        assert_eq!(i.nelm, Incar::default().nelm);
+    }
+
+    #[test]
+    fn bad_dict_rejected() {
+        assert!(Incar::from_dict(&json!({"encut": 5.0})).is_err());
+        assert!(Incar::from_dict(&json!({"encut": "high"})).is_err());
+    }
+
+    #[test]
+    fn kpoints_auto_scales_inversely() {
+        let k = Kpoints::automatic([4.0, 8.0, 4.0], 32.0);
+        assert!(k.mesh[0] > k.mesh[1]);
+        assert_eq!(k.mesh[0], k.mesh[2]);
+        assert!(k.total() >= 1);
+    }
+
+    #[test]
+    fn gamma_only() {
+        assert_eq!(Kpoints::gamma_only().total(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mp-dft — synthetic density-functional-theory engine
+//!
+//! The VASP substitute (see DESIGN.md): a deterministic empirical energy
+//! model relaxed through a genuine iterative SCF loop, wrapped in a
+//! runner that reproduces the *operational envelope* of real DFT —
+//! minutes-to-days runtimes with heavy-tailed uncertainty, memory
+//! demands, non-guaranteed convergence, and the error taxonomy
+//! (`ZBRENT`, too-few-bands, unconverged) that the FireWorks workflow
+//! engine must recover from with re-runs and detours.
+//!
+//! * [`incar`] — calculation parameters and k-point meshes;
+//! * [`potential`] — the deterministic energy model;
+//! * [`scf`] — the iterative minimization with real divergence modes;
+//! * [`runner`] — execution, failure injection, detour prescriptions,
+//!   and reduction to small task documents.
+
+pub mod incar;
+pub mod potential;
+pub mod relax;
+pub mod runner;
+pub mod scf;
+
+pub use incar::{Algo, Incar, Kpoints};
+pub use potential::{difficulty, energy_at_cutoff, energy_per_atom};
+pub use relax::{relax, relax_volume, RelaxResult, RelaxStep};
+pub use runner::{
+    actual_demand, detour_parameters, predict_demand, run, ResourceDemand, RunResult, RunStatus,
+};
+pub use scf::{contraction_rate, run_scf, ScfResult};

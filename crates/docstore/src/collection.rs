@@ -1,0 +1,726 @@
+//! Collections: thread-safe containers of documents with Mongo-style CRUD,
+//! secondary indexes, and atomic find-and-modify (the primitive FireWorks
+//! uses to claim queue entries without double-running jobs).
+
+use crate::cursor::FindOptions;
+use crate::error::{Result, StoreError};
+use crate::index::{DocId, Index};
+use crate::profiler::{OpKind, Profiler};
+use crate::query::Filter;
+use crate::update::Update;
+use crate::value::OrderedValue;
+use parking_lot::RwLock;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// Outcome of an update call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateResult {
+    /// Documents that matched the filter.
+    pub matched: usize,
+    /// Documents actually modified.
+    pub modified: usize,
+    /// Whether an upsert inserted a new document.
+    pub upserted: bool,
+}
+
+struct Inner {
+    docs: BTreeMap<DocId, Value>,
+    by_id: BTreeMap<OrderedValue, DocId>,
+    indexes: Vec<Index>,
+}
+
+/// A named collection of JSON documents.
+pub struct Collection {
+    name: String,
+    inner: RwLock<Inner>,
+    next_id: AtomicU64,
+    profiler: Arc<Profiler>,
+    /// Simulated clock (seconds) used by `$currentDate`; shared with the DB.
+    clock: Arc<RwLock<f64>>,
+}
+
+impl Collection {
+    pub(crate) fn new(name: &str, profiler: Arc<Profiler>, clock: Arc<RwLock<f64>>) -> Self {
+        Collection {
+            name: name.to_string(),
+            inner: RwLock::new(Inner {
+                docs: BTreeMap::new(),
+                by_id: BTreeMap::new(),
+                indexes: Vec::new(),
+            }),
+            next_id: AtomicU64::new(1),
+            profiler,
+            clock,
+        }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// True if the collection holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn now(&self) -> f64 {
+        *self.clock.read()
+    }
+
+    /// Insert one document. A missing `_id` is assigned automatically.
+    /// Returns the document's `_id`.
+    pub fn insert_one(&self, mut doc: Value) -> Result<Value> {
+        let _t = self.profiler.start(&self.name, OpKind::Insert);
+        if !doc.is_object() {
+            return Err(StoreError::InvalidDocument("document must be a JSON object".into()));
+        }
+        let mut inner = self.inner.write();
+        let id_num = self.next_id.fetch_add(1, AtomicOrdering::Relaxed);
+        let id_val = match doc.get("_id") {
+            Some(v) => v.clone(),
+            None => {
+                let v = json!(format!("oid{:012x}", id_num));
+                doc.as_object_mut()
+                    .expect("checked object above")
+                    .insert("_id".into(), v.clone());
+                v
+            }
+        };
+        if inner.by_id.contains_key(&OrderedValue(id_val.clone())) {
+            return Err(StoreError::DuplicateKey(format!("_id {id_val}")));
+        }
+        // Unique-index check before any mutation.
+        for ix in &inner.indexes {
+            ix.check_unique(id_num, &doc, None)?;
+        }
+        for ix in &mut inner.indexes {
+            ix.insert(id_num, &doc)?;
+        }
+        inner.by_id.insert(OrderedValue(id_val.clone()), id_num);
+        inner.docs.insert(id_num, doc);
+        Ok(id_val)
+    }
+
+    /// Insert many documents; stops at the first error.
+    pub fn insert_many(&self, docs: Vec<Value>) -> Result<Vec<Value>> {
+        docs.into_iter().map(|d| self.insert_one(d)).collect()
+    }
+
+    /// Find documents matching a JSON filter with default options.
+    pub fn find(&self, filter: &Value) -> Result<Vec<Value>> {
+        self.find_with(filter, &FindOptions::all())
+    }
+
+    /// Find with sort/skip/limit/projection.
+    pub fn find_with(&self, filter: &Value, opts: &FindOptions) -> Result<Vec<Value>> {
+        let _t = self.profiler.start(&self.name, OpKind::Find);
+        let f = Filter::parse(filter)?;
+        let inner = self.inner.read();
+        let mut out = self.scan(&inner, &f);
+        opts.apply_order(&mut out);
+        if opts.projection.is_some() {
+            out = out.iter().map(|d| opts.project_doc(d)).collect();
+        }
+        Ok(out)
+    }
+
+    /// First matching document, if any.
+    pub fn find_one(&self, filter: &Value) -> Result<Option<Value>> {
+        Ok(self.find_with(filter, &FindOptions::all().limit(1))?.pop())
+    }
+
+    /// Fetch by `_id` directly.
+    pub fn get(&self, id: &Value) -> Option<Value> {
+        let inner = self.inner.read();
+        let did = *inner.by_id.get(&OrderedValue(id.clone()))?;
+        inner.docs.get(&did).cloned()
+    }
+
+    /// Count documents matching the filter.
+    pub fn count(&self, filter: &Value) -> Result<usize> {
+        let _t = self.profiler.start(&self.name, OpKind::Count);
+        let f = Filter::parse(filter)?;
+        let inner = self.inner.read();
+        if f.is_empty() {
+            return Ok(inner.docs.len());
+        }
+        Ok(self.candidate_ids(&inner, &f).into_iter().filter(|id| {
+            inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false)
+        }).count())
+    }
+
+    /// Distinct values at `path` among documents matching `filter`.
+    pub fn distinct(&self, path: &str, filter: &Value) -> Result<Vec<Value>> {
+        let _t = self.profiler.start(&self.name, OpKind::Find);
+        let f = Filter::parse(filter)?;
+        let inner = self.inner.read();
+        let mut set: BTreeMap<OrderedValue, ()> = BTreeMap::new();
+        for doc in self.scan(&inner, &f) {
+            for v in crate::value::get_path_multi(&doc, path) {
+                match v {
+                    Value::Array(a) => {
+                        for e in a {
+                            set.insert(OrderedValue(e.clone()), ());
+                        }
+                    }
+                    other => {
+                        set.insert(OrderedValue(other.clone()), ());
+                    }
+                }
+            }
+        }
+        Ok(set.into_keys().map(|k| k.0).collect())
+    }
+
+    /// Update all documents matching `filter`.
+    pub fn update_many(&self, filter: &Value, update: &Value) -> Result<UpdateResult> {
+        self.update_inner(filter, update, false, false)
+    }
+
+    /// Update the first matching document.
+    pub fn update_one(&self, filter: &Value, update: &Value) -> Result<UpdateResult> {
+        self.update_inner(filter, update, true, false)
+    }
+
+    /// Update one; insert a new document from the update if none matched.
+    pub fn upsert(&self, filter: &Value, update: &Value) -> Result<UpdateResult> {
+        self.update_inner(filter, update, true, true)
+    }
+
+    fn update_inner(
+        &self,
+        filter: &Value,
+        update: &Value,
+        only_one: bool,
+        do_upsert: bool,
+    ) -> Result<UpdateResult> {
+        let _t = self.profiler.start(&self.name, OpKind::Update);
+        let f = Filter::parse(filter)?;
+        let u = Update::parse(update)?;
+        let now = self.now();
+        let mut inner = self.inner.write();
+        let ids = self.candidate_ids(&inner, &f);
+        let mut res = UpdateResult::default();
+        for id in ids {
+            let matched = inner.docs.get(&id).map(|d| f.matches(d)).unwrap_or(false);
+            if !matched {
+                continue;
+            }
+            res.matched += 1;
+            let old = inner.docs.get(&id).cloned().expect("doc exists");
+            let mut new_doc = old.clone();
+            u.apply(&mut new_doc, now, false)?;
+            if new_doc != old {
+                Self::reindex(&mut inner, id, &old, &new_doc)?;
+                inner.docs.insert(id, new_doc);
+                res.modified += 1;
+            }
+            if only_one {
+                break;
+            }
+        }
+        if res.matched == 0 && do_upsert {
+            drop(inner);
+            let mut seed = filter_equality_seed(&f);
+            u.apply(&mut seed, now, true)?;
+            self.insert_one(seed)?;
+            res.upserted = true;
+        }
+        Ok(res)
+    }
+
+    /// Atomically find one matching document, apply `update` to it, and
+    /// return it. `return_new` picks the post-update document. When `sort`
+    /// is given, the first document under that order is taken — this is
+    /// the queue-pop primitive.
+    pub fn find_one_and_update(
+        &self,
+        filter: &Value,
+        update: &Value,
+        sort: Option<&FindOptions>,
+        return_new: bool,
+    ) -> Result<Option<Value>> {
+        let _t = self.profiler.start(&self.name, OpKind::FindAndModify);
+        let f = Filter::parse(filter)?;
+        let u = Update::parse(update)?;
+        let now = self.now();
+        let mut inner = self.inner.write();
+        let ids = self.candidate_ids(&inner, &f);
+        let mut matches: Vec<(DocId, &Value)> = ids
+            .iter()
+            .filter_map(|id| inner.docs.get(id).map(|d| (*id, d)))
+            .filter(|(_, d)| f.matches(d))
+            .collect();
+        if matches.is_empty() {
+            return Ok(None);
+        }
+        if let Some(opts) = sort {
+            matches.sort_by(|a, b| opts.compare(a.1, b.1));
+        }
+        let (id, old_ref) = matches[0];
+        let old = old_ref.clone();
+        let mut new_doc = old.clone();
+        u.apply(&mut new_doc, now, false)?;
+        if new_doc != old {
+            Self::reindex(&mut inner, id, &old, &new_doc)?;
+            inner.docs.insert(id, new_doc.clone());
+        }
+        Ok(Some(if return_new { new_doc } else { old }))
+    }
+
+    /// Delete all documents matching the filter; returns how many.
+    pub fn delete_many(&self, filter: &Value) -> Result<usize> {
+        let _t = self.profiler.start(&self.name, OpKind::Delete);
+        let f = Filter::parse(filter)?;
+        let mut inner = self.inner.write();
+        let ids: Vec<DocId> = self
+            .candidate_ids(&inner, &f)
+            .into_iter()
+            .filter(|id| inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false))
+            .collect();
+        for id in &ids {
+            if let Some(doc) = inner.docs.remove(id) {
+                let idv = doc.get("_id").cloned().unwrap_or(Value::Null);
+                inner.by_id.remove(&OrderedValue(idv));
+                for ix in &mut inner.indexes {
+                    ix.remove(*id, &doc);
+                }
+            }
+        }
+        Ok(ids.len())
+    }
+
+    /// Delete the first matching document. Returns true if one was removed.
+    pub fn delete_one(&self, filter: &Value) -> Result<bool> {
+        let f = Filter::parse(filter)?;
+        let mut inner = self.inner.write();
+        let ids = self.candidate_ids(&inner, &f);
+        for id in ids {
+            let matched = inner.docs.get(&id).map(|d| f.matches(d)).unwrap_or(false);
+            if matched {
+                let doc = inner.docs.remove(&id).expect("doc exists");
+                let idv = doc.get("_id").cloned().unwrap_or(Value::Null);
+                inner.by_id.remove(&OrderedValue(idv));
+                for ix in &mut inner.indexes {
+                    ix.remove(id, &doc);
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Create a secondary index on `path`. Existing documents are indexed
+    /// immediately; fails atomically on unique violation.
+    pub fn create_index(&self, path: &str, unique: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.indexes.iter().any(|ix| ix.path == path) {
+            return Ok(());
+        }
+        let mut ix = Index::new(path, unique);
+        for (id, doc) in &inner.docs {
+            ix.insert(*id, doc)?;
+        }
+        inner.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drop the index on `path`.
+    pub fn drop_index(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let before = inner.indexes.len();
+        inner.indexes.retain(|ix| ix.path != path);
+        if inner.indexes.len() == before {
+            return Err(StoreError::NoSuchIndex(path.into()));
+        }
+        Ok(())
+    }
+
+    /// Paths of the existing indexes.
+    pub fn index_paths(&self) -> Vec<String> {
+        self.inner.read().indexes.iter().map(|ix| ix.path.clone()).collect()
+    }
+
+    /// Snapshot every document (used by MapReduce and persistence).
+    pub fn dump(&self) -> Vec<Value> {
+        self.inner.read().docs.values().cloned().collect()
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.docs.clear();
+        inner.by_id.clear();
+        let paths: Vec<(String, bool)> =
+            inner.indexes.iter().map(|ix| (ix.path.clone(), ix.unique)).collect();
+        inner.indexes = paths.into_iter().map(|(p, u)| Index::new(p, u)).collect();
+    }
+
+    /// Query-plan diagnostics, like MongoDB's `explain()`: which access
+    /// path a filter would use and how many documents it must examine.
+    pub fn explain(&self, filter: &Value) -> Result<Value> {
+        let f = Filter::parse(filter)?;
+        let inner = self.inner.read();
+        let (plan, index, candidates) = if let Some(id_val) = f.equality_on("_id") {
+            (
+                "ID_LOOKUP",
+                Some("_id".to_string()),
+                usize::from(inner.by_id.contains_key(&OrderedValue(id_val.clone()))),
+            )
+        } else if let Some(ix) = inner
+            .indexes
+            .iter()
+            .find(|ix| f.equality_on(&ix.path).is_some())
+        {
+            let v = f.equality_on(&ix.path).expect("checked");
+            ("INDEX_EQ", Some(ix.path.clone()), ix.lookup_eq(v).len())
+        } else if let Some(ix) = inner
+            .indexes
+            .iter()
+            .find(|ix| f.range_on(&ix.path).is_some())
+        {
+            let (lo, loi, hi, hii) = f.range_on(&ix.path).expect("checked");
+            (
+                "INDEX_RANGE",
+                Some(ix.path.clone()),
+                ix.lookup_range(lo, loi, hi, hii).len(),
+            )
+        } else {
+            ("COLLSCAN", None, inner.docs.len())
+        };
+        Ok(serde_json::json!({
+            "collection": self.name,
+            "plan": plan,
+            "index": index,
+            "docs_examined": candidates,
+            "docs_total": inner.docs.len(),
+            "filter_paths": f.touched_paths(),
+        }))
+    }
+
+    // ---- internals ----
+
+    /// Ids worth checking for `f`: narrowed via the best applicable index,
+    /// otherwise every document (full collection scan).
+    fn candidate_ids(&self, inner: &Inner, f: &Filter) -> Vec<DocId> {
+        if let Some(id_val) = f.equality_on("_id") {
+            return inner
+                .by_id
+                .get(&OrderedValue(id_val.clone()))
+                .map(|id| vec![*id])
+                .unwrap_or_default();
+        }
+        for ix in &inner.indexes {
+            if let Some(v) = f.equality_on(&ix.path) {
+                return ix.lookup_eq(v);
+            }
+        }
+        for ix in &inner.indexes {
+            if let Some((lo, loi, hi, hii)) = f.range_on(&ix.path) {
+                return ix.lookup_range(lo, loi, hi, hii);
+            }
+        }
+        inner.docs.keys().copied().collect()
+    }
+
+    fn scan(&self, inner: &Inner, f: &Filter) -> Vec<Value> {
+        self.candidate_ids(inner, f)
+            .into_iter()
+            .filter_map(|id| inner.docs.get(&id))
+            .filter(|d| f.matches(d))
+            .cloned()
+            .collect()
+    }
+
+    fn reindex(inner: &mut Inner, id: DocId, old: &Value, new: &Value) -> Result<()> {
+        // Check unique constraints first so a failed update leaves the
+        // indexes untouched; the document's own old entries don't count.
+        for ix in &inner.indexes {
+            ix.check_unique(id, new, Some(id))?;
+        }
+        for ix in &mut inner.indexes {
+            ix.remove(id, old);
+            ix.insert(id, new)?;
+        }
+        // _id changes are not permitted via update; keep by_id consistent.
+        let old_id = old.get("_id").cloned().unwrap_or(Value::Null);
+        let new_id = new.get("_id").cloned().unwrap_or(Value::Null);
+        if old_id != new_id {
+            inner.by_id.remove(&OrderedValue(old_id));
+            inner.by_id.insert(OrderedValue(new_id), id);
+        }
+        Ok(())
+    }
+}
+
+/// For upserts, seed the new document from the filter's equality fields
+/// (MongoDB does the same).
+fn filter_equality_seed(f: &Filter) -> Value {
+    let mut doc = json!({});
+    for (path, preds) in &f.fields {
+        for p in preds {
+            if let crate::query::Predicate::Eq(v) = p {
+                let _ = crate::value::set_path(&mut doc, path, v.clone());
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Profiler;
+
+    fn coll() -> Collection {
+        Collection::new(
+            "test",
+            Arc::new(Profiler::new(16_384)),
+            Arc::new(RwLock::new(0.0)),
+        )
+    }
+
+    #[test]
+    fn insert_assigns_id() {
+        let c = coll();
+        let id = c.insert_one(json!({"a": 1})).unwrap();
+        assert!(id.as_str().unwrap().starts_with("oid"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn insert_duplicate_id_rejected() {
+        let c = coll();
+        c.insert_one(json!({"_id": "x", "a": 1})).unwrap();
+        assert!(matches!(
+            c.insert_one(json!({"_id": "x", "a": 2})),
+            Err(StoreError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn insert_non_object_rejected() {
+        let c = coll();
+        assert!(c.insert_one(json!([1, 2])).is_err());
+        assert!(c.insert_one(json!(42)).is_err());
+    }
+
+    #[test]
+    fn find_by_filter() {
+        let c = coll();
+        c.insert_many(vec![
+            json!({"el": ["Li", "O"], "n": 10}),
+            json!({"el": ["Fe", "O"], "n": 200}),
+            json!({"el": ["Li", "Fe", "O"], "n": 150}),
+        ])
+        .unwrap();
+        let hits = c
+            .find(&json!({"el": {"$all": ["Li", "O"]}, "n": {"$lte": 150}}))
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn find_one_and_get() {
+        let c = coll();
+        let id = c.insert_one(json!({"a": 1})).unwrap();
+        assert!(c.find_one(&json!({"a": 1})).unwrap().is_some());
+        assert!(c.find_one(&json!({"a": 2})).unwrap().is_none());
+        assert_eq!(c.get(&id).unwrap()["a"], json!(1));
+    }
+
+    #[test]
+    fn update_many_and_one() {
+        let c = coll();
+        c.insert_many(vec![json!({"s": "R"}), json!({"s": "R"}), json!({"s": "C"})])
+            .unwrap();
+        let r = c.update_many(&json!({"s": "R"}), &json!({"$set": {"s": "D"}})).unwrap();
+        assert_eq!((r.matched, r.modified), (2, 2));
+        assert_eq!(c.count(&json!({"s": "D"})).unwrap(), 2);
+
+        let r = c.update_one(&json!({"s": "D"}), &json!({"$set": {"s": "E"}})).unwrap();
+        assert_eq!((r.matched, r.modified), (1, 1));
+    }
+
+    #[test]
+    fn update_no_change_counts_matched_only() {
+        let c = coll();
+        c.insert_one(json!({"a": 1})).unwrap();
+        let r = c.update_many(&json!({"a": 1}), &json!({"$set": {"a": 1}})).unwrap();
+        assert_eq!((r.matched, r.modified), (1, 0));
+    }
+
+    #[test]
+    fn upsert_inserts_with_filter_seed() {
+        let c = coll();
+        let r = c
+            .upsert(&json!({"key": "k1"}), &json!({"$set": {"v": 10}}))
+            .unwrap();
+        assert!(r.upserted);
+        let doc = c.find_one(&json!({"key": "k1"})).unwrap().unwrap();
+        assert_eq!(doc["v"], json!(10));
+        // Second upsert updates in place.
+        let r = c
+            .upsert(&json!({"key": "k1"}), &json!({"$set": {"v": 20}}))
+            .unwrap();
+        assert!(!r.upserted);
+        assert_eq!(c.count(&json!({"key": "k1"})).unwrap(), 1);
+    }
+
+    #[test]
+    fn find_one_and_update_claims_atomically() {
+        let c = coll();
+        c.insert_many(vec![
+            json!({"state": "READY", "prio": 2}),
+            json!({"state": "READY", "prio": 9}),
+        ])
+        .unwrap();
+        let claimed = c
+            .find_one_and_update(
+                &json!({"state": "READY"}),
+                &json!({"$set": {"state": "RUNNING"}}),
+                Some(&FindOptions::all().sort_by("prio", crate::cursor::SortDir::Desc)),
+                true,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(claimed["prio"], json!(9));
+        assert_eq!(claimed["state"], json!("RUNNING"));
+        assert_eq!(c.count(&json!({"state": "READY"})).unwrap(), 1);
+    }
+
+    #[test]
+    fn find_one_and_update_none_when_no_match() {
+        let c = coll();
+        let r = c
+            .find_one_and_update(&json!({"x": 1}), &json!({"$set": {"y": 2}}), None, true)
+            .unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn delete() {
+        let c = coll();
+        c.insert_many(vec![json!({"a": 1}), json!({"a": 1}), json!({"a": 2})])
+            .unwrap();
+        assert_eq!(c.delete_many(&json!({"a": 1})).unwrap(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.delete_one(&json!({"a": 2})).unwrap());
+        assert!(!c.delete_one(&json!({"a": 2})).unwrap());
+    }
+
+    #[test]
+    fn index_accelerated_find_same_result() {
+        let c = coll();
+        for i in 0..100 {
+            c.insert_one(json!({"n": i, "grp": i % 7})).unwrap();
+        }
+        let plain = c.find(&json!({"grp": 3})).unwrap();
+        c.create_index("grp", false).unwrap();
+        let indexed = c.find(&json!({"grp": 3})).unwrap();
+        assert_eq!(plain.len(), indexed.len());
+
+        let plain = c.find(&json!({"n": {"$gte": 20, "$lt": 30}})).unwrap();
+        c.create_index("n", false).unwrap();
+        let indexed = c.find(&json!({"n": {"$gte": 20, "$lt": 30}})).unwrap();
+        assert_eq!(plain.len(), indexed.len());
+        assert_eq!(indexed.len(), 10);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let c = coll();
+        c.create_index("mps_id", true).unwrap();
+        c.insert_one(json!({"mps_id": 1})).unwrap();
+        assert!(c.insert_one(json!({"mps_id": 1})).is_err());
+        assert_eq!(c.len(), 1);
+        // Update into a conflict also rejected.
+        c.insert_one(json!({"mps_id": 2})).unwrap();
+        assert!(c
+            .update_one(&json!({"mps_id": 2}), &json!({"$set": {"mps_id": 1}}))
+            .is_err());
+    }
+
+    #[test]
+    fn index_stays_consistent_through_updates_and_deletes() {
+        let c = coll();
+        c.create_index("k", false).unwrap();
+        c.insert_one(json!({"_id": 1, "k": "a"})).unwrap();
+        c.update_one(&json!({"_id": 1}), &json!({"$set": {"k": "b"}})).unwrap();
+        assert!(c.find(&json!({"k": "a"})).unwrap().is_empty());
+        assert_eq!(c.find(&json!({"k": "b"})).unwrap().len(), 1);
+        c.delete_many(&json!({"k": "b"})).unwrap();
+        assert!(c.find(&json!({"k": "b"})).unwrap().is_empty());
+    }
+
+    #[test]
+    fn distinct_values() {
+        let c = coll();
+        c.insert_many(vec![
+            json!({"el": ["Li", "O"]}),
+            json!({"el": ["Fe", "O"]}),
+            json!({"el": ["Li"]}),
+        ])
+        .unwrap();
+        let d = c.distinct("el", &json!({})).unwrap();
+        assert_eq!(d, vec![json!("Fe"), json!("Li"), json!("O")]);
+    }
+
+    #[test]
+    fn count_with_filter() {
+        let c = coll();
+        for i in 0..10 {
+            c.insert_one(json!({ "n": i })).unwrap();
+        }
+        assert_eq!(c.count(&json!({})).unwrap(), 10);
+        assert_eq!(c.count(&json!({"n": {"$lt": 5}})).unwrap(), 5);
+    }
+
+    #[test]
+    fn explain_reports_access_path() {
+        let c = coll();
+        for i in 0..50 {
+            c.insert_one(json!({"_id": format!("d{i}"), "grp": i % 5, "n": i})).unwrap();
+        }
+        // Full scan without indexes.
+        let e = c.explain(&json!({"grp": 3})).unwrap();
+        assert_eq!(e["plan"], "COLLSCAN");
+        assert_eq!(e["docs_examined"], 50);
+        // Index equality.
+        c.create_index("grp", false).unwrap();
+        let e = c.explain(&json!({"grp": 3})).unwrap();
+        assert_eq!(e["plan"], "INDEX_EQ");
+        assert_eq!(e["index"], "grp");
+        assert_eq!(e["docs_examined"], 10);
+        // Index range.
+        c.create_index("n", false).unwrap();
+        let e = c.explain(&json!({"n": {"$gte": 40}})).unwrap();
+        assert_eq!(e["plan"], "INDEX_RANGE");
+        assert_eq!(e["docs_examined"], 10);
+        // Id lookup beats everything.
+        let e = c.explain(&json!({"_id": "d7"})).unwrap();
+        assert_eq!(e["plan"], "ID_LOOKUP");
+        assert_eq!(e["docs_examined"], 1);
+    }
+
+    #[test]
+    fn clear_preserves_index_definitions() {
+        let c = coll();
+        c.create_index("k", false).unwrap();
+        c.insert_one(json!({"k": 1})).unwrap();
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.index_paths(), vec!["k".to_string()]);
+        c.insert_one(json!({"k": 2})).unwrap();
+        assert_eq!(c.find(&json!({"k": 2})).unwrap().len(), 1);
+    }
+}

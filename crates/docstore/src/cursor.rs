@@ -1,0 +1,186 @@
+//! Find options: sort, skip, limit, projection — the cursor modifiers the
+//! web UI and workflow engine use for paging and field selection.
+
+use crate::value::{cmp_values, get_path, set_path};
+use serde_json::{Map, Value};
+use std::cmp::Ordering;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    Asc,
+    Desc,
+}
+
+/// Options applied to a `find`.
+#[derive(Debug, Clone, Default)]
+pub struct FindOptions {
+    /// (path, direction) pairs applied in order.
+    pub sort: Vec<(String, SortDir)>,
+    /// Documents to skip from the start of the result.
+    pub skip: usize,
+    /// Maximum documents to return (`None` = unlimited).
+    pub limit: Option<usize>,
+    /// Projection: include-list of paths. `_id` is always included.
+    pub projection: Option<Vec<String>>,
+}
+
+impl FindOptions {
+    /// No sort, skip, limit or projection.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Builder: add a sort key.
+    pub fn sort_by(mut self, path: impl Into<String>, dir: SortDir) -> Self {
+        self.sort.push((path.into(), dir));
+        self
+    }
+
+    /// Builder: set skip.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Builder: set limit.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Builder: project to these paths.
+    pub fn project(mut self, paths: &[&str]) -> Self {
+        self.projection = Some(paths.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Apply sort/skip/limit to a materialized result set.
+    pub fn apply_order(&self, docs: &mut Vec<Value>) {
+        if !self.sort.is_empty() {
+            docs.sort_by(|a, b| self.compare(a, b));
+        }
+        if self.skip > 0 {
+            let n = self.skip.min(docs.len());
+            docs.drain(..n);
+        }
+        if let Some(limit) = self.limit {
+            docs.truncate(limit);
+        }
+    }
+
+    /// Comparator implied by the sort spec (missing fields sort first,
+    /// like MongoDB's null-first ordering).
+    pub fn compare(&self, a: &Value, b: &Value) -> Ordering {
+        for (path, dir) in &self.sort {
+            let va = get_path(a, path).unwrap_or(&Value::Null);
+            let vb = get_path(b, path).unwrap_or(&Value::Null);
+            let c = cmp_values(va, vb);
+            let c = match dir {
+                SortDir::Asc => c,
+                SortDir::Desc => c.reverse(),
+            };
+            if c != Ordering::Equal {
+                return c;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Apply the projection to one document.
+    pub fn project_doc(&self, doc: &Value) -> Value {
+        match &self.projection {
+            None => doc.clone(),
+            Some(paths) => {
+                let mut out = Value::Object(Map::new());
+                if let Some(id) = doc.get("_id") {
+                    let _ = set_path(&mut out, "_id", id.clone());
+                }
+                for p in paths {
+                    if let Some(v) = get_path(doc, p) {
+                        let _ = set_path(&mut out, p, v.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn docs() -> Vec<Value> {
+        vec![
+            json!({"_id": 1, "n": 30, "s": "b"}),
+            json!({"_id": 2, "n": 10, "s": "c"}),
+            json!({"_id": 3, "n": 20, "s": "a"}),
+            json!({"_id": 4, "n": 20, "s": "d"}),
+        ]
+    }
+
+    #[test]
+    fn sort_asc_desc() {
+        let mut d = docs();
+        FindOptions::all().sort_by("n", SortDir::Asc).apply_order(&mut d);
+        let ns: Vec<i64> = d.iter().map(|x| x["n"].as_i64().unwrap()).collect();
+        assert_eq!(ns, vec![10, 20, 20, 30]);
+
+        let mut d = docs();
+        FindOptions::all().sort_by("n", SortDir::Desc).apply_order(&mut d);
+        let ns: Vec<i64> = d.iter().map(|x| x["n"].as_i64().unwrap()).collect();
+        assert_eq!(ns, vec![30, 20, 20, 10]);
+    }
+
+    #[test]
+    fn compound_sort_breaks_ties() {
+        let mut d = docs();
+        FindOptions::all()
+            .sort_by("n", SortDir::Asc)
+            .sort_by("s", SortDir::Desc)
+            .apply_order(&mut d);
+        let ids: Vec<i64> = d.iter().map(|x| x["_id"].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn skip_limit() {
+        let mut d = docs();
+        FindOptions::all()
+            .sort_by("n", SortDir::Asc)
+            .skip(1)
+            .limit(2)
+            .apply_order(&mut d);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0]["n"], json!(20));
+    }
+
+    #[test]
+    fn skip_past_end() {
+        let mut d = docs();
+        FindOptions::all().skip(99).apply_order(&mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn missing_sort_field_sorts_first() {
+        let mut d = vec![json!({"_id": 1, "n": 5}), json!({"_id": 2})];
+        FindOptions::all().sort_by("n", SortDir::Asc).apply_order(&mut d);
+        assert_eq!(d[0]["_id"], json!(2));
+    }
+
+    #[test]
+    fn projection_keeps_id_and_nested() {
+        let doc = json!({"_id": 7, "a": {"b": 1, "c": 2}, "d": 3});
+        let opts = FindOptions::all().project(&["a.b"]);
+        assert_eq!(opts.project_doc(&doc), json!({"_id": 7, "a": {"b": 1}}));
+    }
+
+    #[test]
+    fn no_projection_returns_whole_doc() {
+        let doc = json!({"_id": 7, "x": 1});
+        assert_eq!(FindOptions::all().project_doc(&doc), doc);
+    }
+}

@@ -1,0 +1,188 @@
+//! The database: a set of named collections sharing a profiler and a
+//! simulated clock, mirroring one `mongod` deployment serving every role
+//! in the Materials Project architecture at once.
+
+use crate::collection::Collection;
+use crate::docgraph::{schema_stats, DocStats};
+use crate::profiler::Profiler;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named set of collections. Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+struct DbInner {
+    collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+    profiler: Arc<Profiler>,
+    clock: Arc<RwLock<f64>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Create an empty database with a 64k-sample profiler.
+    pub fn new() -> Self {
+        Database {
+            inner: Arc::new(DbInner {
+                collections: RwLock::new(BTreeMap::new()),
+                profiler: Arc::new(Profiler::new(65_536)),
+                clock: Arc::new(RwLock::new(0.0)),
+            }),
+        }
+    }
+
+    /// Get (creating on first use, like MongoDB) the named collection.
+    pub fn collection(&self, name: &str) -> Arc<Collection> {
+        if let Some(c) = self.inner.collections.read().get(name) {
+            return c.clone();
+        }
+        let mut map = self.inner.collections.write();
+        map.entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(Collection::new(
+                    name,
+                    self.inner.profiler.clone(),
+                    self.inner.clock.clone(),
+                ))
+            })
+            .clone()
+    }
+
+    /// Names of all existing collections.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.inner.collections.read().keys().cloned().collect()
+    }
+
+    /// Drop a collection entirely.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.inner.collections.write().remove(name).is_some()
+    }
+
+    /// The shared operation profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
+    /// Advance the simulated clock (seconds); `$currentDate` reads it.
+    pub fn set_time(&self, t: f64) {
+        *self.inner.clock.write() = t;
+    }
+
+    /// Current simulated time (seconds).
+    pub fn time(&self) -> f64 {
+        *self.inner.clock.read()
+    }
+
+    /// Total documents across all collections.
+    pub fn total_documents(&self) -> usize {
+        self.inner
+            .collections
+            .read()
+            .values()
+            .map(|c| c.len())
+            .sum()
+    }
+
+    /// Table-I-style structure statistics for one collection's merged
+    /// document schema.
+    pub fn collection_structure(&self, name: &str) -> DocStats {
+        let docs = self.collection(name).dump();
+        schema_stats(&docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn collections_created_on_demand() {
+        let db = Database::new();
+        assert!(db.collection_names().is_empty());
+        db.collection("mps").insert_one(json!({"a": 1})).unwrap();
+        assert_eq!(db.collection_names(), vec!["mps".to_string()]);
+    }
+
+    #[test]
+    fn same_collection_instance() {
+        let db = Database::new();
+        db.collection("x").insert_one(json!({"a": 1})).unwrap();
+        assert_eq!(db.collection("x").len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let db = Database::new();
+        let db2 = db.clone();
+        db.collection("c").insert_one(json!({"a": 1})).unwrap();
+        assert_eq!(db2.collection("c").len(), 1);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let db = Database::new();
+        db.collection("c").insert_one(json!({})).unwrap();
+        assert!(db.drop_collection("c"));
+        assert!(!db.drop_collection("c"));
+        assert!(db.collection_names().is_empty());
+    }
+
+    #[test]
+    fn sim_clock_feeds_current_date() {
+        let db = Database::new();
+        db.set_time(42.0);
+        let c = db.collection("c");
+        c.insert_one(json!({"_id": 1})).unwrap();
+        c.update_one(&json!({"_id": 1}), &json!({"$currentDate": {"ts": true}}))
+            .unwrap();
+        assert_eq!(c.find_one(&json!({"_id": 1})).unwrap().unwrap()["ts"], json!(42));
+    }
+
+    #[test]
+    fn profiler_sees_all_collections() {
+        let db = Database::new();
+        db.collection("a").insert_one(json!({})).unwrap();
+        db.collection("b").find(&json!({})).unwrap();
+        assert!(db.profiler().total_ops() >= 2);
+    }
+
+    #[test]
+    fn structure_stats_of_collection() {
+        let db = Database::new();
+        db.collection("c")
+            .insert_one(json!({"_id": 1, "a": {"b": 1}}))
+            .unwrap();
+        let s = db.collection_structure("c");
+        assert!(s.nodes >= 4);
+        assert!(s.depth >= 3);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let db = Database::new();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    db.collection("shared")
+                        .insert_one(json!({"t": t, "i": i}))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.collection("shared").len(), 400);
+    }
+}

@@ -1,0 +1,175 @@
+//! Document structure analysis.
+//!
+//! Table I of the paper characterizes the complexity of each collection's
+//! documents as a graph: number of nodes, maximum depth, and mean depth.
+//! This module computes those statistics by walking a document as a tree
+//! whose internal nodes are objects/arrays and whose leaves are scalars.
+
+use serde_json::Value;
+
+/// Structural statistics of one document (or a merged set of documents).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DocStats {
+    /// Total nodes in the tree (every object, array, and scalar).
+    pub nodes: usize,
+    /// Depth of the deepest node (root = 1).
+    pub depth: usize,
+    /// Mean depth over leaf nodes.
+    pub mean_depth: f64,
+}
+
+/// Compute [`DocStats`] for a document.
+pub fn doc_stats(doc: &Value) -> DocStats {
+    let mut nodes = 0usize;
+    let mut max_depth = 0usize;
+    let mut leaf_depth_sum = 0usize;
+    let mut leaves = 0usize;
+    walk(doc, 1, &mut nodes, &mut max_depth, &mut leaf_depth_sum, &mut leaves);
+    DocStats {
+        nodes,
+        depth: max_depth,
+        mean_depth: if leaves == 0 {
+            0.0
+        } else {
+            leaf_depth_sum as f64 / leaves as f64
+        },
+    }
+}
+
+fn walk(
+    v: &Value,
+    depth: usize,
+    nodes: &mut usize,
+    max_depth: &mut usize,
+    leaf_sum: &mut usize,
+    leaves: &mut usize,
+) {
+    *nodes += 1;
+    *max_depth = (*max_depth).max(depth);
+    match v {
+        Value::Object(m) if !m.is_empty() => {
+            for child in m.values() {
+                walk(child, depth + 1, nodes, max_depth, leaf_sum, leaves);
+            }
+        }
+        Value::Array(a) if !a.is_empty() => {
+            for child in a {
+                walk(child, depth + 1, nodes, max_depth, leaf_sum, leaves);
+            }
+        }
+        _ => {
+            *leaf_sum += depth;
+            *leaves += 1;
+        }
+    }
+}
+
+/// Structural stats of a *schema* formed by merging several documents:
+/// two nodes are the same schema node when they share the same path of
+/// object keys (array elements collapse into one). This matches how the
+/// paper summarizes a whole collection with a single structure graph.
+pub fn schema_stats(docs: &[Value]) -> DocStats {
+    let mut schema = Value::Object(serde_json::Map::new());
+    for d in docs {
+        merge_schema(&mut schema, d);
+    }
+    doc_stats(&schema)
+}
+
+fn merge_schema(schema: &mut Value, doc: &Value) {
+    match doc {
+        Value::Object(m) => {
+            if !schema.is_object() {
+                *schema = Value::Object(serde_json::Map::new());
+            }
+            let sm = schema.as_object_mut().expect("just set");
+            for (k, v) in m {
+                let slot = sm.entry(k.clone()).or_insert(Value::Null);
+                merge_schema(slot, v);
+            }
+        }
+        Value::Array(a) => {
+            if !schema.is_array() {
+                *schema = Value::Array(vec![Value::Null]);
+            }
+            let sa = schema.as_array_mut().expect("just set");
+            if sa.is_empty() {
+                sa.push(Value::Null);
+            }
+            for v in a {
+                merge_schema(&mut sa[0], v);
+            }
+        }
+        scalar => {
+            if schema.is_null() {
+                *schema = scalar.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn scalar_root() {
+        let s = doc_stats(&json!(42));
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.mean_depth, 1.0);
+    }
+
+    #[test]
+    fn flat_object() {
+        // root + 3 scalar children = 4 nodes; leaves at depth 2.
+        let s = doc_stats(&json!({"a": 1, "b": 2, "c": 3}));
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.mean_depth, 2.0);
+    }
+
+    #[test]
+    fn nested_structure() {
+        let s = doc_stats(&json!({"a": {"b": {"c": 1}}, "d": 2}));
+        // root, a, b, c, d = 5 nodes; leaves c@4 and d@2 → mean 3.0.
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.mean_depth, 3.0);
+    }
+
+    #[test]
+    fn arrays_count_elements() {
+        let s = doc_stats(&json!({"xs": [1, 2, 3]}));
+        // root, xs, 3 scalars = 5 nodes; leaves at depth 3.
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.mean_depth, 3.0);
+    }
+
+    #[test]
+    fn empty_containers_are_leaves() {
+        let s = doc_stats(&json!({"a": {}, "b": []}));
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn schema_merge_unions_keys() {
+        let docs = vec![json!({"a": 1}), json!({"b": {"c": 2}})];
+        let s = schema_stats(&docs);
+        // root, a, b, c = 4 nodes.
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn schema_merge_collapses_array_elements() {
+        let docs = vec![json!({"xs": [{"y": 1}, {"y": 2}, {"z": 3}]})];
+        let s = schema_stats(&docs);
+        // root, xs, element-schema, y, z = 5 nodes.
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.depth, 4);
+    }
+}

@@ -1,0 +1,251 @@
+//! Ordered secondary indexes on dotted field paths.
+//!
+//! An index maps each distinct value at a path to the set of document ids
+//! holding it, using the BSON-like total order from [`crate::value`] so
+//! that both equality and range queries can be accelerated. Array-valued
+//! fields produce one entry per element (multikey indexes), which is what
+//! makes queries like `{elements: "Li"}` fast.
+
+use crate::error::{Result, StoreError};
+use crate::value::{get_path_multi, OrderedValue};
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+/// Internal id assigned to each stored document.
+pub type DocId = u64;
+
+/// One secondary index.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Dotted field path this index covers.
+    pub path: String,
+    /// Reject two documents with the same indexed value?
+    pub unique: bool,
+    map: BTreeMap<OrderedValue, BTreeSet<DocId>>,
+}
+
+/// The values a document exposes at an index path: one entry per array
+/// element for multikey behaviour, or the single value itself.
+fn index_keys(doc: &Value, path: &str) -> Vec<Value> {
+    let mut keys = Vec::new();
+    for v in get_path_multi(doc, path) {
+        match v {
+            Value::Array(a) => keys.extend(a.iter().cloned()),
+            other => keys.push(other.clone()),
+        }
+    }
+    keys
+}
+
+impl Index {
+    /// Create an empty index over `path`.
+    pub fn new(path: impl Into<String>, unique: bool) -> Self {
+        Index {
+            path: path.into(),
+            unique,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Would inserting `doc` for `id` violate this index's uniqueness?
+    /// `ignore` is an id whose existing entries should be disregarded
+    /// (used when checking an update against the document's old self).
+    pub fn check_unique(&self, id: DocId, doc: &Value, ignore: Option<DocId>) -> Result<()> {
+        if !self.unique {
+            return Ok(());
+        }
+        for k in index_keys(doc, &self.path) {
+            if let Some(ids) = self.map.get(&OrderedValue(k.clone())) {
+                let conflict = ids
+                    .iter()
+                    .any(|&other| other != id && Some(other) != ignore);
+                if conflict {
+                    return Err(StoreError::DuplicateKey(format!(
+                        "unique index on '{}' value {k}",
+                        self.path
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Add `doc`'s entries. Fails (before mutating) on unique violation.
+    pub fn insert(&mut self, id: DocId, doc: &Value) -> Result<()> {
+        let keys = index_keys(doc, &self.path);
+        if self.unique {
+            for k in &keys {
+                if let Some(ids) = self.map.get(&OrderedValue(k.clone())) {
+                    if !ids.is_empty() && !ids.contains(&id) {
+                        return Err(StoreError::DuplicateKey(format!(
+                            "unique index on '{}' value {k}",
+                            self.path
+                        )));
+                    }
+                }
+            }
+        }
+        for k in keys {
+            self.map.entry(OrderedValue(k)).or_default().insert(id);
+        }
+        Ok(())
+    }
+
+    /// Remove `doc`'s entries.
+    pub fn remove(&mut self, id: DocId, doc: &Value) {
+        for k in index_keys(doc, &self.path) {
+            let key = OrderedValue(k);
+            if let Some(ids) = self.map.get_mut(&key) {
+                ids.remove(&id);
+                if ids.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Ids of documents whose indexed value equals `v`.
+    pub fn lookup_eq(&self, v: &Value) -> Vec<DocId> {
+        self.map
+            .get(&OrderedValue(v.clone()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Ids of documents whose indexed value is in any of `vs`.
+    pub fn lookup_in(&self, vs: &[Value]) -> Vec<DocId> {
+        let mut out = BTreeSet::new();
+        for v in vs {
+            if let Some(ids) = self.map.get(&OrderedValue(v.clone())) {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Ids of documents in the half-open/closed range.
+    pub fn lookup_range(
+        &self,
+        lo: Option<&Value>,
+        lo_incl: bool,
+        hi: Option<&Value>,
+        hi_incl: bool,
+    ) -> Vec<DocId> {
+        let lower: Bound<OrderedValue> = match lo {
+            Some(v) if lo_incl => Bound::Included(OrderedValue(v.clone())),
+            Some(v) => Bound::Excluded(OrderedValue(v.clone())),
+            None => Bound::Unbounded,
+        };
+        let upper: Bound<OrderedValue> = match hi {
+            Some(v) if hi_incl => Bound::Included(OrderedValue(v.clone())),
+            Some(v) => Bound::Excluded(OrderedValue(v.clone())),
+            None => Bound::Unbounded,
+        };
+        let mut out = BTreeSet::new();
+        for (_, ids) in self.map.range((lower, upper)) {
+            out.extend(ids.iter().copied());
+        }
+        out.into_iter().collect()
+    }
+
+    /// All ids in value order (supports index-assisted sort).
+    pub fn scan_ordered(&self, descending: bool) -> Vec<DocId> {
+        let mut out = Vec::new();
+        if descending {
+            for (_, ids) in self.map.iter().rev() {
+                out.extend(ids.iter().copied());
+            }
+        } else {
+            for (_, ids) in self.map.iter() {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn eq_lookup() {
+        let mut ix = Index::new("state", false);
+        ix.insert(1, &json!({"state": "READY"})).unwrap();
+        ix.insert(2, &json!({"state": "RUNNING"})).unwrap();
+        ix.insert(3, &json!({"state": "READY"})).unwrap();
+        assert_eq!(ix.lookup_eq(&json!("READY")), vec![1, 3]);
+        assert_eq!(ix.lookup_eq(&json!("DONE")), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn multikey_arrays() {
+        let mut ix = Index::new("elements", false);
+        ix.insert(1, &json!({"elements": ["Li", "Fe", "O"]})).unwrap();
+        ix.insert(2, &json!({"elements": ["Na", "O"]})).unwrap();
+        assert_eq!(ix.lookup_eq(&json!("O")), vec![1, 2]);
+        assert_eq!(ix.lookup_eq(&json!("Li")), vec![1]);
+        assert_eq!(ix.distinct_values(), 4);
+    }
+
+    #[test]
+    fn range_lookup() {
+        let mut ix = Index::new("n", false);
+        for (id, n) in [(1u64, 10), (2, 20), (3, 30), (4, 40)] {
+            ix.insert(id, &json!({ "n": n })).unwrap();
+        }
+        assert_eq!(ix.lookup_range(Some(&json!(20)), true, Some(&json!(30)), true), vec![2, 3]);
+        assert_eq!(ix.lookup_range(Some(&json!(20)), false, None, true), vec![3, 4]);
+        assert_eq!(ix.lookup_range(None, true, Some(&json!(15)), true), vec![1]);
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut ix = Index::new("a", false);
+        let doc = json!({"a": 5});
+        ix.insert(1, &doc).unwrap();
+        ix.remove(1, &doc);
+        assert!(ix.lookup_eq(&json!(5)).is_empty());
+        assert_eq!(ix.distinct_values(), 0);
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut ix = Index::new("mps_id", true);
+        ix.insert(1, &json!({"mps_id": "mps-1"})).unwrap();
+        assert!(ix.insert(2, &json!({"mps_id": "mps-1"})).is_err());
+        // Same doc re-inserting its own value is fine.
+        ix.insert(1, &json!({"mps_id": "mps-1"})).unwrap();
+    }
+
+    #[test]
+    fn nested_path() {
+        let mut ix = Index::new("spec.task_type", false);
+        ix.insert(1, &json!({"spec": {"task_type": "static"}})).unwrap();
+        assert_eq!(ix.lookup_eq(&json!("static")), vec![1]);
+    }
+
+    #[test]
+    fn ordered_scan() {
+        let mut ix = Index::new("n", false);
+        ix.insert(1, &json!({"n": 30})).unwrap();
+        ix.insert(2, &json!({"n": 10})).unwrap();
+        ix.insert(3, &json!({"n": 20})).unwrap();
+        assert_eq!(ix.scan_ordered(false), vec![2, 3, 1]);
+        assert_eq!(ix.scan_ordered(true), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn missing_field_not_indexed() {
+        let mut ix = Index::new("x", false);
+        ix.insert(1, &json!({"y": 1})).unwrap();
+        assert_eq!(ix.distinct_values(), 0);
+    }
+}

@@ -1,0 +1,538 @@
+//! Query language: a faithful subset of MongoDB's find() filter documents.
+//!
+//! Filters are parsed from JSON into a [`Filter`] AST once, then matched
+//! against candidate documents. The paper's job-selection example —
+//! `{elements: {$all: ['Li','O']}, nelectrons: {$lte: 200}}` — runs
+//! through exactly this code path.
+
+use crate::error::{Result, StoreError};
+use crate::value::{cmp_values, get_path, get_path_multi, type_name, values_equal};
+use serde_json::Value;
+use std::cmp::Ordering;
+
+/// A single comparison applied to one field path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Equality; if the stored value is an array, matches when any element
+    /// equals the operand (MongoDB array-containment semantics).
+    Eq(Value),
+    Ne(Value),
+    Gt(Value),
+    Gte(Value),
+    Lt(Value),
+    Lte(Value),
+    /// Value (or any array element) is one of the operands.
+    In(Vec<Value>),
+    /// Negation of `In`.
+    Nin(Vec<Value>),
+    /// Array field contains every operand.
+    All(Vec<Value>),
+    /// Array field has exactly this length.
+    Size(usize),
+    /// Field exists (true) or does not (false).
+    Exists(bool),
+    /// Field has the named BSON-ish type ("int", "double", "string", ...).
+    Type(String),
+    /// String field contains this substring (safe subset of `$regex`).
+    Contains(String),
+    /// String field starts with this prefix (anchored `$regex`).
+    StartsWith(String),
+    /// `field % divisor == remainder`.
+    Mod(i64, i64),
+    /// At least one array element matches the sub-filter.
+    ElemMatch(Box<Filter>),
+    /// Negation of a predicate set on the same field.
+    Not(Vec<Predicate>),
+}
+
+/// A parsed filter document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Filter {
+    /// Conjunction of per-field predicate lists (path, predicates).
+    pub fields: Vec<(String, Vec<Predicate>)>,
+    /// `$and` clauses.
+    pub and: Vec<Filter>,
+    /// `$or` clauses (at least one must match).
+    pub or: Vec<Filter>,
+    /// `$nor` clauses (none may match).
+    pub nor: Vec<Filter>,
+}
+
+impl Filter {
+    /// The empty filter, matching every document.
+    pub fn empty() -> Self {
+        Filter::default()
+    }
+
+    /// True when this filter matches everything.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.and.is_empty() && self.or.is_empty() && self.nor.is_empty()
+    }
+
+    /// Parse a JSON filter document.
+    pub fn parse(q: &Value) -> Result<Filter> {
+        let obj = q
+            .as_object()
+            .ok_or_else(|| StoreError::BadQuery(format!("filter must be object, got {}", type_name(q))))?;
+        let mut f = Filter::default();
+        for (k, v) in obj {
+            match k.as_str() {
+                "$and" => f.and.extend(parse_clause_list(k, v)?),
+                "$or" => f.or.extend(parse_clause_list(k, v)?),
+                "$nor" => f.nor.extend(parse_clause_list(k, v)?),
+                _ if k.starts_with('$') => {
+                    return Err(StoreError::BadQuery(format!("unknown top-level operator {k}")))
+                }
+                path => {
+                    let preds = parse_predicates(v)?;
+                    f.fields.push((path.to_string(), preds));
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    /// Does `doc` satisfy this filter?
+    pub fn matches(&self, doc: &Value) -> bool {
+        for (path, preds) in &self.fields {
+            if !preds.iter().all(|p| match_predicate(doc, path, p)) {
+                return false;
+            }
+        }
+        if !self.and.iter().all(|c| c.matches(doc)) {
+            return false;
+        }
+        if !self.or.is_empty() && !self.or.iter().any(|c| c.matches(doc)) {
+            return false;
+        }
+        if self.nor.iter().any(|c| c.matches(doc)) {
+            return false;
+        }
+        true
+    }
+
+    /// If this filter constrains `path` to a single equality value, return
+    /// it (used for index selection).
+    pub fn equality_on(&self, path: &str) -> Option<&Value> {
+        for (p, preds) in &self.fields {
+            if p == path {
+                for pred in preds {
+                    if let Predicate::Eq(v) = pred {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// If this filter constrains `path` with a range, return
+    /// (lower, lower_inclusive, upper, upper_inclusive).
+    #[allow(clippy::type_complexity)]
+    pub fn range_on(&self, path: &str) -> Option<(Option<&Value>, bool, Option<&Value>, bool)> {
+        let mut lo: Option<(&Value, bool)> = None;
+        let mut hi: Option<(&Value, bool)> = None;
+        for (p, preds) in &self.fields {
+            if p != path {
+                continue;
+            }
+            for pred in preds {
+                match pred {
+                    Predicate::Gt(v) => lo = Some((v, false)),
+                    Predicate::Gte(v) => lo = Some((v, true)),
+                    Predicate::Lt(v) => hi = Some((v, false)),
+                    Predicate::Lte(v) => hi = Some((v, true)),
+                    _ => {}
+                }
+            }
+        }
+        if lo.is_none() && hi.is_none() {
+            return None;
+        }
+        Some((
+            lo.map(|(v, _)| v),
+            lo.map(|(_, i)| i).unwrap_or(true),
+            hi.map(|(v, _)| v),
+            hi.map(|(_, i)| i).unwrap_or(true),
+        ))
+    }
+
+    /// All field paths this filter touches (for planning/diagnostics).
+    pub fn touched_paths(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.fields.iter().map(|(p, _)| p.as_str()).collect();
+        for sub in self.and.iter().chain(self.or.iter()).chain(self.nor.iter()) {
+            out.extend(sub.touched_paths());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn parse_clause_list(op: &str, v: &Value) -> Result<Vec<Filter>> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| StoreError::BadQuery(format!("{op} expects an array")))?;
+    if arr.is_empty() {
+        return Err(StoreError::BadQuery(format!("{op} must be non-empty")));
+    }
+    arr.iter().map(Filter::parse).collect()
+}
+
+/// Parse the right-hand side of a field constraint: either an operator
+/// object (`{"$lte": 200}`) or a literal equality value.
+fn parse_predicates(v: &Value) -> Result<Vec<Predicate>> {
+    if let Some(obj) = v.as_object() {
+        let has_ops = obj.keys().any(|k| k.starts_with('$'));
+        if has_ops {
+            if let Some(bad) = obj.keys().find(|k| !k.starts_with('$')) {
+                return Err(StoreError::BadQuery(format!(
+                    "cannot mix operator and literal key '{bad}'"
+                )));
+            }
+            let mut preds = Vec::with_capacity(obj.len());
+            for (op, operand) in obj {
+                preds.push(parse_operator(op, operand)?);
+            }
+            return Ok(preds);
+        }
+    }
+    Ok(vec![Predicate::Eq(v.clone())])
+}
+
+fn expect_array(op: &str, v: &Value) -> Result<Vec<Value>> {
+    v.as_array()
+        .cloned()
+        .ok_or_else(|| StoreError::BadQuery(format!("{op} expects an array")))
+}
+
+fn parse_operator(op: &str, v: &Value) -> Result<Predicate> {
+    Ok(match op {
+        "$eq" => Predicate::Eq(v.clone()),
+        "$ne" => Predicate::Ne(v.clone()),
+        "$gt" => Predicate::Gt(v.clone()),
+        "$gte" => Predicate::Gte(v.clone()),
+        "$lt" => Predicate::Lt(v.clone()),
+        "$lte" => Predicate::Lte(v.clone()),
+        "$in" => Predicate::In(expect_array(op, v)?),
+        "$nin" => Predicate::Nin(expect_array(op, v)?),
+        "$all" => Predicate::All(expect_array(op, v)?),
+        "$size" => Predicate::Size(
+            v.as_u64()
+                .ok_or_else(|| StoreError::BadQuery("$size expects a non-negative integer".into()))?
+                as usize,
+        ),
+        "$exists" => Predicate::Exists(
+            v.as_bool()
+                .ok_or_else(|| StoreError::BadQuery("$exists expects a bool".into()))?,
+        ),
+        "$type" => Predicate::Type(
+            v.as_str()
+                .ok_or_else(|| StoreError::BadQuery("$type expects a type name string".into()))?
+                .to_string(),
+        ),
+        "$contains" => Predicate::Contains(
+            v.as_str()
+                .ok_or_else(|| StoreError::BadQuery("$contains expects a string".into()))?
+                .to_string(),
+        ),
+        "$regex" => {
+            // Safe subset: '^literal' prefix anchors, otherwise substring.
+            let s = v
+                .as_str()
+                .ok_or_else(|| StoreError::BadQuery("$regex expects a string".into()))?;
+            if let Some(prefix) = s.strip_prefix('^') {
+                Predicate::StartsWith(prefix.to_string())
+            } else {
+                Predicate::Contains(s.to_string())
+            }
+        }
+        "$mod" => {
+            let arr = expect_array(op, v)?;
+            if arr.len() != 2 {
+                return Err(StoreError::BadQuery("$mod expects [divisor, remainder]".into()));
+            }
+            let d = arr[0]
+                .as_i64()
+                .ok_or_else(|| StoreError::BadQuery("$mod divisor must be integer".into()))?;
+            if d == 0 {
+                return Err(StoreError::BadQuery("$mod divisor must be nonzero".into()));
+            }
+            let r = arr[1]
+                .as_i64()
+                .ok_or_else(|| StoreError::BadQuery("$mod remainder must be integer".into()))?;
+            Predicate::Mod(d, r)
+        }
+        "$elemMatch" => Predicate::ElemMatch(Box::new(Filter::parse(v)?)),
+        "$not" => Predicate::Not(parse_predicates(v)?),
+        other => return Err(StoreError::BadQuery(format!("unknown operator {other}"))),
+    })
+}
+
+/// Match one predicate against the values reachable at `path`.
+///
+/// MongoDB semantics: for most operators a document matches when *any*
+/// value reachable at the path (including array elements) satisfies the
+/// predicate. `$ne`/`$nin` require that *no* reachable value matches.
+fn match_predicate(doc: &Value, path: &str, pred: &Predicate) -> bool {
+    let vals = get_path_multi(doc, path);
+    match pred {
+        Predicate::Exists(want) => {
+            let exists = !vals.is_empty() || get_path(doc, path).is_some();
+            exists == *want
+        }
+        Predicate::Ne(operand) => !vals.iter().any(|v| eq_or_contains(v, operand)),
+        Predicate::Nin(set) => !vals
+            .iter()
+            .any(|v| set.iter().any(|s| eq_or_contains(v, s))),
+        Predicate::Not(preds) => !preds.iter().all(|p| match_predicate(doc, path, p)),
+        _ => vals.iter().any(|v| match_single(v, pred)),
+    }
+}
+
+/// Direct or array-containment equality.
+fn eq_or_contains(stored: &Value, operand: &Value) -> bool {
+    if values_equal(stored, operand) {
+        return true;
+    }
+    if let Value::Array(a) = stored {
+        if !operand.is_array() {
+            return a.iter().any(|e| values_equal(e, operand));
+        }
+    }
+    false
+}
+
+fn ord_match(stored: &Value, operand: &Value, want: &[Ordering]) -> bool {
+    // Comparisons only apply within the same type class (numbers compare
+    // with numbers, strings with strings), as MongoDB does.
+    let same_class = crate::value::type_rank(stored) == crate::value::type_rank(operand);
+    if !same_class {
+        if let Value::Array(a) = stored {
+            return a.iter().any(|e| ord_match(e, operand, want));
+        }
+        return false;
+    }
+    let c = cmp_values(stored, operand);
+    if want.contains(&c) {
+        return true;
+    }
+    if let Value::Array(a) = stored {
+        if !operand.is_array() {
+            return a.iter().any(|e| ord_match(e, operand, want));
+        }
+    }
+    false
+}
+
+fn match_single(stored: &Value, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Eq(operand) => eq_or_contains(stored, operand),
+        Predicate::Gt(o) => ord_match(stored, o, &[Ordering::Greater]),
+        Predicate::Gte(o) => ord_match(stored, o, &[Ordering::Greater, Ordering::Equal]),
+        Predicate::Lt(o) => ord_match(stored, o, &[Ordering::Less]),
+        Predicate::Lte(o) => ord_match(stored, o, &[Ordering::Less, Ordering::Equal]),
+        Predicate::In(set) => set.iter().any(|s| eq_or_contains(stored, s)),
+        Predicate::All(set) => match stored {
+            Value::Array(a) => set
+                .iter()
+                .all(|s| a.iter().any(|e| values_equal(e, s))),
+            single => set.len() == 1 && values_equal(single, &set[0]),
+        },
+        Predicate::Size(n) => stored.as_array().map(|a| a.len() == *n).unwrap_or(false),
+        Predicate::Type(t) => type_name(stored) == t,
+        Predicate::Contains(s) => stored.as_str().map(|x| x.contains(s)).unwrap_or(false),
+        Predicate::StartsWith(s) => stored.as_str().map(|x| x.starts_with(s)).unwrap_or(false),
+        Predicate::Mod(d, r) => stored
+            .as_i64()
+            .map(|x| x.rem_euclid(*d) == (*r).rem_euclid(*d))
+            .unwrap_or(false),
+        Predicate::ElemMatch(f) => stored
+            .as_array()
+            .map(|a| a.iter().any(|e| f.matches(e)))
+            .unwrap_or(false),
+        // Handled in match_predicate:
+        Predicate::Ne(_) | Predicate::Nin(_) | Predicate::Exists(_) | Predicate::Not(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn matches(q: Value, doc: Value) -> bool {
+        Filter::parse(&q).unwrap().matches(&doc)
+    }
+
+    #[test]
+    fn paper_job_selection_query() {
+        // The exact query from §III-B2 of the paper.
+        let q = json!({"elements": {"$all": ["Li", "O"]}, "nelectrons": {"$lte": 200}});
+        let hit = json!({"elements": ["Li", "Fe", "O"], "nelectrons": 120});
+        let miss_el = json!({"elements": ["Na", "O"], "nelectrons": 120});
+        let miss_ne = json!({"elements": ["Li", "O"], "nelectrons": 300});
+        assert!(matches(q.clone(), hit));
+        assert!(!matches(q.clone(), miss_el));
+        assert!(!matches(q, miss_ne));
+    }
+
+    #[test]
+    fn literal_equality() {
+        assert!(matches(json!({"a": 1}), json!({"a": 1})));
+        assert!(matches(json!({"a": 1}), json!({"a": 1.0})));
+        assert!(!matches(json!({"a": 1}), json!({"a": 2})));
+        assert!(!matches(json!({"a": 1}), json!({"b": 1})));
+    }
+
+    #[test]
+    fn equality_matches_array_containment() {
+        assert!(matches(json!({"tags": "x"}), json!({"tags": ["x", "y"]})));
+        assert!(!matches(json!({"tags": "z"}), json!({"tags": ["x", "y"]})));
+    }
+
+    #[test]
+    fn dotted_path_equality() {
+        assert!(matches(json!({"a.b": 2}), json!({"a": {"b": 2}})));
+        assert!(!matches(json!({"a.b": 2}), json!({"a": {"b": 3}})));
+    }
+
+    #[test]
+    fn dotted_path_through_array_of_objects() {
+        let doc = json!({"sites": [{"el": "Li"}, {"el": "O"}]});
+        assert!(matches(json!({"sites.el": "Li"}), doc.clone()));
+        assert!(!matches(json!({"sites.el": "Fe"}), doc));
+    }
+
+    #[test]
+    fn range_operators() {
+        let doc = json!({"x": 10});
+        assert!(matches(json!({"x": {"$gt": 5}}), doc.clone()));
+        assert!(matches(json!({"x": {"$gte": 10}}), doc.clone()));
+        assert!(!matches(json!({"x": {"$gt": 10}}), doc.clone()));
+        assert!(matches(json!({"x": {"$lt": 11}}), doc.clone()));
+        assert!(matches(json!({"x": {"$gt": 5, "$lt": 15}}), doc.clone()));
+        assert!(!matches(json!({"x": {"$gt": 5, "$lt": 9}}), doc));
+    }
+
+    #[test]
+    fn range_ignores_cross_type() {
+        // Numbers don't compare with strings.
+        assert!(!matches(json!({"x": {"$gt": 5}}), json!({"x": "abc"})));
+        assert!(!matches(json!({"x": {"$lt": "zzz"}}), json!({"x": 3})));
+    }
+
+    #[test]
+    fn in_nin() {
+        let doc = json!({"state": "RUNNING"});
+        assert!(matches(json!({"state": {"$in": ["READY", "RUNNING"]}}), doc.clone()));
+        assert!(!matches(json!({"state": {"$nin": ["READY", "RUNNING"]}}), doc.clone()));
+        assert!(matches(json!({"state": {"$nin": ["DONE"]}}), doc));
+    }
+
+    #[test]
+    fn ne_on_arrays_requires_no_element_match() {
+        assert!(!matches(json!({"tags": {"$ne": "x"}}), json!({"tags": ["x", "y"]})));
+        assert!(matches(json!({"tags": {"$ne": "z"}}), json!({"tags": ["x", "y"]})));
+    }
+
+    #[test]
+    fn ne_missing_field_matches() {
+        assert!(matches(json!({"a": {"$ne": 1}}), json!({"b": 2})));
+    }
+
+    #[test]
+    fn exists() {
+        assert!(matches(json!({"a": {"$exists": true}}), json!({"a": null})));
+        assert!(matches(json!({"a": {"$exists": false}}), json!({"b": 1})));
+        assert!(!matches(json!({"a": {"$exists": true}}), json!({"b": 1})));
+    }
+
+    #[test]
+    fn size_and_type() {
+        assert!(matches(json!({"xs": {"$size": 2}}), json!({"xs": [1, 2]})));
+        assert!(!matches(json!({"xs": {"$size": 3}}), json!({"xs": [1, 2]})));
+        assert!(matches(json!({"a": {"$type": "string"}}), json!({"a": "s"})));
+        assert!(matches(json!({"a": {"$type": "int"}}), json!({"a": 3})));
+        assert!(matches(json!({"a": {"$type": "double"}}), json!({"a": 3.5})));
+    }
+
+    #[test]
+    fn regex_subset() {
+        assert!(matches(json!({"f": {"$regex": "^Li"}}), json!({"f": "LiFePO4"})));
+        assert!(!matches(json!({"f": {"$regex": "^Fe"}}), json!({"f": "LiFePO4"})));
+        assert!(matches(json!({"f": {"$regex": "PO4"}}), json!({"f": "LiFePO4"})));
+    }
+
+    #[test]
+    fn mod_op() {
+        assert!(matches(json!({"n": {"$mod": [4, 0]}}), json!({"n": 8})));
+        assert!(!matches(json!({"n": {"$mod": [4, 1]}}), json!({"n": 8})));
+    }
+
+    #[test]
+    fn elem_match() {
+        let doc = json!({"runs": [{"code": "vasp", "ok": true}, {"code": "other", "ok": false}]});
+        assert!(matches(
+            json!({"runs": {"$elemMatch": {"code": "vasp", "ok": true}}}),
+            doc.clone()
+        ));
+        assert!(!matches(
+            json!({"runs": {"$elemMatch": {"code": "other", "ok": true}}}),
+            doc
+        ));
+    }
+
+    #[test]
+    fn not_negates() {
+        assert!(matches(json!({"x": {"$not": {"$gt": 5}}}), json!({"x": 3})));
+        assert!(!matches(json!({"x": {"$not": {"$gt": 5}}}), json!({"x": 7})));
+        // $not on a missing field matches (nothing satisfied the inner pred).
+        assert!(matches(json!({"x": {"$not": {"$gt": 5}}}), json!({"y": 7})));
+    }
+
+    #[test]
+    fn logical_and_or_nor() {
+        let doc = json!({"a": 1, "b": 2});
+        assert!(matches(json!({"$and": [{"a": 1}, {"b": 2}]}), doc.clone()));
+        assert!(!matches(json!({"$and": [{"a": 1}, {"b": 3}]}), doc.clone()));
+        assert!(matches(json!({"$or": [{"a": 9}, {"b": 2}]}), doc.clone()));
+        assert!(!matches(json!({"$or": [{"a": 9}, {"b": 9}]}), doc.clone()));
+        assert!(matches(json!({"$nor": [{"a": 9}, {"b": 9}]}), doc.clone()));
+        assert!(!matches(json!({"$nor": [{"a": 1}]}), doc));
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        assert!(Filter::parse(&json!({"a": {"$where": "evil()"}})).is_err());
+        assert!(Filter::parse(&json!({"$foo": []})).is_err());
+    }
+
+    #[test]
+    fn mixed_operator_literal_rejected() {
+        assert!(Filter::parse(&json!({"a": {"$gt": 1, "b": 2}})).is_err());
+    }
+
+    #[test]
+    fn equality_and_range_extraction() {
+        let f = Filter::parse(&json!({"a": 1, "b": {"$gte": 2, "$lt": 9}})).unwrap();
+        assert_eq!(f.equality_on("a"), Some(&json!(1)));
+        assert!(f.equality_on("b").is_none());
+        let (lo, loi, hi, hii) = f.range_on("b").unwrap();
+        assert_eq!(lo, Some(&json!(2)));
+        assert!(loi);
+        assert_eq!(hi, Some(&json!(9)));
+        assert!(!hii);
+    }
+
+    #[test]
+    fn empty_filter_matches_all() {
+        assert!(matches(json!({}), json!({"anything": 1})));
+    }
+
+    #[test]
+    fn touched_paths_lists_fields() {
+        let f = Filter::parse(&json!({"a": 1, "$or": [{"b": 2}, {"c.d": 3}]})).unwrap();
+        assert_eq!(f.touched_paths(), vec!["a", "b", "c.d"]);
+    }
+}

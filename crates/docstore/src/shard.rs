@@ -1,0 +1,459 @@
+//! Sharding and replication (§IV-D2).
+//!
+//! "Future scalability can leverage the sharding and replication
+//! capabilities built in to MongoDB. This will allow us to maintain
+//! performance at scale as the Materials Project data grows, as well as
+//! isolate the various roles of the database to separate servers." The
+//! paper leaves this as future work; we implement it: a hash-sharded
+//! cluster with a mongos-style router (targeted vs scatter-gather
+//! reads), and replica sets with oplog-based secondaries, lag, and
+//! failover.
+
+use crate::collection::UpdateResult;
+use crate::database::Database;
+use crate::error::{Result, StoreError};
+use crate::persist::JournalOp;
+use crate::query::Filter;
+use crate::value::get_path;
+use parking_lot::Mutex;
+use serde_json::Value;
+
+/// Stable hash of a shard-key value.
+fn key_hash(v: &Value) -> u64 {
+    let s = v.to_string();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A hash-sharded cluster of databases with a router in front.
+pub struct ShardedCluster {
+    shards: Vec<Database>,
+    /// Dotted path of the shard key.
+    shard_key: String,
+    /// Router statistics: (targeted reads, scatter-gather reads).
+    stats: Mutex<(u64, u64)>,
+}
+
+impl ShardedCluster {
+    /// Create a cluster of `n` shards keyed on `shard_key`.
+    pub fn new(n: usize, shard_key: impl Into<String>) -> Self {
+        ShardedCluster {
+            shards: (0..n.max(1)).map(|_| Database::new()).collect(),
+            shard_key: shard_key.into(),
+            stats: Mutex::new((0, 0)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard (for tests/rebalancing tooling).
+    pub fn shard(&self, i: usize) -> &Database {
+        &self.shards[i]
+    }
+
+    /// (targeted, scatter-gather) read counts since creation.
+    pub fn routing_stats(&self) -> (u64, u64) {
+        *self.stats.lock()
+    }
+
+    fn shard_for(&self, key_value: &Value) -> &Database {
+        let idx = (key_hash(key_value) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Insert a document; it must carry the shard key.
+    pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
+        let key = get_path(&doc, &self.shard_key).ok_or_else(|| {
+            StoreError::InvalidDocument(format!(
+                "document missing shard key '{}'",
+                self.shard_key
+            ))
+        })?;
+        self.shard_for(&key.clone())
+            .collection(collection)
+            .insert_one(doc)
+    }
+
+    /// Find: targeted to one shard when the filter pins the shard key
+    /// with an equality, otherwise scatter-gather across all shards.
+    pub fn find(&self, collection: &str, filter: &Value) -> Result<Vec<Value>> {
+        let parsed = Filter::parse(filter)?;
+        if let Some(key_value) = parsed.equality_on(&self.shard_key) {
+            self.stats.lock().0 += 1;
+            return self
+                .shard_for(key_value)
+                .collection(collection)
+                .find(filter);
+        }
+        self.stats.lock().1 += 1;
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.collection(collection).find(filter)?);
+        }
+        Ok(out)
+    }
+
+    /// Count across the cluster (targeted when possible).
+    pub fn count(&self, collection: &str, filter: &Value) -> Result<usize> {
+        let parsed = Filter::parse(filter)?;
+        if let Some(key_value) = parsed.equality_on(&self.shard_key) {
+            return self
+                .shard_for(key_value)
+                .collection(collection)
+                .count(filter);
+        }
+        let mut n = 0;
+        for s in &self.shards {
+            n += s.collection(collection).count(filter)?;
+        }
+        Ok(n)
+    }
+
+    /// Update across the cluster; returns the merged result.
+    pub fn update_many(
+        &self,
+        collection: &str,
+        filter: &Value,
+        update: &Value,
+    ) -> Result<UpdateResult> {
+        let parsed = Filter::parse(filter)?;
+        let mut merged = UpdateResult::default();
+        if let Some(key_value) = parsed.equality_on(&self.shard_key) {
+            return self
+                .shard_for(key_value)
+                .collection(collection)
+                .update_many(filter, update);
+        }
+        for s in &self.shards {
+            let r = s.collection(collection).update_many(filter, update)?;
+            merged.matched += r.matched;
+            merged.modified += r.modified;
+        }
+        Ok(merged)
+    }
+
+    /// Per-shard document counts for a collection — balance diagnostics.
+    pub fn distribution(&self, collection: &str) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.collection(collection).len())
+            .collect()
+    }
+}
+
+/// How a replica-set read is routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPreference {
+    /// Always read the primary (strongly consistent).
+    Primary,
+    /// Round-robin the secondaries (scales reads; may be stale).
+    Secondary,
+}
+
+/// A primary + N secondaries kept in sync by an oplog.
+pub struct ReplicaSet {
+    primary: Database,
+    secondaries: Vec<Database>,
+    oplog: Mutex<Vec<JournalOp>>,
+    /// How many oplog entries each secondary has applied.
+    applied: Mutex<Vec<usize>>,
+    /// Entries applied per `replicate()` call per secondary (lag model).
+    pub batch: usize,
+    rr: Mutex<usize>,
+}
+
+impl ReplicaSet {
+    /// A set with `n_secondaries` secondaries applying up to `batch`
+    /// oplog entries per replication round.
+    pub fn new(n_secondaries: usize, batch: usize) -> Self {
+        ReplicaSet {
+            primary: Database::new(),
+            secondaries: (0..n_secondaries).map(|_| Database::new()).collect(),
+            oplog: Mutex::new(Vec::new()),
+            applied: Mutex::new(vec![0; n_secondaries]),
+            batch: batch.max(1),
+            rr: Mutex::new(0),
+        }
+    }
+
+    /// The primary (for inspection).
+    pub fn primary(&self) -> &Database {
+        &self.primary
+    }
+
+    /// Write through the primary, appending to the oplog.
+    pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
+        let id = self.primary.collection(collection).insert_one(doc.clone())?;
+        // Store the post-insert doc (with assigned _id) in the oplog.
+        let stored = self
+            .primary
+            .collection(collection)
+            .get(&id)
+            .expect("just inserted");
+        self.oplog.lock().push(JournalOp::Insert {
+            collection: collection.to_string(),
+            doc: stored,
+        });
+        Ok(id)
+    }
+
+    /// Update through the primary, appending to the oplog.
+    pub fn update_many(
+        &self,
+        collection: &str,
+        filter: &Value,
+        update: &Value,
+    ) -> Result<UpdateResult> {
+        let r = self
+            .primary
+            .collection(collection)
+            .update_many(filter, update)?;
+        self.oplog.lock().push(JournalOp::Update {
+            collection: collection.to_string(),
+            filter: filter.clone(),
+            update: update.clone(),
+            many: true,
+        });
+        Ok(r)
+    }
+
+    /// One replication round: each secondary applies up to `batch`
+    /// pending oplog entries. Returns the max remaining lag (entries).
+    pub fn replicate(&self) -> Result<usize> {
+        let oplog = self.oplog.lock();
+        let mut applied = self.applied.lock();
+        let mut max_lag = 0;
+        for (i, sec) in self.secondaries.iter().enumerate() {
+            let from = applied[i];
+            let to = (from + self.batch).min(oplog.len());
+            for op in &oplog[from..to] {
+                apply_op(sec, op)?;
+            }
+            applied[i] = to;
+            max_lag = max_lag.max(oplog.len() - to);
+        }
+        Ok(max_lag)
+    }
+
+    /// Read with a preference.
+    pub fn find(
+        &self,
+        pref: ReadPreference,
+        collection: &str,
+        filter: &Value,
+    ) -> Result<Vec<Value>> {
+        match pref {
+            ReadPreference::Primary => self.primary.collection(collection).find(filter),
+            ReadPreference::Secondary => {
+                if self.secondaries.is_empty() {
+                    return self.primary.collection(collection).find(filter);
+                }
+                let mut rr = self.rr.lock();
+                let i = *rr % self.secondaries.len();
+                *rr += 1;
+                self.secondaries[i].collection(collection).find(filter)
+            }
+        }
+    }
+
+    /// Current replication lag (pending entries) per secondary.
+    pub fn lag(&self) -> Vec<usize> {
+        let oplog_len = self.oplog.lock().len();
+        self.applied.lock().iter().map(|a| oplog_len - a).collect()
+    }
+
+    /// Fail over: the most-caught-up secondary becomes primary; writes
+    /// it never saw are lost (returned as the number of dropped oplog
+    /// entries). The old primary is discarded (it crashed).
+    pub fn failover(&mut self) -> Result<usize> {
+        if self.secondaries.is_empty() {
+            return Err(StoreError::Persistence("no secondary to promote".into()));
+        }
+        let applied = self.applied.lock().clone();
+        let (best, &best_applied) = applied
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &a)| a)
+            .expect("non-empty");
+        let lost = self.oplog.lock().len() - best_applied;
+        let new_primary = self.secondaries.remove(best);
+        self.primary = new_primary;
+        // Truncate the oplog to what the new primary actually has.
+        self.oplog.lock().truncate(best_applied);
+        let mut applied = self.applied.lock();
+        applied.remove(best);
+        for a in applied.iter_mut() {
+            *a = (*a).min(best_applied);
+        }
+        Ok(lost)
+    }
+}
+
+fn apply_op(db: &Database, op: &JournalOp) -> Result<()> {
+    match op {
+        JournalOp::Insert { collection, doc } => {
+            db.collection(collection).insert_one(doc.clone())?;
+        }
+        JournalOp::Update {
+            collection,
+            filter,
+            update,
+            many,
+        } => {
+            let c = db.collection(collection);
+            if *many {
+                c.update_many(filter, update)?;
+            } else {
+                c.update_one(filter, update)?;
+            }
+        }
+        JournalOp::Delete {
+            collection,
+            filter,
+            many,
+        } => {
+            let c = db.collection(collection);
+            if *many {
+                c.delete_many(filter)?;
+            } else {
+                c.delete_one(filter)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn sharding_distributes_documents() {
+        let cluster = ShardedCluster::new(4, "chemsys");
+        for i in 0..200 {
+            cluster
+                .insert_one("materials", json!({"chemsys": format!("sys-{}", i % 37), "n": i}))
+                .unwrap();
+        }
+        let dist = cluster.distribution("materials");
+        assert_eq!(dist.iter().sum::<usize>(), 200);
+        // Hash sharding must not send everything to one shard.
+        assert!(dist.iter().all(|&n| n > 10), "unbalanced: {dist:?}");
+    }
+
+    #[test]
+    fn missing_shard_key_rejected() {
+        let cluster = ShardedCluster::new(2, "chemsys");
+        assert!(cluster.insert_one("m", json!({"x": 1})).is_err());
+    }
+
+    #[test]
+    fn targeted_vs_scatter_gather() {
+        let cluster = ShardedCluster::new(4, "chemsys");
+        for i in 0..100 {
+            cluster
+                .insert_one("m", json!({"chemsys": format!("s{}", i % 10), "gap": i}))
+                .unwrap();
+        }
+        // Equality on the shard key → targeted, single shard.
+        let hits = cluster.find("m", &json!({"chemsys": "s3"})).unwrap();
+        assert_eq!(hits.len(), 10);
+        // Range query → scatter-gather.
+        let hits = cluster.find("m", &json!({"gap": {"$gte": 90}})).unwrap();
+        assert_eq!(hits.len(), 10);
+        let (targeted, scatter) = cluster.routing_stats();
+        assert_eq!((targeted, scatter), (1, 1));
+    }
+
+    #[test]
+    fn cluster_count_and_update() {
+        let cluster = ShardedCluster::new(3, "k");
+        for i in 0..30 {
+            cluster.insert_one("c", json!({"k": i, "v": 0})).unwrap();
+        }
+        assert_eq!(cluster.count("c", &json!({})).unwrap(), 30);
+        let r = cluster
+            .update_many("c", &json!({"v": 0}), &json!({"$set": {"v": 1}}))
+            .unwrap();
+        assert_eq!(r.modified, 30);
+        assert_eq!(cluster.count("c", &json!({"v": 1})).unwrap(), 30);
+    }
+
+    #[test]
+    fn replication_catches_up() {
+        let rs = ReplicaSet::new(2, 10);
+        for i in 0..25 {
+            rs.insert_one("c", json!({ "i": i })).unwrap();
+        }
+        assert_eq!(rs.lag(), vec![25, 25]);
+        rs.replicate().unwrap();
+        assert_eq!(rs.lag(), vec![15, 15]);
+        rs.replicate().unwrap();
+        let final_lag = rs.replicate().unwrap();
+        assert_eq!(final_lag, 0);
+        // Secondaries now serve the full dataset.
+        let hits = rs
+            .find(ReadPreference::Secondary, "c", &json!({"i": {"$gte": 0}}))
+            .unwrap();
+        assert_eq!(hits.len(), 25);
+    }
+
+    #[test]
+    fn stale_secondary_reads_are_visible_as_staleness() {
+        let rs = ReplicaSet::new(1, 5);
+        for i in 0..10 {
+            rs.insert_one("c", json!({ "i": i })).unwrap();
+        }
+        rs.replicate().unwrap(); // only 5 applied
+        let primary = rs.find(ReadPreference::Primary, "c", &json!({})).unwrap();
+        let secondary = rs.find(ReadPreference::Secondary, "c", &json!({})).unwrap();
+        assert_eq!(primary.len(), 10);
+        assert_eq!(secondary.len(), 5, "secondary lags by design");
+    }
+
+    #[test]
+    fn updates_replicate_too() {
+        let rs = ReplicaSet::new(1, 100);
+        rs.insert_one("c", json!({"_id": 1, "v": 0})).unwrap();
+        rs.update_many("c", &json!({"_id": 1}), &json!({"$set": {"v": 9}}))
+            .unwrap();
+        rs.replicate().unwrap();
+        let sec = rs.find(ReadPreference::Secondary, "c", &json!({"_id": 1})).unwrap();
+        assert_eq!(sec[0]["v"], json!(9));
+    }
+
+    #[test]
+    fn failover_promotes_most_caught_up_and_bounds_loss() {
+        let mut rs = ReplicaSet::new(2, 6);
+        for i in 0..10 {
+            rs.insert_one("c", json!({ "i": i })).unwrap();
+        }
+        rs.replicate().unwrap(); // both secondaries at 6/10
+        let lost = rs.failover().unwrap();
+        assert_eq!(lost, 4, "un-replicated writes are lost");
+        // The new primary serves the replicated prefix and accepts writes.
+        assert_eq!(
+            rs.find(ReadPreference::Primary, "c", &json!({})).unwrap().len(),
+            6
+        );
+        rs.insert_one("c", json!({"i": 99})).unwrap();
+        assert_eq!(
+            rs.find(ReadPreference::Primary, "c", &json!({})).unwrap().len(),
+            7
+        );
+    }
+
+    #[test]
+    fn failover_without_secondaries_fails() {
+        let mut rs = ReplicaSet::new(0, 1);
+        assert!(rs.failover().is_err());
+    }
+}

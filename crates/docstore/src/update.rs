@@ -1,0 +1,415 @@
+//! Update documents: MongoDB's atomic update operators.
+//!
+//! The paper's FireWorks `Fuse` objects express parameter overrides "as a
+//! Python dict that is similar to Mongo atomic update syntax (e.g. $set,
+//! $unset, etc.)" — this module is that syntax.
+
+use crate::error::{Result, StoreError};
+use crate::value::{cmp_values, get_path, remove_path, set_path, values_equal};
+use serde_json::{Map, Number, Value};
+use std::cmp::Ordering;
+
+/// A parsed update: either operator-based mutations or full replacement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Replace the whole document (preserving `_id`).
+    Replace(Value),
+    /// Apply a list of operator mutations in order.
+    Operators(Vec<UpdateOp>),
+}
+
+/// One update operator applied to one path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    Set(String, Value),
+    Unset(String),
+    Inc(String, f64),
+    Mul(String, f64),
+    Min(String, Value),
+    Max(String, Value),
+    Rename(String, String),
+    /// Push one value or, with `$each`, several.
+    Push(String, Vec<Value>),
+    /// Remove all elements equal to the operand.
+    Pull(String, Value),
+    /// Remove first (-1) or last (1) element.
+    Pop(String, i8),
+    /// Push only if not already present.
+    AddToSet(String, Vec<Value>),
+    /// Set to the simulated current timestamp (seconds).
+    CurrentDate(String),
+    /// Set only when the update inserts a new document (upsert).
+    SetOnInsert(String, Value),
+}
+
+impl Update {
+    /// Parse a JSON update document. Documents whose keys all start with
+    /// `$` are operator updates; any other object is a full replacement.
+    pub fn parse(u: &Value) -> Result<Update> {
+        let obj = u
+            .as_object()
+            .ok_or_else(|| StoreError::BadUpdate("update must be an object".into()))?;
+        let any_op = obj.keys().any(|k| k.starts_with('$'));
+        if !any_op {
+            return Ok(Update::Replace(u.clone()));
+        }
+        if obj.keys().any(|k| !k.starts_with('$')) {
+            return Err(StoreError::BadUpdate(
+                "cannot mix operators and literal fields".into(),
+            ));
+        }
+        let mut ops = Vec::new();
+        for (op, spec) in obj {
+            let fields = spec.as_object().ok_or_else(|| {
+                StoreError::BadUpdate(format!("{op} expects an object of field: operand"))
+            })?;
+            for (path, operand) in fields {
+                ops.push(parse_op(op, path, operand)?);
+            }
+        }
+        Ok(Update::Operators(ops))
+    }
+
+    /// Apply this update to `doc` in place. `now` supplies the simulated
+    /// timestamp for `$currentDate`; `inserting` enables `$setOnInsert`.
+    pub fn apply(&self, doc: &mut Value, now: f64, inserting: bool) -> Result<()> {
+        match self {
+            Update::Replace(new_doc) => {
+                let id = doc.get("_id").cloned();
+                *doc = new_doc.clone();
+                if let (Some(id), Some(obj)) = (id, doc.as_object_mut()) {
+                    obj.insert("_id".into(), id);
+                }
+                Ok(())
+            }
+            Update::Operators(ops) => {
+                for op in ops {
+                    apply_op(doc, op, now, inserting)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn num_of(path: &str, v: &Value) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| StoreError::BadUpdate(format!("operand for '{path}' must be numeric")))
+}
+
+fn parse_op(op: &str, path: &str, operand: &Value) -> Result<UpdateOp> {
+    if path.is_empty() || path.starts_with('$') {
+        return Err(StoreError::BadUpdate(format!("invalid target path '{path}'")));
+    }
+    Ok(match op {
+        "$set" => UpdateOp::Set(path.into(), operand.clone()),
+        "$unset" => UpdateOp::Unset(path.into()),
+        "$inc" => UpdateOp::Inc(path.into(), num_of(path, operand)?),
+        "$mul" => UpdateOp::Mul(path.into(), num_of(path, operand)?),
+        "$min" => UpdateOp::Min(path.into(), operand.clone()),
+        "$max" => UpdateOp::Max(path.into(), operand.clone()),
+        "$rename" => UpdateOp::Rename(
+            path.into(),
+            operand
+                .as_str()
+                .ok_or_else(|| StoreError::BadUpdate("$rename target must be a string".into()))?
+                .to_string(),
+        ),
+        "$push" => {
+            if let Some(each) = operand.get("$each") {
+                let items = each
+                    .as_array()
+                    .ok_or_else(|| StoreError::BadUpdate("$each expects an array".into()))?;
+                UpdateOp::Push(path.into(), items.clone())
+            } else {
+                UpdateOp::Push(path.into(), vec![operand.clone()])
+            }
+        }
+        "$pull" => UpdateOp::Pull(path.into(), operand.clone()),
+        "$pop" => {
+            let n = operand
+                .as_i64()
+                .ok_or_else(|| StoreError::BadUpdate("$pop expects 1 or -1".into()))?;
+            if n != 1 && n != -1 {
+                return Err(StoreError::BadUpdate("$pop expects 1 or -1".into()));
+            }
+            UpdateOp::Pop(path.into(), n as i8)
+        }
+        "$addToSet" => {
+            if let Some(each) = operand.get("$each") {
+                let items = each
+                    .as_array()
+                    .ok_or_else(|| StoreError::BadUpdate("$each expects an array".into()))?;
+                UpdateOp::AddToSet(path.into(), items.clone())
+            } else {
+                UpdateOp::AddToSet(path.into(), vec![operand.clone()])
+            }
+        }
+        "$currentDate" => UpdateOp::CurrentDate(path.into()),
+        "$setOnInsert" => UpdateOp::SetOnInsert(path.into(), operand.clone()),
+        other => return Err(StoreError::BadUpdate(format!("unknown update operator {other}"))),
+    })
+}
+
+fn json_num(x: f64) -> Value {
+    if x.fract() == 0.0 && x.abs() < 9e15 {
+        Value::Number(Number::from(x as i64))
+    } else {
+        Number::from_f64(x).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+
+fn apply_op(doc: &mut Value, op: &UpdateOp, now: f64, inserting: bool) -> Result<()> {
+    let set = |doc: &mut Value, path: &str, v: Value| {
+        set_path(doc, path, v).map_err(StoreError::BadUpdate)
+    };
+    match op {
+        UpdateOp::Set(path, v) => set(doc, path, v.clone())?,
+        UpdateOp::Unset(path) => {
+            remove_path(doc, path);
+        }
+        UpdateOp::Inc(path, d) => {
+            let cur = get_path(doc, path).and_then(Value::as_f64).unwrap_or(0.0);
+            set(doc, path, json_num(cur + d))?;
+        }
+        UpdateOp::Mul(path, m) => {
+            let cur = get_path(doc, path).and_then(Value::as_f64).unwrap_or(0.0);
+            set(doc, path, json_num(cur * m))?;
+        }
+        UpdateOp::Min(path, v) => match get_path(doc, path) {
+            Some(cur) if cmp_values(cur, v) != Ordering::Greater => {}
+            _ => set(doc, path, v.clone())?,
+        },
+        UpdateOp::Max(path, v) => match get_path(doc, path) {
+            Some(cur) if cmp_values(cur, v) != Ordering::Less => {}
+            _ => set(doc, path, v.clone())?,
+        },
+        UpdateOp::Rename(from, to) => {
+            if let Some(v) = remove_path(doc, from) {
+                set(doc, to, v)?;
+            }
+        }
+        UpdateOp::Push(path, items) => {
+            let arr = ensure_array(doc, path)?;
+            arr.extend(items.iter().cloned());
+        }
+        UpdateOp::Pull(path, operand) => {
+            if let Some(Value::Array(arr)) = get_path_mut(doc, path) {
+                arr.retain(|e| !values_equal(e, operand));
+            }
+        }
+        UpdateOp::Pop(path, dir) => {
+            if let Some(Value::Array(arr)) = get_path_mut(doc, path) {
+                if !arr.is_empty() {
+                    if *dir == 1 {
+                        arr.pop();
+                    } else {
+                        arr.remove(0);
+                    }
+                }
+            }
+        }
+        UpdateOp::AddToSet(path, items) => {
+            let arr = ensure_array(doc, path)?;
+            for item in items {
+                if !arr.iter().any(|e| values_equal(e, item)) {
+                    arr.push(item.clone());
+                }
+            }
+        }
+        UpdateOp::CurrentDate(path) => set(doc, path, json_num(now))?,
+        UpdateOp::SetOnInsert(path, v) => {
+            if inserting {
+                set(doc, path, v.clone())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mutable access at a dotted path (objects + numeric array segments).
+fn get_path_mut<'a>(doc: &'a mut Value, path: &str) -> Option<&'a mut Value> {
+    let mut cur = doc;
+    for seg in crate::value::path_segments(path) {
+        match cur {
+            Value::Object(m) => cur = m.get_mut(seg)?,
+            Value::Array(a) => {
+                let idx: usize = seg.parse().ok()?;
+                cur = a.get_mut(idx)?;
+            }
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+/// Resolve `path` to a mutable array, creating an empty one (or failing on
+/// a non-array) as MongoDB does for `$push` on a missing field.
+fn ensure_array<'a>(doc: &'a mut Value, path: &str) -> Result<&'a mut Vec<Value>> {
+    let missing = get_path(doc, path).is_none();
+    if missing {
+        set_path(doc, path, Value::Array(vec![])).map_err(StoreError::BadUpdate)?;
+    }
+    match get_path_mut(doc, path) {
+        Some(Value::Array(a)) => Ok(a),
+        Some(other) => Err(StoreError::BadUpdate(format!(
+            "field '{path}' is {} not an array",
+            crate::value::type_name(other)
+        ))),
+        None => Err(StoreError::BadUpdate(format!("could not create array at '{path}'"))),
+    }
+}
+
+/// Build a `$set` update document from pairs — convenience for callers.
+pub fn set_doc(pairs: &[(&str, Value)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert((*k).to_string(), v.clone());
+    }
+    let mut outer = Map::new();
+    outer.insert("$set".into(), Value::Object(m));
+    Value::Object(outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn apply(u: Value, mut doc: Value) -> Value {
+        Update::parse(&u).unwrap().apply(&mut doc, 1000.0, false).unwrap();
+        doc
+    }
+
+    #[test]
+    fn set_and_nested_set() {
+        assert_eq!(apply(json!({"$set": {"a": 2}}), json!({"a": 1})), json!({"a": 2}));
+        assert_eq!(
+            apply(json!({"$set": {"spec.walltime": 3600}}), json!({})),
+            json!({"spec": {"walltime": 3600}})
+        );
+    }
+
+    #[test]
+    fn unset() {
+        assert_eq!(apply(json!({"$unset": {"a": ""}}), json!({"a": 1, "b": 2})), json!({"b": 2}));
+    }
+
+    #[test]
+    fn inc_existing_and_missing() {
+        assert_eq!(apply(json!({"$inc": {"n": 5}}), json!({"n": 1})), json!({"n": 6}));
+        assert_eq!(apply(json!({"$inc": {"n": 5}}), json!({})), json!({"n": 5}));
+        assert_eq!(apply(json!({"$inc": {"n": 0.5}}), json!({"n": 1})), json!({"n": 1.5}));
+    }
+
+    #[test]
+    fn mul() {
+        assert_eq!(apply(json!({"$mul": {"n": 3}}), json!({"n": 4})), json!({"n": 12}));
+        assert_eq!(apply(json!({"$mul": {"n": 3}}), json!({})), json!({"n": 0}));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(apply(json!({"$min": {"n": 2}}), json!({"n": 5})), json!({"n": 2}));
+        assert_eq!(apply(json!({"$min": {"n": 9}}), json!({"n": 5})), json!({"n": 5}));
+        assert_eq!(apply(json!({"$max": {"n": 9}}), json!({"n": 5})), json!({"n": 9}));
+        assert_eq!(apply(json!({"$max": {"n": 2}}), json!({})), json!({"n": 2}));
+    }
+
+    #[test]
+    fn rename() {
+        assert_eq!(
+            apply(json!({"$rename": {"old": "new"}}), json!({"old": 7})),
+            json!({"new": 7})
+        );
+        // Renaming a missing field is a no-op.
+        assert_eq!(apply(json!({"$rename": {"x": "y"}}), json!({"a": 1})), json!({"a": 1}));
+    }
+
+    #[test]
+    fn push_single_and_each() {
+        assert_eq!(apply(json!({"$push": {"xs": 3}}), json!({"xs": [1]})), json!({"xs": [1, 3]}));
+        assert_eq!(apply(json!({"$push": {"xs": 3}}), json!({})), json!({"xs": [3]}));
+        assert_eq!(
+            apply(json!({"$push": {"xs": {"$each": [2, 3]}}}), json!({"xs": [1]})),
+            json!({"xs": [1, 2, 3]})
+        );
+    }
+
+    #[test]
+    fn push_on_scalar_fails() {
+        let u = Update::parse(&json!({"$push": {"x": 1}})).unwrap();
+        let mut doc = json!({"x": 5});
+        assert!(u.apply(&mut doc, 0.0, false).is_err());
+    }
+
+    #[test]
+    fn pull_and_pop() {
+        assert_eq!(
+            apply(json!({"$pull": {"xs": 2}}), json!({"xs": [1, 2, 3, 2]})),
+            json!({"xs": [1, 3]})
+        );
+        assert_eq!(apply(json!({"$pop": {"xs": 1}}), json!({"xs": [1, 2]})), json!({"xs": [1]}));
+        assert_eq!(apply(json!({"$pop": {"xs": -1}}), json!({"xs": [1, 2]})), json!({"xs": [2]}));
+    }
+
+    #[test]
+    fn add_to_set() {
+        assert_eq!(
+            apply(json!({"$addToSet": {"xs": 2}}), json!({"xs": [1, 2]})),
+            json!({"xs": [1, 2]})
+        );
+        assert_eq!(
+            apply(json!({"$addToSet": {"xs": 3}}), json!({"xs": [1, 2]})),
+            json!({"xs": [1, 2, 3]})
+        );
+    }
+
+    #[test]
+    fn current_date_uses_sim_clock() {
+        assert_eq!(
+            apply(json!({"$currentDate": {"ts": true}}), json!({})),
+            json!({"ts": 1000})
+        );
+    }
+
+    #[test]
+    fn set_on_insert_only_when_inserting() {
+        let u = Update::parse(&json!({"$setOnInsert": {"a": 1}})).unwrap();
+        let mut d1 = json!({});
+        u.apply(&mut d1, 0.0, true).unwrap();
+        assert_eq!(d1, json!({"a": 1}));
+        let mut d2 = json!({});
+        u.apply(&mut d2, 0.0, false).unwrap();
+        assert_eq!(d2, json!({}));
+    }
+
+    #[test]
+    fn replacement_preserves_id() {
+        let mut doc = json!({"_id": "x1", "a": 1});
+        Update::parse(&json!({"b": 2}))
+            .unwrap()
+            .apply(&mut doc, 0.0, false)
+            .unwrap();
+        assert_eq!(doc, json!({"_id": "x1", "b": 2}));
+    }
+
+    #[test]
+    fn mixed_ops_and_literals_rejected() {
+        assert!(Update::parse(&json!({"$set": {"a": 1}, "b": 2})).is_err());
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        assert!(Update::parse(&json!({"$evil": {"a": 1}})).is_err());
+    }
+
+    #[test]
+    fn multiple_operators_apply_in_order() {
+        let out = apply(
+            json!({"$inc": {"n": 1}, "$push": {"log": "retried"}}),
+            json!({"n": 0}),
+        );
+        assert_eq!(out, json!({"n": 1, "log": ["retried"]}));
+    }
+}

@@ -1,0 +1,378 @@
+//! Dotted-path access and BSON-like value ordering over [`serde_json::Value`].
+//!
+//! MongoDB addresses nested fields with dotted paths (`"spec.elements.0"`),
+//! and sorts mixed-type values by a fixed type precedence. Both behaviours
+//! are reproduced here because the rest of the system (query matcher,
+//! update engine, indexes, cursors) is built on them.
+
+use serde_json::{Map, Value};
+use std::cmp::Ordering;
+
+/// A document is a JSON object; this alias marks the intent.
+pub type Document = Value;
+
+/// Split a dotted path into segments. An empty path yields no segments.
+pub fn path_segments(path: &str) -> impl Iterator<Item = &str> {
+    path.split('.').filter(|s| !s.is_empty())
+}
+
+/// Fetch the value at `path` inside `doc`, if present.
+///
+/// Array elements can be addressed by numeric segment. Like MongoDB, a
+/// non-numeric segment applied to an array is *not* resolved here; use
+/// [`get_path_multi`] for the implicit array traversal the query matcher
+/// performs.
+pub fn get_path<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = doc;
+    for seg in path_segments(path) {
+        match cur {
+            Value::Object(m) => cur = m.get(seg)?,
+            Value::Array(a) => {
+                let idx: usize = seg.parse().ok()?;
+                cur = a.get(idx)?;
+            }
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+/// Fetch all values reachable at `path`, traversing *through* arrays the
+/// way MongoDB's matcher does: a path `"tags.name"` applied to a document
+/// whose `tags` field is an array of objects yields the `name` of every
+/// element.
+pub fn get_path_multi<'a>(doc: &'a Value, path: &str) -> Vec<&'a Value> {
+    let segs: Vec<&str> = path_segments(path).collect();
+    let mut out = Vec::new();
+    descend(doc, &segs, &mut out);
+    out
+}
+
+fn descend<'a>(cur: &'a Value, segs: &[&str], out: &mut Vec<&'a Value>) {
+    if segs.is_empty() {
+        out.push(cur);
+        return;
+    }
+    let seg = segs[0];
+    match cur {
+        Value::Object(m) => {
+            if let Some(v) = m.get(seg) {
+                descend(v, &segs[1..], out);
+            }
+        }
+        Value::Array(a) => {
+            if let Ok(idx) = seg.parse::<usize>() {
+                if let Some(v) = a.get(idx) {
+                    descend(v, &segs[1..], out);
+                }
+            }
+            // Implicit traversal: apply the same path to each element.
+            for v in a {
+                if v.is_object() {
+                    descend(v, segs, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Set `path` in `doc` to `value`, creating intermediate objects as needed
+/// (MongoDB `$set` semantics). Numeric segments extend arrays with nulls.
+///
+/// Returns an error string if the path traverses a scalar.
+pub fn set_path(doc: &mut Value, path: &str, value: Value) -> Result<(), String> {
+    let segs: Vec<&str> = path_segments(path).collect();
+    if segs.is_empty() {
+        return Err("empty path".into());
+    }
+    let mut cur = doc;
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i == segs.len() - 1;
+        match cur {
+            Value::Object(m) => {
+                if last {
+                    m.insert((*seg).to_string(), value);
+                    return Ok(());
+                }
+                let next_is_index = segs[i + 1].parse::<usize>().is_ok();
+                let entry = m.entry((*seg).to_string()).or_insert_with(|| {
+                    if next_is_index {
+                        Value::Array(vec![])
+                    } else {
+                        Value::Object(Map::new())
+                    }
+                });
+                if entry.is_null() {
+                    *entry = if next_is_index {
+                        Value::Array(vec![])
+                    } else {
+                        Value::Object(Map::new())
+                    };
+                }
+                cur = entry;
+            }
+            Value::Array(a) => {
+                let idx: usize = seg
+                    .parse()
+                    .map_err(|_| format!("cannot index array with '{seg}'"))?;
+                while a.len() <= idx {
+                    a.push(Value::Null);
+                }
+                if last {
+                    a[idx] = value;
+                    return Ok(());
+                }
+                if a[idx].is_null() {
+                    let next_is_index = segs[i + 1].parse::<usize>().is_ok();
+                    a[idx] = if next_is_index {
+                        Value::Array(vec![])
+                    } else {
+                        Value::Object(Map::new())
+                    };
+                }
+                cur = &mut a[idx];
+            }
+            other => {
+                return Err(format!(
+                    "cannot traverse scalar {} at segment '{seg}'",
+                    type_name(other)
+                ))
+            }
+        }
+    }
+    unreachable!("loop returns on last segment")
+}
+
+/// Remove the value at `path`. Returns the removed value if it existed.
+pub fn remove_path(doc: &mut Value, path: &str) -> Option<Value> {
+    let segs: Vec<&str> = path_segments(path).collect();
+    let (last, parents) = segs.split_last()?;
+    let mut cur = doc;
+    for seg in parents {
+        match cur {
+            Value::Object(m) => cur = m.get_mut(*seg)?,
+            Value::Array(a) => {
+                let idx: usize = seg.parse().ok()?;
+                cur = a.get_mut(idx)?;
+            }
+            _ => return None,
+        }
+    }
+    match cur {
+        Value::Object(m) => m.remove(*last),
+        Value::Array(a) => {
+            // MongoDB $unset on an array element nulls it rather than shifting.
+            let idx: usize = last.parse().ok()?;
+            let slot = a.get_mut(idx)?;
+            Some(std::mem::replace(slot, Value::Null))
+        }
+        _ => None,
+    }
+}
+
+/// MongoDB-style type precedence used when ordering values of mixed type.
+pub fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Number(_) => 1,
+        Value::String(_) => 2,
+        Value::Object(_) => 3,
+        Value::Array(_) => 4,
+        Value::Bool(_) => 5,
+    }
+}
+
+/// Human-readable type name, used by `$type` and error messages.
+pub fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(n) => {
+            if n.is_f64() {
+                "double"
+            } else {
+                "int"
+            }
+        }
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// Total ordering over JSON values, compatible with BSON comparison:
+/// first by type rank, then within a type by natural order.
+pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    let (ra, rb) = (type_rank(a), type_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Number(x), Value::Number(y)) => {
+            let fx = x.as_f64().unwrap_or(f64::NAN);
+            let fy = y.as_f64().unwrap_or(f64::NAN);
+            fx.partial_cmp(&fy).unwrap_or(Ordering::Equal)
+        }
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                let c = cmp_values(xi, yi);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            // Compare key-value pairs in key order.
+            let mut xk: Vec<_> = x.iter().collect();
+            let mut yk: Vec<_> = y.iter().collect();
+            xk.sort_by(|l, r| l.0.cmp(r.0));
+            yk.sort_by(|l, r| l.0.cmp(r.0));
+            for ((ka, va), (kb, vb)) in xk.iter().zip(yk.iter()) {
+                let c = ka.cmp(kb);
+                if c != Ordering::Equal {
+                    return c;
+                }
+                let c = cmp_values(va, vb);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            xk.len().cmp(&yk.len())
+        }
+        _ => Ordering::Equal,
+    }
+}
+
+/// Equality that treats `1` and `1.0` as equal (numeric comparison), like
+/// MongoDB's matcher, rather than `serde_json`'s structural equality.
+pub fn values_equal(a: &Value, b: &Value) -> bool {
+    cmp_values(a, b) == Ordering::Equal && type_rank(a) == type_rank(b)
+}
+
+/// Wrapper giving [`Value`] a total order + `Eq`/`Ord` so it can key a
+/// `BTreeMap` (used by secondary indexes and `distinct`).
+#[derive(Debug, Clone)]
+pub struct OrderedValue(pub Value);
+
+impl PartialEq for OrderedValue {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_values(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrderedValue {}
+impl PartialOrd for OrderedValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_values(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn get_simple_and_nested() {
+        let doc = json!({"a": 1, "b": {"c": {"d": 2}}});
+        assert_eq!(get_path(&doc, "a"), Some(&json!(1)));
+        assert_eq!(get_path(&doc, "b.c.d"), Some(&json!(2)));
+        assert_eq!(get_path(&doc, "b.x"), None);
+        assert_eq!(get_path(&doc, "a.b"), None);
+    }
+
+    #[test]
+    fn get_array_index() {
+        let doc = json!({"xs": [10, 20, {"y": 30}]});
+        assert_eq!(get_path(&doc, "xs.1"), Some(&json!(20)));
+        assert_eq!(get_path(&doc, "xs.2.y"), Some(&json!(30)));
+        assert_eq!(get_path(&doc, "xs.9"), None);
+    }
+
+    #[test]
+    fn multi_traverses_arrays() {
+        let doc = json!({"tags": [{"n": "a"}, {"n": "b"}]});
+        let vs = get_path_multi(&doc, "tags.n");
+        assert_eq!(vs, vec![&json!("a"), &json!("b")]);
+    }
+
+    #[test]
+    fn multi_mixed_index_and_traversal() {
+        let doc = json!({"xs": [[1, 2], [3]]});
+        let vs = get_path_multi(&doc, "xs.0");
+        // Explicit index hits the first sub-array.
+        assert!(vs.contains(&&json!([1, 2])));
+    }
+
+    #[test]
+    fn set_creates_intermediates() {
+        let mut doc = json!({});
+        set_path(&mut doc, "a.b.c", json!(5)).unwrap();
+        assert_eq!(doc, json!({"a": {"b": {"c": 5}}}));
+    }
+
+    #[test]
+    fn set_extends_array() {
+        let mut doc = json!({"xs": [1]});
+        set_path(&mut doc, "xs.3", json!(9)).unwrap();
+        assert_eq!(doc, json!({"xs": [1, null, null, 9]}));
+    }
+
+    #[test]
+    fn set_through_scalar_fails() {
+        let mut doc = json!({"a": 1});
+        assert!(set_path(&mut doc, "a.b", json!(2)).is_err());
+    }
+
+    #[test]
+    fn remove_nested() {
+        let mut doc = json!({"a": {"b": 1, "c": 2}});
+        assert_eq!(remove_path(&mut doc, "a.b"), Some(json!(1)));
+        assert_eq!(doc, json!({"a": {"c": 2}}));
+        assert_eq!(remove_path(&mut doc, "a.zzz"), None);
+    }
+
+    #[test]
+    fn remove_array_element_nulls() {
+        let mut doc = json!({"xs": [1, 2, 3]});
+        assert_eq!(remove_path(&mut doc, "xs.1"), Some(json!(2)));
+        assert_eq!(doc, json!({"xs": [1, null, 3]}));
+    }
+
+    #[test]
+    fn ordering_type_precedence() {
+        // null < number < string < object < array < bool
+        let vs = [
+            json!(null),
+            json!(3),
+            json!("x"),
+            json!({"a": 1}),
+            json!([1]),
+            json!(true),
+        ];
+        for w in vs.windows(2) {
+            assert_eq!(cmp_values(&w[0], &w[1]), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(values_equal(&json!(1), &json!(1.0)));
+        assert!(!values_equal(&json!(1), &json!(2)));
+    }
+
+    #[test]
+    fn array_ordering_lexicographic() {
+        assert_eq!(cmp_values(&json!([1, 2]), &json!([1, 3])), Ordering::Less);
+        assert_eq!(cmp_values(&json!([1]), &json!([1, 0])), Ordering::Less);
+    }
+}

@@ -1,0 +1,357 @@
+//! Firework definitions: Stage, Binder, Fuse, and workflow DAGs.
+//!
+//! §III-C2: "A *Firework* represents one step in a workflow ... Each job
+//! is specified as a dictionary of runtime parameters (*Stage*) that are
+//! later translated into input files on a compute node by a component
+//! called the *Assembler*. ... A *Fuse* object is embedded within each
+//! Firework and is capable of overriding input parameters prior to
+//! execution, based on the output state of any parent jobs. ...
+//! Duplicate jobs are detected via *Binder* objects, which uniquely
+//! identify a job."
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Map, Value};
+
+/// Lifecycle states of a firework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "SCREAMING_SNAKE_CASE")]
+pub enum FwState {
+    /// Parents incomplete, or Fuse condition unmet.
+    Waiting,
+    /// Eligible to be claimed by a worker.
+    Ready,
+    /// Claimed and executing.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Failed beyond automated repair (manual intervention queue).
+    Fizzled,
+    /// Deliberately disabled (e.g. abort cascades, user pause).
+    Defused,
+    /// Replaced by a pointer to an identical earlier run (dedup) or by a
+    /// detour replacement.
+    Archived,
+}
+
+impl FwState {
+    /// Stable string form used in datastore documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FwState::Waiting => "WAITING",
+            FwState::Ready => "READY",
+            FwState::Running => "RUNNING",
+            FwState::Completed => "COMPLETED",
+            FwState::Fizzled => "FIZZLED",
+            FwState::Defused => "DEFUSED",
+            FwState::Archived => "ARCHIVED",
+        }
+    }
+
+    /// Parse from the string form.
+    pub fn parse(s: &str) -> Option<FwState> {
+        Some(match s {
+            "WAITING" => FwState::Waiting,
+            "READY" => FwState::Ready,
+            "RUNNING" => FwState::Running,
+            "COMPLETED" => FwState::Completed,
+            "FIZZLED" => FwState::Fizzled,
+            "DEFUSED" => FwState::Defused,
+            "ARCHIVED" => FwState::Archived,
+            _ => return None,
+        })
+    }
+}
+
+/// The job-parameter dictionary (the paper's *Stage*): an arbitrary JSON
+/// object the Assembler later turns into input files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage(pub Value);
+
+impl Stage {
+    /// An empty stage.
+    pub fn empty() -> Self {
+        Stage(json!({}))
+    }
+
+    /// Apply Mongo-update-style overrides (`$set`/`$unset`/`$inc`/...),
+    /// exactly the mechanism the paper gives Fuses.
+    pub fn apply_overrides(&mut self, overrides: &Value) -> Result<(), String> {
+        let u = mp_docstore::Update::parse(overrides).map_err(|e| e.to_string())?;
+        u.apply(&mut self.0, 0.0, false).map_err(|e| e.to_string())
+    }
+}
+
+/// Uniqueness key for duplicate detection (the paper's *Binder*): "a
+/// reference to a crystal structure ID and the type of functional".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binder {
+    /// Canonical identity string, e.g. `"<structure fingerprint>|GGA"`.
+    pub key: String,
+}
+
+impl Binder {
+    /// Binder from a structure identity and a calculation flavour.
+    pub fn new(structure_id: impl Into<String>, functional: &str) -> Self {
+        Binder {
+            key: format!("{}|{}", structure_id.into(), functional),
+        }
+    }
+}
+
+/// Fuse condition: when may this firework become READY?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "type")]
+pub enum FuseCondition {
+    /// All parents COMPLETED (the default).
+    ParentsCompleted,
+    /// Parents completed AND a field of the merged parent outputs
+    /// matches a Mongo-style filter.
+    ParentOutputMatches {
+        /// Filter applied to the merged parent-output document.
+        filter: Value,
+    },
+    /// Parents completed AND a human has approved the workflow.
+    UserApproved,
+}
+
+/// The Fuse: delayed-execution condition plus parameter overrides taken
+/// from parent outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fuse {
+    /// Release condition.
+    pub condition: FuseCondition,
+    /// Mongo-update-style dict applied to the Stage when the fuse
+    /// releases (recorded in the database for later analysis, per the
+    /// paper).
+    pub overrides: Option<Value>,
+}
+
+impl Default for Fuse {
+    fn default() -> Self {
+        Fuse {
+            condition: FuseCondition::ParentsCompleted,
+            overrides: None,
+        }
+    }
+}
+
+/// One workflow step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Firework {
+    /// Unique id within the launchpad.
+    pub fw_id: String,
+    /// Job parameters.
+    pub stage: Stage,
+    /// Duplicate-detection identity; `None` disables dedup for this step.
+    pub binder: Option<Binder>,
+    /// Release condition + overrides.
+    pub fuse: Fuse,
+    /// Parent fw_ids (dependencies).
+    pub parents: Vec<String>,
+    /// Times this firework has been launched (re-runs increment it).
+    pub launches: u32,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl Firework {
+    /// A firework with no parents and default fuse.
+    pub fn new(fw_id: impl Into<String>, name: impl Into<String>, stage: Stage) -> Self {
+        Firework {
+            fw_id: fw_id.into(),
+            stage,
+            binder: None,
+            fuse: Fuse::default(),
+            parents: Vec::new(),
+            launches: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Builder: set the binder.
+    pub fn with_binder(mut self, binder: Binder) -> Self {
+        self.binder = Some(binder);
+        self
+    }
+
+    /// Builder: add a parent dependency.
+    pub fn after(mut self, parent: &str) -> Self {
+        self.parents.push(parent.to_string());
+        self
+    }
+
+    /// Builder: set the fuse.
+    pub fn with_fuse(mut self, fuse: Fuse) -> Self {
+        self.fuse = fuse;
+        self
+    }
+}
+
+/// A DAG of fireworks submitted as a unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow id.
+    pub wf_id: String,
+    /// Member fireworks.
+    pub fireworks: Vec<Firework>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl Workflow {
+    /// Single-firework workflow.
+    pub fn single(wf_id: impl Into<String>, fw: Firework) -> Self {
+        let wf_id = wf_id.into();
+        Workflow {
+            name: format!("wf-{wf_id}"),
+            wf_id,
+            fireworks: vec![fw],
+        }
+    }
+
+    /// Build from fireworks; validates the DAG.
+    pub fn new(wf_id: impl Into<String>, fireworks: Vec<Firework>) -> Result<Self, String> {
+        let wf = Workflow {
+            wf_id: wf_id.into(),
+            name: String::new(),
+            fireworks,
+        };
+        wf.validate()?;
+        Ok(wf)
+    }
+
+    /// Check ids are unique, parents exist, and the graph is acyclic.
+    pub fn validate(&self) -> Result<(), String> {
+        let ids: Vec<&str> = self.fireworks.iter().map(|f| f.fw_id.as_str()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != ids.len() {
+            return Err("duplicate fw_id in workflow".into());
+        }
+        for f in &self.fireworks {
+            for p in &f.parents {
+                if !ids.contains(&p.as_str()) {
+                    return Err(format!("fw {} references unknown parent {p}", f.fw_id));
+                }
+            }
+        }
+        // Kahn's algorithm for cycle detection.
+        let mut indegree: Map<String, Value> = Map::new();
+        for f in &self.fireworks {
+            indegree.insert(f.fw_id.clone(), json!(f.parents.len()));
+        }
+        let mut ready: Vec<&str> = self
+            .fireworks
+            .iter()
+            .filter(|f| f.parents.is_empty())
+            .map(|f| f.fw_id.as_str())
+            .collect();
+        let mut seen = 0;
+        while let Some(id) = ready.pop() {
+            seen += 1;
+            for f in &self.fireworks {
+                if f.parents.iter().any(|p| p == id) {
+                    let d = indegree[&f.fw_id].as_u64().expect("counted") - 1;
+                    indegree.insert(f.fw_id.clone(), json!(d));
+                    if d == 0 {
+                        ready.push(&f.fw_id);
+                    }
+                }
+            }
+        }
+        if seen != self.fireworks.len() {
+            return Err("workflow graph has a cycle".into());
+        }
+        Ok(())
+    }
+
+    /// Children of a firework.
+    pub fn children_of(&self, fw_id: &str) -> Vec<&Firework> {
+        self.fireworks
+            .iter()
+            .filter(|f| f.parents.iter().any(|p| p == fw_id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_string_roundtrip() {
+        for s in [
+            FwState::Waiting,
+            FwState::Ready,
+            FwState::Running,
+            FwState::Completed,
+            FwState::Fizzled,
+            FwState::Defused,
+            FwState::Archived,
+        ] {
+            assert_eq!(FwState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(FwState::parse("NOPE"), None);
+    }
+
+    #[test]
+    fn stage_overrides_use_mongo_syntax() {
+        let mut s = Stage(json!({"incar": {"encut": 400, "nelm": 60}}));
+        s.apply_overrides(&json!({"$set": {"incar.encut": 520}, "$unset": {"incar.nelm": ""}}))
+            .unwrap();
+        assert_eq!(s.0, json!({"incar": {"encut": 520}}));
+    }
+
+    #[test]
+    fn binder_key_format() {
+        let b = Binder::new("fp-abc", "GGA");
+        assert_eq!(b.key, "fp-abc|GGA");
+    }
+
+    #[test]
+    fn workflow_validation_catches_unknown_parent() {
+        let a = Firework::new("a", "a", Stage::empty());
+        let b = Firework::new("b", "b", Stage::empty()).after("zzz");
+        assert!(Workflow::new("wf", vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn workflow_validation_catches_duplicate_ids() {
+        let a = Firework::new("a", "a", Stage::empty());
+        let a2 = Firework::new("a", "a2", Stage::empty());
+        assert!(Workflow::new("wf", vec![a, a2]).is_err());
+    }
+
+    #[test]
+    fn workflow_validation_catches_cycles() {
+        let a = Firework::new("a", "a", Stage::empty()).after("b");
+        let b = Firework::new("b", "b", Stage::empty()).after("a");
+        assert!(Workflow::new("wf", vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn valid_dag_passes() {
+        let a = Firework::new("a", "a", Stage::empty());
+        let b = Firework::new("b", "b", Stage::empty()).after("a");
+        let c = Firework::new("c", "c", Stage::empty()).after("a").after("b");
+        let wf = Workflow::new("wf", vec![a, b, c]).unwrap();
+        assert_eq!(wf.children_of("a").len(), 2);
+        assert_eq!(wf.children_of("c").len(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fw = Firework::new("a", "relax", Stage(json!({"x": 1})))
+            .with_binder(Binder::new("fp", "GGA"))
+            .with_fuse(Fuse {
+                condition: FuseCondition::ParentOutputMatches {
+                    filter: json!({"output.converged": true}),
+                },
+                overrides: Some(json!({"$set": {"x": 2}})),
+            });
+        let s = serde_json::to_string(&fw).unwrap();
+        let back: Firework = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, fw);
+    }
+}

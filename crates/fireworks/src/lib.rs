@@ -1,0 +1,29 @@
+//! # mp-fireworks — datastore-backed dynamic workflow engine
+//!
+//! The Rust reproduction of the paper's FireWorks (§III-C): workflows
+//! are DAGs of [`Firework`]s whose state lives entirely in the document
+//! store (`engines`, `tasks`, `workflows`, `binders` collections), and
+//! whose four signature features are all implemented and tested:
+//!
+//! * **Re-runs** — failed jobs requeued with more resources
+//!   ([`LaunchReport::Rerun`]);
+//! * **Detours** — failed jobs replaced by modified copies, rest of the
+//!   workflow intact ([`LaunchReport::Detour`]);
+//! * **Duplicate detection** — [`firework::Binder`]-keyed identity; dup
+//!   jobs become pointers to the prior result, making submission
+//!   idempotent;
+//! * **Iteration** — linear parameter scans and a genetic-algorithm
+//!   search ([`iteration`]).
+//!
+//! Job selection is an arbitrary Mongo-style query over job inputs
+//! (§III-B2), and claims are atomic find-and-modify operations.
+
+pub mod firework;
+pub mod iteration;
+pub mod launchpad;
+pub mod rocket;
+
+pub use firework::{Binder, Firework, Fuse, FuseCondition, FwState, Stage, Workflow};
+pub use iteration::{iterate_until, GeneticSearch, IterationOutcome};
+pub use launchpad::{LaunchPad, LaunchPadConfig, LaunchReport, ReportOutcome};
+pub use rocket::{rapidfire, RocketStats};

@@ -1,0 +1,133 @@
+//! The Rocket: the worker-side launch loop.
+//!
+//! A rocket runs on (or on behalf of) a compute resource: it claims a
+//! READY firework from the launchpad, hands the spec to an executor (the
+//! Assembler + code invocation live behind that closure), and feeds the
+//! resulting report back. The paper's Analyzer logic — "Python code that
+//! is run after job completion" — is the executor's job here, expressed
+//! as arbitrary Rust code returning a [`LaunchReport`].
+
+use crate::launchpad::{LaunchPad, LaunchReport, ReportOutcome};
+use mp_docstore::Result;
+use serde_json::Value;
+
+/// Statistics from a rocket drain loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RocketStats {
+    /// Jobs claimed and executed.
+    pub launched: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs re-queued for re-run.
+    pub reruns: usize,
+    /// Detours created.
+    pub detours: usize,
+    /// Jobs fizzled.
+    pub fizzled: usize,
+}
+
+/// Claim and execute fireworks until the queue (as filtered by `query`)
+/// is empty or `max_jobs` have been launched. The executor receives the
+/// full engine document and returns the report.
+pub fn rapidfire(
+    pad: &LaunchPad,
+    worker: &str,
+    query: &Value,
+    max_jobs: usize,
+    mut executor: impl FnMut(&Value) -> LaunchReport,
+) -> Result<RocketStats> {
+    let mut stats = RocketStats::default();
+    while stats.launched < max_jobs {
+        let Some(doc) = pad.claim_next(query, worker)? else {
+            break;
+        };
+        stats.launched += 1;
+        let fw_id = doc["_id"].as_str().expect("engine _id").to_string();
+        let report = executor(&doc);
+        match pad.report(&fw_id, report)? {
+            ReportOutcome::Completed => stats.completed += 1,
+            ReportOutcome::Requeued(_) => stats.reruns += 1,
+            ReportOutcome::Detoured(_) => stats.detours += 1,
+            ReportOutcome::Fizzled => stats.fizzled += 1,
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firework::{Firework, Stage, Workflow};
+    use mp_docstore::Database;
+    use serde_json::json;
+
+    fn pad_with_jobs(n: usize) -> LaunchPad {
+        let pad = LaunchPad::new(Database::new()).unwrap();
+        let fws: Vec<Firework> = (0..n)
+            .map(|i| Firework::new(format!("fw{i}"), "job", Stage(json!({"i": i}))))
+            .collect();
+        pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+        pad
+    }
+
+    #[test]
+    fn drains_queue() {
+        let pad = pad_with_jobs(5);
+        let stats = rapidfire(&pad, "w0", &json!({}), 100, |_doc| LaunchReport::Success {
+            task_doc: json!({"output": {}}),
+        })
+        .unwrap();
+        assert_eq!(stats.launched, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(pad.database().collection("tasks").len(), 5);
+    }
+
+    #[test]
+    fn respects_max_jobs() {
+        let pad = pad_with_jobs(5);
+        let stats = rapidfire(&pad, "w0", &json!({}), 2, |_doc| LaunchReport::Success {
+            task_doc: json!({"output": {}}),
+        })
+        .unwrap();
+        assert_eq!(stats.launched, 2);
+    }
+
+    #[test]
+    fn retry_loop_converges() {
+        // Executor fails each job once (walltime), then succeeds: every
+        // job should complete with exactly one rerun.
+        let pad = pad_with_jobs(3);
+        let stats = rapidfire(&pad, "w0", &json!({}), 100, |doc| {
+            if doc["launches"] == json!(1) {
+                LaunchReport::Rerun {
+                    spec_updates: json!({"$set": {"walltime": 7200}}),
+                    reason: "killed".into(),
+                }
+            } else {
+                LaunchReport::Success {
+                    task_doc: json!({"output": {}}),
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.reruns, 3);
+        assert_eq!(stats.launched, 6);
+    }
+
+    #[test]
+    fn multiple_workers_share_queue() {
+        let pad = pad_with_jobs(10);
+        let mut total = 0;
+        for w in 0..3 {
+            let stats = rapidfire(&pad, &format!("w{w}"), &json!({}), 4, |_| {
+                LaunchReport::Success {
+                    task_doc: json!({"output": {}}),
+                }
+            })
+            .unwrap();
+            total += stats.completed;
+        }
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for workflow-engine invariants: random DAGs and
+//! random failure sequences must always terminate in a consistent
+//! terminal state.
+
+use mp_docstore::Database;
+use mp_fireworks::{
+    rapidfire, Binder, Firework, FwState, LaunchPad, LaunchReport, Stage, Workflow,
+};
+use proptest::prelude::*;
+use serde_json::json;
+
+/// Build a random DAG: each firework may depend on any earlier ones.
+fn random_dag(n: usize, edges: &[bool]) -> Workflow {
+    let mut fws = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut fw = Firework::new(format!("fw{i}"), "job", Stage(json!({ "i": i })));
+        for j in 0..i {
+            if edges[i * n + j] {
+                fw = fw.after(&format!("fw{j}"));
+            }
+        }
+        fws.push(fw);
+    }
+    Workflow::new("wf", fws).expect("construction is acyclic by design")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A random DAG where every job succeeds drains completely: every
+    /// firework COMPLETED, tasks == fireworks, nothing in limbo.
+    #[test]
+    fn success_only_runs_drain(
+        n in 1usize..12,
+        edges in prop::collection::vec(any::<bool>(), 144),
+    ) {
+        let pad = LaunchPad::new(Database::new()).unwrap();
+        pad.add_workflow(&random_dag(n, &edges)).unwrap();
+        let stats = rapidfire(&pad, "w", &json!({}), usize::MAX, |_| LaunchReport::Success {
+            task_doc: json!({"output": {}}),
+        })
+        .unwrap();
+        prop_assert_eq!(stats.completed, n);
+        let engines = pad.database().collection("engines");
+        prop_assert_eq!(engines.count(&json!({"state": "COMPLETED"})).unwrap(), n);
+        prop_assert_eq!(
+            engines.count(&json!({"state": {"$in": ["READY", "WAITING", "RUNNING"]}})).unwrap(),
+            0
+        );
+        prop_assert_eq!(pad.database().collection("tasks").len(), n);
+    }
+
+    /// Dependencies are honoured: a child never runs before its parents.
+    /// We check causality through launch order.
+    #[test]
+    fn children_run_after_parents(
+        n in 2usize..10,
+        edges in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let pad = LaunchPad::new(Database::new()).unwrap();
+        let wf = random_dag(n, &edges);
+        let parent_map: Vec<Vec<usize>> = wf
+            .fireworks
+            .iter()
+            .map(|f| {
+                f.parents
+                    .iter()
+                    .map(|p| p.trim_start_matches("fw").parse::<usize>().unwrap())
+                    .collect()
+            })
+            .collect();
+        pad.add_workflow(&wf).unwrap();
+        let mut order: Vec<usize> = Vec::new();
+        rapidfire(&pad, "w", &json!({}), usize::MAX, |doc| {
+            let id: usize = doc["_id"]
+                .as_str()
+                .unwrap()
+                .trim_start_matches("fw")
+                .parse()
+                .unwrap();
+            order.push(id);
+            LaunchReport::Success {
+                task_doc: json!({"output": {}}),
+            }
+        })
+        .unwrap();
+        for (pos, &id) in order.iter().enumerate() {
+            for &parent in &parent_map[id] {
+                let ppos = order.iter().position(|&x| x == parent).unwrap();
+                prop_assert!(ppos < pos, "fw{id} ran before its parent fw{parent}");
+            }
+        }
+    }
+
+    /// Random failure sequences terminate: whatever mix of rerun /
+    /// detour / fatal the analyzer returns, the queue reaches a state
+    /// with nothing claimable and no RUNNING leftovers.
+    #[test]
+    fn arbitrary_failures_terminate(
+        n in 1usize..8,
+        edges in prop::collection::vec(any::<bool>(), 64),
+        decisions in prop::collection::vec(0u8..10, 256),
+    ) {
+        let pad = LaunchPad::new(Database::new()).unwrap();
+        pad.add_workflow(&random_dag(n, &edges)).unwrap();
+        let mut k = 0usize;
+        let stats = rapidfire(&pad, "w", &json!({}), 500, |_doc| {
+            let d = decisions[k % decisions.len()];
+            k += 1;
+            match d {
+                0..=5 => LaunchReport::Success {
+                    task_doc: json!({"output": {}}),
+                },
+                6..=7 => LaunchReport::Rerun {
+                    spec_updates: json!({"$inc": {"retries": 1}}),
+                    reason: "injected".into(),
+                },
+                8 => LaunchReport::Detour {
+                    spec_updates: json!({"$set": {"fixed": true}}),
+                    reason: "injected".into(),
+                },
+                _ => LaunchReport::Fatal {
+                    reason: "injected".into(),
+                },
+            }
+        })
+        .unwrap();
+        // Terminated (didn't hit the 500-launch guard while work remained).
+        let engines = pad.database().collection("engines");
+        prop_assert_eq!(engines.count(&json!({"state": "RUNNING"})).unwrap(), 0);
+        if stats.launched < 500 {
+            prop_assert_eq!(
+                engines.count(&json!({"state": "READY"})).unwrap(),
+                0,
+                "claimable work left after the drain loop exited"
+            );
+        }
+        // Tasks only exist for COMPLETED fireworks, one per launch.
+        let completed = engines.count(&json!({"state": "COMPLETED"})).unwrap();
+        prop_assert_eq!(pad.database().collection("tasks").len(), completed);
+    }
+
+    /// Duplicate binders never produce duplicate tasks, regardless of
+    /// how many identical workflows are submitted.
+    #[test]
+    fn binder_idempotence(copies in 1usize..6, jobs in 1usize..5) {
+        let pad = LaunchPad::new(Database::new()).unwrap();
+        for c in 0..copies {
+            let fws: Vec<Firework> = (0..jobs)
+                .map(|j| {
+                    Firework::new(
+                        format!("c{c}-j{j}"),
+                        "dup",
+                        Stage(json!({ "j": j })),
+                    )
+                    .with_binder(Binder::new(format!("identity-{j}"), "GGA"))
+                })
+                .collect();
+            pad.add_workflow(&Workflow::new(format!("wf{c}"), fws).unwrap()).unwrap();
+        }
+        rapidfire(&pad, "w", &json!({}), usize::MAX, |_| LaunchReport::Success {
+            task_doc: json!({"output": {}}),
+        })
+        .unwrap();
+        // Exactly one task per distinct identity; every other copy is an
+        // archived pointer.
+        prop_assert_eq!(pad.database().collection("tasks").len(), jobs);
+        let engines = pad.database().collection("engines");
+        prop_assert_eq!(
+            engines.count(&json!({"duplicate_of": {"$exists": true}})).unwrap(),
+            (copies - 1) * jobs
+        );
+    }
+}
+
+/// Terminal-state taxonomy: every engine entry ends in exactly one of
+/// the defined states (sanity net under the proptests above).
+#[test]
+fn state_strings_cover_all_terminals() {
+    for s in ["COMPLETED", "FIZZLED", "DEFUSED", "ARCHIVED"] {
+        assert!(FwState::parse(s).is_some());
+    }
+}

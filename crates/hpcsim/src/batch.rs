@@ -1,0 +1,466 @@
+//! PBS-flavoured batch scheduler: discrete-event simulation with
+//! per-user queued-job limits, advance reservations, FIFO + EASY
+//! backfill, and walltime/memory enforcement.
+//!
+//! §IV-A1: "Most HPC systems allow only a handful of queued jobs per
+//! user ... In the MP, we worked with NERSC to get advanced reservations
+//! that temporarily suspended these limits."
+
+use crate::cluster::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A job submitted to the queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Caller-chosen id, carried through to the outcome.
+    pub id: String,
+    /// Submitting user.
+    pub user: String,
+    /// Submission time (sim seconds).
+    pub submit_time: f64,
+    /// Requested walltime (s) — exceeding it gets the job killed.
+    pub walltime_s: f64,
+    /// Requested nodes.
+    pub nodes: u32,
+    /// True runtime the job needs (s); unknown to the scheduler.
+    pub actual_runtime_s: f64,
+    /// True peak memory per node (GB); unknown to the scheduler.
+    pub actual_mem_gb: f64,
+}
+
+/// Why a job left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobEnd {
+    /// Ran to completion within its allocation.
+    Completed,
+    /// Killed at the walltime limit (§III-C3 "re-runs" trigger).
+    WalltimeExceeded,
+    /// Killed by the OOM killer.
+    MemoryExceeded,
+    /// Never entered the queue: the per-user queued-job cap was hit.
+    QueueRejected,
+}
+
+/// Full record of one job's passage through the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The originating request.
+    pub request: JobRequest,
+    /// When it started (None for rejected jobs).
+    pub start_time: Option<f64>,
+    /// When it ended (rejection time for rejected jobs).
+    pub end_time: f64,
+    /// How it ended.
+    pub outcome: JobEnd,
+}
+
+impl JobRecord {
+    /// Queue wait (s); zero for rejected jobs.
+    pub fn wait_time(&self) -> f64 {
+        self.start_time
+            .map(|s| s - self.request.submit_time)
+            .unwrap_or(0.0)
+    }
+}
+
+/// An advance reservation: a user whose queued-job cap is suspended
+/// inside a time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Beneficiary user.
+    pub user: String,
+    /// Window start (sim s).
+    pub start: f64,
+    /// Window end (sim s).
+    pub end: f64,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Per-user cap on jobs simultaneously waiting in the queue
+    /// (the paper's "handful"); `None` disables the cap.
+    pub max_queued_per_user: Option<usize>,
+    /// Enable EASY backfill behind the FIFO head.
+    pub backfill: bool,
+    /// Advance reservations in force.
+    pub reservations: Vec<Reservation>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_queued_per_user: Some(8),
+            backfill: true,
+            reservations: Vec::new(),
+        }
+    }
+}
+
+/// The discrete-event batch simulator.
+pub struct BatchSimulator {
+    cluster: ClusterSpec,
+    config: BatchConfig,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    idx: usize,
+    start: f64,
+    end: f64,
+    kill: Option<JobEnd>,
+    nodes: u32,
+}
+
+impl BatchSimulator {
+    /// Build a simulator for one cluster.
+    pub fn new(cluster: ClusterSpec, config: BatchConfig) -> Self {
+        BatchSimulator { cluster, config }
+    }
+
+    fn cap_waived(&self, user: &str, t: f64) -> bool {
+        self.config
+            .reservations
+            .iter()
+            .any(|r| r.user == user && r.start <= t && t < r.end)
+    }
+
+    /// Simulate a fixed set of submissions to completion. Returns one
+    /// record per request, in input order.
+    pub fn run(&self, mut requests: Vec<JobRequest>) -> Vec<JobRecord> {
+        let n = requests.len();
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                requests[a]
+                    .submit_time
+                    .partial_cmp(&requests[b].submit_time)
+                    .expect("finite times")
+            });
+            idx
+        };
+        for r in &mut requests {
+            r.nodes = r.nodes.max(1);
+        }
+
+        let mut records: Vec<Option<JobRecord>> = vec![None; n];
+        let mut queue: Vec<usize> = Vec::new(); // FIFO of request indices
+        let mut running: Vec<Running> = Vec::new();
+        let mut free_nodes = self.cluster.nodes;
+        let mut queued_per_user: BTreeMap<String, usize> = BTreeMap::new();
+        let mut next_submit = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            // Next event: a submission or a running-job end.
+            let t_submit = (next_submit < n).then(|| requests[order[next_submit]].submit_time);
+            let t_end = running
+                .iter()
+                .map(|r| r.end)
+                .fold(f64::INFINITY, f64::min);
+            let t_next = match (t_submit, t_end.is_finite()) {
+                (Some(ts), true) => ts.min(t_end),
+                (Some(ts), false) => ts,
+                (None, true) => t_end,
+                (None, false) => break,
+            };
+            now = t_next.max(now);
+
+            // Process submissions at `now`.
+            while next_submit < n && requests[order[next_submit]].submit_time <= now {
+                let i = order[next_submit];
+                next_submit += 1;
+                let req = &requests[i];
+                let qcount = queued_per_user.get(&req.user).copied().unwrap_or(0);
+                let capped = self
+                    .config
+                    .max_queued_per_user
+                    .map(|cap| qcount >= cap)
+                    .unwrap_or(false);
+                if capped && !self.cap_waived(&req.user, now) {
+                    records[i] = Some(JobRecord {
+                        request: req.clone(),
+                        start_time: None,
+                        end_time: now,
+                        outcome: JobEnd::QueueRejected,
+                    });
+                    continue;
+                }
+                *queued_per_user.entry(req.user.clone()).or_insert(0) += 1;
+                queue.push(i);
+            }
+
+            // Process job ends at `now`.
+            let mut still_running = Vec::with_capacity(running.len());
+            for r in running.drain(..) {
+                if r.end <= now + 1e-9 {
+                    free_nodes += r.nodes;
+                    let req = &requests[r.idx];
+                    let outcome = r.kill.unwrap_or(JobEnd::Completed);
+                    records[r.idx] = Some(JobRecord {
+                        request: req.clone(),
+                        start_time: Some(r.start),
+                        end_time: r.end,
+                        outcome,
+                    });
+                } else {
+                    still_running.push(r);
+                }
+            }
+            running = still_running;
+
+            // Scheduling pass: FIFO head first, then (optionally) EASY
+            // backfill against the head job's shadow time.
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let Some(&head) = queue.first() else { break };
+                let req = &requests[head];
+                if req.nodes <= free_nodes {
+                    queue.remove(0);
+                    *queued_per_user.get_mut(&req.user).expect("queued") -= 1;
+                    running.push(Self::start(req, head, now, &self.cluster));
+                    free_nodes -= req.nodes;
+                    continue;
+                }
+                // Head blocked. Backfill smaller jobs that finish before
+                // the head could start.
+                if self.config.backfill {
+                    let shadow = Self::shadow_time(&running, free_nodes, req.nodes);
+                    let mut bf: Option<usize> = None;
+                    for (qpos, &cand) in queue.iter().enumerate().skip(1) {
+                        let c = &requests[cand];
+                        if c.nodes <= free_nodes && now + c.walltime_s <= shadow + 1e-9 {
+                            bf = Some(qpos);
+                            break;
+                        }
+                    }
+                    if let Some(qpos) = bf {
+                        let cand = queue.remove(qpos);
+                        let c = &requests[cand];
+                        *queued_per_user.get_mut(&c.user).expect("queued") -= 1;
+                        running.push(Self::start(c, cand, now, &self.cluster));
+                        free_nodes -= c.nodes;
+                        continue;
+                    }
+                }
+                break;
+            }
+
+            if next_submit >= n && running.is_empty() && queue.is_empty() {
+                break;
+            }
+            // Jobs stuck in queue forever (bigger than the machine):
+            if next_submit >= n && running.is_empty() && !queue.is_empty() {
+                for i in queue.drain(..) {
+                    let req = &requests[i];
+                    records[i] = Some(JobRecord {
+                        request: req.clone(),
+                        start_time: None,
+                        end_time: now,
+                        outcome: JobEnd::QueueRejected,
+                    });
+                }
+                break;
+            }
+        }
+
+        records
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+
+    fn start(req: &JobRequest, idx: usize, now: f64, cluster: &ClusterSpec) -> Running {
+        // Memory kill fires early in the run; walltime kill at the limit.
+        if req.actual_mem_gb > cluster.mem_per_node_gb {
+            let t_kill = now + (req.actual_runtime_s * 0.1).min(req.walltime_s);
+            return Running {
+                idx,
+                start: now,
+                end: t_kill,
+                kill: Some(JobEnd::MemoryExceeded),
+                nodes: req.nodes,
+            };
+        }
+        if req.actual_runtime_s > req.walltime_s {
+            return Running {
+                idx,
+                start: now,
+                end: now + req.walltime_s,
+                kill: Some(JobEnd::WalltimeExceeded),
+                nodes: req.nodes,
+            };
+        }
+        Running {
+            idx,
+            start: now,
+            end: now + req.actual_runtime_s,
+            kill: None,
+            nodes: req.nodes,
+        }
+    }
+
+    /// Earliest time at which `needed` nodes could be free, assuming
+    /// running jobs exit at their scheduled ends.
+    fn shadow_time(running: &[Running], mut free: u32, needed: u32) -> f64 {
+        let mut ends: Vec<(f64, u32)> = running.iter().map(|r| (r.end, r.nodes)).collect();
+        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for (t, nodes) in ends {
+            free += nodes;
+            if free >= needed {
+                return t;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: &str, user: &str, submit: f64, wall: f64, actual: f64) -> JobRequest {
+        JobRequest {
+            id: id.into(),
+            user: user.into(),
+            submit_time: submit,
+            walltime_s: wall,
+            nodes: 1,
+            actual_runtime_s: actual,
+            actual_mem_gb: 1.0,
+        }
+    }
+
+    fn sim() -> BatchSimulator {
+        BatchSimulator::new(ClusterSpec::small(), BatchConfig::default())
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let recs = sim().run(vec![req("j1", "u", 0.0, 100.0, 50.0)]);
+        assert_eq!(recs[0].outcome, JobEnd::Completed);
+        assert_eq!(recs[0].start_time, Some(0.0));
+        assert_eq!(recs[0].end_time, 50.0);
+    }
+
+    #[test]
+    fn walltime_kill() {
+        let recs = sim().run(vec![req("j1", "u", 0.0, 100.0, 500.0)]);
+        assert_eq!(recs[0].outcome, JobEnd::WalltimeExceeded);
+        assert_eq!(recs[0].end_time, 100.0);
+    }
+
+    #[test]
+    fn memory_kill() {
+        let mut r = req("j1", "u", 0.0, 100.0, 50.0);
+        r.actual_mem_gb = 1000.0;
+        let recs = sim().run(vec![r]);
+        assert_eq!(recs[0].outcome, JobEnd::MemoryExceeded);
+    }
+
+    #[test]
+    fn fifo_waits_when_cluster_full() {
+        // 32 nodes; submit 33 single-node jobs of 100 s each at t=0.
+        let jobs: Vec<JobRequest> = (0..33)
+            .map(|i| {
+                let mut r = req(&format!("j{i}"), &format!("u{i}"), 0.0, 200.0, 100.0);
+                r.user = format!("u{i}"); // distinct users: no cap effects
+                r
+            })
+            .collect();
+        let recs = sim().run(jobs);
+        let completed = recs.iter().filter(|r| r.outcome == JobEnd::Completed).count();
+        assert_eq!(completed, 33);
+        let max_wait = recs.iter().map(|r| r.wait_time()).fold(0.0f64, f64::max);
+        assert!((max_wait - 100.0).abs() < 1e-6, "33rd job waits one round: {max_wait}");
+    }
+
+    #[test]
+    fn per_user_queue_cap_rejects() {
+        // One user floods 50 jobs at t=0 with cap 8 → 32 can start
+        // immediately (cluster has 32 nodes)... but they all *queue*
+        // first at the same instant, so only the first 8 enter the queue.
+        let jobs: Vec<JobRequest> = (0..50)
+            .map(|i| req(&format!("j{i}"), "flooder", 0.0, 200.0, 100.0))
+            .collect();
+        let recs = sim().run(jobs);
+        let rejected = recs.iter().filter(|r| r.outcome == JobEnd::QueueRejected).count();
+        assert_eq!(rejected, 42, "cap 8 admits only 8 of 50 simultaneous submissions");
+    }
+
+    #[test]
+    fn reservation_waives_cap() {
+        let mut cfg = BatchConfig::default();
+        cfg.reservations.push(Reservation {
+            user: "flooder".into(),
+            start: 0.0,
+            end: 1e9,
+        });
+        let s = BatchSimulator::new(ClusterSpec::small(), cfg);
+        let jobs: Vec<JobRequest> = (0..50)
+            .map(|i| req(&format!("j{i}"), "flooder", 0.0, 200.0, 100.0))
+            .collect();
+        let recs = s.run(jobs);
+        assert!(recs.iter().all(|r| r.outcome == JobEnd::Completed));
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_jump() {
+        // 32-node cluster: a 100 s 32-node job runs; a 32-node job waits
+        // at the head; a 1-node 50 s job can backfill.
+        let mut wide1 = req("wide1", "a", 0.0, 150.0, 100.0);
+        wide1.nodes = 31; // leaves one node idle for backfill
+        let mut wide2 = req("wide2", "b", 1.0, 150.0, 100.0);
+        wide2.nodes = 32;
+        let small = req("small", "c", 2.0, 50.0, 40.0);
+        let recs = sim().run(vec![wide1, wide2, small]);
+        let small_rec = &recs[2];
+        assert_eq!(small_rec.outcome, JobEnd::Completed);
+        assert!(
+            small_rec.start_time.unwrap() < 100.0,
+            "small job should backfill before the second wide job"
+        );
+        // And the wide job is not delayed beyond the first one's end.
+        assert!((recs[1].start_time.unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_backfill_when_disabled() {
+        let cfg = BatchConfig {
+            backfill: false,
+            ..BatchConfig::default()
+        };
+        let s = BatchSimulator::new(ClusterSpec::small(), cfg);
+        let mut wide1 = req("wide1", "a", 0.0, 150.0, 100.0);
+        wide1.nodes = 31; // leaves one node idle for backfill
+        let mut wide2 = req("wide2", "b", 1.0, 150.0, 100.0);
+        wide2.nodes = 32;
+        let small = req("small", "c", 2.0, 50.0, 40.0);
+        let recs = s.run(vec![wide1, wide2, small]);
+        assert!(recs[2].start_time.unwrap() >= 200.0 - 1e-6);
+    }
+
+    #[test]
+    fn oversized_job_eventually_rejected() {
+        let mut huge = req("huge", "u", 0.0, 100.0, 50.0);
+        huge.nodes = 1000; // bigger than the machine
+        let recs = sim().run(vec![huge]);
+        assert_eq!(recs[0].outcome, JobEnd::QueueRejected);
+    }
+
+    #[test]
+    fn wait_times_accumulate_under_load() {
+        // 128 jobs from 16 users on 32 nodes.
+        let jobs: Vec<JobRequest> = (0..128)
+            .map(|i| req(&format!("j{i}"), &format!("u{}", i % 16), (i / 16) as f64, 400.0, 300.0))
+            .collect();
+        let recs = sim().run(jobs);
+        let completed: Vec<&JobRecord> =
+            recs.iter().filter(|r| r.outcome == JobEnd::Completed).collect();
+        assert!(completed.len() > 100);
+        let mean_wait: f64 =
+            completed.iter().map(|r| r.wait_time()).sum::<f64>() / completed.len() as f64;
+        assert!(mean_wait > 100.0, "mean wait {mean_wait} too low for 4× oversubscription");
+    }
+}

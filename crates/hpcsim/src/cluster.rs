@@ -1,0 +1,118 @@
+//! Cluster description: nodes, cores, and memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of an HPC machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Memory per node (GB).
+    pub mem_per_node_gb: f64,
+}
+
+impl ClusterSpec {
+    /// A small Hopper-flavoured test partition.
+    pub fn small() -> Self {
+        ClusterSpec {
+            nodes: 32,
+            cores_per_node: 24,
+            mem_per_node_gb: 32.0,
+        }
+    }
+
+    /// A mid-size production partition.
+    pub fn medium() -> Self {
+        ClusterSpec {
+            nodes: 256,
+            cores_per_node: 24,
+            mem_per_node_gb: 64.0,
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u64 {
+        self.nodes as u64 * self.cores_per_node as u64
+    }
+}
+
+/// Network reachability policy of the machine (§IV-A2: "most HPC systems
+/// are configured such that the internal worker nodes are not allowed to
+/// communicate outside the system").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkPolicy {
+    /// May compute nodes open connections to the external datastore?
+    pub workers_reach_datastore: bool,
+    /// Is a proxy/gateway host available (login or DTN node)?
+    pub proxy_available: bool,
+}
+
+impl Default for NetworkPolicy {
+    fn default() -> Self {
+        // The production reality the paper describes.
+        NetworkPolicy {
+            workers_reach_datastore: false,
+            proxy_available: true,
+        }
+    }
+}
+
+impl NetworkPolicy {
+    /// Can a worker-side component update the datastore, and through
+    /// what path?
+    pub fn datastore_route(&self) -> Option<DatastoreRoute> {
+        if self.workers_reach_datastore {
+            Some(DatastoreRoute::Direct)
+        } else if self.proxy_available {
+            Some(DatastoreRoute::ViaProxy)
+        } else {
+            None
+        }
+    }
+}
+
+/// How datastore traffic leaves the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatastoreRoute {
+    /// Workers talk to the DB directly (not the usual HPC reality).
+    Direct,
+    /// Through the proxy/gateway host, paying extra latency.
+    ViaProxy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs() {
+        let c = ClusterSpec::small();
+        assert_eq!(c.total_cores(), 32 * 24);
+    }
+
+    #[test]
+    fn default_policy_requires_proxy() {
+        let p = NetworkPolicy::default();
+        assert_eq!(p.datastore_route(), Some(DatastoreRoute::ViaProxy));
+    }
+
+    #[test]
+    fn no_proxy_no_route() {
+        let p = NetworkPolicy {
+            workers_reach_datastore: false,
+            proxy_available: false,
+        };
+        assert_eq!(p.datastore_route(), None);
+    }
+
+    #[test]
+    fn direct_when_open() {
+        let p = NetworkPolicy {
+            workers_reach_datastore: true,
+            proxy_available: false,
+        };
+        assert_eq!(p.datastore_route(), Some(DatastoreRoute::Direct));
+    }
+}

@@ -1,0 +1,20 @@
+//! # mp-hpcsim — discrete-event HPC environment simulator
+//!
+//! The NERSC substitute (see DESIGN.md): a PBS-flavoured batch scheduler
+//! with the properties §IV-A of the paper wrestles with — per-user
+//! queued-job caps, advance reservations that waive them, walltime and
+//! memory kills, EASY backfill — plus task farming ([`taskfarm`]) and
+//! the worker-nodes-can't-reach-the-database network policy
+//! ([`cluster::NetworkPolicy`]).
+
+pub mod batch;
+pub mod cluster;
+pub mod numa;
+pub mod stats;
+pub mod taskfarm;
+
+pub use batch::{BatchConfig, BatchSimulator, JobEnd, JobRecord, JobRequest, Reservation};
+pub use cluster::{ClusterSpec, DatastoreRoute, NetworkPolicy};
+pub use numa::{MemPolicy, NumaNode};
+pub use stats::{summarize, CampaignStats};
+pub use taskfarm::{queue_slots_saved, run_farm, FarmOutcome, FarmTask};

@@ -1,0 +1,177 @@
+//! NUMA placement for datastore processes (§IV-A2).
+//!
+//! "Recent systems used in HPC systems provide a Non-Uniform Memory
+//! Access (NUMA) architecture. ... Databases such as MongoDB, where a
+//! single multi-threaded process uses most of the system's memory, are
+//! atypical workloads for these systems. Using the numactl program, it
+//! is possible to interleave the allocated memory with a minimal impact
+//! to performance."
+//!
+//! This module models exactly that trade-off: a multi-socket node, a
+//! big-memory single process, and the mean memory-access latency under
+//! the default first-touch policy vs `numactl --interleave`.
+
+use serde_json::json;
+use serde_json::Value;
+
+/// A multi-socket NUMA node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumaNode {
+    /// Number of sockets (NUMA domains).
+    pub sockets: u32,
+    /// Memory per socket (GB).
+    pub mem_per_socket_gb: f64,
+    /// Local-access latency (ns).
+    pub local_ns: f64,
+    /// Remote-access latency (ns).
+    pub remote_ns: f64,
+}
+
+impl Default for NumaNode {
+    fn default() -> Self {
+        // A 2012-era four-socket box: ~100 ns local, ~1.6x remote.
+        NumaNode {
+            sockets: 4,
+            mem_per_socket_gb: 16.0,
+            local_ns: 100.0,
+            remote_ns: 160.0,
+        }
+    }
+}
+
+/// Memory placement policy for the datastore process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPolicy {
+    /// Default first-touch: allocations fill the process's home socket,
+    /// then spill to the others in order.
+    FirstTouch,
+    /// `numactl --interleave=all`: pages round-robin across sockets.
+    Interleave,
+}
+
+impl NumaNode {
+    /// Mean memory-access latency (ns) for a single-threaded process
+    /// with a resident working set of `working_set_gb`, assuming uniform
+    /// access over its pages and the process pinned to socket 0.
+    pub fn mean_latency_ns(&self, policy: MemPolicy, working_set_gb: f64) -> f64 {
+        let total = self.mem_per_socket_gb * self.sockets as f64;
+        let ws = working_set_gb.min(total).max(0.0);
+        if ws == 0.0 {
+            return self.local_ns;
+        }
+        match policy {
+            MemPolicy::FirstTouch => {
+                // Local fraction = what fits on the home socket.
+                let local = ws.min(self.mem_per_socket_gb);
+                let remote = ws - local;
+                (local * self.local_ns + remote * self.remote_ns) / ws
+            }
+            MemPolicy::Interleave => {
+                // 1/sockets of pages are local, the rest remote —
+                // independent of working-set size.
+                let f_local = 1.0 / self.sockets as f64;
+                f_local * self.local_ns + (1.0 - f_local) * self.remote_ns
+            }
+        }
+    }
+
+    /// Relative throughput of a memory-bound datastore under a policy
+    /// (1.0 = all-local ideal).
+    pub fn relative_throughput(&self, policy: MemPolicy, working_set_gb: f64) -> f64 {
+        self.local_ns / self.mean_latency_ns(policy, working_set_gb)
+    }
+
+    /// The experiment of §IV-A2 in one call: sweep the working set and
+    /// report (ws_gb, first_touch_throughput, interleave_throughput).
+    pub fn policy_sweep(&self, points: usize) -> Vec<(f64, f64, f64)> {
+        let total = self.mem_per_socket_gb * self.sockets as f64;
+        (1..=points)
+            .map(|i| {
+                let ws = total * i as f64 / points as f64;
+                (
+                    ws,
+                    self.relative_throughput(MemPolicy::FirstTouch, ws),
+                    self.relative_throughput(MemPolicy::Interleave, ws),
+                )
+            })
+            .collect()
+    }
+
+    /// Summary document for experiment harnesses.
+    pub fn to_doc(&self) -> Value {
+        json!({
+            "sockets": self.sockets,
+            "mem_per_socket_gb": self.mem_per_socket_gb,
+            "local_ns": self.local_ns,
+            "remote_ns": self.remote_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_set_prefers_first_touch() {
+        let node = NumaNode::default();
+        // Fits on one socket: first-touch is all-local and beats
+        // interleave.
+        let ft = node.relative_throughput(MemPolicy::FirstTouch, 8.0);
+        let il = node.relative_throughput(MemPolicy::Interleave, 8.0);
+        assert!((ft - 1.0).abs() < 1e-12);
+        assert!(il < ft);
+    }
+
+    #[test]
+    fn big_working_set_prefers_interleave_consistency() {
+        let node = NumaNode::default();
+        // A DB using most of the machine (the paper's scenario): the
+        // two policies converge, and interleave is never much worse —
+        // "a minimal impact to performance".
+        let full = node.mem_per_socket_gb * node.sockets as f64;
+        let ft = node.relative_throughput(MemPolicy::FirstTouch, full);
+        let il = node.relative_throughput(MemPolicy::Interleave, full);
+        assert!((il - ft).abs() / ft < 0.05, "ft {ft} il {il}");
+    }
+
+    #[test]
+    fn interleave_is_working_set_independent() {
+        let node = NumaNode::default();
+        let a = node.mean_latency_ns(MemPolicy::Interleave, 4.0);
+        let b = node.mean_latency_ns(MemPolicy::Interleave, 60.0);
+        assert!((a - b).abs() < 1e-12, "interleave latency must be flat");
+    }
+
+    #[test]
+    fn first_touch_degrades_past_one_socket() {
+        let node = NumaNode::default();
+        let within = node.mean_latency_ns(MemPolicy::FirstTouch, 16.0);
+        let spill = node.mean_latency_ns(MemPolicy::FirstTouch, 32.0);
+        assert!(spill > within);
+        assert_eq!(within, node.local_ns);
+    }
+
+    #[test]
+    fn sweep_crosses_over() {
+        // Somewhere past one socket's worth, interleave becomes the
+        // better *predictable* choice: the gap to first-touch shrinks
+        // monotonically.
+        let node = NumaNode::default();
+        let sweep = node.policy_sweep(8);
+        assert_eq!(sweep.len(), 8);
+        let gaps: Vec<f64> = sweep.iter().map(|(_, ft, il)| ft - il).collect();
+        assert!(gaps.windows(2).all(|w| w[1] <= w[0] + 1e-12), "{gaps:?}");
+        // At the high end the penalty is small.
+        assert!(gaps.last().unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_working_set_is_local() {
+        let node = NumaNode::default();
+        assert_eq!(node.mean_latency_ns(MemPolicy::FirstTouch, 0.0), node.local_ns);
+        // Interleave of a zero working set is degenerate; we report the
+        // steady-state interleave latency for consistency.
+        assert!(node.mean_latency_ns(MemPolicy::Interleave, 0.0) >= node.local_ns);
+    }
+}

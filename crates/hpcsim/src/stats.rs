@@ -1,0 +1,123 @@
+//! Aggregate statistics over batch simulations.
+
+use crate::batch::{JobEnd, JobRecord};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one simulated campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Total requests.
+    pub total: usize,
+    /// Completed cleanly.
+    pub completed: usize,
+    /// Killed at walltime.
+    pub walltime_killed: usize,
+    /// Killed for memory.
+    pub memory_killed: usize,
+    /// Rejected at the queue.
+    pub rejected: usize,
+    /// Mean queue wait of started jobs (s).
+    pub mean_wait_s: f64,
+    /// Max queue wait (s).
+    pub max_wait_s: f64,
+    /// Sum of consumed node-seconds.
+    pub node_seconds: f64,
+    /// Makespan: last end time (s).
+    pub makespan_s: f64,
+    /// Completed-job throughput (jobs/hour of makespan).
+    pub throughput_per_hour: f64,
+}
+
+/// Compute stats from job records.
+pub fn summarize(records: &[JobRecord]) -> CampaignStats {
+    let total = records.len();
+    let mut completed = 0;
+    let mut walltime_killed = 0;
+    let mut memory_killed = 0;
+    let mut rejected = 0;
+    let mut waits: Vec<f64> = Vec::new();
+    let mut node_seconds = 0.0;
+    let mut makespan: f64 = 0.0;
+    for r in records {
+        match r.outcome {
+            JobEnd::Completed => completed += 1,
+            JobEnd::WalltimeExceeded => walltime_killed += 1,
+            JobEnd::MemoryExceeded => memory_killed += 1,
+            JobEnd::QueueRejected => rejected += 1,
+        }
+        if let Some(start) = r.start_time {
+            waits.push(r.wait_time());
+            node_seconds += (r.end_time - start) * r.request.nodes as f64;
+        }
+        makespan = makespan.max(r.end_time);
+    }
+    let mean_wait_s = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    let max_wait_s = waits.iter().cloned().fold(0.0f64, f64::max);
+    CampaignStats {
+        total,
+        completed,
+        walltime_killed,
+        memory_killed,
+        rejected,
+        mean_wait_s,
+        max_wait_s,
+        node_seconds,
+        makespan_s: makespan,
+        throughput_per_hour: if makespan > 0.0 {
+            completed as f64 / (makespan / 3600.0)
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::JobRequest;
+
+    fn rec(outcome: JobEnd, start: Option<f64>, end: f64) -> JobRecord {
+        JobRecord {
+            request: JobRequest {
+                id: "j".into(),
+                user: "u".into(),
+                submit_time: 0.0,
+                walltime_s: 100.0,
+                nodes: 2,
+                actual_runtime_s: 50.0,
+                actual_mem_gb: 1.0,
+            },
+            start_time: start,
+            end_time: end,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn counts_and_means() {
+        let records = vec![
+            rec(JobEnd::Completed, Some(10.0), 60.0),
+            rec(JobEnd::WalltimeExceeded, Some(0.0), 100.0),
+            rec(JobEnd::QueueRejected, None, 0.0),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.walltime_killed, 1);
+        assert_eq!(s.rejected, 1);
+        assert!((s.mean_wait_s - 5.0).abs() < 1e-9);
+        assert!((s.node_seconds - (50.0 * 2.0 + 100.0 * 2.0)).abs() < 1e-9);
+        assert_eq!(s.makespan_s, 100.0);
+    }
+
+    #[test]
+    fn empty_records() {
+        let s = summarize(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.throughput_per_hour, 0.0);
+    }
+}

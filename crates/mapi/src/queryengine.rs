@@ -1,0 +1,269 @@
+//! The QueryEngine abstraction layer (§III-B4, §IV-D1).
+//!
+//! "We have implemented an abstraction layer for queries and updates to
+//! our main collections ... This layer allows us to install convenient
+//! aliases for deeply nested fields or change the names of collections
+//! in a single central place. ... Because all queries go through the
+//! QueryEngine abstraction layer, all queries are sanitized and cannot
+//! access the database directly."
+
+use mp_docstore::{Database, FindOptions, Result, StoreError};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// Central query gateway with aliasing and sanitization.
+pub struct QueryEngine {
+    db: Database,
+    /// alias → real dotted path.
+    field_aliases: BTreeMap<String, String>,
+    /// logical name → real collection name.
+    collection_aliases: BTreeMap<String, String>,
+    /// Operators permitted in sanitized queries.
+    allowed_operators: Vec<&'static str>,
+    /// Maximum filter nesting depth.
+    max_depth: usize,
+}
+
+impl QueryEngine {
+    /// Wrap a database with the Materials-Project default aliases.
+    pub fn new(db: Database) -> Self {
+        let mut field_aliases = BTreeMap::new();
+        // The conveniences the production system installs.
+        for (alias, real) in [
+            ("energy", "output.energy"),
+            ("energy_per_atom", "output.energy_per_atom"),
+            ("band_gap", "output.band_gap"),
+            ("formula", "formula"),
+            ("nelements", "nelements"),
+            ("elements", "elements"),
+            ("chemsys", "chemsys"),
+            ("e_above_hull", "stability.e_above_hull"),
+            ("voltage", "average_voltage"),
+            ("capacity", "capacity_grav"),
+        ] {
+            field_aliases.insert(alias.to_string(), real.to_string());
+        }
+        QueryEngine {
+            db,
+            field_aliases,
+            collection_aliases: BTreeMap::new(),
+            allowed_operators: vec![
+                "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin", "$all", "$size",
+                "$exists", "$and", "$or", "$nor", "$not", "$elemMatch", "$regex", "$contains",
+                "$mod", "$type",
+            ],
+            max_depth: 8,
+        }
+    }
+
+    /// Install or change a field alias.
+    pub fn alias_field(&mut self, alias: &str, real: &str) {
+        self.field_aliases.insert(alias.into(), real.into());
+    }
+
+    /// Install or change a collection alias.
+    pub fn alias_collection(&mut self, alias: &str, real: &str) {
+        self.collection_aliases.insert(alias.into(), real.into());
+    }
+
+    /// The underlying database (for trusted internal callers).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn resolve_collection<'a>(&'a self, name: &'a str) -> &'a str {
+        self.collection_aliases
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(name)
+    }
+
+    fn resolve_field<'a>(&'a self, name: &'a str) -> &'a str {
+        self.field_aliases
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(name)
+    }
+
+    /// Sanitize and alias-translate a raw (user-supplied) filter.
+    ///
+    /// Rejected: unknown `$` operators (`$where` most importantly),
+    /// nesting beyond `max_depth`, and non-object roots. Field names are
+    /// passed through the alias table.
+    pub fn sanitize(&self, raw: &Value) -> Result<Value> {
+        self.sanitize_level(raw, 0)
+    }
+
+    fn sanitize_level(&self, raw: &Value, depth: usize) -> Result<Value> {
+        if depth > self.max_depth {
+            return Err(StoreError::BadQuery(format!(
+                "query nesting exceeds {}",
+                self.max_depth
+            )));
+        }
+        let obj = raw
+            .as_object()
+            .ok_or_else(|| StoreError::BadQuery("filter must be an object".into()))?;
+        let mut out = Map::new();
+        for (k, v) in obj {
+            if k.starts_with('$') {
+                if !self.allowed_operators.contains(&k.as_str()) {
+                    return Err(StoreError::BadQuery(format!("operator {k} not permitted")));
+                }
+                // Logical operators take arrays of sub-filters.
+                let sv = match v {
+                    Value::Array(items) if matches!(k.as_str(), "$and" | "$or" | "$nor") => {
+                        let subs: Result<Vec<Value>> = items
+                            .iter()
+                            .map(|i| self.sanitize_level(i, depth + 1))
+                            .collect();
+                        Value::Array(subs?)
+                    }
+                    Value::Object(_) if matches!(k.as_str(), "$not" | "$elemMatch") => {
+                        self.sanitize_level(v, depth + 1)?
+                    }
+                    other => other.clone(),
+                };
+                out.insert(k.clone(), sv);
+            } else {
+                let real = self.resolve_field(k).to_string();
+                let sv = if let Some(sub) = v.as_object() {
+                    if sub.keys().any(|sk| sk.starts_with('$')) {
+                        self.sanitize_level(v, depth + 1)?
+                    } else {
+                        v.clone()
+                    }
+                } else {
+                    v.clone()
+                };
+                out.insert(real, sv);
+            }
+        }
+        Ok(Value::Object(out))
+    }
+
+    /// Query a collection with criteria + requested properties, both in
+    /// alias space — the pymatgen `MPRester.query(criteria, properties)`
+    /// shape.
+    pub fn query(
+        &self,
+        collection: &str,
+        criteria: &Value,
+        properties: &[&str],
+        limit: Option<usize>,
+    ) -> Result<Vec<Value>> {
+        let real_coll = self.resolve_collection(collection).to_string();
+        let filter = self.sanitize(criteria)?;
+        let mut opts = FindOptions::all();
+        if let Some(l) = limit {
+            opts = opts.limit(l);
+        }
+        if !properties.is_empty() {
+            let real_props: Vec<String> = properties
+                .iter()
+                .map(|p| self.resolve_field(p).to_string())
+                .collect();
+            let refs: Vec<&str> = real_props.iter().map(String::as_str).collect();
+            opts = opts.project(&refs);
+        }
+        self.db.collection(&real_coll).find_with(&filter, &opts)
+    }
+
+    /// Count documents matching sanitized criteria.
+    pub fn count(&self, collection: &str, criteria: &Value) -> Result<usize> {
+        let real = self.resolve_collection(collection).to_string();
+        let filter = self.sanitize(criteria)?;
+        self.db.collection(&real).count(&filter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn engine() -> QueryEngine {
+        let db = Database::new();
+        let mats = db.collection("materials");
+        mats.insert_many(vec![
+            json!({"_id": "mp-1", "formula": "Fe2O3", "elements": ["Fe", "O"],
+                   "output": {"energy": -67.5, "energy_per_atom": -6.75, "band_gap": 2.0}}),
+            json!({"_id": "mp-2", "formula": "LiFePO4", "elements": ["Li", "Fe", "P", "O"],
+                   "output": {"energy": -191.0, "energy_per_atom": -6.8, "band_gap": 3.5}}),
+        ])
+        .unwrap();
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn alias_translation_in_query() {
+        let qe = engine();
+        let hits = qe
+            .query("materials", &json!({"band_gap": {"$gt": 3.0}}), &[], None)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0]["formula"], "LiFePO4");
+    }
+
+    #[test]
+    fn property_projection_uses_aliases() {
+        let qe = engine();
+        let hits = qe
+            .query("materials", &json!({"formula": "Fe2O3"}), &["energy"], None)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0]["output"]["energy"], json!(-67.5));
+        assert!(hits[0].get("elements").is_none(), "projection drops others");
+    }
+
+    #[test]
+    fn where_operator_rejected() {
+        let qe = engine();
+        let err = qe.query("materials", &json!({"$where": "evil()"}), &[], None);
+        assert!(matches!(err, Err(StoreError::BadQuery(_))));
+        let err = qe.query("materials", &json!({"f": {"$where": "x"}}), &[], None);
+        assert!(matches!(err, Err(StoreError::BadQuery(_))));
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let qe = engine();
+        let mut q = json!({"a": 1});
+        for _ in 0..12 {
+            q = json!({ "$and": [q] });
+        }
+        assert!(qe.query("materials", &q, &[], None).is_err());
+    }
+
+    #[test]
+    fn nested_logical_operators_sanitized_recursively() {
+        let qe = engine();
+        let q = json!({"$or": [{"band_gap": {"$gt": 3.0}}, {"formula": "Fe2O3"}]});
+        let hits = qe.query("materials", &q, &[], None).unwrap();
+        assert_eq!(hits.len(), 2);
+        // And an evil operator hidden inside a $or is still caught.
+        let evil = json!({"$or": [{"x": {"$where": "boom"}}]});
+        assert!(qe.query("materials", &evil, &[], None).is_err());
+    }
+
+    #[test]
+    fn collection_alias() {
+        let mut qe = engine();
+        qe.alias_collection("mats", "materials");
+        assert_eq!(qe.count("mats", &json!({})).unwrap(), 2);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let qe = engine();
+        let hits = qe.query("materials", &json!({}), &[], Some(1)).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn non_object_filter_rejected() {
+        let qe = engine();
+        assert!(qe.query("materials", &json!([1, 2]), &[], None).is_err());
+        assert!(qe.query("materials", &json!("str"), &[], None).is_err());
+    }
+}

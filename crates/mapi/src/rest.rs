@@ -1,0 +1,442 @@
+//! The Materials API: REST-shaped programmatic access (§III-D2).
+//!
+//! URIs follow Fig. 4 of the paper:
+//!
+//! ```text
+//! https://www.materialsproject.org/rest/v1/materials/Fe2O3/vasp/energy
+//!         preamble              version  datatype  id    code property
+//! ```
+//!
+//! Responses are a JSON envelope `{valid_response, response, ...}`. The
+//! router is in-process (the substitution documented in DESIGN.md): a
+//! request is a method + path + key, a response is a status + JSON body.
+
+use crate::auth::AuthRegistry;
+use crate::queryengine::QueryEngine;
+use crate::ratelimit::{RateLimitConfig, RateLimiter};
+use crate::weblog::WebLog;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// An API request.
+#[derive(Debug, Clone)]
+pub struct ApiRequest {
+    /// Path, e.g. `/rest/v1/materials/Fe2O3/vasp/energy`.
+    pub path: String,
+    /// API key (None = anonymous, public data only, shared rate bucket).
+    pub api_key: Option<String>,
+    /// Simulated wall-clock (s) — drives rate limiting and the log.
+    pub now: f64,
+}
+
+impl ApiRequest {
+    /// Anonymous request at t=0.
+    pub fn get(path: &str) -> Self {
+        ApiRequest {
+            path: path.into(),
+            api_key: None,
+            now: 0.0,
+        }
+    }
+
+    /// Builder: set key.
+    pub fn with_key(mut self, key: &str) -> Self {
+        self.api_key = Some(key.into());
+        self
+    }
+
+    /// Builder: set time.
+    pub fn at(mut self, now: f64) -> Self {
+        self.now = now;
+        self
+    }
+}
+
+/// An API response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiResponse {
+    /// HTTP-style status code.
+    pub status: u16,
+    /// JSON body (the envelope).
+    pub body: Value,
+}
+
+impl ApiResponse {
+    fn ok(response: Value) -> Self {
+        ApiResponse {
+            status: 200,
+            body: json!({
+                "valid_response": true,
+                "version": {"api": "v1", "db": "2012.08"},
+                "response": response,
+            }),
+        }
+    }
+
+    fn error(status: u16, msg: &str) -> Self {
+        ApiResponse {
+            status,
+            body: json!({
+                "valid_response": false,
+                "error": msg,
+            }),
+        }
+    }
+
+    /// The `response` payload (empty array on error).
+    pub fn payload(&self) -> &Value {
+        self.body.get("response").unwrap_or(&Value::Null)
+    }
+}
+
+/// The server: QueryEngine + auth + rate limiting + logging.
+pub struct MaterialsApi {
+    qe: QueryEngine,
+    auth: AuthRegistry,
+    limiter: RateLimiter,
+    log: WebLog,
+}
+
+/// Properties servable under `/materials/{id}/vasp/...`.
+const VASP_PROPERTIES: &[&str] = &[
+    "energy",
+    "energy_per_atom",
+    "band_gap",
+    "formula",
+    "nsites",
+    "density",
+    "e_above_hull",
+];
+
+impl MaterialsApi {
+    /// Build over a query engine.
+    pub fn new(qe: QueryEngine, auth: AuthRegistry) -> Self {
+        MaterialsApi {
+            qe,
+            auth,
+            limiter: RateLimiter::new(RateLimitConfig::default()),
+            log: WebLog::new(65_536),
+        }
+    }
+
+    /// The web-query log (Fig. 5 data).
+    pub fn weblog(&self) -> &WebLog {
+        &self.log
+    }
+
+    /// The auth registry (for registration flows).
+    pub fn auth(&self) -> &AuthRegistry {
+        &self.auth
+    }
+
+    /// The underlying query engine.
+    pub fn query_engine(&self) -> &QueryEngine {
+        &self.qe
+    }
+
+    /// Handle one request.
+    pub fn handle(&self, req: &ApiRequest) -> ApiResponse {
+        let started = Instant::now();
+        // Authenticate (anonymous allowed) and rate limit.
+        let bucket_key = match &req.api_key {
+            Some(k) => match self.auth.authenticate(k) {
+                Ok(acct) => acct.api_key,
+                Err(_) => return ApiResponse::error(401, "unknown API key"),
+            },
+            None => "anonymous".to_string(),
+        };
+        if !self.limiter.admit(&bucket_key, req.now) {
+            return ApiResponse::error(429, "rate limit exceeded");
+        }
+
+        let resp = self.route(&req.path);
+        let nrecords = match resp.payload() {
+            Value::Array(a) => a.len(),
+            Value::Null => 0,
+            _ => 1,
+        };
+        let local_micros = started.elapsed().as_micros() as u64;
+        self.log.record(req.now, &req.path, local_micros, nrecords);
+        resp
+    }
+
+    fn route(&self, path: &str) -> ApiResponse {
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        // Expect ["rest", "v1", datatype, ...].
+        if parts.len() < 3 || parts[0] != "rest" {
+            return ApiResponse::error(404, "not found");
+        }
+        if parts[1] != "v1" {
+            return ApiResponse::error(400, "unsupported API version");
+        }
+        match parts[2] {
+            "materials" => self.route_materials(&parts[3..]),
+            "battery" => self.route_battery(&parts[3..]),
+            "tasks" => self.route_tasks(&parts[3..]),
+            other => ApiResponse::error(404, &format!("unknown datatype '{other}'")),
+        }
+    }
+
+    /// Identifier → criteria: an `mp-` / `mps-` id, a chemical system
+    /// (`Fe-Li-O-P`), or a formula (`Fe2O3`).
+    fn identifier_criteria(ident: &str) -> Value {
+        if ident.starts_with("mp-") || ident.starts_with("mps-") {
+            json!({"_id": ident})
+        } else if ident.contains('-') {
+            json!({"chemsys": ident})
+        } else {
+            json!({"formula": ident})
+        }
+    }
+
+    fn route_materials(&self, rest: &[&str]) -> ApiResponse {
+        match rest {
+            [] => ApiResponse::error(400, "missing identifier"),
+            [ident] => self.fetch("materials", ident, None),
+            [ident, "vasp"] => self.fetch("materials", ident, None),
+            [ident, "vasp", prop] => {
+                if !VASP_PROPERTIES.contains(prop) {
+                    return ApiResponse::error(
+                        400,
+                        &format!("unknown property '{prop}'"),
+                    );
+                }
+                self.fetch("materials", ident, Some(prop))
+            }
+            _ => ApiResponse::error(404, "not found"),
+        }
+    }
+
+    fn route_battery(&self, rest: &[&str]) -> ApiResponse {
+        match rest {
+            [] => ApiResponse::error(400, "missing identifier"),
+            [ident] => {
+                let criteria = if ident.starts_with("bat-") {
+                    json!({"_id": ident})
+                } else {
+                    json!({"framework": ident})
+                };
+                match self.qe.query("batteries", &criteria, &[], Some(100)) {
+                    Ok(docs) => ApiResponse::ok(json!(docs)),
+                    Err(e) => ApiResponse::error(400, &e.to_string()),
+                }
+            }
+            _ => ApiResponse::error(404, "not found"),
+        }
+    }
+
+    fn route_tasks(&self, rest: &[&str]) -> ApiResponse {
+        // Tasks are internal: only counts are exposed.
+        match rest {
+            ["count"] => match self.qe.count("tasks", &json!({})) {
+                Ok(n) => ApiResponse::ok(json!({ "count": n })),
+                Err(e) => ApiResponse::error(400, &e.to_string()),
+            },
+            _ => ApiResponse::error(403, "tasks are not public"),
+        }
+    }
+
+    fn fetch(&self, collection: &str, ident: &str, prop: Option<&str>) -> ApiResponse {
+        let criteria = Self::identifier_criteria(ident);
+        let props: Vec<&str> = match prop {
+            Some(p) => vec![p],
+            None => vec![],
+        };
+        match self.qe.query(collection, &criteria, &props, Some(500)) {
+            Ok(docs) if docs.is_empty() => {
+                ApiResponse::error(404, &format!("no {collection} match '{ident}'"))
+            }
+            Ok(docs) => ApiResponse::ok(json!(docs)),
+            Err(e) => ApiResponse::error(400, &e.to_string()),
+        }
+    }
+
+    /// POST-style structured query: sanitized criteria + properties
+    /// (what pymatgen's `MPRester.query` calls).
+    pub fn structured_query(
+        &self,
+        req: &ApiRequest,
+        collection: &str,
+        criteria: &Value,
+        properties: &[&str],
+    ) -> ApiResponse {
+        let started = Instant::now();
+        let bucket_key = match &req.api_key {
+            Some(k) => match self.auth.authenticate(k) {
+                Ok(acct) => acct.api_key,
+                Err(_) => return ApiResponse::error(401, "unknown API key"),
+            },
+            None => "anonymous".to_string(),
+        };
+        if !self.limiter.admit(&bucket_key, req.now) {
+            return ApiResponse::error(429, "rate limit exceeded");
+        }
+        let resp = match self.qe.query(collection, criteria, properties, Some(10_000)) {
+            Ok(docs) => ApiResponse::ok(json!(docs)),
+            Err(e) => ApiResponse::error(400, &e.to_string()),
+        };
+        let nrecords = match resp.payload() {
+            Value::Array(a) => a.len(),
+            _ => 0,
+        };
+        self.log
+            .record(req.now, &format!("POST /query/{collection}"), started.elapsed().as_micros() as u64, nrecords);
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_docstore::Database;
+
+    fn api() -> MaterialsApi {
+        let db = Database::new();
+        db.collection("materials")
+            .insert_many(vec![
+                json!({"_id": "mp-1", "formula": "Fe2O3", "chemsys": "Fe-O",
+                       "elements": ["Fe", "O"], "nsites": 10, "density": 5.2,
+                       "output": {"energy": -67.5, "energy_per_atom": -6.75, "band_gap": 2.0}}),
+                json!({"_id": "mp-2", "formula": "LiCoO2", "chemsys": "Co-Li-O",
+                       "elements": ["Li", "Co", "O"], "nsites": 4, "density": 4.9,
+                       "output": {"energy": -22.9, "energy_per_atom": -5.7, "band_gap": 2.7}}),
+            ])
+            .unwrap();
+        db.collection("batteries")
+            .insert_one(json!({"_id": "bat-1", "framework": "CoO2", "working_ion": "Li",
+                               "average_voltage": 3.9, "capacity_grav": 274.0}))
+            .unwrap();
+        MaterialsApi::new(QueryEngine::new(db), AuthRegistry::new())
+    }
+
+    #[test]
+    fn fig4_uri_returns_energy() {
+        // The exact example from Fig. 4 of the paper.
+        let api = api();
+        let resp = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3/vasp/energy"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body["valid_response"], true);
+        let docs = resp.payload().as_array().unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0]["output"]["energy"], json!(-67.5));
+    }
+
+    #[test]
+    fn lookup_by_mp_id_and_chemsys() {
+        let api = api();
+        let by_id = api.handle(&ApiRequest::get("/rest/v1/materials/mp-2"));
+        assert_eq!(by_id.status, 200);
+        assert_eq!(by_id.payload()[0]["formula"], "LiCoO2");
+
+        let by_sys = api.handle(&ApiRequest::get("/rest/v1/materials/Co-Li-O"));
+        assert_eq!(by_sys.status, 200);
+        assert_eq!(by_sys.payload()[0]["_id"], "mp-2");
+    }
+
+    #[test]
+    fn unknown_material_404() {
+        let api = api();
+        let resp = api.handle(&ApiRequest::get("/rest/v1/materials/Zr3N4/vasp/energy"));
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body["valid_response"], false);
+    }
+
+    #[test]
+    fn unknown_property_400() {
+        let api = api();
+        let resp = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3/vasp/secrets"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn bad_version_and_path() {
+        let api = api();
+        assert_eq!(api.handle(&ApiRequest::get("/rest/v9/materials/Fe2O3")).status, 400);
+        assert_eq!(api.handle(&ApiRequest::get("/nope")).status, 404);
+        assert_eq!(api.handle(&ApiRequest::get("/rest/v1/genomes/x")).status, 404);
+    }
+
+    #[test]
+    fn battery_route() {
+        let api = api();
+        let resp = api.handle(&ApiRequest::get("/rest/v1/battery/CoO2"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.payload()[0]["average_voltage"], json!(3.9));
+        let by_id = api.handle(&ApiRequest::get("/rest/v1/battery/bat-1"));
+        assert_eq!(by_id.status, 200);
+    }
+
+    #[test]
+    fn tasks_not_public() {
+        let api = api();
+        assert_eq!(api.handle(&ApiRequest::get("/rest/v1/tasks/task-1")).status, 403);
+        assert_eq!(api.handle(&ApiRequest::get("/rest/v1/tasks/count")).status, 200);
+    }
+
+    #[test]
+    fn unknown_key_401() {
+        let api = api();
+        let resp = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3").with_key("mpk-fake"));
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn registered_key_works() {
+        let api = api();
+        let acct = api
+            .auth()
+            .register(&crate::auth::ProviderAssertion {
+                provider: crate::auth::Provider::Google,
+                email: "sci@example.com".into(),
+                signature: crate::auth::sign("sci@example.com"),
+            })
+            .unwrap();
+        let resp = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3").with_key(&acct.api_key));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn anonymous_rate_limited() {
+        let api = api();
+        let mut throttled = false;
+        for _ in 0..100 {
+            let resp = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3").at(0.0));
+            if resp.status == 429 {
+                throttled = true;
+                break;
+            }
+        }
+        assert!(throttled, "anonymous burst should hit the limiter");
+    }
+
+    #[test]
+    fn structured_query_sanitizes() {
+        let api = api();
+        let ok = api.structured_query(
+            &ApiRequest::get("/query"),
+            "materials",
+            &json!({"band_gap": {"$gt": 2.5}}),
+            &["formula"],
+        );
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.payload().as_array().unwrap().len(), 1);
+
+        let evil = api.structured_query(
+            &ApiRequest::get("/query").at(1.0),
+            "materials",
+            &json!({"$where": "drop()"}),
+            &[],
+        );
+        assert_eq!(evil.status, 400);
+    }
+
+    #[test]
+    fn weblog_captures_queries() {
+        let api = api();
+        for i in 0..5 {
+            api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3").at(i as f64 * 10.0));
+        }
+        assert_eq!(api.weblog().entries().len(), 5);
+        assert!(api.weblog().total_records() >= 5);
+    }
+}

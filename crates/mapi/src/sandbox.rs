@@ -1,0 +1,106 @@
+//! User sandboxes (§III-A, Fig. 3 step (d)).
+//!
+//! "The resulting data can be uploaded to a user-controlled area called
+//! a sandbox, which is only visible to the creator and selected
+//! collaborators. ... At any point (e.g., after a publication or a
+//! patent filing), the user can allow the data to become publicly
+//! disseminated." The paper lists this as the envisioned next step; we
+//! implement it as documents carrying `owner` / `collaborators` /
+//! `is_public` fields filtered through [`crate::auth::visibility_filter`].
+
+use crate::auth::visibility_filter;
+use mp_docstore::{Database, Result, StoreError};
+use serde_json::{json, Value};
+
+/// Sandbox operations over the shared datastore.
+pub struct Sandbox<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Sandbox<'a> {
+    /// Wrap a database.
+    pub fn new(db: &'a Database) -> Self {
+        Sandbox { db }
+    }
+
+    /// Upload a record into the owner's sandbox (private by default).
+    pub fn upload(&self, owner: &str, mut doc: Value) -> Result<Value> {
+        let obj = doc
+            .as_object_mut()
+            .ok_or_else(|| StoreError::InvalidDocument("sandbox record must be object".into()))?;
+        obj.insert("owner".into(), json!(owner));
+        obj.insert("is_public".into(), json!(false));
+        obj.entry("collaborators").or_insert(json!([]));
+        self.db.collection("sandbox").insert_one(doc)
+    }
+
+    /// Share a record with a collaborator.
+    pub fn share(&self, owner: &str, record_id: &Value, collaborator: &str) -> Result<bool> {
+        let r = self.db.collection("sandbox").update_one(
+            &json!({"_id": record_id, "owner": owner}),
+            &json!({"$addToSet": {"collaborators": collaborator}}),
+        )?;
+        Ok(r.matched == 1)
+    }
+
+    /// Publish: flip the record public (Fig. 3 step (f)). Only the
+    /// owner may do this.
+    pub fn publish(&self, owner: &str, record_id: &Value) -> Result<bool> {
+        let r = self.db.collection("sandbox").update_one(
+            &json!({"_id": record_id, "owner": owner}),
+            &json!({"$set": {"is_public": true}}),
+        )?;
+        Ok(r.matched == 1)
+    }
+
+    /// Everything `viewer` may see (None = anonymous public view).
+    pub fn visible_to(&self, viewer: Option<&str>) -> Result<Vec<Value>> {
+        self.db.collection("sandbox").find(&visibility_filter(viewer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_by_default() {
+        let db = Database::new();
+        let sb = Sandbox::new(&db);
+        let id = sb.upload("alice@x", json!({"formula": "LiNiO2"})).unwrap();
+        assert!(sb.visible_to(None).unwrap().is_empty());
+        assert_eq!(sb.visible_to(Some("alice@x")).unwrap().len(), 1);
+        assert!(sb.visible_to(Some("bob@x")).unwrap().is_empty());
+        let _ = id;
+    }
+
+    #[test]
+    fn share_grants_collaborator_access() {
+        let db = Database::new();
+        let sb = Sandbox::new(&db);
+        let id = sb.upload("alice@x", json!({"formula": "LiNiO2"})).unwrap();
+        assert!(sb.share("alice@x", &id, "bob@x").unwrap());
+        assert_eq!(sb.visible_to(Some("bob@x")).unwrap().len(), 1);
+        assert!(sb.visible_to(Some("carol@x")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn only_owner_can_share_or_publish() {
+        let db = Database::new();
+        let sb = Sandbox::new(&db);
+        let id = sb.upload("alice@x", json!({"d": 1})).unwrap();
+        assert!(!sb.share("mallory@x", &id, "mallory@x").unwrap());
+        assert!(!sb.publish("mallory@x", &id).unwrap());
+        assert!(sb.visible_to(None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn publish_makes_public() {
+        let db = Database::new();
+        let sb = Sandbox::new(&db);
+        let id = sb.upload("alice@x", json!({"d": 1})).unwrap();
+        assert!(sb.publish("alice@x", &id).unwrap());
+        assert_eq!(sb.visible_to(None).unwrap().len(), 1);
+        assert_eq!(sb.visible_to(Some("anyone@x")).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,637 @@
+//! The web portal (§III-D1).
+//!
+//! "We have built a rich, interactive web portal focusing on the
+//! scientist as the end-user. Our interface uses technologies like
+//! HTML5 and AJAX to allow users to search and browse MP data and pan
+//! and zoom real-time visualizations of bandstructures, diffraction
+//! patterns, and other properties."
+//!
+//! This module is the server side of that portal: HTML pages for search
+//! and material detail, inline SVG renderings of band structures and
+//! powder XRD patterns, and an aggregation-backed statistics dashboard.
+//! (The pan/zoom JS is the browser's job; the paper's contribution we
+//! reproduce is serving the data-driven views from the datastore.)
+
+use crate::queryengine::QueryEngine;
+use mp_docstore::Result;
+use serde_json::{json, Value};
+
+/// Escape text for HTML interpolation.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>{} — Materials Project</title></head>\n\
+         <body>\n<header><h1>Materials Project</h1></header>\n{}\n\
+         <footer>Data computed by high-throughput DFT; see the Materials API \
+         at /rest/v1/.</footer>\n</body></html>",
+        esc(title),
+        body
+    )
+}
+
+/// The portal renderer.
+pub struct WebUi<'a> {
+    qe: &'a QueryEngine,
+}
+
+impl<'a> WebUi<'a> {
+    /// Portal over a query engine (all reads are sanitized/aliased).
+    pub fn new(qe: &'a QueryEngine) -> Self {
+        WebUi { qe }
+    }
+
+    /// Search results page for a (sanitized) criteria document.
+    pub fn search_page(&self, criteria: &Value, limit: usize) -> Result<String> {
+        let hits = self.qe.query("materials", criteria, &[], Some(limit))?;
+        let mut rows = String::new();
+        for m in &hits {
+            rows.push_str(&format!(
+                "<tr><td><a href=\"/materials/{id}\">{id}</a></td>\
+                 <td>{formula}</td><td>{sys}</td><td>{gap:.2}</td><td>{epa:.3}</td></tr>\n",
+                id = esc(m["_id"].as_str().unwrap_or("?")),
+                formula = esc(m["formula"].as_str().unwrap_or("?")),
+                sys = esc(m["chemsys"].as_str().unwrap_or("?")),
+                gap = m["output"]["band_gap"].as_f64().unwrap_or(0.0),
+                epa = m["output"]["energy_per_atom"].as_f64().unwrap_or(0.0),
+            ));
+        }
+        let body = format!(
+            "<h2>Search results ({n})</h2>\n\
+             <table><thead><tr><th>id</th><th>formula</th><th>system</th>\
+             <th>gap (eV)</th><th>E/atom (eV)</th></tr></thead>\n\
+             <tbody>\n{rows}</tbody></table>",
+            n = hits.len(),
+        );
+        Ok(page("Search", &body))
+    }
+
+    /// Material detail page with inline property visualizations.
+    pub fn material_page(&self, material_id: &str) -> Result<Option<String>> {
+        let found = self
+            .qe
+            .query("materials", &json!({"_id": material_id}), &[], Some(1))?;
+        let Some(m) = found.first() else {
+            return Ok(None);
+        };
+        let mut body = format!(
+            "<h2>{formula} <small>({id})</small></h2>\n<dl>\
+             <dt>Chemical system</dt><dd>{sys}</dd>\
+             <dt>Energy per atom</dt><dd>{epa:.4} eV</dd>\
+             <dt>Band gap</dt><dd>{gap:.2} eV</dd>\
+             <dt>Formation energy</dt><dd>{ef:.4} eV/atom</dd>\
+             <dt>E above hull</dt><dd>{hull:.4} eV/atom</dd>\
+             <dt>Stable</dt><dd>{stable}</dd></dl>\n",
+            formula = esc(m["formula"].as_str().unwrap_or("?")),
+            id = esc(material_id),
+            sys = esc(m["chemsys"].as_str().unwrap_or("?")),
+            epa = m["output"]["energy_per_atom"].as_f64().unwrap_or(0.0),
+            gap = m["output"]["band_gap"].as_f64().unwrap_or(0.0),
+            ef = m["stability"]["formation_energy_per_atom"].as_f64().unwrap_or(0.0),
+            hull = m["stability"]["e_above_hull"].as_f64().unwrap_or(0.0),
+            stable = m["stability"]["is_stable"].as_bool().unwrap_or(false),
+        );
+
+        // Band structure panel.
+        let bs = self.qe.query(
+            "bandstructures",
+            &json!({"material_id": material_id}),
+            &[],
+            Some(1),
+        )?;
+        if let Some(b) = bs.first() {
+            body.push_str("<h3>Band structure</h3>\n");
+            body.push_str(&render_bands_svg(b, 480, 240));
+        }
+
+        // DOS panel.
+        let dos = self.qe.query("dos", &json!({"material_id": material_id}), &[], Some(1))?;
+        if let Some(d) = dos.first() {
+            body.push_str("<h3>Density of states</h3>\n");
+            body.push_str(&render_dos_svg(d, 480, 140));
+        }
+
+        // XRD panel.
+        let xrd = self.qe.query(
+            "xrd_patterns",
+            &json!({"material_id": material_id}),
+            &[],
+            Some(1),
+        )?;
+        if let Some(p) = xrd.first() {
+            body.push_str("<h3>Powder XRD (Cu Kα)</h3>\n");
+            body.push_str(&render_xrd_svg(p, 480, 180));
+        }
+
+        Ok(Some(page(m["formula"].as_str().unwrap_or("material"), &body)))
+    }
+
+    /// Statistics dashboard: element prevalence, gap distribution, and
+    /// stability counts, computed with aggregation pipelines.
+    pub fn stats_page(&self) -> Result<String> {
+        let db = self.qe.database();
+        let mats = db.collection("materials");
+
+        let by_element = mats.aggregate(&json!([
+            {"$unwind": "$elements"},
+            {"$group": {"_id": "$elements", "n": {"$sum": 1}}},
+            {"$sort": {"n": -1, "_id": 1}},
+            {"$limit": 12},
+        ]))?;
+        let stable = mats.aggregate(&json!([
+            {"$match": {"stability.is_stable": true}},
+            {"$count": "n"},
+        ]))?;
+        let n_stable = stable
+            .first()
+            .and_then(|v| v["n"].as_u64())
+            .unwrap_or(0);
+        let gap_stats = mats.aggregate(&json!([
+            {"$group": {"_id": null,
+                         "metals": {"$sum": 1},
+                         "avg_gap": {"$avg": "$output.band_gap"},
+                         "max_gap": {"$max": "$output.band_gap"}}},
+        ]))?;
+
+        let mut bars = String::new();
+        let max_n = by_element
+            .first()
+            .and_then(|r| r["n"].as_u64())
+            .unwrap_or(1)
+            .max(1);
+        for row in &by_element {
+            let n = row["n"].as_u64().unwrap_or(0);
+            let w = (n * 300 / max_n).max(2);
+            bars.push_str(&format!(
+                "<div>{el}: <svg width=\"310\" height=\"12\">\
+                 <rect width=\"{w}\" height=\"12\" fill=\"#4682b4\"/></svg> {n}</div>\n",
+                el = esc(row["_id"].as_str().unwrap_or("?")),
+            ));
+        }
+        let body = format!(
+            "<h2>Database statistics</h2>\
+             <p>{total} materials; {n_stable} thermodynamically stable; \
+             mean band gap {avg:.2} eV (max {max:.2}).</p>\
+             <h3>Most common elements</h3>\n{bars}",
+            total = mats.len(),
+            avg = gap_stats
+                .first()
+                .and_then(|g| g["avg_gap"].as_f64())
+                .unwrap_or(0.0),
+            max = gap_stats
+                .first()
+                .and_then(|g| g["max_gap"].as_f64())
+                .unwrap_or(0.0),
+        );
+        Ok(page("Statistics", &body))
+    }
+}
+
+/// Render a band-structure document as an inline SVG: one polyline per
+/// band along the k-path, the Fermi level dashed at E = 0.
+pub fn render_bands_svg(bs_doc: &Value, width: u32, height: u32) -> String {
+    let Some(bands) = bs_doc["bands"].as_array() else {
+        return String::new();
+    };
+    // Energy window.
+    let mut emin = f64::INFINITY;
+    let mut emax = f64::NEG_INFINITY;
+    for band in bands {
+        for e in band.as_array().into_iter().flatten() {
+            if let Some(x) = e.as_f64() {
+                emin = emin.min(x);
+                emax = emax.max(x);
+            }
+        }
+    }
+    if !emin.is_finite() || emax <= emin {
+        return String::new();
+    }
+    let pad = 0.5;
+    let (emin, emax) = (emin - pad, emax + pad);
+    let y_of = |e: f64| height as f64 * (1.0 - (e - emin) / (emax - emin));
+
+    let mut svg = format!(
+        "<svg class=\"bands\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n"
+    );
+    // Fermi level.
+    let yf = y_of(0.0);
+    svg.push_str(&format!(
+        "<line x1=\"0\" y1=\"{yf:.1}\" x2=\"{width}\" y2=\"{yf:.1}\" \
+         stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n"
+    ));
+    for band in bands {
+        let Some(es) = band.as_array() else { continue };
+        if es.len() < 2 {
+            continue;
+        }
+        let mut points = String::new();
+        for (i, e) in es.iter().enumerate() {
+            let x = width as f64 * i as f64 / (es.len() - 1) as f64;
+            let y = y_of(e.as_f64().unwrap_or(0.0));
+            points.push_str(&format!("{x:.1},{y:.1} "));
+        }
+        svg.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"#b22222\" stroke-width=\"1\" \
+             points=\"{}\"/>\n",
+            points.trim_end()
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render a density-of-states document as a filled SVG curve with the
+/// Fermi level marked.
+pub fn render_dos_svg(dos_doc: &Value, width: u32, height: u32) -> String {
+    let (Some(energies), Some(densities)) = (
+        dos_doc["energies"].as_array(),
+        dos_doc["densities"].as_array(),
+    ) else {
+        return String::new();
+    };
+    if energies.len() < 2 || energies.len() != densities.len() {
+        return String::new();
+    }
+    let es: Vec<f64> = energies.iter().filter_map(Value::as_f64).collect();
+    let ds: Vec<f64> = densities.iter().filter_map(Value::as_f64).collect();
+    let (emin, emax) = (es[0], *es.last().expect("len checked"));
+    let dmax = ds.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    let px = |e: f64| (e - emin) / (emax - emin) * width as f64;
+    let py = |d: f64| height as f64 * (1.0 - d / dmax);
+    let mut pts = format!("{:.1},{} ", px(emin), height);
+    for (e, d) in es.iter().zip(&ds) {
+        pts.push_str(&format!("{:.1},{:.1} ", px(*e), py(*d)));
+    }
+    pts.push_str(&format!("{:.1},{}", px(emax), height));
+    let xf = px(0.0);
+    format!(
+        "<svg class=\"dos\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n\
+         <polygon fill=\"#c9dcf0\" stroke=\"#4682b4\" points=\"{pts}\"/>\n\
+         <line x1=\"{xf:.1}\" y1=\"0\" x2=\"{xf:.1}\" y2=\"{height}\" \
+         stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n</svg>\n"
+    )
+}
+
+/// Render a powder-XRD document as an inline SVG stick pattern.
+pub fn render_xrd_svg(xrd_doc: &Value, width: u32, height: u32) -> String {
+    let Some(peaks) = xrd_doc["peaks"].as_array() else {
+        return String::new();
+    };
+    let tt_max = 90.0;
+    let mut svg = format!(
+        "<svg class=\"xrd\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n\
+         <line x1=\"0\" y1=\"{h}\" x2=\"{width}\" y2=\"{h}\" stroke=\"#333\"/>\n",
+        h = height - 1
+    );
+    for p in peaks {
+        let tt = p["two_theta"].as_f64().unwrap_or(0.0);
+        let inten = p["intensity"].as_f64().unwrap_or(0.0);
+        let x = width as f64 * tt / tt_max;
+        let y_top = height as f64 * (1.0 - inten / 100.0);
+        svg.push_str(&format!(
+            "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{y_top:.1}\" \
+             stroke=\"#1f6f43\" stroke-width=\"1.5\"/>\n",
+            height as f64 - 1.0
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_docstore::Database;
+
+    fn engine() -> QueryEngine {
+        let db = Database::new();
+        db.collection("materials")
+            .insert_many(vec![
+                json!({"_id": "mp-1", "formula": "LiCoO2", "chemsys": "Co-Li-O",
+                       "elements": ["Li", "Co", "O"],
+                       "output": {"band_gap": 2.7, "energy_per_atom": -5.7},
+                       "stability": {"is_stable": true, "e_above_hull": 0.0,
+                                      "formation_energy_per_atom": -1.9}}),
+                json!({"_id": "mp-2", "formula": "Fe2O3", "chemsys": "Fe-O",
+                       "elements": ["Fe", "O"],
+                       "output": {"band_gap": 2.0, "energy_per_atom": -6.7},
+                       "stability": {"is_stable": false, "e_above_hull": 0.02,
+                                      "formation_energy_per_atom": -1.2}}),
+            ])
+            .unwrap();
+        db.collection("bandstructures")
+            .insert_one(json!({"material_id": "mp-1",
+                                "bands": [[-3.0, -2.5, -2.8], [1.2, 1.6, 1.4]]}))
+            .unwrap();
+        db.collection("xrd_patterns")
+            .insert_one(json!({"material_id": "mp-1",
+                                "peaks": [{"two_theta": 19.0, "intensity": 100.0},
+                                           {"two_theta": 45.2, "intensity": 40.0}]}))
+            .unwrap();
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn search_page_lists_hits() {
+        let qe = engine();
+        let ui = WebUi::new(&qe);
+        let html = ui.search_page(&json!({"elements": "O"}), 50).unwrap();
+        assert!(html.contains("<!DOCTYPE html>"));
+        assert!(html.contains("LiCoO2"));
+        assert!(html.contains("Fe2O3"));
+        assert!(html.contains("Search results (2)"));
+    }
+
+    #[test]
+    fn search_uses_sanitizer() {
+        let qe = engine();
+        let ui = WebUi::new(&qe);
+        assert!(ui.search_page(&json!({"$where": "x"}), 10).is_err());
+    }
+
+    #[test]
+    fn material_page_embeds_visualizations() {
+        let qe = engine();
+        let ui = WebUi::new(&qe);
+        let html = ui.material_page("mp-1").unwrap().unwrap();
+        assert!(html.contains("LiCoO2"));
+        assert!(html.contains("Band structure"));
+        assert!(html.contains("class=\"bands\""));
+        assert!(html.contains("polyline"));
+        assert!(html.contains("Powder XRD"));
+        assert!(html.contains("class=\"xrd\""));
+        // Stability panel.
+        assert!(html.contains("E above hull"));
+    }
+
+    #[test]
+    fn missing_material_is_none() {
+        let qe = engine();
+        let ui = WebUi::new(&qe);
+        assert!(ui.material_page("mp-404").unwrap().is_none());
+    }
+
+    #[test]
+    fn material_without_spectra_renders_without_panels() {
+        let qe = engine();
+        let ui = WebUi::new(&qe);
+        let html = ui.material_page("mp-2").unwrap().unwrap();
+        assert!(html.contains("Fe2O3"));
+        assert!(!html.contains("class=\"bands\""));
+    }
+
+    #[test]
+    fn stats_page_aggregates() {
+        let qe = engine();
+        let ui = WebUi::new(&qe);
+        let html = ui.stats_page().unwrap();
+        assert!(html.contains("2 materials"));
+        assert!(html.contains("1 thermodynamically stable"));
+        assert!(html.contains("O:"), "element bars present");
+    }
+
+    #[test]
+    fn dos_svg_renders_curve_and_fermi() {
+        let svg = render_dos_svg(
+            &json!({"energies": [-2.0, -1.0, 0.0, 1.0, 2.0],
+                     "densities": [1.0, 2.0, 0.0, 0.5, 1.5]}),
+            200,
+            100,
+        );
+        assert!(svg.contains("polygon"));
+        assert!(svg.contains("stroke-dasharray"), "Fermi line present");
+        // Fermi level at E=0 is the midpoint of [-2, 2].
+        assert!(svg.contains("x1=\"100.0\""));
+    }
+
+    #[test]
+    fn dos_svg_degenerate() {
+        assert_eq!(render_dos_svg(&json!({}), 100, 50), "");
+        assert_eq!(
+            render_dos_svg(&json!({"energies": [1.0], "densities": [1.0]}), 100, 50),
+            ""
+        );
+    }
+
+    #[test]
+    fn html_escaping() {
+        assert_eq!(esc("<Fe2O3 & \"friends\">"), "&lt;Fe2O3 &amp; &quot;friends&quot;&gt;");
+    }
+
+    #[test]
+    fn bands_svg_handles_degenerate_input() {
+        assert_eq!(render_bands_svg(&json!({}), 100, 100), "");
+        assert_eq!(render_bands_svg(&json!({"bands": []}), 100, 100), "");
+    }
+
+    #[test]
+    fn xrd_svg_scales_peaks() {
+        let svg = render_xrd_svg(
+            &json!({"peaks": [{"two_theta": 45.0, "intensity": 100.0}]}),
+            200,
+            100,
+        );
+        // A full-intensity peak reaches the top of the plot.
+        assert!(svg.contains("y2=\"0.0\""));
+        assert!(svg.contains("x1=\"100.0\""));
+    }
+}
+
+/// Render a binary phase diagram as SVG: formation energy per atom vs
+/// composition fraction, stable entries joined by the hull line — the
+/// third interactive visualization of the §III-D1 portal.
+pub fn render_binary_hull_svg(
+    pd: &mp_matsci::PhaseDiagram,
+    width: u32,
+    height: u32,
+) -> Option<String> {
+    if pd.elements.len() != 2 {
+        return None;
+    }
+    let x_el = pd.elements[1];
+    // (x fraction of second element, formation energy, stable?, label)
+    let mut points: Vec<(f64, f64, bool, String)> = Vec::new();
+    for (i, e) in pd.entries.iter().enumerate() {
+        let x = e.composition.fraction(x_el);
+        let ef = pd.formation_energy_per_atom(&e.composition, e.energy_per_atom);
+        let stable = pd.e_above_hull(i) < 1e-6;
+        points.push((x, ef, stable, e.composition.reduced_formula()));
+    }
+    let emin = points
+        .iter()
+        .map(|p| p.1)
+        .fold(0.0f64, f64::min);
+    let e_lo = emin.min(-0.1) * 1.15;
+    let e_hi = 0.25f64;
+    let px = |x: f64| 40.0 + x * (width as f64 - 60.0);
+    let py = |e: f64| (e - e_hi) / (e_lo - e_hi) * (height as f64 - 30.0) + 10.0;
+
+    let mut svg = format!(
+        "<svg class=\"hull\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n\
+         <line x1=\"{x0}\" y1=\"{y0:.1}\" x2=\"{x1}\" y2=\"{y0:.1}\" stroke=\"#999\"/>\n",
+        x0 = px(0.0),
+        x1 = px(1.0),
+        y0 = py(0.0),
+    );
+    // Hull line through the stable points, in x order.
+    let mut stable: Vec<&(f64, f64, bool, String)> =
+        points.iter().filter(|p| p.2).collect();
+    stable.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+    let path: Vec<String> = stable
+        .iter()
+        .map(|p| format!("{:.1},{:.1}", px(p.0), py(p.1)))
+        .collect();
+    if path.len() >= 2 {
+        svg.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"#1f6f43\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+            path.join(" ")
+        ));
+    }
+    for (x, ef, is_stable, label) in &points {
+        let (fill, r) = if *is_stable { ("#1f6f43", 4.0) } else { ("#b22222", 3.0) };
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r}\" fill=\"{fill}\">\
+             <title>{}</title></circle>\n",
+            px(*x),
+            py(*ef),
+            esc(label),
+        ));
+    }
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>\n\
+         <text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>\n</svg>\n",
+        px(0.0) - 10.0,
+        height - 2,
+        esc(pd.elements[0].symbol()),
+        px(1.0) - 10.0,
+        height - 2,
+        esc(x_el.symbol()),
+    ));
+    Some(svg)
+}
+
+impl WebUi<'_> {
+    /// Phase-diagram page for a binary chemical system: builds the
+    /// diagram from the live `materials` collection (plus elemental
+    /// references from the same collection) and renders the hull.
+    pub fn phase_diagram_page(&self, chemsys: &str) -> Result<Option<String>> {
+        let parts: Vec<&str> = chemsys.split('-').collect();
+        if parts.len() != 2 {
+            return Ok(None);
+        }
+        let docs = self.qe.query(
+            "materials",
+            &serde_json::json!({"nelements": {"$lte": 2}}),
+            &["formula", "energy_per_atom", "elements"],
+            None,
+        )?;
+        let mut entries = Vec::new();
+        for d in &docs {
+            let Some(formula) = d["formula"].as_str() else { continue };
+            let Ok(comp) = mp_matsci::Composition::parse(formula) else { continue };
+            let inside = comp
+                .elements()
+                .iter()
+                .all(|e| parts.contains(&e.symbol()));
+            if !inside {
+                continue;
+            }
+            let Some(epa) = d["output"]["energy_per_atom"].as_f64() else { continue };
+            entries.push(mp_matsci::PdEntry::new(
+                d["_id"].as_str().unwrap_or(formula),
+                comp,
+                epa,
+            ));
+        }
+        let Ok(pd) = mp_matsci::PhaseDiagram::new(entries) else {
+            return Ok(None);
+        };
+        let Some(svg) = render_binary_hull_svg(&pd, 520, 260) else {
+            return Ok(None);
+        };
+        let stable: Vec<String> = pd
+            .stable_entries(1e-6)
+            .iter()
+            .map(|e| e.composition.reduced_formula())
+            .collect();
+        let body = format!(
+            "<h2>Phase diagram: {}</h2>\n{}\n<p>Stable phases: {}</p>",
+            esc(chemsys),
+            svg,
+            esc(&stable.join(", "))
+        );
+        Ok(Some(page(&format!("{chemsys} phase diagram"), &body)))
+    }
+}
+
+#[cfg(test)]
+mod hull_tests {
+    use super::*;
+    use mp_docstore::Database;
+    use serde_json::json;
+
+    #[test]
+    fn binary_hull_page_renders() {
+        let db = Database::new();
+        db.collection("materials")
+            .insert_many(vec![
+                json!({"_id": "m-li", "formula": "Li", "elements": ["Li"], "nelements": 1,
+                       "output": {"energy_per_atom": -1.6}}),
+                json!({"_id": "m-o", "formula": "O", "elements": ["O"], "nelements": 1,
+                       "output": {"energy_per_atom": -2.6}}),
+                json!({"_id": "m-li2o", "formula": "Li2O", "elements": ["Li", "O"], "nelements": 2,
+                       "output": {"energy_per_atom": -4.5}}),
+                json!({"_id": "m-lio2", "formula": "LiO2", "elements": ["Li", "O"], "nelements": 2,
+                       "output": {"energy_per_atom": -2.4}}),
+            ])
+            .unwrap();
+        let qe = QueryEngine::new(db);
+        let ui = WebUi::new(&qe);
+        let html = ui.phase_diagram_page("Li-O").unwrap().unwrap();
+        assert!(html.contains("class=\"hull\""));
+        assert!(html.contains("Stable phases"));
+        assert!(html.contains("Li2O"));
+        // Both endpoints labelled.
+        assert!(html.contains(">Li</text>"));
+        assert!(html.contains(">O</text>"));
+    }
+
+    #[test]
+    fn ternary_system_declined() {
+        let db = Database::new();
+        let qe = QueryEngine::new(db);
+        let ui = WebUi::new(&qe);
+        assert!(ui.phase_diagram_page("Co-Li-O").unwrap().is_none());
+        assert!(ui.phase_diagram_page("Li").unwrap().is_none());
+    }
+
+    #[test]
+    fn hull_svg_marks_stability() {
+        use mp_matsci::{Composition, Element, PdEntry, PhaseDiagram};
+        let li = Element::from_symbol("Li").unwrap();
+        let o = Element::from_symbol("O").unwrap();
+        let pd = PhaseDiagram::new(vec![
+            PdEntry::new("Li", Composition::from_pairs([(li, 1.0)]), 0.0),
+            PdEntry::new("O", Composition::from_pairs([(o, 1.0)]), 0.0),
+            PdEntry::new("Li2O", Composition::parse("Li2O").unwrap(), -2.0),
+            PdEntry::new("LiO2", Composition::parse("LiO2").unwrap(), -0.4),
+        ])
+        .unwrap();
+        let svg = render_binary_hull_svg(&pd, 400, 200).unwrap();
+        // Stable (green) and unstable (red) markers both present.
+        assert!(svg.contains("#1f6f43"));
+        assert!(svg.contains("#b22222"));
+        assert!(svg.contains("<title>Li2O</title>"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Electronic band structures (synthetic model).
+//!
+//! The paper's datastore holds "3,000 bandstructures" that the web UI
+//! renders interactively. Real band structures come from the DFT code;
+//! our substitute generates physically-shaped bands from a deterministic
+//! tight-binding-flavoured model whose band gap follows the classic
+//! electronegativity-difference correlation (more ionic → wider gap),
+//! so metals, semiconductors and insulators appear in sensible places.
+
+use crate::composition::Composition;
+use crate::structure::Structure;
+use serde::{Deserialize, Serialize};
+
+/// A labelled point on the k-path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KPoint {
+    /// Symmetry label (Γ, X, M, R...).
+    pub label: String,
+    /// Fractional reciprocal coordinates.
+    pub frac: [f64; 3],
+}
+
+/// A computed band structure along a k-path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandStructure {
+    /// Path vertices.
+    pub kpath: Vec<KPoint>,
+    /// Sample count between consecutive vertices.
+    pub samples_per_segment: usize,
+    /// `bands[b][k]` = energy of band `b` at sample `k` (eV, E_F = 0).
+    pub bands: Vec<Vec<f64>>,
+    /// Band gap (eV); 0 for metals.
+    pub band_gap: f64,
+    /// Gap is direct?
+    pub is_direct: bool,
+}
+
+/// The standard cubic k-path Γ–X–M–Γ–R.
+pub fn cubic_kpath() -> Vec<KPoint> {
+    vec![
+        KPoint { label: "Γ".into(), frac: [0.0, 0.0, 0.0] },
+        KPoint { label: "X".into(), frac: [0.5, 0.0, 0.0] },
+        KPoint { label: "M".into(), frac: [0.5, 0.5, 0.0] },
+        KPoint { label: "Γ".into(), frac: [0.0, 0.0, 0.0] },
+        KPoint { label: "R".into(), frac: [0.5, 0.5, 0.5] },
+    ]
+}
+
+/// Estimate a band gap (eV) from composition chemistry: ionic compounds
+/// (large electronegativity spread) get wide gaps; metallic compositions
+/// get zero.
+pub fn estimate_band_gap(comp: &Composition) -> f64 {
+    let els = comp.elements();
+    if els.is_empty() {
+        return 0.0;
+    }
+    let chis: Vec<f64> = els.iter().map(|e| e.electronegativity()).collect();
+    let max = chis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = chis.iter().cloned().fold(f64::INFINITY, f64::min);
+    let spread = max - min;
+    // Pure metals / intermetallics: gap 0. Ionic: up to ~9 eV (LiF-like).
+    if spread < 0.9 {
+        return 0.0;
+    }
+    // Quadratic rise with spread, modulated by anion presence.
+    let anionic = els.iter().any(|e| e.is_anion_former());
+    let base = 1.1 * (spread - 0.9).powi(2) + 0.4 * (spread - 0.9);
+    if anionic {
+        (base * 2.2).min(9.5)
+    } else {
+        (base * 0.8).min(4.0)
+    }
+}
+
+/// Deterministic per-structure phase offset so different compounds get
+/// visibly different (but reproducible) band shapes.
+fn structure_seed(s: &Structure) -> f64 {
+    let mut h = 0u64;
+    for b in s.formula().bytes() {
+        h = h.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    h = h.wrapping_add((s.lattice.volume() * 100.0) as u64);
+    (h % 1000) as f64 / 1000.0
+}
+
+/// Compute a synthetic band structure for `s` with `nbands` bands and
+/// `samples_per_segment` k-samples per path segment.
+pub fn compute_bands(s: &Structure, nbands: usize, samples_per_segment: usize) -> BandStructure {
+    let comp = s.composition();
+    let gap = estimate_band_gap(&comp);
+    let kpath = cubic_kpath();
+    let phase = structure_seed(s) * std::f64::consts::PI;
+    let nseg = kpath.len() - 1;
+    let nk = nseg * samples_per_segment;
+    let width = 2.0 + 4.0 / (1.0 + s.volume_per_atom() / 10.0); // bandwidth narrows with volume
+
+    let nval = nbands / 2;
+    let mut bands = Vec::with_capacity(nbands);
+    for b in 0..nbands {
+        let mut band = Vec::with_capacity(nk);
+        let is_valence = b < nval;
+        // Band centers: insulators stack away from E_F on both sides of
+        // the gap; metals overlap the Fermi level (partially filled
+        // bands cross E = 0).
+        let offset = if gap == 0.0 {
+            (b as f64 - (nbands as f64 - 1.0) / 2.0) * 0.5
+        } else if is_valence {
+            -(gap / 2.0) - (nval - b) as f64 * 0.9
+        } else {
+            (gap / 2.0) + (b - nval) as f64 * 0.9
+        };
+        for (seg, w) in kpath.windows(2).enumerate() {
+            for i in 0..samples_per_segment {
+                let t = i as f64 / samples_per_segment as f64;
+                let k = [
+                    w[0].frac[0] + t * (w[1].frac[0] - w[0].frac[0]),
+                    w[0].frac[1] + t * (w[1].frac[1] - w[0].frac[1]),
+                    w[0].frac[2] + t * (w[1].frac[2] - w[0].frac[2]),
+                ];
+                // Tight-binding cosine dispersion with a per-band phase.
+                let disp = (2.0 * std::f64::consts::PI * k[0] + phase + b as f64).cos()
+                    + (2.0 * std::f64::consts::PI * k[1] + 0.7 * phase).cos()
+                    + (2.0 * std::f64::consts::PI * k[2] + 1.3 * phase + seg as f64 * 0.1).cos();
+                // Dispersion amplitude shrinks near the gap edges so the
+                // gap estimate is respected; metals disperse through E_F.
+                let amp = width / 6.0;
+                let e = if gap == 0.0 {
+                    offset + amp * disp / 2.0
+                } else if is_valence {
+                    offset - amp * (disp + 3.0) / 2.0
+                } else {
+                    offset + amp * (disp + 3.0) / 2.0
+                };
+                band.push(e);
+            }
+        }
+        bands.push(band);
+    }
+
+    // Measure the actual gap between highest valence and lowest conduction.
+    let vbm_band = &bands[nval.saturating_sub(1)];
+    let cbm_band = &bands[nval.min(nbands - 1)];
+    let (mut vbm, mut vbm_k) = (f64::NEG_INFINITY, 0usize);
+    let (mut cbm, mut cbm_k) = (f64::INFINITY, 0usize);
+    for (i, &e) in vbm_band.iter().enumerate() {
+        if e > vbm {
+            vbm = e;
+            vbm_k = i;
+        }
+    }
+    for (i, &e) in cbm_band.iter().enumerate() {
+        if e < cbm {
+            cbm = e;
+            cbm_k = i;
+        }
+    }
+    let measured_gap = (cbm - vbm).max(0.0);
+    BandStructure {
+        kpath,
+        samples_per_segment,
+        bands,
+        band_gap: if gap == 0.0 { 0.0 } else { measured_gap },
+        is_direct: vbm_k == cbm_k,
+    }
+}
+
+impl BandStructure {
+    /// Is this a metal (zero gap)?
+    pub fn is_metal(&self) -> bool {
+        self.band_gap <= 1e-9
+    }
+
+    /// Serialize to a datastore document (band data included, which makes
+    /// these the *large* documents of the `bandstructures` collection).
+    pub fn to_doc(&self, material_id: &str) -> serde_json::Value {
+        serde_json::json!({
+            "material_id": material_id,
+            "band_gap": self.band_gap,
+            "is_direct": self.is_direct,
+            "is_metal": self.is_metal(),
+            "nbands": self.bands.len(),
+            "kpath": self.kpath.iter().map(|k| serde_json::json!({
+                "label": k.label, "frac": k.frac,
+            })).collect::<Vec<_>>(),
+            "bands": self.bands,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::prototypes;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn metals_have_zero_gap() {
+        let cu = prototypes::fcc(el("Cu"));
+        let bs = compute_bands(&cu, 8, 20);
+        assert!(bs.is_metal());
+    }
+
+    #[test]
+    fn ionic_compounds_have_gaps() {
+        let nacl = prototypes::rocksalt(el("Na"), el("Cl"));
+        let bs = compute_bands(&nacl, 8, 20);
+        assert!(bs.band_gap > 1.0, "NaCl gap {}", bs.band_gap);
+
+        let lif = prototypes::rocksalt(el("Li"), el("F"));
+        let bs_lif = compute_bands(&lif, 8, 20);
+        // LiF is more ionic than NaCl... both large; LiF among the largest.
+        assert!(bs_lif.band_gap > 3.0, "LiF gap {}", bs_lif.band_gap);
+    }
+
+    #[test]
+    fn gap_estimate_monotone_in_ionicity() {
+        let g_metal = estimate_band_gap(&Composition::parse("FeNi").unwrap());
+        let g_semi = estimate_band_gap(&Composition::parse("GaAs").unwrap());
+        let g_ionic = estimate_band_gap(&Composition::parse("LiF").unwrap());
+        assert_eq!(g_metal, 0.0);
+        assert!(g_semi < g_ionic);
+    }
+
+    #[test]
+    fn band_count_and_length() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let bs = compute_bands(&s, 10, 15);
+        assert_eq!(bs.bands.len(), 10);
+        let nk = (bs.kpath.len() - 1) * bs.samples_per_segment;
+        assert!(bs.bands.iter().all(|b| b.len() == nk));
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let a = compute_bands(&s, 8, 10);
+        let b = compute_bands(&s, 8, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn valence_below_conduction() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let bs = compute_bands(&s, 8, 10);
+        let vmax = bs.bands[3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cmin = bs.bands[4].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(vmax <= cmin + 1e-9);
+    }
+
+    #[test]
+    fn doc_export() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let d = compute_bands(&s, 8, 10).to_doc("mp-7");
+        assert_eq!(d["material_id"], "mp-7");
+        assert!(d["bands"].as_array().unwrap().len() == 8);
+    }
+}
+
+/// A density of states: energies and per-energy state density, computed
+/// from the band energies with Gaussian smearing — the other spectrum
+/// the web UI plots alongside the band structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityOfStates {
+    /// Energy grid (eV, E_F = 0).
+    pub energies: Vec<f64>,
+    /// States per eV per cell at each grid energy.
+    pub densities: Vec<f64>,
+    /// Smearing width used (eV).
+    pub sigma: f64,
+}
+
+impl BandStructure {
+    /// Compute the DOS on `npoints` energies spanning the band range,
+    /// with Gaussian smearing `sigma` (eV).
+    pub fn dos(&self, npoints: usize, sigma: f64) -> DensityOfStates {
+        let npoints = npoints.max(2);
+        let mut emin = f64::INFINITY;
+        let mut emax = f64::NEG_INFINITY;
+        for band in &self.bands {
+            for &e in band {
+                emin = emin.min(e);
+                emax = emax.max(e);
+            }
+        }
+        if !emin.is_finite() {
+            return DensityOfStates {
+                energies: vec![],
+                densities: vec![],
+                sigma,
+            };
+        }
+        let (emin, emax) = (emin - 4.0 * sigma, emax + 4.0 * sigma);
+        let de = (emax - emin) / (npoints - 1) as f64;
+        let energies: Vec<f64> = (0..npoints).map(|i| emin + de * i as f64).collect();
+        let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        let nk: f64 = self.bands.first().map(|b| b.len() as f64).unwrap_or(1.0);
+        let mut densities = vec![0.0f64; npoints];
+        for band in &self.bands {
+            for &ek in band {
+                // Only grid points within 5σ contribute measurably.
+                let lo = (((ek - 5.0 * sigma) - emin) / de).floor().max(0.0) as usize;
+                let hi = ((((ek + 5.0 * sigma) - emin) / de).ceil() as usize).min(npoints - 1);
+                for i in lo..=hi {
+                    let x = (energies[i] - ek) / sigma;
+                    densities[i] += norm * (-0.5 * x * x).exp() / nk;
+                }
+            }
+        }
+        DensityOfStates {
+            energies,
+            densities,
+            sigma,
+        }
+    }
+}
+
+impl DensityOfStates {
+    /// Integrated states over the whole grid (≈ number of bands).
+    pub fn integrated(&self) -> f64 {
+        if self.energies.len() < 2 {
+            return 0.0;
+        }
+        let de = self.energies[1] - self.energies[0];
+        self.densities.iter().sum::<f64>() * de
+    }
+
+    /// DOS at the Fermi level (E = 0); ~0 for insulators.
+    pub fn at_fermi(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        let mut val = 0.0;
+        for (e, d) in self.energies.iter().zip(&self.densities) {
+            if e.abs() < best {
+                best = e.abs();
+                val = *d;
+            }
+        }
+        val
+    }
+
+    /// Serialize to a datastore document.
+    pub fn to_doc(&self, material_id: &str) -> serde_json::Value {
+        serde_json::json!({
+            "material_id": material_id,
+            "sigma": self.sigma,
+            "npoints": self.energies.len(),
+            "energies": self.energies,
+            "densities": self.densities,
+        })
+    }
+}
+
+#[cfg(test)]
+mod dos_tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::prototypes;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn integrated_dos_counts_bands() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let bs = compute_bands(&s, 8, 20);
+        let dos = bs.dos(400, 0.1);
+        // ∫DOS dE = number of bands (each band contributes 1 state/cell).
+        assert!((dos.integrated() - 8.0).abs() < 0.2, "{}", dos.integrated());
+    }
+
+    #[test]
+    fn insulator_has_gap_in_dos() {
+        let s = prototypes::rocksalt(el("Li"), el("F"));
+        let bs = compute_bands(&s, 8, 20);
+        assert!(!bs.is_metal());
+        let dos = bs.dos(500, 0.05);
+        assert!(dos.at_fermi() < 0.05, "DOS at E_F = {}", dos.at_fermi());
+    }
+
+    #[test]
+    fn metal_has_states_at_fermi() {
+        let s = prototypes::fcc(el("Cu"));
+        let bs = compute_bands(&s, 8, 20);
+        assert!(bs.is_metal());
+        let dos = bs.dos(500, 0.1);
+        assert!(dos.at_fermi() > 0.05, "DOS at E_F = {}", dos.at_fermi());
+    }
+
+    #[test]
+    fn empty_bands_degenerate() {
+        let bs = BandStructure {
+            kpath: cubic_kpath(),
+            samples_per_segment: 0,
+            bands: vec![],
+            band_gap: 0.0,
+            is_direct: false,
+        };
+        let dos = bs.dos(100, 0.1);
+        assert!(dos.energies.is_empty());
+        assert_eq!(dos.integrated(), 0.0);
+    }
+
+    #[test]
+    fn doc_export() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let dos = compute_bands(&s, 6, 10).dos(50, 0.2);
+        let d = dos.to_doc("mp-9");
+        assert_eq!(d["npoints"], 50);
+        assert_eq!(d["material_id"], "mp-9");
+    }
+}

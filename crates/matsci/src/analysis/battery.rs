@@ -1,0 +1,414 @@
+//! Battery electrode analysis: voltages and capacities.
+//!
+//! Figure 1 of the paper plots screened battery materials as predicted
+//! voltage vs. gravimetric capacity. Both quantities derive from computed
+//! total energies:
+//!
+//! * **voltage** of an intercalation step between alkali contents
+//!   `x1 < x2` of a host H:
+//!   `V = -[E(A_x2 H) - E(A_x1 H) - (x2-x1)·E(A)] / (x2-x1)` (eV per ion
+//!   = volts for a singly-charged ion);
+//! * **gravimetric capacity**: `C = n_ion · F / (3.6 · M_discharged)`
+//!   in mAh/g with F = 96485 C/mol.
+
+use crate::composition::Composition;
+use crate::element::Element;
+use serde::{Deserialize, Serialize};
+
+/// Faraday constant (C/mol).
+pub const FARADAY: f64 = 96_485.332;
+
+/// One lithiation state of an electrode: `x` ions per framework formula
+/// unit with total energy `energy` (eV per framework formula unit,
+/// including the ions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LithiationPoint {
+    /// Working ions per framework formula unit.
+    pub x: f64,
+    /// Total energy (eV / framework f.u.).
+    pub energy: f64,
+}
+
+/// A voltage plateau between two adjacent stable lithiation states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageStep {
+    /// Ion content at the charged end.
+    pub x_from: f64,
+    /// Ion content at the discharged end.
+    pub x_to: f64,
+    /// Step voltage (V).
+    pub voltage: f64,
+}
+
+/// An analyzed insertion electrode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertionElectrode {
+    /// Host framework composition (per formula unit, no working ions).
+    pub framework: Composition,
+    /// The working ion.
+    pub working_ion: Element,
+    /// Reference energy of the working-ion metal (eV/atom).
+    pub ion_reference_energy: f64,
+    /// Voltage profile, ordered by increasing x.
+    pub steps: Vec<VoltageStep>,
+}
+
+impl InsertionElectrode {
+    /// Build from lithiation points. Points not on the lower convex hull
+    /// of (x, E) are dropped — they are not thermodynamically visited on
+    /// (dis)charge; the resulting voltage profile is monotonically
+    /// non-increasing, as physics requires.
+    pub fn new(
+        framework: Composition,
+        working_ion: Element,
+        ion_reference_energy: f64,
+        mut points: Vec<LithiationPoint>,
+    ) -> Result<InsertionElectrode, String> {
+        if points.len() < 2 {
+            return Err("need at least two lithiation states".into());
+        }
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite x"));
+        if points
+            .windows(2)
+            .any(|w| (w[1].x - w[0].x).abs() < 1e-12)
+        {
+            return Err("duplicate lithiation states".into());
+        }
+        // Lower convex hull in (x, E) by monotone-chain.
+        let mut hull: Vec<LithiationPoint> = Vec::with_capacity(points.len());
+        for p in points {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                let cross = (b.x - a.x) * (p.energy - a.energy) - (b.energy - a.energy) * (p.x - a.x);
+                if cross <= 0.0 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        let steps: Vec<VoltageStep> = hull
+            .windows(2)
+            .map(|w| {
+                let dx = w[1].x - w[0].x;
+                let de = w[1].energy - w[0].energy;
+                VoltageStep {
+                    x_from: w[0].x,
+                    x_to: w[1].x,
+                    voltage: -(de / dx - ion_reference_energy),
+                }
+            })
+            .collect();
+        Ok(InsertionElectrode {
+            framework,
+            working_ion,
+            ion_reference_energy,
+            steps,
+        })
+    }
+
+    /// Total ion range (x_max - x_min).
+    pub fn delta_x(&self) -> f64 {
+        match (self.steps.first(), self.steps.last()) {
+            (Some(f), Some(l)) => l.x_to - f.x_from,
+            _ => 0.0,
+        }
+    }
+
+    /// Capacity-weighted average voltage (V).
+    pub fn average_voltage(&self) -> f64 {
+        let dx = self.delta_x();
+        if dx == 0.0 {
+            return 0.0;
+        }
+        self.steps
+            .iter()
+            .map(|s| s.voltage * (s.x_to - s.x_from))
+            .sum::<f64>()
+            / dx
+    }
+
+    /// Maximum and minimum step voltage.
+    pub fn voltage_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.steps {
+            lo = lo.min(s.voltage);
+            hi = hi.max(s.voltage);
+        }
+        (lo, hi)
+    }
+
+    /// Gravimetric capacity (mAh/g) against the fully discharged mass.
+    pub fn gravimetric_capacity(&self) -> f64 {
+        let dx = self.delta_x();
+        let x_max = self.steps.last().map(|s| s.x_to).unwrap_or(0.0);
+        let m_discharged =
+            self.framework.weight() + x_max * self.working_ion.mass();
+        if m_discharged <= 0.0 {
+            return 0.0;
+        }
+        dx * FARADAY / (3.6 * m_discharged)
+    }
+
+    /// Specific energy (Wh/kg) = average voltage × capacity.
+    pub fn specific_energy(&self) -> f64 {
+        self.average_voltage() * self.gravimetric_capacity()
+    }
+
+    /// Is the voltage profile physically valid (monotone non-increasing,
+    /// all steps positive)?
+    pub fn is_valid_profile(&self) -> bool {
+        self.steps.windows(2).all(|w| w[0].voltage >= w[1].voltage - 1e-9)
+            && self.steps.iter().all(|s| s.voltage.is_finite())
+    }
+
+    /// Serialize to a datastore document for the `batteries` collection.
+    pub fn to_doc(&self, battery_id: &str) -> serde_json::Value {
+        serde_json::json!({
+            "_id": battery_id,
+            "battery_id": battery_id,
+            "type": "intercalation",
+            "framework": self.framework.reduced_formula(),
+            "working_ion": self.working_ion.symbol(),
+            "average_voltage": self.average_voltage(),
+            "max_voltage": self.voltage_range().1,
+            "min_voltage": self.voltage_range().0,
+            "capacity_grav": self.gravimetric_capacity(),
+            "specific_energy": self.specific_energy(),
+            "nsteps": self.steps.len(),
+            "steps": self.steps.iter().map(|s| serde_json::json!({
+                "x_from": s.x_from, "x_to": s.x_to, "voltage": s.voltage
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// A conversion-battery analysis: the reactant converts entirely to new
+/// phases on reaction with the working ion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionElectrode {
+    /// Reactant composition.
+    pub reactant: Composition,
+    /// The working ion.
+    pub working_ion: Element,
+    /// Ions consumed per reactant formula unit.
+    pub x_ions: f64,
+    /// Reaction voltage (V).
+    pub voltage: f64,
+}
+
+impl ConversionElectrode {
+    /// From the reaction energy: `reactant + x·A → products`,
+    /// `ΔE = E_products - E_reactant - x·E_A` (eV per reactant f.u.).
+    pub fn from_reaction_energy(
+        reactant: Composition,
+        working_ion: Element,
+        x_ions: f64,
+        reaction_energy: f64,
+    ) -> ConversionElectrode {
+        ConversionElectrode {
+            reactant,
+            working_ion,
+            x_ions,
+            voltage: if x_ions > 0.0 {
+                -reaction_energy / x_ions
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Gravimetric capacity (mAh/g), against the lithiated product mass.
+    pub fn gravimetric_capacity(&self) -> f64 {
+        let m = self.reactant.weight() + self.x_ions * self.working_ion.mass();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        self.x_ions * FARADAY / (3.6 * m)
+    }
+
+    /// Serialize to a datastore document.
+    pub fn to_doc(&self, battery_id: &str) -> serde_json::Value {
+        serde_json::json!({
+            "_id": battery_id,
+            "battery_id": battery_id,
+            "type": "conversion",
+            "reactant": self.reactant.reduced_formula(),
+            "working_ion": self.working_ion.symbol(),
+            "x_ions": self.x_ions,
+            "average_voltage": self.voltage,
+            "capacity_grav": self.gravimetric_capacity(),
+            "specific_energy": self.voltage * self.gravimetric_capacity(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li() -> Element {
+        Element::from_symbol("Li").unwrap()
+    }
+
+    fn coo2() -> Composition {
+        Composition::parse("CoO2").unwrap()
+    }
+
+    #[test]
+    fn two_point_voltage() {
+        // E(CoO2) = -20, E(LiCoO2) = -24, E(Li) = 0 → V = 4.0 V.
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(e.steps.len(), 1);
+        assert!((e.average_voltage() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ion_reference_shifts_voltage() {
+        // With E(Li metal) = -1.9: V = -( -4 - (-1.9) ) = 2.1.
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            -1.9,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        assert!((e.average_voltage() - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metastable_point_dropped() {
+        // A high-energy intermediate above the hull must not create steps.
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 0.5, energy: -18.0 }, // above tieline
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(e.steps.len(), 1);
+        assert!(e.is_valid_profile());
+    }
+
+    #[test]
+    fn stable_intermediate_creates_two_plateaus() {
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 0.5, energy: -22.5 }, // below tieline
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(e.steps.len(), 2);
+        // First step: -(-2.5/0.5) = 5.0; second: -(-1.5/0.5) = 3.0.
+        assert!((e.steps[0].voltage - 5.0).abs() < 1e-9);
+        assert!((e.steps[1].voltage - 3.0).abs() < 1e-9);
+        assert!(e.is_valid_profile());
+        // Average = (5·0.5 + 3·0.5)/1 = 4.
+        assert!((e.average_voltage() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn licoo2_capacity_is_realistic() {
+        // Known: LiCoO2 theoretical capacity ≈ 274 mAh/g for x ∈ [0,1].
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        let c = e.gravimetric_capacity();
+        assert!((c - 274.0).abs() < 3.0, "capacity {c}");
+    }
+
+    #[test]
+    fn specific_energy() {
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        let se = e.specific_energy();
+        assert!((se - 4.0 * e.gravimetric_capacity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(InsertionElectrode::new(coo2(), li(), 0.0, vec![]).is_err());
+        assert!(InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.5, energy: -1.0 },
+                LithiationPoint { x: 0.5, energy: -2.0 },
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn conversion_voltage_and_capacity() {
+        // Fe2O3 + 6 Li → 2 Fe + 3 Li2O, ΔE = -12 eV → V = 2 V.
+        let c = ConversionElectrode::from_reaction_energy(
+            Composition::parse("Fe2O3").unwrap(),
+            li(),
+            6.0,
+            -12.0,
+        );
+        assert!((c.voltage - 2.0).abs() < 1e-9);
+        // Conversion capacities are large (>600 mAh/g here).
+        let cap = c.gravimetric_capacity();
+        assert!(cap > 600.0 && cap < 1200.0, "capacity {cap}");
+    }
+
+    #[test]
+    fn docs_have_screening_fields() {
+        let e = InsertionElectrode::new(
+            coo2(),
+            li(),
+            0.0,
+            vec![
+                LithiationPoint { x: 0.0, energy: -20.0 },
+                LithiationPoint { x: 1.0, energy: -24.0 },
+            ],
+        )
+        .unwrap();
+        let d = e.to_doc("bat-1");
+        assert_eq!(d["working_ion"], "Li");
+        assert!(d["average_voltage"].as_f64().unwrap() > 0.0);
+        assert!(d["capacity_grav"].as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Ion-migration screening.
+//!
+//! The paper's battery story continues past voltage and capacity:
+//! "further computations can be used to screen promising candidates for
+//! other important properties such as Li diffusivity (related to power
+//! delivered by the cell)". This module implements the standard cheap
+//! geometric screen: the migration **bottleneck radius** along the
+//! straight path between neighboring working-ion sites, an empirical
+//! barrier from it, and an Arrhenius diffusivity.
+
+use crate::element::Element;
+use crate::lattice::norm;
+use crate::structure::Structure;
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann constant (eV/K).
+pub const K_B: f64 = 8.617_333e-5;
+
+/// Result of the geometric migration analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPath {
+    /// Hop length between the two ion sites (Å).
+    pub hop_length: f64,
+    /// Bottleneck radius: the largest sphere that can pass (Å).
+    pub bottleneck_radius: f64,
+    /// Empirical migration barrier (eV).
+    pub barrier_ev: f64,
+}
+
+/// Shortest distance from point `p` to segment `a`–`b` (all Cartesian).
+fn point_segment_distance(p: [f64; 3], a: [f64; 3], b: [f64; 3]) -> f64 {
+    let ab = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+    let ap = [p[0] - a[0], p[1] - a[1], p[2] - a[2]];
+    let len2 = ab[0] * ab[0] + ab[1] * ab[1] + ab[2] * ab[2];
+    if len2 == 0.0 {
+        return norm(&ap);
+    }
+    let t = ((ap[0] * ab[0] + ap[1] * ab[1] + ap[2] * ab[2]) / len2).clamp(0.0, 1.0);
+    let c = [a[0] + t * ab[0], a[1] + t * ab[1], a[2] + t * ab[2]];
+    norm(&[p[0] - c[0], p[1] - c[1], p[2] - c[2]])
+}
+
+/// Analyze the easiest migration path of `ion` in `structure`: for each
+/// pair of nearest ion sites, walk the straight path and find the
+/// framework atom that pinches it most; return the best (widest) path.
+///
+/// Returns `None` when the structure has fewer than two ion sites (no
+/// hop to analyze).
+pub fn easiest_path(structure: &Structure, ion: Element) -> Option<MigrationPath> {
+    let ion_sites: Vec<usize> = (0..structure.num_sites())
+        .filter(|&i| structure.sites[i].element == ion)
+        .collect();
+    if ion_sites.len() < 2 {
+        return None;
+    }
+    let lattice = &structure.lattice;
+    let mut best: Option<MigrationPath> = None;
+    for (ii, &i) in ion_sites.iter().enumerate() {
+        // Hop to the nearest ion neighbor (across images).
+        let fi = structure.sites[i].frac;
+        let a = lattice.to_cartesian(&fi);
+        for &j in ion_sites.iter().skip(ii + 1) {
+            // Find the nearest image of j.
+            let fj = structure.sites[j].frac;
+            let mut best_img = [0.0; 3];
+            let mut best_d = f64::INFINITY;
+            for di in -1i32..=1 {
+                for dj in -1i32..=1 {
+                    for dk in -1i32..=1 {
+                        let img = [
+                            fj[0] + di as f64,
+                            fj[1] + dj as f64,
+                            fj[2] + dk as f64,
+                        ];
+                        let c = lattice.to_cartesian(&img);
+                        let d = norm(&[c[0] - a[0], c[1] - a[1], c[2] - a[2]]);
+                        if d < best_d {
+                            best_d = d;
+                            best_img = img;
+                        }
+                    }
+                }
+            }
+            if best_d > 6.0 {
+                continue; // Not a plausible single hop.
+            }
+            let b = lattice.to_cartesian(&best_img);
+            // Bottleneck: the framework atom (non-ion) closest to the
+            // path, minus its radius, over all nearby images.
+            let mut bottleneck = f64::INFINITY;
+            for (k, site) in structure.sites.iter().enumerate() {
+                if site.element == ion && (k == i || k == j) {
+                    continue;
+                }
+                for di in -1i32..=1 {
+                    for dj in -1i32..=1 {
+                        for dk in -1i32..=1 {
+                            let img = [
+                                site.frac[0] + di as f64,
+                                site.frac[1] + dj as f64,
+                                site.frac[2] + dk as f64,
+                            ];
+                            let p = lattice.to_cartesian(&img);
+                            let d = point_segment_distance(p, a, b);
+                            bottleneck = bottleneck.min(d - site.element.radius());
+                        }
+                    }
+                }
+            }
+            if !bottleneck.is_finite() {
+                continue;
+            }
+            let path = MigrationPath {
+                hop_length: best_d,
+                bottleneck_radius: bottleneck,
+                barrier_ev: barrier_from_bottleneck(bottleneck, best_d),
+            };
+            match &best {
+                Some(p) if p.barrier_ev <= path.barrier_ev => {}
+                _ => best = Some(path),
+            }
+        }
+    }
+    best
+}
+
+/// Empirical barrier model: wide bottlenecks and short hops migrate
+/// easily. Calibrated so good conductors land at 0.2–0.4 eV and blocked
+/// channels above 1 eV (the screening thresholds used in practice).
+pub fn barrier_from_bottleneck(bottleneck_radius: f64, hop_length: f64) -> f64 {
+    let squeeze = (0.9 - bottleneck_radius).max(0.0); // Å of pinch vs a roomy channel
+    let stretch = (hop_length - 2.2).max(0.0); // long hops cost extra
+    (0.18 + 1.4 * squeeze + 0.12 * stretch).min(3.0)
+}
+
+/// Arrhenius diffusivity (cm²/s) at temperature `t_k` for a barrier.
+pub fn diffusivity(barrier_ev: f64, t_k: f64) -> f64 {
+    const D0: f64 = 1e-3; // attempt prefactor, cm²/s
+    D0 * (-barrier_ev / (K_B * t_k)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototypes;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn needs_two_ion_sites() {
+        let s = prototypes::perovskite(el("Sr"), el("Ti"), el("O"));
+        assert!(easiest_path(&s, el("Li")).is_none());
+        // One Li site only:
+        let s = prototypes::layered_amo2(el("Li"), el("Co"), el("O"));
+        assert!(easiest_path(&s, el("Li")).is_none());
+    }
+
+    #[test]
+    fn supercell_exposes_hops() {
+        let s = prototypes::layered_amo2(el("Li"), el("Co"), el("O")).supercell(2, 2, 1);
+        let path = easiest_path(&s, el("Li")).unwrap();
+        assert!(path.hop_length > 1.5 && path.hop_length < 6.0, "{path:?}");
+        assert!(path.barrier_ev > 0.0 && path.barrier_ev <= 3.0);
+    }
+
+    #[test]
+    fn layered_conducts_better_than_close_packed() {
+        // In-plane Li hops in a layered oxide see a wider channel than
+        // Li squeezed through a rocksalt cage.
+        let layered = prototypes::layered_amo2(el("Li"), el("Co"), el("O")).supercell(2, 2, 1);
+        let rocksalt = prototypes::rocksalt(el("Li"), el("O"));
+        let p_lay = easiest_path(&layered, el("Li")).unwrap();
+        let p_rs = easiest_path(&rocksalt, el("Li")).unwrap();
+        assert!(
+            p_lay.barrier_ev < p_rs.barrier_ev,
+            "layered {p_lay:?} vs rocksalt {p_rs:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_monotone_in_bottleneck() {
+        let wide = barrier_from_bottleneck(1.2, 3.0);
+        let narrow = barrier_from_bottleneck(0.2, 3.0);
+        assert!(wide < narrow);
+        let short = barrier_from_bottleneck(0.5, 2.0);
+        let long = barrier_from_bottleneck(0.5, 5.0);
+        assert!(short < long);
+    }
+
+    #[test]
+    fn diffusivity_arrhenius() {
+        let d_room = diffusivity(0.3, 300.0);
+        let d_hot = diffusivity(0.3, 600.0);
+        assert!(d_hot > d_room);
+        let d_blocked = diffusivity(1.5, 300.0);
+        assert!(d_blocked < d_room * 1e-10);
+        // Good-conductor ballpark: 1e-9..1e-6 cm²/s at 300 K for ~0.3 eV.
+        assert!(d_room > 1e-10 && d_room < 1e-4, "{d_room}");
+    }
+
+    #[test]
+    fn point_segment_geometry() {
+        let d = point_segment_distance([0.0, 1.0, 0.0], [-1.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        assert!((d - 1.0).abs() < 1e-12);
+        // Beyond the endpoint, distance is to the endpoint.
+        let d = point_segment_distance([3.0, 0.0, 0.0], [-1.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        assert!((d - 2.0).abs() < 1e-12);
+        // Degenerate segment.
+        let d = point_segment_distance([0.0, 0.0, 2.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+}

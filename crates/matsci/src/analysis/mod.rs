@@ -1,0 +1,13 @@
+//! Analysis tools: the "open analytics platform" of §III-D3.
+//!
+//! The pymatgen-equivalent analyses the paper names: phase diagrams
+//! (stability), battery electrodes (voltage/capacity), x-ray diffraction
+//! patterns, and band structures — plus the small LP solver the convex
+//! hull is built on.
+
+pub mod bandstructure;
+pub mod diffusion;
+pub mod battery;
+pub mod phase_diagram;
+pub mod simplex;
+pub mod xrd;

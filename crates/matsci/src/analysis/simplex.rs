@@ -1,0 +1,222 @@
+//! A small dense two-phase simplex solver for equality-constrained LPs:
+//!
+//! minimize `c·x`  subject to  `A x = b`, `x ≥ 0`.
+//!
+//! Phase-diagram construction needs exactly this: the energy of the
+//! convex hull at a composition is the minimum energy of any
+//! non-negative mixture of known phases with that composition. Problem
+//! sizes are tiny (constraints = number of elements + 1, variables =
+//! number of candidate phases), so a dense tableau with Bland's
+//! anti-cycling rule is the right tool.
+
+#![allow(clippy::needless_range_loop)]
+
+/// Result of a successful solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solve `min c·x  s.t.  A x = b, x ≥ 0`.
+///
+/// Returns `None` when infeasible. The problem must be bounded (phase
+/// diagram LPs always are, because Σλ = 1 is among the constraints).
+pub fn solve_min(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<LpSolution> {
+    let m = a.len();
+    let n = c.len();
+    debug_assert!(a.iter().all(|row| row.len() == n));
+    debug_assert_eq!(b.len(), m);
+
+    // Tableau: columns = n structural + m artificial + 1 rhs.
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m];
+    for i in 0..m {
+        let flip = if b[i] < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i][j] = flip * a[i][j];
+        }
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = flip * b[i];
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Phase 1: minimize the sum of artificials. The reduced-cost row is
+    // c' − Σ rows with c' = [0…0, 1…1], so artificial (basic) columns
+    // start at exactly zero.
+    let mut obj = vec![0.0f64; cols];
+    for i in 0..m {
+        for j in 0..cols {
+            obj[j] -= t[i][j];
+        }
+    }
+    for i in 0..m {
+        obj[n + i] += 1.0;
+    }
+    pivot_until_optimal(&mut t, &mut obj, &mut basis, n + m)?;
+    let phase1 = -obj[cols - 1];
+    if phase1 > 1e-7 {
+        return None; // Infeasible.
+    }
+    // Drive any artificial still in the basis out (degenerate cases).
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut vec![0.0; cols], i, j, &mut basis);
+            }
+        }
+    }
+
+    // Phase 2: original objective expressed in the current basis.
+    let mut obj = vec![0.0f64; cols];
+    obj[..n].copy_from_slice(c);
+    for i in 0..m {
+        let bj = basis[i];
+        if bj < n && obj[bj].abs() > 0.0 {
+            let coef = obj[bj];
+            for j in 0..cols {
+                obj[j] -= coef * t[i][j];
+            }
+        }
+    }
+    pivot_until_optimal(&mut t, &mut obj, &mut basis, n)?;
+
+    let mut x = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][cols - 1];
+        }
+    }
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    Some(LpSolution { objective, x })
+}
+
+/// Run simplex iterations (Bland's rule) until no negative reduced cost
+/// among the first `allowed_cols` columns. Returns `None` if unbounded.
+fn pivot_until_optimal(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    allowed_cols: usize,
+) -> Option<()> {
+    let m = t.len();
+    let cols = obj.len();
+    for _ in 0..10_000 {
+        // Entering column: smallest index with negative reduced cost.
+        let enter = (0..allowed_cols).find(|&j| obj[j] < -EPS);
+        let Some(enter) = enter else {
+            return Some(());
+        };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][cols - 1] / t[i][enter];
+                if ratio < best - EPS || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false)) {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let leave = leave?; // None → unbounded.
+        pivot(t, obj, leave, enter, basis);
+    }
+    None // Iteration cap: treat as failure rather than looping forever.
+}
+
+fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, basis: &mut [usize]) {
+    let cols = t[row].len();
+    let p = t[row][col];
+    for j in 0..cols {
+        t[row][j] /= p;
+    }
+    for i in 0..t.len() {
+        if i != row && t[i][col].abs() > EPS {
+            let f = t[i][col];
+            for j in 0..cols {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+    if obj[col].abs() > EPS {
+        let f = obj[col];
+        for j in 0..cols {
+            obj[j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_single_variable() {
+        // min 3x s.t. x = 2 → 6.
+        let sol = solve_min(&[3.0], &[vec![1.0]], &[2.0]).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_picks_cheapest() {
+        // min c·λ s.t. λ1 + λ2 = 1: picks the cheaper endpoint.
+        let sol = solve_min(&[5.0, 2.0], &[vec![1.0, 1.0]], &[1.0]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_constrained_mixture() {
+        // Phases: A (x=0, E=0), B (x=1, E=0), AB (x=0.5, E=-1).
+        // Target x = 0.25 → 0.5·A + 0.5·AB → E = -0.5.
+        let c = vec![0.0, 0.0, -1.0];
+        let a = vec![
+            vec![0.0, 1.0, 0.5], // composition coordinate
+            vec![1.0, 1.0, 1.0], // normalization
+        ];
+        let sol = solve_min(&c, &a, &[0.25, 1.0]).unwrap();
+        assert!((sol.objective + 0.5).abs() < 1e-9, "{}", sol.objective);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x = 1 and x = 2 simultaneously.
+        assert!(solve_min(&[1.0], &[vec![1.0], vec![1.0]], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x s.t. -x = -3 → x = 3.
+        let sol = solve_min(&[1.0], &[vec![-1.0]], &[-3.0]).unwrap();
+        assert!((sol.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_redundant_constraint() {
+        // Two identical constraints.
+        let sol = solve_min(&[1.0, 1.0], &[vec![1.0, 1.0], vec![1.0, 1.0]], &[1.0, 1.0]).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_random_feasibility() {
+        // min Σ xi over a stochastic-matrix-like system stays bounded.
+        let a = vec![
+            vec![0.2, 0.5, 0.1, 0.9],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ];
+        let sol = solve_min(&[1.0, 1.0, 1.0, 1.0], &a, &[0.4, 1.0]).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+        // Solution satisfies constraints.
+        let x = &sol.x;
+        let c0: f64 = a[0].iter().zip(x).map(|(ai, xi)| ai * xi).sum();
+        assert!((c0 - 0.4).abs() < 1e-7);
+    }
+}

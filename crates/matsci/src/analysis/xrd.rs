@@ -1,0 +1,227 @@
+//! Powder X-ray diffraction patterns.
+//!
+//! The web UI visualizes "diffraction patterns" (§III-D1) and the
+//! datastore keeps a collection of them (§III-B3). Patterns are computed
+//! the textbook way: enumerate Miller indices, Bragg's law for 2θ from
+//! the d-spacing, kinematic structure factor with atomic scattering
+//! amplitude approximated by Z, and a Lorentz-polarization correction.
+
+use crate::structure::Structure;
+use serde::{Deserialize, Serialize};
+
+/// Cu Kα wavelength (Å), the standard lab source.
+pub const CU_KA: f64 = 1.54056;
+
+/// One diffraction peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Scattering angle 2θ (degrees).
+    pub two_theta: f64,
+    /// Interplanar spacing (Å).
+    pub d: f64,
+    /// Relative intensity, normalized to 100 for the strongest peak.
+    pub intensity: f64,
+    /// A representative (hkl) for the peak.
+    pub hkl: (i32, i32, i32),
+}
+
+/// A full powder pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XrdPattern {
+    /// Wavelength used (Å).
+    pub wavelength: f64,
+    /// Peaks ordered by 2θ.
+    pub peaks: Vec<Peak>,
+}
+
+/// Compute the powder pattern of `s` for wavelength `lambda` up to
+/// `two_theta_max` degrees.
+pub fn compute_pattern(s: &Structure, lambda: f64, two_theta_max: f64) -> XrdPattern {
+    let rec = s.lattice.reciprocal();
+    let d_min = lambda / (2.0 * (two_theta_max.to_radians() / 2.0).sin());
+    // Conservative index bound from the shortest reciprocal vector.
+    let max_idx = {
+        let ls = s.lattice.lengths();
+        let longest = ls.iter().cloned().fold(0.0f64, f64::max);
+        ((longest / d_min).ceil() as i32).clamp(1, 12)
+    };
+
+    // Accumulate peaks, merging reflections at the same 2θ (powder rings).
+    // (two_theta, d, intensity, hkl)
+    type RawPeak = (f64, f64, f64, (i32, i32, i32));
+    let mut raw: Vec<RawPeak> = Vec::new();
+    for h in -max_idx..=max_idx {
+        for k in -max_idx..=max_idx {
+            for l in -max_idx..=max_idx {
+                if h == 0 && k == 0 && l == 0 {
+                    continue;
+                }
+                let g = rec.to_cartesian(&[h as f64, k as f64, l as f64]);
+                let gn = crate::lattice::norm(&g);
+                let d = 1.0 / gn;
+                if d < d_min {
+                    continue;
+                }
+                let sin_theta = lambda / (2.0 * d);
+                if sin_theta > 1.0 {
+                    continue;
+                }
+                let theta = sin_theta.asin();
+                let two_theta = 2.0 * theta.to_degrees();
+                // Structure factor F = Σ f_j exp(2πi (h·r_j)).
+                let (mut re, mut im) = (0.0f64, 0.0f64);
+                for site in &s.sites {
+                    let phase = 2.0
+                        * std::f64::consts::PI
+                        * (h as f64 * site.frac[0]
+                            + k as f64 * site.frac[1]
+                            + l as f64 * site.frac[2]);
+                    // Angle-dependent form factor: f ≈ Z·exp(-B s²) with
+                    // s = sinθ/λ and a universal B, a standard
+                    // approximation for relative intensities.
+                    let sf = site.element.z() as f64
+                        * (-1.5 * (sin_theta / lambda).powi(2)).exp();
+                    re += sf * phase.cos();
+                    im += sf * phase.sin();
+                }
+                let f2 = re * re + im * im;
+                if f2 < 1e-8 {
+                    continue;
+                }
+                // Lorentz-polarization factor.
+                let lp = (1.0 + (2.0 * theta).cos().powi(2))
+                    / ((theta).sin().powi(2) * (theta).cos());
+                raw.push((two_theta, d, f2 * lp, (h, k, l)));
+            }
+        }
+    }
+    raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite angles"));
+    let mut peaks: Vec<Peak> = Vec::new();
+    for (tt, d, i, hkl) in raw {
+        match peaks.last_mut() {
+            Some(p) if (p.two_theta - tt).abs() < 0.05 => {
+                p.intensity += i;
+            }
+            _ => peaks.push(Peak {
+                two_theta: tt,
+                d,
+                intensity: i,
+                hkl,
+            }),
+        }
+    }
+    let max_i = peaks.iter().map(|p| p.intensity).fold(0.0f64, f64::max);
+    if max_i > 0.0 {
+        for p in &mut peaks {
+            p.intensity = 100.0 * p.intensity / max_i;
+        }
+    }
+    // Drop numerical dust.
+    peaks.retain(|p| p.intensity > 0.1);
+    XrdPattern {
+        wavelength: lambda,
+        peaks,
+    }
+}
+
+impl XrdPattern {
+    /// The strongest peak.
+    pub fn strongest(&self) -> Option<&Peak> {
+        self.peaks
+            .iter()
+            .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).expect("finite"))
+    }
+
+    /// Serialize to a datastore document.
+    pub fn to_doc(&self, material_id: &str) -> serde_json::Value {
+        serde_json::json!({
+            "material_id": material_id,
+            "wavelength": self.wavelength,
+            "npeaks": self.peaks.len(),
+            "peaks": self.peaks.iter().map(|p| serde_json::json!({
+                "two_theta": p.two_theta,
+                "d": p.d,
+                "intensity": p.intensity,
+                "hkl": [p.hkl.0, p.hkl.1, p.hkl.2],
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::prototypes;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn nacl_peak_positions() {
+        // NaCl a = 5.64 Å: (111) at 2θ ≈ 27.4°, (200) ≈ 31.7°, (220) ≈ 45.5°.
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let s = Structure {
+            lattice: crate::lattice::Lattice::cubic(5.64),
+            sites: s.sites,
+        };
+        let pat = compute_pattern(&s, CU_KA, 60.0);
+        assert!(!pat.peaks.is_empty());
+        let has_peak_near = |tt: f64| pat.peaks.iter().any(|p| (p.two_theta - tt).abs() < 0.3);
+        assert!(has_peak_near(31.7), "missing (200): {:?}", pat.peaks.iter().map(|p| p.two_theta).collect::<Vec<_>>());
+        assert!(has_peak_near(45.5), "missing (220)");
+    }
+
+    #[test]
+    fn fcc_extinction_rules() {
+        // FCC: reflections with mixed-parity hkl are extinct; for rocksalt
+        // with near-equal Z this strongly suppresses (100).
+        let s = prototypes::fcc(el("Cu"));
+        let pat = compute_pattern(&s, CU_KA, 90.0);
+        let a = s.lattice.lengths()[0];
+        // (100) would be at d = a.
+        let d100 = a;
+        let tt100 = 2.0 * (CU_KA / (2.0 * d100)).asin().to_degrees();
+        assert!(
+            !pat.peaks.iter().any(|p| (p.two_theta - tt100).abs() < 0.2),
+            "(100) should be extinct for FCC"
+        );
+    }
+
+    #[test]
+    fn intensities_normalized() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let pat = compute_pattern(&s, CU_KA, 80.0);
+        let max = pat.strongest().unwrap().intensity;
+        assert!((max - 100.0).abs() < 1e-9);
+        assert!(pat.peaks.iter().all(|p| p.intensity <= 100.0 + 1e-9));
+    }
+
+    #[test]
+    fn peaks_sorted_by_angle() {
+        let s = prototypes::perovskite(el("Sr"), el("Ti"), el("O"));
+        let pat = compute_pattern(&s, CU_KA, 90.0);
+        assert!(pat
+            .peaks
+            .windows(2)
+            .all(|w| w[0].two_theta <= w[1].two_theta));
+    }
+
+    #[test]
+    fn different_structures_different_patterns() {
+        let p1 = compute_pattern(&prototypes::rocksalt(el("Na"), el("Cl")), CU_KA, 60.0);
+        let p2 = compute_pattern(&prototypes::zincblende(el("Zn"), el("S")), CU_KA, 60.0);
+        let a1: Vec<i64> = p1.peaks.iter().map(|p| (p.two_theta * 10.0) as i64).collect();
+        let a2: Vec<i64> = p2.peaks.iter().map(|p| (p.two_theta * 10.0) as i64).collect();
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn doc_export() {
+        let s = prototypes::rocksalt(el("Na"), el("Cl"));
+        let d = compute_pattern(&s, CU_KA, 60.0).to_doc("mp-1");
+        assert_eq!(d["material_id"], "mp-1");
+        assert!(d["npeaks"].as_u64().unwrap() > 0);
+    }
+}

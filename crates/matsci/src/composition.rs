@@ -1,0 +1,461 @@
+//! Chemical compositions: formula parsing, reduction, and derived
+//! quantities (weight, electron count, chemical system).
+
+use crate::element::{Element, UnknownElement};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An amount-weighted set of elements, e.g. `LiFePO4`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Composition {
+    /// Element → amount (formula units; may be fractional).
+    amounts: BTreeMap<Element, f64>,
+}
+
+/// Errors from formula parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaError {
+    /// Unknown element symbol.
+    UnknownElement(String),
+    /// Structural problem in the formula string.
+    Malformed(String),
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::UnknownElement(s) => write!(f, "unknown element '{s}'"),
+            FormulaError::Malformed(s) => write!(f, "malformed formula: {s}"),
+        }
+    }
+}
+impl std::error::Error for FormulaError {}
+
+impl From<UnknownElement> for FormulaError {
+    fn from(e: UnknownElement) -> Self {
+        FormulaError::UnknownElement(e.0)
+    }
+}
+
+impl Composition {
+    /// Empty composition.
+    pub fn new() -> Self {
+        Composition {
+            amounts: BTreeMap::new(),
+        }
+    }
+
+    /// Build from (element, amount) pairs; zero/negative amounts dropped.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Element, f64)>) -> Self {
+        let mut c = Composition::new();
+        for (el, amt) in pairs {
+            if amt > 0.0 {
+                *c.amounts.entry(el).or_insert(0.0) += amt;
+            }
+        }
+        c
+    }
+
+    /// Parse a chemical formula. Supports nested parentheses and
+    /// fractional amounts: `"LiFePO4"`, `"Ca(OH)2"`, `"Li0.5CoO2"`.
+    pub fn parse(formula: &str) -> Result<Composition, FormulaError> {
+        let chars: Vec<char> = formula.chars().collect();
+        let (c, pos) = parse_group(&chars, 0, 0)?;
+        if pos != chars.len() {
+            return Err(FormulaError::Malformed(format!(
+                "unexpected character '{}' at {pos}",
+                chars[pos]
+            )));
+        }
+        if c.amounts.is_empty() {
+            return Err(FormulaError::Malformed("empty formula".into()));
+        }
+        Ok(c)
+    }
+
+    /// Elements present, in atomic-number order.
+    pub fn elements(&self) -> Vec<Element> {
+        self.amounts.keys().copied().collect()
+    }
+
+    /// Amount of one element (0 if absent).
+    pub fn amount(&self, el: Element) -> f64 {
+        self.amounts.get(&el).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate (element, amount).
+    pub fn iter(&self) -> impl Iterator<Item = (Element, f64)> + '_ {
+        self.amounts.iter().map(|(e, a)| (*e, *a))
+    }
+
+    /// Total atoms per formula unit.
+    pub fn num_atoms(&self) -> f64 {
+        self.amounts.values().sum()
+    }
+
+    /// Number of distinct elements.
+    pub fn num_elements(&self) -> usize {
+        self.amounts.len()
+    }
+
+    /// Molecular weight (g/mol of formula unit).
+    pub fn weight(&self) -> f64 {
+        self.iter().map(|(e, a)| e.mass() * a).sum()
+    }
+
+    /// Total electron count per formula unit (Σ Z·n).
+    pub fn num_electrons(&self) -> f64 {
+        self.iter().map(|(e, a)| e.z() as f64 * a).sum()
+    }
+
+    /// Atomic fraction of `el`.
+    pub fn fraction(&self, el: Element) -> f64 {
+        let n = self.num_atoms();
+        if n == 0.0 {
+            0.0
+        } else {
+            self.amount(el) / n
+        }
+    }
+
+    /// Add `amt` of `el`, returning a new composition.
+    pub fn plus(&self, el: Element, amt: f64) -> Composition {
+        let mut c = self.clone();
+        *c.amounts.entry(el).or_insert(0.0) += amt;
+        c.amounts.retain(|_, a| *a > 1e-12);
+        c
+    }
+
+    /// Remove element entirely, returning a new composition.
+    pub fn without(&self, el: Element) -> Composition {
+        let mut c = self.clone();
+        c.amounts.remove(&el);
+        c
+    }
+
+    /// The reduced (integer, GCD-normalized) formula string, with elements
+    /// ordered by electronegativity (cations first) — close to the
+    /// conventional ordering pymatgen produces.
+    pub fn reduced_formula(&self) -> String {
+        let (amounts, _) = self.reduced_amounts();
+        let mut els: Vec<(Element, i64)> = amounts.into_iter().collect();
+        els.sort_by(|a, b| {
+            a.0.electronegativity()
+                .partial_cmp(&b.0.electronegativity())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.z().cmp(&b.0.z()))
+        });
+        let mut s = String::new();
+        for (el, n) in els {
+            s.push_str(el.symbol());
+            if n != 1 {
+                s.push_str(&n.to_string());
+            }
+        }
+        s
+    }
+
+    /// Reduced integer amounts and the reduction factor. Fractional
+    /// amounts are scaled to integers first (up to a denominator of 16).
+    pub fn reduced_amounts(&self) -> (BTreeMap<Element, i64>, f64) {
+        // Find the smallest multiplier ≤ 16 making all amounts ~integer.
+        let mut mult = 1.0;
+        'outer: for m in 1..=16 {
+            for a in self.amounts.values() {
+                let x = a * m as f64;
+                if (x - x.round()).abs() > 1e-6 {
+                    continue 'outer;
+                }
+            }
+            mult = m as f64;
+            break;
+        }
+        let ints: Vec<i64> = self
+            .amounts
+            .values()
+            .map(|a| (a * mult).round() as i64)
+            .collect();
+        let g = ints.iter().fold(0i64, |acc, &x| gcd(acc, x.max(1)));
+        let g = g.max(1);
+        let map = self
+            .amounts
+            .keys()
+            .zip(ints.iter())
+            .map(|(e, i)| (*e, i / g))
+            .collect();
+        (map, g as f64 / mult)
+    }
+
+    /// Alphabetical hyphenated chemical system, e.g. `"Fe-Li-O-P"`.
+    pub fn chemical_system(&self) -> String {
+        let mut syms: Vec<&str> = self.amounts.keys().map(|e| e.symbol()).collect();
+        syms.sort_unstable();
+        syms.join("-")
+    }
+
+    /// Anonymized formula (`AB2C4`-style), used for prototype matching.
+    pub fn anonymized_formula(&self) -> String {
+        let (amounts, _) = self.reduced_amounts();
+        let mut ns: Vec<i64> = amounts.values().copied().collect();
+        ns.sort_unstable();
+        let letters = "ABCDEFGHIJ";
+        let mut s = String::new();
+        for (i, n) in ns.iter().enumerate() {
+            s.push(letters.as_bytes()[i.min(9)] as char);
+            if *n != 1 {
+                s.push_str(&n.to_string());
+            }
+        }
+        s
+    }
+
+    /// Mean electronegativity weighted by amount.
+    pub fn mean_electronegativity(&self) -> f64 {
+        let n = self.num_atoms();
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.iter().map(|(e, a)| e.electronegativity() * a).sum::<f64>() / n
+    }
+
+    /// Can the composition be charge-balanced with common oxidation
+    /// states? Searches small assignments exhaustively.
+    pub fn can_charge_balance(&self) -> bool {
+        let (amounts, _) = self.reduced_amounts();
+        let items: Vec<(Element, i64)> = amounts.into_iter().collect();
+        // Each element takes exactly one oxidation state; try them all.
+        fn rec(items: &[(Element, i64)], idx: usize, total: i64) -> bool {
+            if idx == items.len() {
+                return total == 0;
+            }
+            let (el, n) = items[idx];
+            let states = el.oxidation_states();
+            if states.is_empty() {
+                return rec(items, idx + 1, total);
+            }
+            states
+                .iter()
+                .any(|&s| rec(items, idx + 1, total + s as i64 * n))
+        }
+        rec(&items, 0, 0)
+    }
+}
+
+impl Default for Composition {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Composition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reduced_formula())
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Recursive-descent formula parser. `depth` guards against runaway
+/// nesting; returns (composition, next position).
+fn parse_group(
+    chars: &[char],
+    mut pos: usize,
+    depth: usize,
+) -> Result<(Composition, usize), FormulaError> {
+    if depth > 8 {
+        return Err(FormulaError::Malformed("nesting too deep".into()));
+    }
+    let mut comp = Composition::new();
+    while pos < chars.len() {
+        let c = chars[pos];
+        if c == '(' {
+            let (inner, after) = parse_group(chars, pos + 1, depth + 1)?;
+            if after >= chars.len() || chars[after] != ')' {
+                return Err(FormulaError::Malformed("unbalanced parentheses".into()));
+            }
+            pos = after + 1;
+            let (mult, after_num) = parse_number(chars, pos);
+            pos = after_num;
+            for (el, amt) in inner.iter() {
+                comp = comp.plus(el, amt * mult);
+            }
+        } else if c == ')' {
+            if depth == 0 {
+                return Err(FormulaError::Malformed("unbalanced ')'".into()));
+            }
+            return Ok((comp, pos));
+        } else if c.is_ascii_uppercase() {
+            let mut sym = c.to_string();
+            pos += 1;
+            if pos < chars.len() && chars[pos].is_ascii_lowercase() {
+                sym.push(chars[pos]);
+                pos += 1;
+            }
+            let el = Element::from_symbol(&sym)?;
+            let (amt, after) = parse_number(chars, pos);
+            pos = after;
+            comp = comp.plus(el, amt);
+        } else if c.is_whitespace() {
+            pos += 1;
+        } else {
+            return Err(FormulaError::Malformed(format!(
+                "unexpected character '{c}' at {pos}"
+            )));
+        }
+    }
+    if depth > 0 {
+        return Err(FormulaError::Malformed("unbalanced parentheses".into()));
+    }
+    Ok((comp, pos))
+}
+
+/// Parse an optional (possibly fractional) amount; default 1.
+fn parse_number(chars: &[char], mut pos: usize) -> (f64, usize) {
+    let start = pos;
+    while pos < chars.len() && (chars[pos].is_ascii_digit() || chars[pos] == '.') {
+        pos += 1;
+    }
+    if pos == start {
+        return (1.0, pos);
+    }
+    let s: String = chars[start..pos].iter().collect();
+    (s.parse().unwrap_or(1.0), pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn parse_simple() {
+        let c = Composition::parse("Fe2O3").unwrap();
+        assert_eq!(c.amount(el("Fe")), 2.0);
+        assert_eq!(c.amount(el("O")), 3.0);
+        assert_eq!(c.num_atoms(), 5.0);
+    }
+
+    #[test]
+    fn parse_multi_letter_and_implicit_one() {
+        let c = Composition::parse("LiFePO4").unwrap();
+        assert_eq!(c.amount(el("Li")), 1.0);
+        assert_eq!(c.amount(el("Fe")), 1.0);
+        assert_eq!(c.amount(el("P")), 1.0);
+        assert_eq!(c.amount(el("O")), 4.0);
+    }
+
+    #[test]
+    fn parse_parentheses() {
+        let c = Composition::parse("Ca(OH)2").unwrap();
+        assert_eq!(c.amount(el("Ca")), 1.0);
+        assert_eq!(c.amount(el("O")), 2.0);
+        assert_eq!(c.amount(el("H")), 2.0);
+
+        let c = Composition::parse("Mg3(PO4)2").unwrap();
+        assert_eq!(c.amount(el("P")), 2.0);
+        assert_eq!(c.amount(el("O")), 8.0);
+    }
+
+    #[test]
+    fn parse_nested_parentheses() {
+        let c = Composition::parse("K4(Fe(CN)6)").unwrap();
+        assert_eq!(c.amount(el("K")), 4.0);
+        assert_eq!(c.amount(el("C")), 6.0);
+        assert_eq!(c.amount(el("N")), 6.0);
+    }
+
+    #[test]
+    fn parse_fractional() {
+        let c = Composition::parse("Li0.5CoO2").unwrap();
+        assert_eq!(c.amount(el("Li")), 0.5);
+        assert_eq!(c.amount(el("Co")), 1.0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Composition::parse("Xx2").is_err());
+        assert!(Composition::parse("Fe2O3)").is_err());
+        assert!(Composition::parse("(Fe2O3").is_err());
+        assert!(Composition::parse("").is_err());
+        assert!(Composition::parse("fe2").is_err());
+    }
+
+    #[test]
+    fn reduced_formula_gcd() {
+        assert_eq!(Composition::parse("Fe4O6").unwrap().reduced_formula(), "Fe2O3");
+        assert_eq!(Composition::parse("Li2Co2O4").unwrap().reduced_formula(), "LiCoO2");
+    }
+
+    #[test]
+    fn reduced_formula_orders_by_electronegativity() {
+        // Li (0.98) < Fe (1.83) < P (2.19) < O (3.44)
+        assert_eq!(Composition::parse("O4PFeLi").unwrap().reduced_formula(), "LiFePO4");
+    }
+
+    #[test]
+    fn reduced_handles_fractional() {
+        let c = Composition::parse("Li0.5CoO2").unwrap();
+        // ×2 → LiCo2O4
+        assert_eq!(c.reduced_formula(), "LiCo2O4");
+    }
+
+    #[test]
+    fn weight_and_electrons() {
+        let c = Composition::parse("Fe2O3").unwrap();
+        assert!((c.weight() - 159.687).abs() < 0.01);
+        assert!((c.num_electrons() - (2.0 * 26.0 + 3.0 * 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chemical_system_alphabetical() {
+        assert_eq!(Composition::parse("LiFePO4").unwrap().chemical_system(), "Fe-Li-O-P");
+    }
+
+    #[test]
+    fn anonymized() {
+        assert_eq!(Composition::parse("Fe2O3").unwrap().anonymized_formula(), "A2B3");
+        assert_eq!(Composition::parse("LiCoO2").unwrap().anonymized_formula(), "ABC2");
+    }
+
+    #[test]
+    fn charge_balance() {
+        assert!(Composition::parse("Fe2O3").unwrap().can_charge_balance());
+        assert!(Composition::parse("LiFePO4").unwrap().can_charge_balance());
+        assert!(Composition::parse("NaCl").unwrap().can_charge_balance());
+        // Li2O3 cannot balance with Li+ and O2-.
+        assert!(!Composition::parse("Li2O3").unwrap().can_charge_balance());
+    }
+
+    #[test]
+    fn fraction_sums_to_one() {
+        let c = Composition::parse("LiFePO4").unwrap();
+        let total: f64 = c.elements().iter().map(|&e| c.fraction(e)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Composition::parse("LiFePO4").unwrap();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: Composition = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn plus_and_without() {
+        let c = Composition::parse("CoO2").unwrap();
+        let with_li = c.plus(el("Li"), 1.0);
+        assert_eq!(with_li.reduced_formula(), "LiCoO2");
+        assert_eq!(with_li.without(el("Li")).reduced_formula(), "CoO2");
+    }
+}

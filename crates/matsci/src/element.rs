@@ -1,0 +1,309 @@
+//! Periodic-table data for elements H (Z=1) through Pu (Z=94).
+//!
+//! The embedded table carries the properties the Materials Project
+//! pipeline needs: atomic mass (u), Pauling electronegativity, covalent
+//! radius (Å), and common oxidation states. Values are standard textbook
+//! data rounded to the precision the analyses use.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A chemical element, identified by atomic number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct Element(pub u8);
+
+/// Static per-element record.
+#[derive(Debug, Clone, Copy)]
+pub struct ElementData {
+    /// Atomic number.
+    pub z: u8,
+    /// IUPAC symbol.
+    pub symbol: &'static str,
+    /// English name.
+    pub name: &'static str,
+    /// Standard atomic mass (u).
+    pub mass: f64,
+    /// Pauling electronegativity; 0.0 where undefined (noble gases).
+    pub electronegativity: f64,
+    /// Covalent radius (Å).
+    pub radius: f64,
+    /// Common oxidation states.
+    pub oxidation_states: &'static [i8],
+}
+
+macro_rules! el {
+    ($z:expr, $sym:expr, $name:expr, $mass:expr, $chi:expr, $r:expr, [$($ox:expr),*]) => {
+        ElementData {
+            z: $z,
+            symbol: $sym,
+            name: $name,
+            mass: $mass,
+            electronegativity: $chi,
+            radius: $r,
+            oxidation_states: &[$($ox),*],
+        }
+    };
+}
+
+/// The embedded periodic table, indexed by `Z - 1`.
+pub static PERIODIC_TABLE: &[ElementData] = &[
+    el!(1, "H", "Hydrogen", 1.008, 2.20, 0.31, [-1, 1]),
+    el!(2, "He", "Helium", 4.0026, 0.0, 0.28, []),
+    el!(3, "Li", "Lithium", 6.94, 0.98, 1.28, [1]),
+    el!(4, "Be", "Beryllium", 9.0122, 1.57, 0.96, [2]),
+    el!(5, "B", "Boron", 10.81, 2.04, 0.84, [3]),
+    el!(6, "C", "Carbon", 12.011, 2.55, 0.76, [-4, 2, 4]),
+    el!(7, "N", "Nitrogen", 14.007, 3.04, 0.71, [-3, 3, 5]),
+    el!(8, "O", "Oxygen", 15.999, 3.44, 0.66, [-2]),
+    el!(9, "F", "Fluorine", 18.998, 3.98, 0.57, [-1]),
+    el!(10, "Ne", "Neon", 20.180, 0.0, 0.58, []),
+    el!(11, "Na", "Sodium", 22.990, 0.93, 1.66, [1]),
+    el!(12, "Mg", "Magnesium", 24.305, 1.31, 1.41, [2]),
+    el!(13, "Al", "Aluminium", 26.982, 1.61, 1.21, [3]),
+    el!(14, "Si", "Silicon", 28.085, 1.90, 1.11, [-4, 4]),
+    el!(15, "P", "Phosphorus", 30.974, 2.19, 1.07, [-3, 3, 5]),
+    el!(16, "S", "Sulfur", 32.06, 2.58, 1.05, [-2, 4, 6]),
+    el!(17, "Cl", "Chlorine", 35.45, 3.16, 1.02, [-1, 1, 3, 5, 7]),
+    el!(18, "Ar", "Argon", 39.948, 0.0, 1.06, []),
+    el!(19, "K", "Potassium", 39.098, 0.82, 2.03, [1]),
+    el!(20, "Ca", "Calcium", 40.078, 1.00, 1.76, [2]),
+    el!(21, "Sc", "Scandium", 44.956, 1.36, 1.70, [3]),
+    el!(22, "Ti", "Titanium", 47.867, 1.54, 1.60, [2, 3, 4]),
+    el!(23, "V", "Vanadium", 50.942, 1.63, 1.53, [2, 3, 4, 5]),
+    el!(24, "Cr", "Chromium", 51.996, 1.66, 1.39, [2, 3, 6]),
+    el!(25, "Mn", "Manganese", 54.938, 1.55, 1.39, [2, 3, 4, 7]),
+    el!(26, "Fe", "Iron", 55.845, 1.83, 1.32, [2, 3]),
+    el!(27, "Co", "Cobalt", 58.933, 1.88, 1.26, [2, 3]),
+    el!(28, "Ni", "Nickel", 58.693, 1.91, 1.24, [2, 3]),
+    el!(29, "Cu", "Copper", 63.546, 1.90, 1.32, [1, 2]),
+    el!(30, "Zn", "Zinc", 65.38, 1.65, 1.22, [2]),
+    el!(31, "Ga", "Gallium", 69.723, 1.81, 1.22, [3]),
+    el!(32, "Ge", "Germanium", 72.630, 2.01, 1.20, [2, 4]),
+    el!(33, "As", "Arsenic", 74.922, 2.18, 1.19, [-3, 3, 5]),
+    el!(34, "Se", "Selenium", 78.971, 2.55, 1.20, [-2, 4, 6]),
+    el!(35, "Br", "Bromine", 79.904, 2.96, 1.20, [-1, 1, 5]),
+    el!(36, "Kr", "Krypton", 83.798, 3.00, 1.16, []),
+    el!(37, "Rb", "Rubidium", 85.468, 0.82, 2.20, [1]),
+    el!(38, "Sr", "Strontium", 87.62, 0.95, 1.95, [2]),
+    el!(39, "Y", "Yttrium", 88.906, 1.22, 1.90, [3]),
+    el!(40, "Zr", "Zirconium", 91.224, 1.33, 1.75, [4]),
+    el!(41, "Nb", "Niobium", 92.906, 1.60, 1.64, [3, 5]),
+    el!(42, "Mo", "Molybdenum", 95.95, 2.16, 1.54, [2, 3, 4, 5, 6]),
+    el!(43, "Tc", "Technetium", 98.0, 1.90, 1.47, [4, 7]),
+    el!(44, "Ru", "Ruthenium", 101.07, 2.20, 1.46, [2, 3, 4]),
+    el!(45, "Rh", "Rhodium", 102.91, 2.28, 1.42, [3]),
+    el!(46, "Pd", "Palladium", 106.42, 2.20, 1.39, [2, 4]),
+    el!(47, "Ag", "Silver", 107.87, 1.93, 1.45, [1]),
+    el!(48, "Cd", "Cadmium", 112.41, 1.69, 1.44, [2]),
+    el!(49, "In", "Indium", 114.82, 1.78, 1.42, [3]),
+    el!(50, "Sn", "Tin", 118.71, 1.96, 1.39, [2, 4]),
+    el!(51, "Sb", "Antimony", 121.76, 2.05, 1.39, [-3, 3, 5]),
+    el!(52, "Te", "Tellurium", 127.60, 2.10, 1.38, [-2, 4, 6]),
+    el!(53, "I", "Iodine", 126.90, 2.66, 1.39, [-1, 1, 5, 7]),
+    el!(54, "Xe", "Xenon", 131.29, 2.60, 1.40, []),
+    el!(55, "Cs", "Caesium", 132.91, 0.79, 2.44, [1]),
+    el!(56, "Ba", "Barium", 137.33, 0.89, 2.15, [2]),
+    el!(57, "La", "Lanthanum", 138.91, 1.10, 2.07, [3]),
+    el!(58, "Ce", "Cerium", 140.12, 1.12, 2.04, [3, 4]),
+    el!(59, "Pr", "Praseodymium", 140.91, 1.13, 2.03, [3]),
+    el!(60, "Nd", "Neodymium", 144.24, 1.14, 2.01, [3]),
+    el!(61, "Pm", "Promethium", 145.0, 1.13, 1.99, [3]),
+    el!(62, "Sm", "Samarium", 150.36, 1.17, 1.98, [2, 3]),
+    el!(63, "Eu", "Europium", 151.96, 1.20, 1.98, [2, 3]),
+    el!(64, "Gd", "Gadolinium", 157.25, 1.20, 1.96, [3]),
+    el!(65, "Tb", "Terbium", 158.93, 1.20, 1.94, [3, 4]),
+    el!(66, "Dy", "Dysprosium", 162.50, 1.22, 1.92, [3]),
+    el!(67, "Ho", "Holmium", 164.93, 1.23, 1.92, [3]),
+    el!(68, "Er", "Erbium", 167.26, 1.24, 1.89, [3]),
+    el!(69, "Tm", "Thulium", 168.93, 1.25, 1.90, [2, 3]),
+    el!(70, "Yb", "Ytterbium", 173.05, 1.10, 1.87, [2, 3]),
+    el!(71, "Lu", "Lutetium", 174.97, 1.27, 1.87, [3]),
+    el!(72, "Hf", "Hafnium", 178.49, 1.30, 1.75, [4]),
+    el!(73, "Ta", "Tantalum", 180.95, 1.50, 1.70, [5]),
+    el!(74, "W", "Tungsten", 183.84, 2.36, 1.62, [4, 6]),
+    el!(75, "Re", "Rhenium", 186.21, 1.90, 1.51, [4, 7]),
+    el!(76, "Os", "Osmium", 190.23, 2.20, 1.44, [4]),
+    el!(77, "Ir", "Iridium", 192.22, 2.20, 1.41, [3, 4]),
+    el!(78, "Pt", "Platinum", 195.08, 2.28, 1.36, [2, 4]),
+    el!(79, "Au", "Gold", 196.97, 2.54, 1.36, [1, 3]),
+    el!(80, "Hg", "Mercury", 200.59, 2.00, 1.32, [1, 2]),
+    el!(81, "Tl", "Thallium", 204.38, 1.62, 1.45, [1, 3]),
+    el!(82, "Pb", "Lead", 207.2, 2.33, 1.46, [2, 4]),
+    el!(83, "Bi", "Bismuth", 208.98, 2.02, 1.48, [3, 5]),
+    el!(84, "Po", "Polonium", 209.0, 2.00, 1.40, [-2, 2, 4]),
+    el!(85, "At", "Astatine", 210.0, 2.20, 1.50, [-1, 1]),
+    el!(86, "Rn", "Radon", 222.0, 0.0, 1.50, []),
+    el!(87, "Fr", "Francium", 223.0, 0.70, 2.60, [1]),
+    el!(88, "Ra", "Radium", 226.0, 0.90, 2.21, [2]),
+    el!(89, "Ac", "Actinium", 227.0, 1.10, 2.15, [3]),
+    el!(90, "Th", "Thorium", 232.04, 1.30, 2.06, [4]),
+    el!(91, "Pa", "Protactinium", 231.04, 1.50, 2.00, [4, 5]),
+    el!(92, "U", "Uranium", 238.03, 1.38, 1.96, [3, 4, 5, 6]),
+    el!(93, "Np", "Neptunium", 237.0, 1.36, 1.90, [3, 4, 5, 6]),
+    el!(94, "Pu", "Plutonium", 244.0, 1.28, 1.87, [3, 4, 5, 6]),
+];
+
+/// Error for unknown element symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownElement(pub String);
+
+impl fmt::Display for UnknownElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown element '{}'", self.0)
+    }
+}
+impl std::error::Error for UnknownElement {}
+
+impl Element {
+    /// Look up an element by symbol.
+    pub fn from_symbol(sym: &str) -> Result<Element, UnknownElement> {
+        PERIODIC_TABLE
+            .iter()
+            .find(|e| e.symbol == sym)
+            .map(|e| Element(e.z))
+            .ok_or_else(|| UnknownElement(sym.to_string()))
+    }
+
+    /// The static data record for this element.
+    pub fn data(&self) -> &'static ElementData {
+        &PERIODIC_TABLE[(self.0 as usize).saturating_sub(1).min(PERIODIC_TABLE.len() - 1)]
+    }
+
+    /// Atomic number.
+    pub fn z(&self) -> u8 {
+        self.0
+    }
+
+    /// IUPAC symbol.
+    pub fn symbol(&self) -> &'static str {
+        self.data().symbol
+    }
+
+    /// Standard atomic mass (u).
+    pub fn mass(&self) -> f64 {
+        self.data().mass
+    }
+
+    /// Pauling electronegativity (0.0 where undefined).
+    pub fn electronegativity(&self) -> f64 {
+        self.data().electronegativity
+    }
+
+    /// Covalent radius (Å).
+    pub fn radius(&self) -> f64 {
+        self.data().radius
+    }
+
+    /// Common oxidation states.
+    pub fn oxidation_states(&self) -> &'static [i8] {
+        self.data().oxidation_states
+    }
+
+    /// Is this an alkali metal (workhorse check for battery chemistry)?
+    pub fn is_alkali(&self) -> bool {
+        matches!(self.0, 3 | 11 | 19 | 37 | 55 | 87)
+    }
+
+    /// Is this one of the common anions (O, S, Se, F, Cl, Br, I, N, P)?
+    pub fn is_anion_former(&self) -> bool {
+        matches!(self.0, 7 | 8 | 9 | 15 | 16 | 17 | 34 | 35 | 53)
+    }
+
+    /// Is this a transition metal (3d/4d/5d block)?
+    pub fn is_transition_metal(&self) -> bool {
+        matches!(self.0, 21..=30 | 39..=48 | 72..=80)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl FromStr for Element {
+    type Err = UnknownElement;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Element::from_symbol(s)
+    }
+}
+
+impl TryFrom<String> for Element {
+    type Error = UnknownElement;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        Element::from_symbol(&s)
+    }
+}
+
+impl From<Element> for String {
+    fn from(e: Element) -> String {
+        e.symbol().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_consistent() {
+        assert_eq!(PERIODIC_TABLE.len(), 94);
+        for (i, e) in PERIODIC_TABLE.iter().enumerate() {
+            assert_eq!(e.z as usize, i + 1, "Z mismatch at index {i}");
+            assert!(e.mass > 0.0);
+            assert!(e.radius > 0.0);
+            assert!(!e.symbol.is_empty() && e.symbol.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn lookup_by_symbol() {
+        assert_eq!(Element::from_symbol("Fe").unwrap().z(), 26);
+        assert_eq!(Element::from_symbol("Li").unwrap().symbol(), "Li");
+        assert!(Element::from_symbol("Xx").is_err());
+        // Case sensitive, like real chemistry.
+        assert!(Element::from_symbol("fe").is_err());
+    }
+
+    #[test]
+    fn properties() {
+        let o = Element::from_symbol("O").unwrap();
+        assert!((o.mass() - 15.999).abs() < 1e-6);
+        assert!((o.electronegativity() - 3.44).abs() < 1e-6);
+        assert_eq!(o.oxidation_states(), &[-2]);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Element::from_symbol("Li").unwrap().is_alkali());
+        assert!(Element::from_symbol("Na").unwrap().is_alkali());
+        assert!(!Element::from_symbol("Fe").unwrap().is_alkali());
+        assert!(Element::from_symbol("Fe").unwrap().is_transition_metal());
+        assert!(Element::from_symbol("O").unwrap().is_anion_former());
+        assert!(!Element::from_symbol("O").unwrap().is_transition_metal());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fe = Element::from_symbol("Fe").unwrap();
+        let s = serde_json::to_string(&fe).unwrap();
+        assert_eq!(s, "\"Fe\"");
+        let back: Element = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, fe);
+    }
+
+    #[test]
+    fn noble_gases_have_no_oxidation_states() {
+        for sym in ["He", "Ne", "Ar"] {
+            assert!(Element::from_symbol(sym).unwrap().oxidation_states().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_and_fromstr() {
+        let e: Element = "Mn".parse().unwrap();
+        assert_eq!(e.to_string(), "Mn");
+    }
+}

@@ -1,0 +1,295 @@
+//! Crystal lattices: 3×3 row-vector matrices, parameter conversions,
+//! reciprocal lattices, and d-spacings.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-vector in Cartesian or fractional space.
+pub type Vec3 = [f64; 3];
+
+/// Dot product.
+pub fn dot(a: &Vec3, b: &Vec3) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Cross product.
+pub fn cross(a: &Vec3, b: &Vec3) -> Vec3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// Euclidean norm.
+pub fn norm(a: &Vec3) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// A crystal lattice; rows are the three lattice vectors (Å).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lattice {
+    /// Row-vector matrix `[a, b, c]`.
+    pub matrix: [Vec3; 3],
+}
+
+impl Lattice {
+    /// From an explicit row-vector matrix.
+    pub fn new(matrix: [Vec3; 3]) -> Self {
+        Lattice { matrix }
+    }
+
+    /// Cubic lattice with edge `a`.
+    pub fn cubic(a: f64) -> Self {
+        Lattice::new([[a, 0.0, 0.0], [0.0, a, 0.0], [0.0, 0.0, a]])
+    }
+
+    /// Orthorhombic lattice.
+    pub fn orthorhombic(a: f64, b: f64, c: f64) -> Self {
+        Lattice::new([[a, 0.0, 0.0], [0.0, b, 0.0], [0.0, 0.0, c]])
+    }
+
+    /// Hexagonal lattice (γ = 120°).
+    pub fn hexagonal(a: f64, c: f64) -> Self {
+        Lattice::from_parameters(a, a, c, 90.0, 90.0, 120.0)
+    }
+
+    /// Rhombohedral lattice (a = b = c, α = β = γ).
+    pub fn rhombohedral(a: f64, alpha: f64) -> Self {
+        Lattice::from_parameters(a, a, a, alpha, alpha, alpha)
+    }
+
+    /// From cell parameters (lengths in Å, angles in degrees), using the
+    /// standard crystallographic construction.
+    pub fn from_parameters(a: f64, b: f64, c: f64, alpha: f64, beta: f64, gamma: f64) -> Self {
+        let (ar, br, gr) = (
+            alpha.to_radians(),
+            beta.to_radians(),
+            gamma.to_radians(),
+        );
+        let val = (ar.cos() * br.cos() - gr.cos()) / (ar.sin() * br.sin());
+        let val = val.clamp(-1.0, 1.0);
+        let gamma_star = val.acos();
+        let snap = |x: f64| if x.abs() < 1e-12 { 0.0 } else { x };
+        let va = [snap(a * br.sin()), 0.0, snap(a * br.cos())];
+        let vb = [
+            snap(-b * ar.sin() * gamma_star.cos()),
+            snap(b * ar.sin() * gamma_star.sin()),
+            snap(b * ar.cos()),
+        ];
+        let vc = [0.0, 0.0, c];
+        Lattice::new([va, vb, vc])
+    }
+
+    /// Lattice vector lengths (a, b, c).
+    pub fn lengths(&self) -> [f64; 3] {
+        [
+            norm(&self.matrix[0]),
+            norm(&self.matrix[1]),
+            norm(&self.matrix[2]),
+        ]
+    }
+
+    /// Cell angles (α, β, γ) in degrees.
+    pub fn angles(&self) -> [f64; 3] {
+        let [a, b, c] = &self.matrix;
+        let ang = |u: &Vec3, v: &Vec3| -> f64 {
+            (dot(u, v) / (norm(u) * norm(v)))
+                .clamp(-1.0, 1.0)
+                .acos()
+                .to_degrees()
+        };
+        [ang(b, c), ang(a, c), ang(a, b)]
+    }
+
+    /// Cell volume (Å³).
+    pub fn volume(&self) -> f64 {
+        let [a, b, c] = &self.matrix;
+        dot(a, &cross(b, c)).abs()
+    }
+
+    /// Fractional → Cartesian coordinates.
+    pub fn to_cartesian(&self, frac: &Vec3) -> Vec3 {
+        let m = &self.matrix;
+        [
+            frac[0] * m[0][0] + frac[1] * m[1][0] + frac[2] * m[2][0],
+            frac[0] * m[0][1] + frac[1] * m[1][1] + frac[2] * m[2][1],
+            frac[0] * m[0][2] + frac[1] * m[1][2] + frac[2] * m[2][2],
+        ]
+    }
+
+    /// Cartesian → fractional coordinates (via matrix inverse).
+    pub fn to_fractional(&self, cart: &Vec3) -> Vec3 {
+        let inv = self.inverse();
+        [
+            cart[0] * inv[0][0] + cart[1] * inv[1][0] + cart[2] * inv[2][0],
+            cart[0] * inv[0][1] + cart[1] * inv[1][1] + cart[2] * inv[2][1],
+            cart[0] * inv[0][2] + cart[1] * inv[1][2] + cart[2] * inv[2][2],
+        ]
+    }
+
+    /// Inverse of the row-vector matrix.
+    pub fn inverse(&self) -> [Vec3; 3] {
+        let m = &self.matrix;
+        let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+        let d = 1.0 / det;
+        [
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * d,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * d,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * d,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * d,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * d,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * d,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * d,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * d,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * d,
+            ],
+        ]
+    }
+
+    /// Reciprocal lattice (with the 2π convention omitted — the
+    /// crystallographic convention, so d = 1/|g|).
+    pub fn reciprocal(&self) -> Lattice {
+        let [a, b, c] = &self.matrix;
+        let v = dot(a, &cross(b, c));
+        let scale = 1.0 / v;
+        let bc = cross(b, c);
+        let ca = cross(c, a);
+        let ab = cross(a, b);
+        Lattice::new([
+            [bc[0] * scale, bc[1] * scale, bc[2] * scale],
+            [ca[0] * scale, ca[1] * scale, ca[2] * scale],
+            [ab[0] * scale, ab[1] * scale, ab[2] * scale],
+        ])
+    }
+
+    /// Interplanar spacing for Miller indices (hkl), in Å.
+    pub fn d_spacing(&self, h: i32, k: i32, l: i32) -> f64 {
+        let rec = self.reciprocal();
+        let g = rec.to_cartesian(&[h as f64, k as f64, l as f64]);
+        1.0 / norm(&g)
+    }
+
+    /// Shortest Cartesian distance between fractional points under
+    /// periodic boundary conditions (minimum-image over ±1 cells).
+    pub fn pbc_distance(&self, f1: &Vec3, f2: &Vec3) -> f64 {
+        let mut best = f64::INFINITY;
+        for di in -1..=1 {
+            for dj in -1..=1 {
+                for dk in -1..=1 {
+                    let df = [
+                        f2[0] - f1[0] + di as f64,
+                        f2[1] - f1[1] + dj as f64,
+                        f2[2] - f1[2] + dk as f64,
+                    ];
+                    let cart = self.to_cartesian(&df);
+                    best = best.min(norm(&cart));
+                }
+            }
+        }
+        best
+    }
+
+    /// Uniformly scale the lattice so its volume becomes `new_volume`.
+    pub fn scaled_to_volume(&self, new_volume: f64) -> Lattice {
+        let s = (new_volume / self.volume()).cbrt();
+        let mut m = self.matrix;
+        for row in &mut m {
+            for x in row {
+                *x *= s;
+            }
+        }
+        Lattice::new(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn cubic_basics() {
+        let l = Lattice::cubic(4.0);
+        assert_eq!(l.lengths(), [4.0, 4.0, 4.0]);
+        assert_eq!(l.angles(), [90.0, 90.0, 90.0]);
+        assert!(approx(l.volume(), 64.0, 1e-9));
+    }
+
+    #[test]
+    fn from_parameters_roundtrip() {
+        let l = Lattice::from_parameters(3.0, 4.0, 5.0, 80.0, 95.0, 110.0);
+        let [a, b, c] = l.lengths();
+        assert!(approx(a, 3.0, 1e-9) && approx(b, 4.0, 1e-9) && approx(c, 5.0, 1e-9));
+        let [al, be, ga] = l.angles();
+        assert!(approx(al, 80.0, 1e-6), "alpha {al}");
+        assert!(approx(be, 95.0, 1e-6), "beta {be}");
+        assert!(approx(ga, 110.0, 1e-6), "gamma {ga}");
+    }
+
+    #[test]
+    fn hexagonal_volume() {
+        // V = a²c·sin(120°)
+        let l = Lattice::hexagonal(3.0, 5.0);
+        assert!(approx(l.volume(), 9.0 * 5.0 * (120f64).to_radians().sin(), 1e-9));
+    }
+
+    #[test]
+    fn cart_frac_roundtrip() {
+        let l = Lattice::from_parameters(3.1, 4.2, 5.3, 85.0, 92.0, 105.0);
+        let f = [0.25, 0.5, 0.75];
+        let cart = l.to_cartesian(&f);
+        let back = l.to_fractional(&cart);
+        for i in 0..3 {
+            assert!(approx(back[i], f[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn reciprocal_of_cubic() {
+        let l = Lattice::cubic(4.0);
+        let r = l.reciprocal();
+        assert!(approx(r.lengths()[0], 0.25, 1e-12));
+    }
+
+    #[test]
+    fn d_spacing_cubic() {
+        // d_hkl = a / sqrt(h²+k²+l²) for cubic.
+        let l = Lattice::cubic(4.0);
+        assert!(approx(l.d_spacing(1, 0, 0), 4.0, 1e-9));
+        assert!(approx(l.d_spacing(1, 1, 0), 4.0 / 2f64.sqrt(), 1e-9));
+        assert!(approx(l.d_spacing(1, 1, 1), 4.0 / 3f64.sqrt(), 1e-9));
+    }
+
+    #[test]
+    fn pbc_distance_wraps() {
+        let l = Lattice::cubic(10.0);
+        // Points at 0.05 and 0.95 along x are 1 Å apart through the wall.
+        let d = l.pbc_distance(&[0.05, 0.0, 0.0], &[0.95, 0.0, 0.0]);
+        assert!(approx(d, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn scaled_to_volume() {
+        let l = Lattice::cubic(2.0).scaled_to_volume(64.0);
+        assert!(approx(l.volume(), 64.0, 1e-9));
+        assert!(approx(l.lengths()[0], 4.0, 1e-9));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let l = Lattice::hexagonal(3.0, 5.0);
+        let s = serde_json::to_string(&l).unwrap();
+        let back: Lattice = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, l);
+    }
+}

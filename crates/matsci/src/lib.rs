@@ -1,0 +1,39 @@
+//! # mp-matsci — materials-science object model and analysis
+//!
+//! The Rust analogue of *pymatgen* (§III-D3 of the SC 2012 Materials
+//! Project paper): "a Python object model for materials data along with
+//! a well-tested set of structure and thermodynamic analysis tools".
+//!
+//! * [`element`] — embedded periodic table (H…Pu);
+//! * [`composition`] — formula parsing, reduction, chemical systems;
+//! * [`lattice`] / [`structure`] — crystals with periodic geometry;
+//! * [`prototypes`] — the decorated structure families of
+//!   high-throughput screening;
+//! * [`mps`] — the Materials Project Source JSON format (§III-B1);
+//! * [`icsd`] — the synthetic ICSD substitute (see DESIGN.md);
+//! * [`analysis`] — phase diagrams, batteries, XRD, band structures;
+//! * [`matcher`] — duplicate-structure detection feeding FireWorks
+//!   Binders.
+
+pub mod analysis;
+pub mod composition;
+pub mod element;
+pub mod icsd;
+pub mod lattice;
+pub mod matcher;
+pub mod mps;
+pub mod prototypes;
+pub mod structure;
+
+pub use analysis::bandstructure::{compute_bands, estimate_band_gap, BandStructure, DensityOfStates};
+pub use analysis::diffusion::{diffusivity, easiest_path, MigrationPath};
+pub use analysis::battery::{ConversionElectrode, InsertionElectrode, LithiationPoint, VoltageStep};
+pub use analysis::phase_diagram::{PdEntry, PhaseDiagram};
+pub use analysis::xrd::{compute_pattern, XrdPattern, CU_KA};
+pub use composition::{Composition, FormulaError};
+pub use element::{Element, ElementData, PERIODIC_TABLE};
+pub use icsd::IcsdGenerator;
+pub use lattice::Lattice;
+pub use matcher::StructureMatcher;
+pub use mps::{MpsRecord, MpsSource};
+pub use structure::{Site, Structure};

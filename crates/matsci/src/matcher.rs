@@ -1,0 +1,188 @@
+//! Structure matching for duplicate detection.
+//!
+//! §III-C3: "Duplicate jobs are detected via Binder objects, which
+//! uniquely identify a job. In the case of VASP runs, a Binder may
+//! contain a reference to a crystal structure ID and the type of
+//! functional." The structure part of that identity comes from a
+//! matcher like this: two structures are duplicates when they have the
+//! same reduced formula and equivalent cells within tolerances.
+
+use crate::structure::Structure;
+
+/// Tolerance-based structure comparator.
+#[derive(Debug, Clone)]
+pub struct StructureMatcher {
+    /// Relative tolerance on volume per atom.
+    pub vol_tol: f64,
+    /// Relative tolerance on lattice lengths.
+    pub length_tol: f64,
+    /// Absolute tolerance on nearest-neighbor distances (Å).
+    pub nn_tol: f64,
+}
+
+impl Default for StructureMatcher {
+    fn default() -> Self {
+        StructureMatcher {
+            vol_tol: 0.05,
+            length_tol: 0.05,
+            nn_tol: 0.15,
+        }
+    }
+}
+
+impl StructureMatcher {
+    /// Do `a` and `b` represent the same crystal?
+    pub fn matches(&self, a: &Structure, b: &Structure) -> bool {
+        if a.formula() != b.formula() {
+            return false;
+        }
+        // Compare per-formula-unit site counts (supercells still match).
+        let (ra, _) = a.composition().reduced_amounts();
+        let (rb, _) = b.composition().reduced_amounts();
+        if ra != rb {
+            return false;
+        }
+        let va = a.volume_per_atom();
+        let vb = b.volume_per_atom();
+        if (va - vb).abs() > self.vol_tol * va.max(vb) {
+            return false;
+        }
+        // For equal cells also compare sorted lattice lengths; supercells
+        // are covered by the volume-per-atom and environment checks.
+        if a.num_sites() == b.num_sites() {
+            let mut la = a.lattice.lengths();
+            let mut lb = b.lattice.lengths();
+            la.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+            lb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+            for (x, y) in la.iter().zip(lb.iter()) {
+                if (x - y).abs() > self.length_tol * x.max(*y) {
+                    return false;
+                }
+            }
+        }
+        // Compare sorted per-element nearest-neighbor environments.
+        let env = |s: &Structure| -> Vec<(u8, f64)> {
+            let mut v: Vec<(u8, f64)> = (0..s.num_sites())
+                .map(|i| {
+                    let nn = s.neighbors(i, 8.0).first().map(|(_, d)| *d).unwrap_or(0.0);
+                    (s.sites[i].element.z(), nn)
+                })
+                .collect();
+            v.sort_by(|p, q| p.0.cmp(&q.0).then(p.1.partial_cmp(&q.1).expect("finite")));
+            v
+        };
+        let ea = env(a);
+        let eb = env(b);
+        if a.num_sites() == b.num_sites() {
+            ea.iter().zip(eb.iter()).all(|((za, da), (zb, db))| {
+                za == zb && (da - db).abs() <= self.nn_tol
+            })
+        } else {
+            // Different cell sizes: compare the per-element min NN only.
+            let min_by_z = |env: &[(u8, f64)]| -> Vec<(u8, f64)> {
+                let mut out: Vec<(u8, f64)> = Vec::new();
+                for &(z, d) in env {
+                    match out.last_mut() {
+                        Some((lz, ld)) if *lz == z => *ld = ld.min(d),
+                        _ => out.push((z, d)),
+                    }
+                }
+                out
+            };
+            let ma = min_by_z(&ea);
+            let mb = min_by_z(&eb);
+            ma.len() == mb.len()
+                && ma.iter().zip(mb.iter()).all(|((za, da), (zb, db))| {
+                    za == zb && (da - db).abs() <= self.nn_tol
+                })
+        }
+    }
+
+    /// Group structures into duplicate classes; returns, for each input
+    /// index, the index of its class representative (first occurrence).
+    pub fn group(&self, structures: &[Structure]) -> Vec<usize> {
+        let mut rep: Vec<usize> = Vec::with_capacity(structures.len());
+        for (i, s) in structures.iter().enumerate() {
+            let mut found = i;
+            for (j, _) in structures.iter().enumerate().take(i) {
+                if rep[j] == j && self.matches(s, &structures[j]) {
+                    found = j;
+                    break;
+                }
+            }
+            rep.push(found);
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::prototypes;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn identical_structures_match() {
+        let m = StructureMatcher::default();
+        let a = prototypes::rocksalt(el("Na"), el("Cl"));
+        let b = prototypes::rocksalt(el("Na"), el("Cl"));
+        assert!(m.matches(&a, &b));
+    }
+
+    #[test]
+    fn different_chemistry_no_match() {
+        let m = StructureMatcher::default();
+        let a = prototypes::rocksalt(el("Na"), el("Cl"));
+        let b = prototypes::rocksalt(el("Li"), el("Cl"));
+        assert!(!m.matches(&a, &b));
+    }
+
+    #[test]
+    fn different_prototype_no_match() {
+        let m = StructureMatcher::default();
+        // Same formula, different structure: rocksalt vs zincblende ZnS.
+        let a = prototypes::rocksalt(el("Zn"), el("S"));
+        let b = prototypes::zincblende(el("Zn"), el("S"));
+        assert!(!m.matches(&a, &b), "rocksalt vs zincblende must differ");
+    }
+
+    #[test]
+    fn small_perturbation_still_matches() {
+        let m = StructureMatcher::default();
+        let a = prototypes::rocksalt(el("Na"), el("Cl"));
+        let b = a.perturbed(0.03, 99);
+        assert!(m.matches(&a, &b));
+    }
+
+    #[test]
+    fn volume_change_no_match() {
+        let m = StructureMatcher::default();
+        let a = prototypes::rocksalt(el("Na"), el("Cl"));
+        let mut b = a.clone();
+        b.lattice = b.lattice.scaled_to_volume(a.lattice.volume() * 1.4);
+        assert!(!m.matches(&a, &b));
+    }
+
+    #[test]
+    fn supercell_matches_unit_cell() {
+        let m = StructureMatcher::default();
+        let a = prototypes::rocksalt(el("Na"), el("Cl"));
+        let b = a.supercell(2, 1, 1);
+        assert!(m.matches(&a, &b), "supercell should match its unit cell");
+    }
+
+    #[test]
+    fn grouping() {
+        let m = StructureMatcher::default();
+        let s1 = prototypes::rocksalt(el("Na"), el("Cl"));
+        let s2 = prototypes::rocksalt(el("Na"), el("Cl"));
+        let s3 = prototypes::rocksalt(el("Li"), el("F"));
+        let reps = m.group(&[s1, s2, s3]);
+        assert_eq!(reps, vec![0, 0, 2]);
+    }
+}

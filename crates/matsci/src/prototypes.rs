@@ -1,0 +1,280 @@
+//! Common crystal-structure prototypes.
+//!
+//! High-throughput screening populates its candidate list by decorating
+//! known prototypes with new elements (the approach of Jain et al. 2011,
+//! which the paper's §III builds on). These constructors provide the
+//! prototypes our synthetic ICSD generator and the battery screening
+//! pipeline decorate.
+
+use crate::element::Element;
+use crate::lattice::Lattice;
+use crate::structure::Structure;
+
+/// Estimate a sensible lattice constant from covalent radii (Å).
+fn bond(a: Element, b: Element) -> f64 {
+    a.radius() + b.radius()
+}
+
+/// FCC elemental metal (conventional 4-atom cubic cell).
+pub fn fcc(el: Element) -> Structure {
+    let a = el.radius() * 2.0 * std::f64::consts::SQRT_2;
+    Structure::new(
+        Lattice::cubic(a),
+        vec![
+            (el, [0.0, 0.0, 0.0]),
+            (el, [0.5, 0.5, 0.0]),
+            (el, [0.5, 0.0, 0.5]),
+            (el, [0.0, 0.5, 0.5]),
+        ],
+    )
+}
+
+/// BCC elemental metal (conventional 2-atom cubic cell).
+pub fn bcc(el: Element) -> Structure {
+    let a = el.radius() * 4.0 / 3f64.sqrt();
+    Structure::new(
+        Lattice::cubic(a),
+        vec![(el, [0.0, 0.0, 0.0]), (el, [0.5, 0.5, 0.5])],
+    )
+}
+
+/// HCP elemental metal (2-atom hexagonal cell).
+pub fn hcp(el: Element) -> Structure {
+    let a = el.radius() * 2.0;
+    let c = a * 1.633;
+    Structure::new(
+        Lattice::hexagonal(a, c),
+        vec![
+            (el, [0.0, 0.0, 0.0]),
+            (el, [1.0 / 3.0, 2.0 / 3.0, 0.5]),
+        ],
+    )
+}
+
+/// Rocksalt MX (8-atom conventional cell): NaCl, MgO, ...
+pub fn rocksalt(cation: Element, anion: Element) -> Structure {
+    let a = bond(cation, anion) * 2.0;
+    Structure::new(
+        Lattice::cubic(a),
+        vec![
+            (cation, [0.0, 0.0, 0.0]),
+            (cation, [0.5, 0.5, 0.0]),
+            (cation, [0.5, 0.0, 0.5]),
+            (cation, [0.0, 0.5, 0.5]),
+            (anion, [0.5, 0.0, 0.0]),
+            (anion, [0.0, 0.5, 0.0]),
+            (anion, [0.0, 0.0, 0.5]),
+            (anion, [0.5, 0.5, 0.5]),
+        ],
+    )
+}
+
+/// Zincblende MX (8-atom conventional cell): ZnS, GaAs, ...
+pub fn zincblende(cation: Element, anion: Element) -> Structure {
+    let a = bond(cation, anion) * 4.0 / 3f64.sqrt();
+    Structure::new(
+        Lattice::cubic(a),
+        vec![
+            (cation, [0.0, 0.0, 0.0]),
+            (cation, [0.5, 0.5, 0.0]),
+            (cation, [0.5, 0.0, 0.5]),
+            (cation, [0.0, 0.5, 0.5]),
+            (anion, [0.25, 0.25, 0.25]),
+            (anion, [0.75, 0.75, 0.25]),
+            (anion, [0.75, 0.25, 0.75]),
+            (anion, [0.25, 0.75, 0.75]),
+        ],
+    )
+}
+
+/// Fluorite MX₂ (12-atom conventional cell): CaF₂, ZrO₂, ...
+pub fn fluorite(cation: Element, anion: Element) -> Structure {
+    let a = bond(cation, anion) * 4.0 / 3f64.sqrt();
+    let mut sites = vec![
+        (cation, [0.0, 0.0, 0.0]),
+        (cation, [0.5, 0.5, 0.0]),
+        (cation, [0.5, 0.0, 0.5]),
+        (cation, [0.0, 0.5, 0.5]),
+    ];
+    for &x in &[0.25, 0.75] {
+        for &y in &[0.25, 0.75] {
+            for &z in &[0.25, 0.75] {
+                sites.push((anion, [x, y, z]));
+            }
+        }
+    }
+    Structure::new(Lattice::cubic(a), sites)
+}
+
+/// Perovskite ABX₃ (5-atom cubic cell): SrTiO₃, BaTiO₃, ...
+pub fn perovskite(a_site: Element, b_site: Element, anion: Element) -> Structure {
+    let a = bond(b_site, anion) * 2.0;
+    Structure::new(
+        Lattice::cubic(a),
+        vec![
+            (a_site, [0.5, 0.5, 0.5]),
+            (b_site, [0.0, 0.0, 0.0]),
+            (anion, [0.5, 0.0, 0.0]),
+            (anion, [0.0, 0.5, 0.0]),
+            (anion, [0.0, 0.0, 0.5]),
+        ],
+    )
+}
+
+/// Rutile MX₂ (6-atom tetragonal cell): TiO₂, SnO₂, ...
+pub fn rutile(cation: Element, anion: Element) -> Structure {
+    let d = bond(cation, anion);
+    let a = d * 2.37;
+    let c = d * 1.52;
+    let u = 0.305;
+    Structure::new(
+        Lattice::orthorhombic(a, a, c),
+        vec![
+            (cation, [0.0, 0.0, 0.0]),
+            (cation, [0.5, 0.5, 0.5]),
+            (anion, [u, u, 0.0]),
+            (anion, [1.0 - u, 1.0 - u, 0.0]),
+            (anion, [0.5 + u, 0.5 - u, 0.5]),
+            (anion, [0.5 - u, 0.5 + u, 0.5]),
+        ],
+    )
+}
+
+/// Layered alkali transition-metal oxide A MO₂ (the LiCoO₂ / NaCoO₂
+/// family), approximated in a hexagonal 4-atom cell.
+pub fn layered_amo2(alkali: Element, metal: Element, anion: Element) -> Structure {
+    let a = bond(metal, anion) * 1.45;
+    let c = (bond(alkali, anion) + bond(metal, anion)) * 2.4;
+    Structure::new(
+        Lattice::hexagonal(a, c),
+        vec![
+            (alkali, [0.0, 0.0, 0.5]),
+            (metal, [0.0, 0.0, 0.0]),
+            (anion, [1.0 / 3.0, 2.0 / 3.0, 0.25]),
+            (anion, [2.0 / 3.0, 1.0 / 3.0, 0.75]),
+        ],
+    )
+}
+
+/// Olivine A MPO₄ (the LiFePO₄ family), approximated in a 7-atom
+/// orthorhombic cell (one formula unit).
+pub fn olivine_ampo4(alkali: Element, metal: Element) -> Structure {
+    let p = Element::from_symbol("P").expect("P in table");
+    let o = Element::from_symbol("O").expect("O in table");
+    let scale = bond(metal, o);
+    let (a, b, c) = (scale * 4.9, scale * 2.9, scale * 2.25);
+    Structure::new(
+        Lattice::orthorhombic(a, b, c),
+        vec![
+            (alkali, [0.0, 0.0, 0.0]),
+            (metal, [0.28, 0.25, 0.97]),
+            (p, [0.09, 0.25, 0.42]),
+            (o, [0.10, 0.25, 0.74]),
+            (o, [0.46, 0.25, 0.21]),
+            (o, [0.17, 0.05, 0.28]),
+            (o, [0.17, 0.45, 0.28]),
+        ],
+    )
+}
+
+/// Spinel-stoichiometry AB₂X₄ (14-atom cell, 2 formula units). The cell
+/// is an idealized arrangement on a ¼-spaced grid — correct
+/// stoichiometry, cation/anion alternation and realistic density, which
+/// is what the screening pipeline consumes (exact Fd-3m geometry is not
+/// needed by any downstream analysis).
+pub fn spinel(a_site: Element, b_site: Element, anion: Element) -> Structure {
+    let a = bond(b_site, anion) * 4.0;
+    Structure::new(
+        Lattice::cubic(a),
+        vec![
+            (a_site, [0.0, 0.0, 0.0]),
+            (a_site, [0.5, 0.5, 0.0]),
+            (b_site, [0.25, 0.25, 0.25]),
+            (b_site, [0.75, 0.75, 0.25]),
+            (b_site, [0.25, 0.75, 0.75]),
+            (b_site, [0.75, 0.25, 0.75]),
+            (anion, [0.5, 0.0, 0.5]),
+            (anion, [0.0, 0.5, 0.5]),
+            (anion, [0.25, 0.25, 0.75]),
+            (anion, [0.75, 0.75, 0.75]),
+            (anion, [0.5, 0.0, 0.0]),
+            (anion, [0.0, 0.5, 0.0]),
+            (anion, [0.75, 0.25, 0.25]),
+            (anion, [0.25, 0.75, 0.25]),
+        ],
+    )
+}
+
+/// Names of all prototype families (for generators and reports).
+pub const PROTOTYPE_NAMES: &[&str] = &[
+    "fcc",
+    "bcc",
+    "hcp",
+    "rocksalt",
+    "zincblende",
+    "fluorite",
+    "perovskite",
+    "rutile",
+    "layered_amo2",
+    "olivine_ampo4",
+    "spinel",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    #[test]
+    fn stoichiometries() {
+        assert_eq!(rocksalt(el("Na"), el("Cl")).formula(), "NaCl");
+        assert_eq!(zincblende(el("Zn"), el("S")).formula(), "ZnS");
+        assert_eq!(fluorite(el("Ca"), el("F")).formula(), "CaF2");
+        assert_eq!(perovskite(el("Sr"), el("Ti"), el("O")).formula(), "SrTiO3");
+        assert_eq!(rutile(el("Ti"), el("O")).formula(), "TiO2");
+        assert_eq!(layered_amo2(el("Li"), el("Co"), el("O")).formula(), "LiCoO2");
+        assert_eq!(olivine_ampo4(el("Li"), el("Fe")).formula(), "LiFePO4");
+        assert_eq!(spinel(el("Li"), el("Mn"), el("O")).formula(), "LiMn2O4");
+    }
+
+    #[test]
+    fn elemental_cells() {
+        assert_eq!(fcc(el("Cu")).num_sites(), 4);
+        assert_eq!(bcc(el("Fe")).num_sites(), 2);
+        assert_eq!(hcp(el("Mg")).num_sites(), 2);
+        assert_eq!(fcc(el("Cu")).formula(), "Cu");
+    }
+
+    #[test]
+    fn no_overlapping_sites() {
+        let protos = [
+            rocksalt(el("Na"), el("Cl")),
+            zincblende(el("Zn"), el("S")),
+            fluorite(el("Ca"), el("F")),
+            perovskite(el("Sr"), el("Ti"), el("O")),
+            rutile(el("Ti"), el("O")),
+            layered_amo2(el("Li"), el("Co"), el("O")),
+            olivine_ampo4(el("Li"), el("Fe")),
+            spinel(el("Li"), el("Mn"), el("O")),
+        ];
+        for s in &protos {
+            let d = s.min_distance().unwrap();
+            assert!(d > 0.8, "{} has overlapping sites: d = {d}", s.formula());
+        }
+    }
+
+    #[test]
+    fn densities_physically_plausible() {
+        for s in [
+            rocksalt(el("Na"), el("Cl")),
+            perovskite(el("Sr"), el("Ti"), el("O")),
+            olivine_ampo4(el("Li"), el("Fe")),
+        ] {
+            let rho = s.density();
+            assert!(rho > 0.5 && rho < 20.0, "{}: {rho} g/cm³", s.formula());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Crystal structures: a lattice plus occupied sites.
+
+use crate::composition::Composition;
+use crate::element::Element;
+use crate::lattice::{Lattice, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One occupied crystallographic site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Occupying element.
+    pub element: Element,
+    /// Fractional coordinates in the lattice basis.
+    pub frac: Vec3,
+}
+
+impl Site {
+    /// Construct a site, normalizing coordinates into [0, 1).
+    pub fn new(element: Element, frac: Vec3) -> Self {
+        Site {
+            element,
+            frac: [wrap(frac[0]), wrap(frac[1]), wrap(frac[2])],
+        }
+    }
+}
+
+fn wrap(x: f64) -> f64 {
+    let w = x - x.floor();
+    if w >= 1.0 {
+        0.0
+    } else {
+        w
+    }
+}
+
+/// A periodic crystal structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Structure {
+    /// Unit-cell lattice.
+    pub lattice: Lattice,
+    /// Occupied sites.
+    pub sites: Vec<Site>,
+}
+
+impl Structure {
+    /// Build from a lattice and (element, frac-coord) pairs.
+    pub fn new(lattice: Lattice, sites: Vec<(Element, Vec3)>) -> Self {
+        Structure {
+            lattice,
+            sites: sites.into_iter().map(|(e, f)| Site::new(e, f)).collect(),
+        }
+    }
+
+    /// Number of sites in the cell.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The cell's composition.
+    pub fn composition(&self) -> Composition {
+        Composition::from_pairs(self.sites.iter().map(|s| (s.element, 1.0)))
+    }
+
+    /// Reduced formula of the composition.
+    pub fn formula(&self) -> String {
+        self.composition().reduced_formula()
+    }
+
+    /// Mass density (g/cm³).
+    pub fn density(&self) -> f64 {
+        // amu per Å³ → g/cm³ : 1 u/Å³ = 1.66053906660 g/cm³.
+        let mass: f64 = self.sites.iter().map(|s| s.element.mass()).sum();
+        1.66053906660 * mass / self.lattice.volume()
+    }
+
+    /// Volume per atom (Å³).
+    pub fn volume_per_atom(&self) -> f64 {
+        if self.sites.is_empty() {
+            0.0
+        } else {
+            self.lattice.volume() / self.sites.len() as f64
+        }
+    }
+
+    /// Minimum-image distance between two sites (Å).
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.lattice.pbc_distance(&self.sites[i].frac, &self.sites[j].frac)
+    }
+
+    /// Shortest interatomic distance in the cell (or `None` for < 2 sites
+    /// — then the shortest self-image distance through the lattice).
+    pub fn min_distance(&self) -> Option<f64> {
+        let n = self.sites.len();
+        if n == 0 {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                best = best.min(self.distance(i, j));
+            }
+            // Self image through each lattice vector.
+            let lengths = self.lattice.lengths();
+            for l in lengths {
+                best = best.min(l);
+            }
+        }
+        Some(best)
+    }
+
+    /// All neighbors of site `i` within `cutoff` Å, counting each
+    /// periodic image separately (so coordination numbers come out
+    /// right: 6 for rocksalt at the nearest-neighbor shell).
+    pub fn neighbors(&self, i: usize, cutoff: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        let fi = self.sites[i].frac;
+        for (j, sj) in self.sites.iter().enumerate() {
+            for di in -1i32..=1 {
+                for dj in -1i32..=1 {
+                    for dk in -1i32..=1 {
+                        if j == i && di == 0 && dj == 0 && dk == 0 {
+                            continue;
+                        }
+                        let df = [
+                            sj.frac[0] - fi[0] + di as f64,
+                            sj.frac[1] - fi[1] + dj as f64,
+                            sj.frac[2] - fi[2] + dk as f64,
+                        ];
+                        let d = crate::lattice::norm(&self.lattice.to_cartesian(&df));
+                        if d <= cutoff {
+                            out.push((j, d));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Integer supercell: replicate the cell `na × nb × nc` times.
+    pub fn supercell(&self, na: usize, nb: usize, nc: usize) -> Structure {
+        let [a, b, c] = &self.lattice.matrix;
+        let scale = |v: &Vec3, n: usize| [v[0] * n as f64, v[1] * n as f64, v[2] * n as f64];
+        let lattice = Lattice::new([scale(a, na), scale(b, nb), scale(c, nc)]);
+        let mut sites = Vec::with_capacity(self.sites.len() * na * nb * nc);
+        for ia in 0..na {
+            for ib in 0..nb {
+                for ic in 0..nc {
+                    for s in &self.sites {
+                        sites.push((
+                            s.element,
+                            [
+                                (s.frac[0] + ia as f64) / na as f64,
+                                (s.frac[1] + ib as f64) / nb as f64,
+                                (s.frac[2] + ic as f64) / nc as f64,
+                            ],
+                        ));
+                    }
+                }
+            }
+        }
+        Structure::new(lattice, sites)
+    }
+
+    /// Replace every occurrence of `from` with `to` (cation substitution,
+    /// the workhorse move of high-throughput screening).
+    pub fn substituted(&self, from: Element, to: Element) -> Structure {
+        let mut s = self.clone();
+        for site in &mut s.sites {
+            if site.element == from {
+                site.element = to;
+            }
+        }
+        s
+    }
+
+    /// Remove all sites of `el` (e.g. delithiation of a cathode).
+    pub fn without_element(&self, el: Element) -> Structure {
+        let mut s = self.clone();
+        s.sites.retain(|site| site.element != el);
+        s
+    }
+
+    /// A canonical per-structure fingerprint for duplicate detection:
+    /// reduced formula, site count, rounded volume/atom, and a sorted,
+    /// coarsely-rounded list of (element, nearest-neighbor distance).
+    pub fn fingerprint(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.sites.len() + 2);
+        parts.push(self.formula());
+        parts.push(format!("v{:.1}", self.volume_per_atom()));
+        let mut env: Vec<String> = (0..self.sites.len())
+            .map(|i| {
+                let nn = self
+                    .neighbors(i, 6.0)
+                    .first()
+                    .map(|(_, d)| *d)
+                    .unwrap_or(0.0);
+                format!("{}:{:.1}", self.sites[i].element.symbol(), nn)
+            })
+            .collect();
+        env.sort_unstable();
+        parts.extend(env);
+        parts.join("|")
+    }
+
+    /// Displace every site by a deterministic pseudo-random jitter of at
+    /// most `amplitude` Å (models thermal noise / symmetry breaking).
+    pub fn perturbed(&self, amplitude: f64, seed: u64) -> Structure {
+        let mut s = self.clone();
+        let [la, lb, lc] = self.lattice.lengths();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for site in &mut s.sites {
+            site.frac = [
+                wrap(site.frac[0] + next() * amplitude / la),
+                wrap(site.frac[1] + next() * amplitude / lb),
+                wrap(site.frac[2] + next() * amplitude / lc),
+            ];
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(s: &str) -> Element {
+        Element::from_symbol(s).unwrap()
+    }
+
+    /// NaCl rocksalt conventional cell (8 atoms).
+    pub fn rocksalt(a: f64, cation: &str, anion: &str) -> Structure {
+        let c = el(cation);
+        let n = el(anion);
+        Structure::new(
+            Lattice::cubic(a),
+            vec![
+                (c, [0.0, 0.0, 0.0]),
+                (c, [0.5, 0.5, 0.0]),
+                (c, [0.5, 0.0, 0.5]),
+                (c, [0.0, 0.5, 0.5]),
+                (n, [0.5, 0.0, 0.0]),
+                (n, [0.0, 0.5, 0.0]),
+                (n, [0.0, 0.0, 0.5]),
+                (n, [0.5, 0.5, 0.5]),
+            ],
+        )
+    }
+
+    #[test]
+    fn composition_and_formula() {
+        let s = rocksalt(5.64, "Na", "Cl");
+        assert_eq!(s.formula(), "NaCl");
+        assert_eq!(s.num_sites(), 8);
+        assert_eq!(s.composition().num_atoms(), 8.0);
+    }
+
+    #[test]
+    fn density_of_nacl() {
+        // Real NaCl: 2.165 g/cm³ at a = 5.64 Å.
+        let s = rocksalt(5.64, "Na", "Cl");
+        assert!((s.density() - 2.165).abs() < 0.02, "{}", s.density());
+    }
+
+    #[test]
+    fn nearest_neighbor_distance() {
+        let s = rocksalt(5.64, "Na", "Cl");
+        // Na-Cl distance = a/2.
+        let d = s.min_distance().unwrap();
+        assert!((d - 2.82).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let s = rocksalt(5.64, "Na", "Cl");
+        let ns = s.neighbors(0, 3.0);
+        assert_eq!(ns.len(), 6, "rocksalt coordination number");
+        assert!(ns.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn supercell_multiplies() {
+        let s = rocksalt(5.64, "Na", "Cl");
+        let sc = s.supercell(2, 1, 1);
+        assert_eq!(sc.num_sites(), 16);
+        assert!((sc.lattice.volume() - 2.0 * s.lattice.volume()).abs() < 1e-9);
+        // Density is intensive.
+        assert!((sc.density() - s.density()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn substitution() {
+        let s = rocksalt(5.64, "Na", "Cl").substituted(el("Na"), el("Li"));
+        assert_eq!(s.formula(), "LiCl");
+    }
+
+    #[test]
+    fn delithiation() {
+        let s = rocksalt(4.1, "Li", "O").without_element(el("Li"));
+        assert_eq!(s.formula(), "O");
+        assert_eq!(s.num_sites(), 4);
+    }
+
+    #[test]
+    fn coords_wrap_into_cell() {
+        let s = Structure::new(Lattice::cubic(4.0), vec![(el("Fe"), [1.25, -0.25, 2.0])]);
+        assert_eq!(s.sites[0].frac, [0.25, 0.75, 0.0]);
+    }
+
+    #[test]
+    fn fingerprint_detects_same_structure() {
+        let s1 = rocksalt(5.64, "Na", "Cl");
+        let s2 = rocksalt(5.64, "Na", "Cl");
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        let s3 = rocksalt(5.0, "Na", "Cl");
+        assert_ne!(s1.fingerprint(), s3.fingerprint());
+        let s4 = rocksalt(5.64, "Li", "Cl");
+        assert_ne!(s1.fingerprint(), s4.fingerprint());
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_small() {
+        let s = rocksalt(5.64, "Na", "Cl");
+        let p1 = s.perturbed(0.1, 42);
+        let p2 = s.perturbed(0.1, 42);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, s);
+        for (a, b) in s.sites.iter().zip(p1.sites.iter()) {
+            let d = s.lattice.pbc_distance(&a.frac, &b.frac);
+            assert!(d < 0.2, "perturbation too large: {d}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = rocksalt(5.64, "Na", "Cl");
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Structure = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the materials-science invariants.
+
+use mp_matsci::analysis::phase_diagram::{PdEntry, PhaseDiagram};
+use mp_matsci::{Composition, Element, Lattice, Structure};
+use proptest::prelude::*;
+
+fn element() -> impl Strategy<Value = Element> {
+    (1u8..=94).prop_map(Element)
+}
+
+fn small_formula() -> impl Strategy<Value = Composition> {
+    prop::collection::btree_map(element(), 1u8..9, 1..4).prop_map(|m| {
+        Composition::from_pairs(m.into_iter().map(|(e, n)| (e, n as f64)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Formula string → parse → same composition.
+    #[test]
+    fn formula_roundtrip(comp in small_formula()) {
+        let formula = comp.reduced_formula();
+        let parsed = Composition::parse(&formula).unwrap();
+        let (ra, _) = comp.reduced_amounts();
+        let (rb, _) = parsed.reduced_amounts();
+        prop_assert_eq!(ra, rb, "formula {}", formula);
+    }
+
+    /// Atomic fractions always sum to 1.
+    #[test]
+    fn fractions_sum_to_one(comp in small_formula()) {
+        let total: f64 = comp.elements().iter().map(|&e| comp.fraction(e)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Weight and electron count are positive and scale-invariant under
+    /// reduction.
+    #[test]
+    fn weight_positive(comp in small_formula()) {
+        prop_assert!(comp.weight() > 0.0);
+        prop_assert!(comp.num_electrons() > 0.0);
+    }
+
+    /// Lattice from parameters reproduces its own parameters.
+    #[test]
+    fn lattice_parameter_roundtrip(
+        a in 2.0f64..15.0, b in 2.0f64..15.0, c in 2.0f64..15.0,
+        al in 50.0f64..130.0, be in 50.0f64..130.0, ga in 50.0f64..130.0,
+    ) {
+        // Skip geometrically impossible angle triples.
+        let sum_ok = al + be + ga < 355.0
+            && al + be - ga > 5.0 && al - be + ga > 5.0 && -al + be + ga > 5.0;
+        prop_assume!(sum_ok);
+        let l = Lattice::from_parameters(a, b, c, al, be, ga);
+        prop_assume!(l.volume() > 1.0);
+        let [la, lb, lc] = l.lengths();
+        prop_assert!((la - a).abs() < 1e-6);
+        prop_assert!((lb - b).abs() < 1e-6);
+        prop_assert!((lc - c).abs() < 1e-6);
+        let [ra, rb, rc] = l.angles();
+        prop_assert!((ra - al).abs() < 1e-4, "alpha {ra} vs {al}");
+        prop_assert!((rb - be).abs() < 1e-4);
+        prop_assert!((rc - ga).abs() < 1e-4);
+    }
+
+    /// Cartesian ↔ fractional conversion is a bijection.
+    #[test]
+    fn coordinate_roundtrip(
+        a in 2.0f64..12.0, c in 2.0f64..12.0,
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, fz in 0.0f64..1.0,
+    ) {
+        let l = Lattice::hexagonal(a, c);
+        let cart = l.to_cartesian(&[fx, fy, fz]);
+        let back = l.to_fractional(&cart);
+        prop_assert!((back[0] - fx).abs() < 1e-9);
+        prop_assert!((back[1] - fy).abs() < 1e-9);
+        prop_assert!((back[2] - fz).abs() < 1e-9);
+    }
+
+    /// PBC distance is symmetric and bounded by half the cell diagonal.
+    #[test]
+    fn pbc_distance_symmetric(
+        a in 3.0f64..12.0,
+        p in prop::array::uniform3(0.0f64..1.0),
+        q in prop::array::uniform3(0.0f64..1.0),
+    ) {
+        let l = Lattice::cubic(a);
+        let d1 = l.pbc_distance(&p, &q);
+        let d2 = l.pbc_distance(&q, &p);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        // Minimum image in a cube: each component ≤ a/2.
+        prop_assert!(d1 <= a * 3f64.sqrt() / 2.0 + 1e-9);
+    }
+
+    /// Supercells preserve density and multiply site counts.
+    #[test]
+    fn supercell_invariants(na in 1usize..3, nb in 1usize..3, nc in 1usize..3) {
+        let s = mp_matsci::prototypes::rocksalt(
+            Element::from_symbol("Na").unwrap(),
+            Element::from_symbol("Cl").unwrap(),
+        );
+        let sc = s.supercell(na, nb, nc);
+        prop_assert_eq!(sc.num_sites(), s.num_sites() * na * nb * nc);
+        prop_assert!((sc.density() - s.density()).abs() < 1e-9);
+        prop_assert_eq!(sc.formula(), s.formula());
+    }
+
+    /// Structure JSON round-trip.
+    #[test]
+    fn structure_serde_roundtrip(seed in 0u64..500) {
+        let mut gen = mp_matsci::IcsdGenerator::new(seed);
+        let s = gen.next_structure();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Structure = serde_json::from_str(&j).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// Hull energy at any entry's composition is ≤ that entry's energy
+    /// (the hull is a lower bound), and e_above_hull is never negative.
+    #[test]
+    fn hull_lower_bounds_entries(energies in prop::collection::vec(-5.0f64..0.0, 3..10)) {
+        let li = Element::from_symbol("Li").unwrap();
+        let o = Element::from_symbol("O").unwrap();
+        let mut entries = vec![
+            PdEntry::new("Li", Composition::from_pairs([(li, 1.0)]), 0.0),
+            PdEntry::new("O", Composition::from_pairs([(o, 1.0)]), 0.0),
+        ];
+        for (i, e) in energies.iter().enumerate() {
+            let x = (i + 1) as f64;
+            entries.push(PdEntry::new(
+                format!("c{i}"),
+                Composition::from_pairs([(li, x), (o, 2.0)]),
+                *e,
+            ));
+        }
+        let pd = PhaseDiagram::new(entries).unwrap();
+        for i in 0..pd.entries.len() {
+            let e = &pd.entries[i];
+            let hull = pd.hull_energy(&e.composition, None).unwrap();
+            prop_assert!(hull <= e.energy_per_atom + 1e-7,
+                "hull {hull} above entry {}", e.energy_per_atom);
+            prop_assert!(pd.e_above_hull(i) >= -1e-9);
+        }
+    }
+
+}

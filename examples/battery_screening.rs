@@ -1,0 +1,85 @@
+//! Battery screening: the workload behind Fig. 1 of the paper.
+//!
+//! Generate Li-intercalation candidates, compute them, derive voltage
+//! and capacity for each, and print the screened candidates alongside
+//! the narrow band occupied by known electrode materials — exactly the
+//! story the paper's introduction tells.
+//!
+//! ```text
+//! cargo run --example battery_screening
+//! ```
+
+use materials_project::matsci::{prototypes, Element};
+use materials_project::MaterialsProject;
+use serde_json::json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let li = Element::from_symbol("Li")?;
+    let mut mp = MaterialsProject::new()?;
+
+    // Known electrodes (the red band of Fig. 1): classic layered /
+    // olivine / spinel chemistries.
+    let knowns = [
+        ("LiCoO2 (layered)", prototypes::layered_amo2(li, Element::from_symbol("Co")?, Element::from_symbol("O")?)),
+        ("LiFePO4 (olivine)", prototypes::olivine_ampo4(li, Element::from_symbol("Fe")?)),
+        ("LiMn2O4 (spinel)", prototypes::spinel(li, Element::from_symbol("Mn")?, Element::from_symbol("O")?)),
+        ("LiNiO2 (layered)", prototypes::layered_amo2(li, Element::from_symbol("Ni")?, Element::from_symbol("O")?)),
+    ];
+
+    // Screened candidates: several hundred decorated frameworks.
+    let candidates = mp.ingest_battery_candidates(300, 1234, li)?;
+    println!("screening {} Li-framework candidates + {} knowns", candidates.len(), knowns.len());
+    mp.submit_calculations(&candidates)?;
+    let report = mp.run_campaign(25)?;
+    println!(
+        "campaign: {} completed, {} dedup hits, {} detours, {} fizzled",
+        report.completed, report.dedup_hits, report.detours, report.fizzled
+    );
+
+    mp.build_views(li)?;
+    let batteries = mp
+        .database()
+        .collection("batteries")
+        .find(&json!({"type": "intercalation"}))?;
+
+    println!("\n capacity(mAh/g)  voltage(V)  framework");
+    println!(" ---------------  ----------  ---------");
+    let mut in_window = 0;
+    for b in &batteries {
+        let v = b["average_voltage"].as_f64().unwrap_or(0.0);
+        let c = b["capacity_grav"].as_f64().unwrap_or(0.0);
+        if (0.0..=5.0).contains(&v) && c <= 1200.0 {
+            in_window += 1;
+            if in_window <= 25 {
+                println!(" {c:>15.0}  {v:>10.2}  {}", b["framework"].as_str().unwrap_or("?"));
+            }
+        }
+    }
+    println!(" ... {} candidates inside the Fig.-1 window (0-5 V, 0-1200 mAh/g)", in_window);
+
+    // Knowns, computed through the same physics.
+    println!("\n known electrode          capacity  voltage");
+    for (name, s) in &knowns {
+        let frame = s.without_element(li);
+        let x = s.composition().amount(li);
+        let e_lith = materials_project::mp_dft::energy_per_atom(s) * s.num_sites() as f64;
+        let e_frame = materials_project::mp_dft::energy_per_atom(&frame) * frame.num_sites() as f64;
+        let electrode = materials_project::matsci::InsertionElectrode::new(
+            frame.composition(),
+            li,
+            materials_project::elemental_reference(li),
+            vec![
+                materials_project::matsci::LithiationPoint { x: 0.0, energy: e_frame },
+                materials_project::matsci::LithiationPoint { x, energy: e_lith },
+            ],
+        )?;
+        println!(
+            " {name:<24} {:>8.0}  {:>7.2}",
+            electrode.gravimetric_capacity(),
+            electrode.average_voltage()
+        );
+    }
+    println!("\nThe knowns cluster in a narrow band; the screen surfaces candidates");
+    println!("outside it — the opportunity Fig. 1 illustrates.");
+    Ok(())
+}

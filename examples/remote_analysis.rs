@@ -1,0 +1,139 @@
+//! Community analytics over the Materials API (§III-D3).
+//!
+//! "We have already started to see new and novel uses of the MP data via
+//! the Materials API and the pymatgen library, such as screening for CO2
+//! sorbents, calculation of x-ray spectra for clusters of atoms, and
+//! performing Voronoi analysis to find possible interstitial sites."
+//!
+//! This example plays the role of that community scientist: everything
+//! below uses only the public [`MpClient`] — no direct datastore access —
+//! and local analysis tools, "jointly analyzing local and remote data".
+//!
+//! ```text
+//! cargo run --example remote_analysis
+//! ```
+
+use materials_project::mapi::MpClient;
+use materials_project::matsci::{
+    analysis::diffusion, compute_pattern, Element, PhaseDiagram, CU_KA,
+};
+use materials_project::MaterialsProject;
+use serde_json::json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Materials Project side: a populated public deployment.
+    let mut mp = MaterialsProject::new()?;
+    let recs = mp.ingest_icsd(80, 2012)?;
+    mp.submit_calculations(&recs)?;
+    mp.run_campaign(25)?;
+    mp.build_views(Element::from_symbol("Li")?)?;
+    let api = mp.materials_api();
+
+    // The community side: an anonymous API client.
+    let client = MpClient::new(&api);
+
+    // --- use 1: screening for CO2 sorbents -------------------------
+    // A CO2 sorbent wants a basic oxide: an electropositive metal bound
+    // to oxygen, thermodynamically stable enough to cycle.
+    println!("=== use 1: CO2-sorbent screen (remote query + local chemistry) ===");
+    let rows = client.query(
+        &json!({"elements": "O", "nelements": 2}),
+        &["formula", "energy_per_atom", "e_above_hull"],
+    )?;
+    let mut sorbents = Vec::new();
+    for r in &rows {
+        let Some(formula) = r["formula"].as_str() else { continue };
+        let Ok(comp) = materials_project::matsci::Composition::parse(formula) else {
+            continue;
+        };
+        let metal_chi: Vec<f64> = comp
+            .elements()
+            .iter()
+            .filter(|e| e.symbol() != "O")
+            .map(|e| e.electronegativity())
+            .collect();
+        let basic = metal_chi.iter().all(|&chi| chi < 1.4);
+        let stable = r["stability"]["e_above_hull"].as_f64().unwrap_or(1.0) < 0.05;
+        if basic && stable {
+            sorbents.push(formula.to_string());
+        }
+    }
+    println!("candidate basic oxides: {sorbents:?}\n");
+
+    // --- use 2: x-ray spectra from fetched structures ---------------
+    println!("=== use 2: XRD spectra computed locally from API structures ===");
+    let mats = client.query(&json!({"nelements": {"$lte": 2}}), &["formula"])?;
+    for m in mats.iter().take(3) {
+        let id = m["_id"].as_str().unwrap();
+        let s = match client.get_structure(id) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let pattern = compute_pattern(&s, CU_KA, 60.0);
+        let strongest = pattern.strongest().map(|p| p.two_theta).unwrap_or(0.0);
+        println!(
+            "  {:<10} {} peaks below 60°, strongest at 2θ = {strongest:.1}°",
+            s.formula(),
+            pattern.peaks.len()
+        );
+    }
+    println!();
+
+    // --- use 3: interstitial/migration analysis ---------------------
+    // The Voronoi-interstitial idea, via our geometric migration screen:
+    // which fetched Li compounds have open channels?
+    println!("=== use 3: migration-channel analysis on fetched Li compounds ===");
+    let li = Element::from_symbol("Li")?;
+    let li_mats = client.query(&json!({"elements": "Li"}), &["formula"])?;
+    let mut found = 0;
+    for m in &li_mats {
+        let id = m["_id"].as_str().unwrap();
+        let Ok(s) = client.get_structure(id) else { continue };
+        let sc = s.supercell(2, 2, 1);
+        if let Some(path) = diffusion::easiest_path(&sc, li) {
+            println!(
+                "  {:<12} bottleneck {:.2} Å, barrier {:.2} eV, D(300K) = {:.1e} cm²/s",
+                s.formula(),
+                path.bottleneck_radius,
+                path.barrier_ev,
+                diffusion::diffusivity(path.barrier_ev, 300.0)
+            );
+            found += 1;
+            if found >= 5 {
+                break;
+            }
+        }
+    }
+    println!();
+
+    // --- bonus: remote entries → local phase diagram -----------------
+    println!("=== bonus: phase diagram from API entries (MPRester pattern) ===");
+    // Find a binary oxide system present in the database.
+    let binaries = client.query(&json!({"nelements": 2, "elements": "O"}), &["chemsys"])?;
+    if let Some(sys) = binaries.first().and_then(|b| b["chemsys"].as_str()) {
+        let els: Vec<&str> = sys.split('-').collect();
+        let mut entries = client.get_entries_in_chemsys(&els)?;
+        // Ensure elemental references exist (the client may not find
+        // elemental entries in a small deployment; add model references).
+        for el_sym in &els {
+            let el = Element::from_symbol(el_sym)?;
+            if !entries.iter().any(|e| {
+                e.composition.num_elements() == 1 && e.composition.amount(el) > 0.0
+            }) {
+                entries.push(materials_project::matsci::PdEntry::new(
+                    format!("ref-{el_sym}"),
+                    materials_project::matsci::Composition::from_pairs([(el, 1.0)]),
+                    materials_project::elemental_reference(el),
+                ));
+            }
+        }
+        let pd = PhaseDiagram::new(entries)?;
+        let stable: Vec<String> = pd
+            .stable_entries(1e-6)
+            .iter()
+            .map(|e| e.composition.reduced_formula())
+            .collect();
+        println!("  {sys}: stable phases {stable:?}");
+    }
+    Ok(())
+}

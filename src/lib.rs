@@ -1,0 +1,44 @@
+//! # materials-project — a community accessible datastore of
+//! high-throughput calculations
+//!
+//! Rust reproduction of the Materials Project infrastructure described
+//! in Gunter et al., *"Community Accessible Datastore of High-Throughput
+//! Calculations: Experiences from the Materials Project"* (SC 2012).
+//!
+//! The system is organized exactly as Fig. 2 of the paper: a single
+//! document datastore ([`docstore`]) at the center, serving four roles
+//! at once —
+//!
+//! 1. **Parallel computation**: the FireWorks workflow engine
+//!    ([`fireworks`]) keeps its queue and task state in the store and
+//!    drives simulated DFT calculations ([`dft`]) on a simulated HPC
+//!    cluster ([`hpcsim`]);
+//! 2. **Data analytics**: materials analyses ([`matsci`]) and derived
+//!    views ([`core::analytics`]);
+//! 3. **Data validation & verification**: offline loading and MapReduce
+//!    V&V ([`core::loading`], [`mapi::builder`]);
+//! 4. **Data dissemination**: the Materials API ([`mapi`]).
+//!
+//! ```
+//! use materials_project::MaterialsProject;
+//! use materials_project::matsci::Element;
+//!
+//! let mut mp = MaterialsProject::new().unwrap();
+//! let recs = mp.ingest_icsd(10, 1).unwrap();
+//! mp.submit_calculations(&recs).unwrap();
+//! let report = mp.run_campaign(10).unwrap();
+//! assert!(report.completed > 0);
+//! mp.build_views(Element::from_symbol("Li").unwrap()).unwrap();
+//! ```
+
+pub use mp_core as core;
+pub use mp_core::*;
+pub use mp_dft;
+pub use mp_docstore as docstore;
+pub use mp_docstore::Database;
+pub use mp_fireworks as fireworks;
+pub use mp_hpcsim as hpcsim;
+pub use mp_mapi as mapi;
+pub use mp_matsci as matsci;
+
+pub use mp_dft as dft;

@@ -1,0 +1,94 @@
+//! Portal + client integration over a live deployment: the HTML pages
+//! render real data, the MPRester-style client feeds local analyses,
+//! and the aggregation pipelines agree with first-principles counts.
+
+use materials_project::mapi::{MpClient, QueryEngine, WebUi};
+use materials_project::matsci::Element;
+use materials_project::MaterialsProject;
+use serde_json::json;
+
+fn deployment() -> MaterialsProject {
+    let mut mp = MaterialsProject::new().unwrap();
+    let recs = mp.ingest_icsd(35, 23).unwrap();
+    mp.submit_calculations(&recs).unwrap();
+    mp.run_campaign(20).unwrap();
+    mp.build_views(Element::from_symbol("Li").unwrap()).unwrap();
+    mp
+}
+
+#[test]
+fn portal_pages_render_live_data() {
+    let mp = deployment();
+    let qe = QueryEngine::new(mp.database().clone());
+    let ui = WebUi::new(&qe);
+
+    let search = ui.search_page(&json!({}), 100).unwrap();
+    let n_mats = mp.database().collection("materials").len();
+    assert!(search.contains(&format!("Search results ({n_mats})")));
+
+    // Every material gets a detail page with band + DOS + XRD panels.
+    for m in mp.database().collection("materials").dump().iter().take(5) {
+        let id = m["_id"].as_str().unwrap();
+        let html = ui.material_page(id).unwrap().unwrap();
+        assert!(html.contains("class=\"bands\""), "{id} missing bands");
+        assert!(html.contains("class=\"dos\""), "{id} missing DOS");
+        assert!(html.contains("class=\"xrd\""), "{id} missing XRD");
+    }
+
+    let stats = ui.stats_page().unwrap();
+    assert!(stats.contains(&format!("{n_mats} materials")));
+}
+
+#[test]
+fn aggregation_agrees_with_direct_counts() {
+    let mp = deployment();
+    let mats = mp.database().collection("materials");
+    let agg = mats
+        .aggregate(&json!([
+            {"$unwind": "$elements"},
+            {"$group": {"_id": "$elements", "n": {"$sum": 1}}},
+        ]))
+        .unwrap();
+    for row in &agg {
+        let el = row["_id"].as_str().unwrap();
+        let direct = mats.count(&json!({ "elements": el })).unwrap();
+        assert_eq!(
+            row["n"].as_u64().unwrap() as usize,
+            direct,
+            "aggregation disagrees with count for {el}"
+        );
+    }
+}
+
+#[test]
+fn client_round_trips_structures_for_every_material() {
+    let mp = deployment();
+    let api = mp.materials_api();
+    let client = MpClient::new(&api);
+    let ids: Vec<String> = mp
+        .database()
+        .collection("materials")
+        .dump()
+        .iter()
+        .map(|m| m["_id"].as_str().unwrap().to_string())
+        .collect();
+    for id in ids.iter().take(10) {
+        let s = client.get_structure(id).unwrap();
+        assert!(s.num_sites() > 0);
+        // The fetched structure matches the stored formula.
+        let doc = &client.get_materials(id).unwrap()[0];
+        assert_eq!(doc["formula"].as_str().unwrap(), s.formula());
+    }
+}
+
+#[test]
+fn explain_shows_materials_indexes_in_use() {
+    let mp = deployment();
+    let mats = mp.database().collection("materials");
+    let plan = mats.explain(&json!({"formula": "NaCl"})).unwrap();
+    assert_eq!(plan["plan"], "INDEX_EQ", "{plan}");
+    let plan = mats
+        .explain(&json!({"output.band_gap": {"$gt": 2.0}}))
+        .unwrap();
+    assert_eq!(plan["plan"], "COLLSCAN");
+}

@@ -1,0 +1,104 @@
+//! The production two-step workflow: relaxation feeding a static run
+//! through the Fuse's parent-output mechanism (§III-C2).
+
+use materials_project::matsci::{Element, Structure};
+use materials_project::MaterialsProject;
+use serde_json::json;
+
+#[test]
+fn relax_then_static_flows_structure_through_the_fuse() {
+    let mut mp = MaterialsProject::new().unwrap();
+    let recs = mp.ingest_icsd(20, 55).unwrap();
+    mp.submit_relax_static_workflows(&recs).unwrap();
+    let report = mp.run_campaign(30).unwrap();
+    assert!(report.completed >= 20, "{report:?}");
+
+    let tasks = mp.database().collection("tasks");
+    let relax_tasks = tasks
+        .find(&json!({"task_type": "relax", "status": "converged"}))
+        .unwrap();
+    let static_tasks = tasks
+        .find(&json!({"task_type": "static", "status": "converged"}))
+        .unwrap();
+    assert!(!relax_tasks.is_empty());
+    assert!(!static_tasks.is_empty());
+
+    // Every relax task published its relaxed structure and trajectory.
+    for t in &relax_tasks {
+        assert!(t["output"]["structure"].is_object(), "{}", t["_id"]);
+        assert!(
+            t["output"]["relax_trajectory"].as_array().map(Vec::len).unwrap_or(0) >= 4,
+            "trajectory missing on {}",
+            t["_id"]
+        );
+    }
+
+    // Every static task ran on the *relaxed* structure, not the input:
+    // its engine spec's structure equals the parent's output structure.
+    let engines = mp.database().collection("engines");
+    let mut verified = 0;
+    for t in &static_tasks {
+        let fw = engines
+            .find_one(&json!({"_id": t["fw_id"]}))
+            .unwrap()
+            .unwrap();
+        // Deduplicated statics got pointers instead of specs; skip those.
+        let parents = fw["parents"].as_array().unwrap();
+        let Some(parent_id) = parents.first().and_then(|p| p.as_str()) else {
+            continue;
+        };
+        let parent_task = tasks
+            .find(&json!({"fw_id": parent_id, "status": "converged"}))
+            .unwrap();
+        let Some(parent_task) = parent_task.first() else {
+            continue;
+        };
+        assert_eq!(
+            fw["spec"]["structure"], parent_task["output"]["structure"],
+            "static spec must carry the relaxed structure ({})",
+            t["_id"]
+        );
+        verified += 1;
+    }
+    assert!(verified > 0, "no relax->static handoffs verified");
+}
+
+#[test]
+fn relaxed_volume_differs_from_input_when_strained() {
+    // A deliberately inflated cell: the relax step must contract it and
+    // the static step must compute the contracted geometry.
+    let mut mp = MaterialsProject::new().unwrap();
+    let na = Element::from_symbol("Na").unwrap();
+    let cl = Element::from_symbol("Cl").unwrap();
+    let ideal = materials_project::matsci::prototypes::rocksalt(na, cl);
+    let mut inflated = ideal.clone();
+    inflated.lattice = inflated
+        .lattice
+        .scaled_to_volume(ideal.lattice.volume() * 1.2);
+    let rec = materials_project::matsci::MpsRecord::new(
+        "mps-strained",
+        inflated.clone(),
+        materials_project::matsci::MpsSource::User {
+            account: "test".into(),
+        },
+    );
+    mp.database().collection("mps").insert_one(rec.to_doc()).unwrap();
+    mp.submit_relax_static_workflows(std::slice::from_ref(&rec)).unwrap();
+    let report = mp.run_campaign(20).unwrap();
+    assert!(report.completed >= 1, "{report:?}");
+
+    let static_fw = mp
+        .database()
+        .collection("engines")
+        .find_one(&json!({"_id": "fw-mps-strained-static"}))
+        .unwrap()
+        .unwrap();
+    let relaxed: Structure =
+        serde_json::from_value(static_fw["spec"]["structure"].clone()).unwrap();
+    assert!(
+        relaxed.lattice.volume() < inflated.lattice.volume() * 0.99,
+        "static ran on un-relaxed geometry: {} vs {}",
+        relaxed.lattice.volume(),
+        inflated.lattice.volume()
+    );
+}
