@@ -27,7 +27,8 @@ fn pad_with_duplicates(n: usize, binders: bool) -> LaunchPad {
             fw
         })
         .collect();
-    pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+    pad.add_workflow(&Workflow::new("wf", fws).unwrap())
+        .unwrap();
     pad
 }
 

@@ -38,7 +38,9 @@ fn bench(c: &mut Criterion) {
         // The builtin engine models MongoDB's JS interpreter tax.
         let builtin = BuiltinEngine::with_overhead_ns(15_000);
         let hadoop = HadoopEngine::new(
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
         );
         group.bench_with_input(BenchmarkId::new("builtin_js", n), &n, |b, _| {
             b.iter(|| black_box(run(&builtin, &docs)))

@@ -44,17 +44,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &(nel, n) in &[(2usize, 30usize), (3, 60), (4, 100)] {
         let es = entries(nel, n);
-        group.bench_with_input(
-            BenchmarkId::new(format!("{nel}el_hull"), n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let pd = PhaseDiagram::new(es.clone()).unwrap();
-                    let stable = pd.stable_entries(1e-8).len();
-                    black_box(stable)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(format!("{nel}el_hull"), n), &n, |b, _| {
+            b.iter(|| {
+                let pd = PhaseDiagram::new(es.clone()).unwrap();
+                let stable = pd.stable_entries(1e-8).len();
+                black_box(stable)
+            })
+        });
     }
     group.finish();
 }

@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
                         )
                     })
                     .collect();
-                pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+                pad.add_workflow(&Workflow::new("wf", fws).unwrap())
+                    .unwrap();
                 let stats = rapidfire(&pad, "w", &json!({}), usize::MAX, |_| {
                     LaunchReport::Success {
                         task_doc: json!({"output": {"energy": -1.0}}),
@@ -49,7 +50,8 @@ fn bench(c: &mut Criterion) {
                         }
                     })
                     .collect();
-                pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+                pad.add_workflow(&Workflow::new("wf", fws).unwrap())
+                    .unwrap();
                 let stats = rapidfire(&pad, "w", &json!({}), usize::MAX, |_| {
                     LaunchReport::Success {
                         task_doc: json!({"output": {}}),

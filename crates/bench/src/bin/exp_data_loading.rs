@@ -38,10 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = compute + wait + load + store;
 
     let rows = vec![
-        vec!["compute (node-seconds)".into(), format!("{compute:.0}"), pct(compute, total)],
+        vec![
+            "compute (node-seconds)".into(),
+            format!("{compute:.0}"),
+            pct(compute, total),
+        ],
         vec!["queue wait".into(), format!("{wait:.0}"), pct(wait, total)],
-        vec!["data loading (post-processing)".into(), format!("{load:.1}"), pct(load, total)],
-        vec!["datastore ops (measured)".into(), format!("{store:.3}"), pct(store, total)],
+        vec![
+            "data loading (post-processing)".into(),
+            format!("{load:.1}"),
+            pct(load, total),
+        ],
+        vec![
+            "datastore ops (measured)".into(),
+            format!("{store:.3}"),
+            pct(store, total),
+        ],
     ];
     println!("{}", table(&["phase", "seconds", "share"], &rows));
 
@@ -83,8 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_proxy: f64 = sample.iter().map(|s| proxy.load_time_s(s)).sum();
     println!("\nnetwork-policy ablation over 50 results:");
     println!("  load via direct connection  {t_direct:.1} s");
-    println!("  load via proxy (production) {t_proxy:.1} s  (+{:.0}%)",
-        100.0 * (t_proxy - t_direct) / t_direct);
+    println!(
+        "  load via proxy (production) {t_proxy:.1} s  (+{:.0}%)",
+        100.0 * (t_proxy - t_direct) / t_direct
+    );
     let raw_mb: f64 = mp
         .database()
         .collection("tasks")

@@ -56,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sum();
 
     let rows = vec![
-        vec!["materials".into(), n_mats.to_string(), format!("{:.0}", 30_000.0 * scale), "30,000".into()],
+        vec![
+            "materials".into(),
+            n_mats.to_string(),
+            format!("{:.0}", 30_000.0 * scale),
+            "30,000".into(),
+        ],
         vec![
             "bandstructures".into(),
             summary["bandstructures"].as_u64().unwrap_or(0).to_string(),
@@ -65,13 +70,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         vec![
             "intercalation batteries".into(),
-            summary["intercalation_batteries"].as_u64().unwrap_or(0).to_string(),
+            summary["intercalation_batteries"]
+                .as_u64()
+                .unwrap_or(0)
+                .to_string(),
             format!("{:.0}", 400.0 * scale),
             "400".into(),
         ],
         vec![
             "conversion batteries".into(),
-            summary["conversion_batteries"].as_u64().unwrap_or(0).to_string(),
+            summary["conversion_batteries"]
+                .as_u64()
+                .unwrap_or(0)
+                .to_string(),
             format!("{:.0}", 14_000.0 * scale),
             "14,000".into(),
         ],
@@ -84,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     println!(
         "{}",
-        table(&["quantity", "ours", "paper x scale", "paper (full)"], &rows)
+        table(
+            &["quantity", "ours", "paper x scale", "paper (full)"],
+            &rows
+        )
     );
 
     println!("max fields in one document: {fields_largest} (paper: 'hundreds of fields')");

@@ -47,7 +47,10 @@ fn group_best(engine: &dyn MapReduce, docs: &[Value]) -> usize {
             .cloned()
             .unwrap_or(Value::Null)
     };
-    engine.run(docs, &map, &reduce).expect("mapreduce runs").len()
+    engine
+        .run(docs, &map, &reduce)
+        .expect("mapreduce runs")
+        .len()
 }
 
 fn time_it(f: impl FnOnce() -> usize) -> (f64, usize) {
@@ -62,7 +65,9 @@ fn main() {
     // a fixed per-document cost (MongoDB 2.x's JS map calls cost tens of
     // microseconds each).
     let builtin = BuiltinEngine::with_overhead_ns(15_000);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let hadoop = HadoopEngine::new(workers);
     let hadoop1 = HadoopEngine::new(1);
 
@@ -86,7 +91,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["docs", "groups", "builtin(ms)", "hadoop-1w(ms)", &par_hdr, "speedup"],
+            &[
+                "docs",
+                "groups",
+                "builtin(ms)",
+                "hadoop-1w(ms)",
+                &par_hdr,
+                "speedup"
+            ],
             &rows
         )
     );

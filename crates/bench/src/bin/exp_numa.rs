@@ -36,7 +36,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["working set (GB)", "first-touch", "interleave", "interleave vs ft"],
+            &[
+                "working set (GB)",
+                "first-touch",
+                "interleave",
+                "interleave vs ft"
+            ],
             &rows
         )
     );

@@ -51,7 +51,9 @@ fn job(engine: &dyn MapReduce, docs: &[Value]) -> usize {
 fn main() {
     println!("=== §IV-B2: Mongo-direct vs HDFS-prestaged repeated analytics ===\n");
     let engine = HadoopEngine::new(
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
     );
     let jobs = 10;
     let mut rows = Vec::new();
@@ -72,12 +74,18 @@ fn main() {
         let t_stage_ms = t.elapsed().as_secs_f64() * 1000.0;
         let t = Instant::now();
         for _ in 0..jobs {
-            stage.run(&engine, &|d, emit| {
-                emit(d["chemsys"].clone(), d["output"]["band_gap"].clone());
-            }, &|_k, vs| {
-                let nums: Vec<f64> = vs.iter().filter_map(Value::as_f64).collect();
-                json!(nums.iter().sum::<f64>() / nums.len().max(1) as f64)
-            }).unwrap();
+            stage
+                .run(
+                    &engine,
+                    &|d, emit| {
+                        emit(d["chemsys"].clone(), d["output"]["band_gap"].clone());
+                    },
+                    &|_k, vs| {
+                        let nums: Vec<f64> = vs.iter().filter_map(Value::as_f64).collect();
+                        json!(nums.iter().sum::<f64>() / nums.len().max(1) as f64)
+                    },
+                )
+                .unwrap();
         }
         let staged_ms = t.elapsed().as_secs_f64() * 1000.0;
 
@@ -93,7 +101,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["docs", "jobs", "direct(ms)", "stage-once(ms)", "staged-jobs(ms)", "speedup"],
+            &[
+                "docs",
+                "jobs",
+                "direct(ms)",
+                "stage-once(ms)",
+                "staged-jobs(ms)",
+                "speedup"
+            ],
             &rows
         )
     );

@@ -49,7 +49,8 @@ fn main() {
         }
         let scatter_ms = t.elapsed().as_secs_f64() * 1000.0;
         let dist = cluster.distribution("materials");
-        let imbalance = *dist.iter().max().unwrap() as f64 / *dist.iter().min().unwrap().max(&1) as f64;
+        let imbalance =
+            *dist.iter().max().unwrap() as f64 / *dist.iter().min().unwrap().max(&1) as f64;
         rows.push(vec![
             format!("{shards}"),
             format!("{targeted_ms:.0}"),
@@ -60,7 +61,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["shards", "200 targeted (ms)", "20 scatter (ms)", "max/min balance"],
+            &[
+                "shards",
+                "200 targeted (ms)",
+                "20 scatter (ms)",
+                "max/min balance"
+            ],
             &rows
         )
     );
@@ -83,7 +89,10 @@ fn main() {
         }
     }
     let sec = rs.find(ReadPreference::Secondary, "m", &json!({})).unwrap();
-    println!("  secondary serves {} documents (read scaling enabled)", sec.len());
+    println!(
+        "  secondary serves {} documents (read scaling enabled)",
+        sec.len()
+    );
 
     let mut rs = ReplicaSet::new(2, 300);
     for i in 0..1_000 {

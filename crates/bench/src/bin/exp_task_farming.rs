@@ -65,7 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         table(
-            &["configuration", "completed", "batch jobs", "queue rejections", "makespan(h)", "rounds"],
+            &[
+                "configuration",
+                "completed",
+                "batch jobs",
+                "queue rejections",
+                "makespan(h)",
+                "rounds"
+            ],
             &[
                 row("cap=8, no reservation", &capped),
                 row("cap=8 + reservation (paper)", &reserved),
@@ -74,20 +81,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     );
 
-    println!("queue-slot arithmetic: {n} calcs at 25/farm need {} fewer queue entries",
-        queue_slots_saved(n, 25));
+    println!(
+        "queue-slot arithmetic: {n} calcs at 25/farm need {} fewer queue entries",
+        queue_slots_saved(n, 25)
+    );
     println!();
     println!("expected shape (paper §IV-A1):");
     println!(" - without help, the per-user cap forces constant resubmission churn;");
     println!(" - the reservation removes the rejections entirely;");
-    println!(" - farming achieves the same completions with ~{}x fewer batch jobs",
-        (reserved.batch_jobs as f64 / farmed.batch_jobs.max(1) as f64).round());
+    println!(
+        " - farming achieves the same completions with ~{}x fewer batch jobs",
+        (reserved.batch_jobs as f64 / farmed.batch_jobs.max(1) as f64).round()
+    );
     println!(" - farming also smooths walltime variance: each farm's duration is the");
     println!("   sum of many heavy-tailed task runtimes (law of large numbers).");
 
-    assert!(capped.queue_rejections > reserved.queue_rejections,
-        "reservation must reduce rejections");
-    assert!(farmed.batch_jobs < reserved.batch_jobs,
-        "farming must reduce batch job count");
+    assert!(
+        capped.queue_rejections > reserved.queue_rejections,
+        "reservation must reduce rejections"
+    );
+    assert!(
+        farmed.batch_jobs < reserved.batch_jobs,
+        "farming must reduce batch job count"
+    );
     Ok(())
 }

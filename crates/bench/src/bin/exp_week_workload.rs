@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("records per query     {per_query:.1}");
     println!();
     println!("paper (full scale):   3315 queries, 12,951,099 records (~3907/query)");
-    println!("ours (db of {} materials): the *shape* to check is a", formulas.len());
+    println!(
+        "ours (db of {} materials): the *shape* to check is a",
+        formulas.len()
+    );
     println!("records-per-query ratio far above 1 — bulk API pulls dominate volume");
     println!("while point lookups dominate the query count.");
     let p50 = log.percentile_ms(50.0).unwrap_or(0.0);

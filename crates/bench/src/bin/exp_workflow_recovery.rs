@@ -41,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let rows = vec![
         vec!["submissions".into(), n.to_string(), "".into()],
-        vec!["engine entries (incl. detours)".into(), total_engines.to_string(), "".into()],
-        vec!["completed".into(), completed.to_string(), pct(completed, total_engines)],
+        vec![
+            "engine entries (incl. detours)".into(),
+            total_engines.to_string(),
+            "".into(),
+        ],
+        vec![
+            "completed".into(),
+            completed.to_string(),
+            pct(completed, total_engines),
+        ],
         vec![
             "re-runs (walltime kills)".into(),
             report.walltime_reruns.to_string(),
@@ -82,7 +90,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(hist) = e["history"].as_array() {
             for h in hist {
                 if let Some(r) = h["reason"].as_str() {
-                    let key = r.split(':').next().unwrap_or(r).split(';').next().unwrap_or(r);
+                    let key = r
+                        .split(':')
+                        .next()
+                        .unwrap_or(r)
+                        .split(';')
+                        .next()
+                        .unwrap_or(r);
                     *reasons.entry(key.trim().to_string()).or_insert(0) += 1;
                 }
             }

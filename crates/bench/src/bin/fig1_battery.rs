@@ -52,12 +52,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Known electrodes, computed through the same physics (the narrow
     // band of Fig. 1).
     let knowns = [
-        ("LiCoO2", prototypes::layered_amo2(li, Element::from_symbol("Co")?, Element::from_symbol("O")?)),
-        ("LiNiO2", prototypes::layered_amo2(li, Element::from_symbol("Ni")?, Element::from_symbol("O")?)),
-        ("LiMn2O4", prototypes::spinel(li, Element::from_symbol("Mn")?, Element::from_symbol("O")?)),
-        ("LiFePO4", prototypes::olivine_ampo4(li, Element::from_symbol("Fe")?)),
-        ("LiTiO2", prototypes::layered_amo2(li, Element::from_symbol("Ti")?, Element::from_symbol("O")?)),
-        ("LiV2O4", prototypes::spinel(li, Element::from_symbol("V")?, Element::from_symbol("O")?)),
+        (
+            "LiCoO2",
+            prototypes::layered_amo2(li, Element::from_symbol("Co")?, Element::from_symbol("O")?),
+        ),
+        (
+            "LiNiO2",
+            prototypes::layered_amo2(li, Element::from_symbol("Ni")?, Element::from_symbol("O")?),
+        ),
+        (
+            "LiMn2O4",
+            prototypes::spinel(li, Element::from_symbol("Mn")?, Element::from_symbol("O")?),
+        ),
+        (
+            "LiFePO4",
+            prototypes::olivine_ampo4(li, Element::from_symbol("Fe")?),
+        ),
+        (
+            "LiTiO2",
+            prototypes::layered_amo2(li, Element::from_symbol("Ti")?, Element::from_symbol("O")?),
+        ),
+        (
+            "LiV2O4",
+            prototypes::spinel(li, Element::from_symbol("V")?, Element::from_symbol("O")?),
+        ),
     ];
     let mut known_rows = Vec::new();
     for (name, s) in &knowns {
@@ -70,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             li,
             elemental_reference(li),
             vec![
-                LithiationPoint { x: 0.0, energy: e_frame },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: e_frame,
+                },
                 LithiationPoint { x, energy: e_lith },
             ],
         )?;
@@ -79,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("voltage (V) vs capacity (mAh/g) — o intercalation, x conversion, * known:");
-    println!("{}", scatter_plot(&points, (0.0, 1200.0), (0.0, 5.0), 72, 20));
+    println!(
+        "{}",
+        scatter_plot(&points, (0.0, 1200.0), (0.0, 5.0), 72, 20)
+    );
 
     // Series data (for external plotting).
     println!("series: screened");

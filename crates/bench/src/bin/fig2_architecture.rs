@@ -12,10 +12,10 @@
 //! ```
 
 use mp_bench::table;
+use mp_core::MaterialsProject;
 use mp_docstore::{HadoopEngine, MapReduce};
 use mp_mapi::ApiRequest;
 use mp_matsci::Element;
-use mp_core::MaterialsProject;
 use serde_json::json;
 
 fn ops_since(mp: &MaterialsProject, start: u64) -> u64 {
@@ -78,12 +78,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "50 Materials API requests".into(),
         ],
     ];
-    println!("{}", table(&["role (Fig. 2 box)", "store ops", "what ran"], &rows));
+    println!(
+        "{}",
+        table(&["role (Fig. 2 box)", "store ops", "what ran"], &rows)
+    );
 
     // The figure's architectural claim: these were all THE SAME database.
     println!("collections now present in the single shared datastore:");
     for name in mp.database().collection_names() {
-        println!("  {name:<16} {:>6} docs", mp.database().collection(&name).len());
+        println!(
+            "  {name:<16} {:>6} docs",
+            mp.database().collection(&name).len()
+        );
     }
     println!("\nqueue + analytics + V&V + web served by one deployment — no ETL");
     println!("between roles, which is the paper's central design argument.");

@@ -11,9 +11,9 @@
 //! cargo run -p mp-bench --release --bin fig3_discovery
 //! ```
 
+use mp_core::MaterialsProject;
 use mp_mapi::{ApiRequest, MpClient, Sandbox};
 use mp_matsci::{prototypes, Element, MpsRecord, MpsSource, PhaseDiagram};
-use mp_core::MaterialsProject;
 use serde_json::json;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,11 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &json!({"elements": "Li", "band_gap": {"$gt": 1.0}}),
         &["formula", "band_gap"],
     )?;
-    println!("(a) ideas: mined {} known Li compounds with a gap; what about", known.len());
+    println!(
+        "(a) ideas: mined {} known Li compounds with a gap; what about",
+        known.len()
+    );
     println!("    a layered Li-V oxide nobody computed yet?\n");
 
     // (b) candidate materials serialized as MPS records.
-    let candidate = prototypes::layered_amo2(li, Element::from_symbol("V")?, Element::from_symbol("O")?);
+    let candidate =
+        prototypes::layered_amo2(li, Element::from_symbol("V")?, Element::from_symbol("O")?);
     let rec = MpsRecord::new(
         "mps-user-1",
         candidate,
@@ -47,12 +51,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     mp.database().collection("mps").insert_one(rec.to_doc())?;
-    println!("(b) candidate: {} serialized as MPS record {}\n", rec.structure.formula(), rec.mps_id);
+    println!(
+        "(b) candidate: {} serialized as MPS record {}\n",
+        rec.structure.formula(),
+        rec.mps_id
+    );
 
     // (c) submitted for computation through the same workflow engine.
     mp.submit_relax_static_workflows(std::slice::from_ref(&rec))?;
     let report = mp.run_campaign(15)?;
-    println!("(c) computed: {} task(s) including the user candidate\n", report.completed);
+    println!(
+        "(c) computed: {} task(s) including the user candidate\n",
+        report.completed
+    );
 
     // (d) results land in the user's sandbox, private by default.
     let sandbox = Sandbox::new(mp.database());
@@ -103,7 +114,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "(e) analyzed: E above hull = {:.3} eV/atom ({})\n",
         decomp.e_above_hull,
-        if decomp.e_above_hull < 0.05 { "promising!" } else { "metastable" }
+        if decomp.e_above_hull < 0.05 {
+            "promising!"
+        } else {
+            "metastable"
+        }
     );
 
     // (f) after the paper is accepted: publish to the community.

@@ -34,7 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = mp_core::make_spec(&rec, &Incar::default(), 50_000.0);
     let fw = Firework::new("fw-fe2o3", "static Fe2O3", Stage(spec))
         .with_binder(Binder::new(rec.structure.fingerprint(), "GGA"));
-    mp.launchpad().add_workflow(&Workflow::single("wf-fe2o3", fw))?;
+    mp.launchpad()
+        .add_workflow(&Workflow::single("wf-fe2o3", fw))?;
     let report = mp.run_campaign(10)?;
     println!("pipeline: {} task(s) computed\n", report.completed);
     mp.build_views(Element::from_symbol("Li")?)?;

@@ -97,6 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let line: Vec<String> = chunk.iter().map(|(_, ms)| format!("{ms:4.0}")).collect();
         println!("  {}", line.join(" "));
     }
-    println!("\n(total records returned across the workload: {})", log.total_records());
+    println!(
+        "\n(total records returned across the workload: {})",
+        log.total_records()
+    );
     Ok(())
 }

@@ -69,7 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         table(
-            &["collection", "nodes", "depth", "mean", "paper:nodes", "depth", "mean"],
+            &[
+                "collection",
+                "nodes",
+                "depth",
+                "mean",
+                "paper:nodes",
+                "depth",
+                "mean"
+            ],
             &rows
         )
     );
@@ -78,7 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // battery < MPS < materials < tasks.
     let ordered = measured.windows(2).all(|w| w[0].nodes < w[1].nodes);
     println!("complexity ordering battery < MPS < materials < tasks: {ordered}");
-    let depth_grows = measured.windows(2).all(|w| w[0].mean_depth <= w[1].mean_depth + 0.8);
+    let depth_grows = measured
+        .windows(2)
+        .all(|w| w[0].mean_depth <= w[1].mean_depth + 0.8);
     println!("mean depth grows along the pipeline: {depth_grows}");
     Ok(())
 }

@@ -83,7 +83,10 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
         let mut line = String::new();
         for (i, c) in cells.iter().enumerate() {
-            line.push_str(&format!("{c:>w$}  ", w = widths.get(i).copied().unwrap_or(4)));
+            line.push_str(&format!(
+                "{c:>w$}  ",
+                w = widths.get(i).copied().unwrap_or(4)
+            ));
         }
         line.trim_end().to_string() + "\n"
     };

@@ -3,11 +3,13 @@
 //! `xrd_patterns` collections from raw `tasks` (§III-B3: "Each type of
 //! calculated properties is given its own collection").
 
-use mp_docstore::{Database, HadoopEngine, Result};
 use mp_dft::energy_per_atom;
+use mp_docstore::{Database, HadoopEngine, Result};
 use mp_matsci::analysis::battery::{ConversionElectrode, InsertionElectrode, LithiationPoint};
 use mp_matsci::analysis::phase_diagram::{PdEntry, PhaseDiagram};
-use mp_matsci::{compute_bands, compute_pattern, prototypes, Composition, Element, Structure, CU_KA};
+use mp_matsci::{
+    compute_bands, compute_pattern, prototypes, Composition, Element, Structure, CU_KA,
+};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 
@@ -86,11 +88,7 @@ pub fn build_phase_diagrams(db: &Database) -> Result<usize> {
         for (id, comp, epa) in &parsed {
             let subset = comp.elements().iter().all(|e| sys_els.contains(e));
             if subset {
-                entries.push(PdEntry::new(
-                    id.as_str().unwrap_or("?"),
-                    comp.clone(),
-                    *epa,
-                ));
+                entries.push(PdEntry::new(id.as_str().unwrap_or("?"), comp.clone(), *epa));
                 if comp.chemical_system() == *sys_name {
                     member_ids.push(id.clone());
                 }
@@ -150,10 +148,7 @@ pub fn build_batteries(db: &Database, working_ion: Element) -> Result<(usize, us
         };
         let comp = structure.composition();
         let has_ion = comp.amount(working_ion) > 0.0;
-        let has_anion = comp
-            .elements()
-            .iter()
-            .any(|e| e.is_anion_former());
+        let has_anion = comp.elements().iter().any(|e| e.is_anion_former());
         if !has_anion {
             continue;
         }
@@ -295,7 +290,11 @@ fn comp_energy_estimate(comp: &Composition) -> f64 {
     for (el, n) in comp.iter() {
         e += elemental_reference(el) * n;
     }
-    let chis: Vec<f64> = comp.elements().iter().map(|e| e.electronegativity()).collect();
+    let chis: Vec<f64> = comp
+        .elements()
+        .iter()
+        .map(|e| e.electronegativity())
+        .collect();
     let spread = chis.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - chis.iter().cloned().fold(f64::INFINITY, f64::min);
     e - 0.9 * spread * comp.num_atoms()
@@ -399,13 +398,17 @@ mod tests {
         let db = Database::new();
         // mps + tasks for three materials in the Li-Co-O system.
         let mats = [
-            ("mps-1", prototypes::layered_amo2(el("Li"), el("Co"), el("O"))),
+            (
+                "mps-1",
+                prototypes::layered_amo2(el("Li"), el("Co"), el("O")),
+            ),
             ("mps-2", prototypes::rutile(el("Co"), el("O"))),
             ("mps-3", prototypes::rocksalt(el("Li"), el("O"))),
             ("mps-4", prototypes::rocksalt(el("Na"), el("Cl"))),
         ];
         for (id, s) in &mats {
-            let rec = mp_matsci::MpsRecord::new(*id, s.clone(), mp_matsci::MpsSource::Icsd { code: 1 });
+            let rec =
+                mp_matsci::MpsRecord::new(*id, s.clone(), mp_matsci::MpsSource::Icsd { code: 1 });
             db.collection("mps").insert_one(rec.to_doc()).unwrap();
             let comp = s.composition();
             let epa = energy_per_atom(s);

@@ -42,12 +42,7 @@ pub fn make_spec(rec: &MpsRecord, incar: &Incar, walltime_s: f64) -> Value {
 }
 
 /// Build a spec with an explicit task type ("relax" or "static").
-pub fn make_typed_spec(
-    rec: &MpsRecord,
-    incar: &Incar,
-    walltime_s: f64,
-    task_type: &str,
-) -> Value {
+pub fn make_typed_spec(rec: &MpsRecord, incar: &Incar, walltime_s: f64, task_type: &str) -> Value {
     let comp = rec.composition();
     json!({
         "task_type": task_type,
@@ -107,7 +102,11 @@ pub fn render_input_files(job: &AssembledJob) -> Vec<(String, String)> {
     }
     let incar = format!(
         "ENCUT = {}\nEDIFF = {:e}\nNELM = {}\nALGO = {:?}\nAMIX = {}\nIBRION = {}\n",
-        job.incar.encut, job.incar.ediff, job.incar.nelm, job.incar.algo, job.incar.amix,
+        job.incar.encut,
+        job.incar.ediff,
+        job.incar.nelm,
+        job.incar.algo,
+        job.incar.amix,
         job.incar.ibrion
     );
     let kpoints = format!(

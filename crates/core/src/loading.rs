@@ -11,8 +11,9 @@
 use crate::project::analyze_run;
 use mp_dft::{Incar, Kpoints, RelaxResult, RunResult};
 use mp_docstore::Result;
-use mp_fireworks::LaunchPad;
+use mp_fireworks::{LaunchPad, LaunchReport};
 use mp_hpcsim::DatastoreRoute;
+use mp_lint::RuleSet;
 use mp_matsci::Structure;
 
 /// One run's outputs sitting on scratch, awaiting loading.
@@ -40,21 +41,35 @@ pub struct StagedResult {
 pub struct DataLoader {
     route: DatastoreRoute,
     staged: Vec<StagedResult>,
+    /// V&V contract applied to reduced task documents before commit;
+    /// `None` disables validation.
+    ruleset: Option<RuleSet>,
     /// Total MB parsed over the loader's lifetime.
     pub total_mb: f64,
     /// Results loaded over the loader's lifetime.
     pub total_loaded: usize,
+    /// Documents the V&V contract rejected (filed as Fatal).
+    pub total_rejected: usize,
 }
 
 impl DataLoader {
-    /// Loader over a datastore route.
+    /// Loader over a datastore route, validating task documents with the
+    /// default contract ([`RuleSet::task_defaults`]).
     pub fn new(route: DatastoreRoute) -> Self {
         DataLoader {
             route,
             staged: Vec::new(),
+            ruleset: Some(RuleSet::task_defaults()),
             total_mb: 0.0,
             total_loaded: 0,
+            total_rejected: 0,
         }
+    }
+
+    /// Builder: replace the V&V contract (`None` disables validation).
+    pub fn with_ruleset(mut self, ruleset: Option<RuleSet>) -> Self {
+        self.ruleset = ruleset;
+        self
     }
 
     /// Number of results waiting on scratch.
@@ -78,17 +93,35 @@ impl DataLoader {
         parse + hop
     }
 
-    /// Drain the staging area: parse + reduce each result and file the
-    /// analyzer's report through the launchpad. Returns simulated
-    /// seconds spent loading — the paper's "significant time".
+    /// Drain the staging area: parse + reduce each result, run the V&V
+    /// contract over the reduced document, and file the analyzer's report
+    /// through the launchpad. Documents that fail validation are filed as
+    /// `Fatal` (with the rendered diagnostics) instead of being committed.
+    /// Returns simulated seconds spent loading — the paper's "significant
+    /// time".
     pub fn drain(&mut self, pad: &LaunchPad) -> Result<f64> {
         let mut spent = 0.0;
         for r in std::mem::take(&mut self.staged) {
             spent += self.load_time_s(&r);
             self.total_mb += r.intermediate_mb;
             self.total_loaded += 1;
-            let report =
-                analyze_run(&r.run, r.relax.as_ref(), &r.structure, &r.incar, &r.kpoints, &r.mps_id);
+            let mut report = analyze_run(
+                &r.run,
+                r.relax.as_ref(),
+                &r.structure,
+                &r.incar,
+                &r.kpoints,
+                &r.mps_id,
+            );
+            if let (Some(rules), LaunchReport::Success { task_doc }) = (&self.ruleset, &report) {
+                let diags = rules.validate(task_doc);
+                if mp_lint::has_errors(&diags) {
+                    self.total_rejected += 1;
+                    report = LaunchReport::Fatal {
+                        reason: format!("task document failed V&V:\n{}", mp_lint::render(&diags)),
+                    };
+                }
+            }
             pad.report(&r.fw_id, report)?;
         }
         Ok(spent)
@@ -146,6 +179,44 @@ mod tests {
             .unwrap();
         assert_eq!(task["mps_id"], "mps-1");
         assert_eq!(task["status"], "converged");
+    }
+
+    #[test]
+    fn drain_rejects_documents_failing_vnv() {
+        let pad = LaunchPad::new(Database::new()).unwrap();
+        pad.add_workflow(&Workflow::single(
+            "wf",
+            Firework::new("fw-1", "x", Stage(json!({}))),
+        ))
+        .unwrap();
+        pad.claim_next(&json!({}), "w").unwrap();
+        // A contract no real task document satisfies: the loader must file
+        // the result as Fatal instead of committing it.
+        let mut loader = DataLoader::new(DatastoreRoute::Direct)
+            .with_ruleset(Some(RuleSet::new("tasks").require("no.such.field")));
+        loader.stage(staged("fw-1"));
+        loader.drain(&pad).unwrap();
+        assert_eq!(loader.total_rejected, 1);
+        assert!(
+            pad.database()
+                .collection("tasks")
+                .find_one(&json!({"fw_id": "fw-1"}))
+                .unwrap()
+                .is_none(),
+            "rejected document must not be committed"
+        );
+        let engine = pad
+            .database()
+            .collection("engines")
+            .find_one(&json!({"_id": "fw-1"}))
+            .unwrap()
+            .unwrap();
+        assert_eq!(engine["state"], "FIZZLED");
+
+        // The default contract accepts real documents (exercised by
+        // drain_files_tasks); disabling validation also works.
+        let lax = DataLoader::new(DatastoreRoute::Direct).with_ruleset(None);
+        assert!(lax.ruleset.is_none());
     }
 
     #[test]

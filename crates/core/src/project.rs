@@ -229,10 +229,13 @@ impl MaterialsProject {
                     "structure": {"$fromParent": "output.structure"},
                 }})),
             });
-            self.pad.add_workflow(&mp_fireworks::Workflow::new(
-                format!("wf-{}", rec.mps_id),
-                vec![relax_fw, static_fw],
-            ).map_err(StoreError::InvalidDocument)?)?;
+            self.pad.add_workflow(
+                &mp_fireworks::Workflow::new(
+                    format!("wf-{}", rec.mps_id),
+                    vec![relax_fw, static_fw],
+                )
+                .map_err(StoreError::InvalidDocument)?,
+            )?;
             submitted += 1;
         }
         Ok(submitted)
@@ -445,10 +448,7 @@ impl MaterialsProject {
             .map(|c| c.to_vec())
             .collect();
         for (fi, chunk) in chunks.iter().enumerate() {
-            let total: f64 = chunk
-                .iter()
-                .map(|&i| assembled[i].2.runtime_s)
-                .sum();
+            let total: f64 = chunk.iter().map(|&i| assembled[i].2.runtime_s).sum();
             requests.push(JobRequest {
                 id: format!("farm-{fi}"),
                 user: self.user.clone(),
@@ -547,7 +547,9 @@ impl MaterialsProject {
 
 /// Execute one assembled job: relax tasks run the geometry optimizer
 /// first and the SCF at the relaxed geometry; static tasks run directly.
-fn execute_task(job: &crate::assembler::AssembledJob) -> (mp_dft::RunResult, Option<mp_dft::RelaxResult>) {
+fn execute_task(
+    job: &crate::assembler::AssembledJob,
+) -> (mp_dft::RunResult, Option<mp_dft::RelaxResult>) {
     if job.task_type == "relax" {
         let relaxed = mp_dft::relax(&job.structure);
         let run = mp_dft::run(&relaxed.structure, &job.incar, &job.kpoints);

@@ -72,10 +72,16 @@ impl Incar {
     /// Check physical sanity of the parameters.
     pub fn validate(&self) -> Result<(), IncarError> {
         if !(50.0..=2000.0).contains(&self.encut) {
-            return Err(IncarError(format!("ENCUT {} outside [50, 2000]", self.encut)));
+            return Err(IncarError(format!(
+                "ENCUT {} outside [50, 2000]",
+                self.encut
+            )));
         }
         if self.ediff <= 0.0 || self.ediff > 1e-2 {
-            return Err(IncarError(format!("EDIFF {} outside (0, 1e-2]", self.ediff)));
+            return Err(IncarError(format!(
+                "EDIFF {} outside (0, 1e-2]",
+                self.ediff
+            )));
         }
         if self.nelm == 0 || self.nelm > 10_000 {
             return Err(IncarError(format!("NELM {} outside [1, 10000]", self.nelm)));
@@ -100,8 +106,8 @@ impl Incar {
                 bm.insert(k.clone(), val.clone());
             }
         }
-        let inc: Incar = serde_json::from_value(base)
-            .map_err(|e| IncarError(format!("parse: {e}")))?;
+        let inc: Incar =
+            serde_json::from_value(base).map_err(|e| IncarError(format!("parse: {e}")))?;
         inc.validate()?;
         Ok(inc)
     }
@@ -147,10 +153,22 @@ mod tests {
     #[test]
     fn validation_bounds() {
         for bad in [
-            Incar { encut: 10.0, ..Incar::default() },
-            Incar { ediff: 0.0, ..Incar::default() },
-            Incar { amix: 1.5, ..Incar::default() },
-            Incar { nelm: 0, ..Incar::default() },
+            Incar {
+                encut: 10.0,
+                ..Incar::default()
+            },
+            Incar {
+                ediff: 0.0,
+                ..Incar::default()
+            },
+            Incar {
+                amix: 1.5,
+                ..Incar::default()
+            },
+            Incar {
+                nelm: 0,
+                ..Incar::default()
+            },
         ] {
             assert!(bad.validate().is_err(), "{bad:?}");
         }
@@ -158,7 +176,11 @@ mod tests {
 
     #[test]
     fn dict_roundtrip() {
-        let i = Incar { encut: 400.0, algo: Algo::Normal, ..Incar::default() };
+        let i = Incar {
+            encut: 400.0,
+            algo: Algo::Normal,
+            ..Incar::default()
+        };
         let d = i.to_dict();
         let back = Incar::from_dict(&d).unwrap();
         assert_eq!(back, i);

@@ -189,9 +189,7 @@ mod tests {
         let nacl = prototypes::rocksalt(el("Na"), el("Cl"));
         let na = prototypes::bcc(el("Na"));
         let cl = prototypes::fcc(el("Cl"));
-        let ef = energy_per_atom(&nacl)
-            - 0.5 * energy_per_atom(&na)
-            - 0.5 * energy_per_atom(&cl);
+        let ef = energy_per_atom(&nacl) - 0.5 * energy_per_atom(&na) - 0.5 * energy_per_atom(&cl);
         assert!(ef < -0.3, "formation energy {ef} not favourable");
     }
 
@@ -226,7 +224,10 @@ mod tests {
         let d_hard = difficulty(&hard);
         assert!((0.0..1.0).contains(&d_easy));
         assert!((0.0..1.0).contains(&d_hard));
-        assert!(d_hard > d_easy - 0.5, "hash term can overlap, but TM+S should trend harder");
+        assert!(
+            d_hard > d_easy - 0.5,
+            "hash term can overlap, but TM+S should trend harder"
+        );
     }
 
     #[test]

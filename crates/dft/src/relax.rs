@@ -138,7 +138,9 @@ mod tests {
         // down toward the optimum.
         let s0 = prototypes::rocksalt(el("Na"), el("Cl"));
         let mut inflated = s0.clone();
-        inflated.lattice = inflated.lattice.scaled_to_volume(s0.lattice.volume() * 1.15);
+        inflated.lattice = inflated
+            .lattice
+            .scaled_to_volume(s0.lattice.volume() * 1.15);
         let r = relax(&inflated);
         assert!(
             r.structure.lattice.volume() < inflated.lattice.volume(),

@@ -168,7 +168,11 @@ pub fn run(s: &Structure, incar: &Incar, kpoints: &Kpoints) -> RunResult {
 
 /// The "safer parameter" detour the paper's Analyzer applies after an
 /// error: what changed, and the new INCAR.
-pub fn detour_parameters(incar: &Incar, status: &RunStatus, nelect: f64) -> Option<(Incar, String)> {
+pub fn detour_parameters(
+    incar: &Incar,
+    status: &RunStatus,
+    nelect: f64,
+) -> Option<(Incar, String)> {
     match status {
         RunStatus::ZbrentError => {
             let mut fixed = incar.clone();
@@ -341,7 +345,8 @@ mod tests {
                 let mut status = r.status;
                 for _ in 0..4 {
                     let (fixed, _) =
-                        detour_parameters(&incar, &status, s.composition().num_electrons()).unwrap();
+                        detour_parameters(&incar, &status, s.composition().num_electrons())
+                            .unwrap();
                     incar = fixed;
                     let r2 = run(s, &incar, &Kpoints::gamma_only());
                     status = r2.status;
@@ -349,11 +354,18 @@ mod tests {
                         break;
                     }
                 }
-                assert_eq!(status, RunStatus::Converged, "detours must eventually fix SCF");
+                assert_eq!(
+                    status,
+                    RunStatus::Converged,
+                    "detours must eventually fix SCF"
+                );
                 break;
             }
         }
-        assert!(found_failure, "expected at least one unconverged run in 40 samples");
+        assert!(
+            found_failure,
+            "expected at least one unconverged run in 40 samples"
+        );
     }
 
     #[test]
@@ -377,7 +389,10 @@ mod tests {
                 assert_ne!(r2.status, RunStatus::ZbrentError);
             }
         }
-        assert!(seen > 0, "no ZBRENT errors in 80 difficult-chemistry samples");
+        assert!(
+            seen > 0,
+            "no ZBRENT errors in 80 difficult-chemistry samples"
+        );
     }
 
     #[test]

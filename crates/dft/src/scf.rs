@@ -101,7 +101,11 @@ mod tests {
             ..Incar::default()
         };
         let r = run_scf(&incar, 0.95, -5.0);
-        assert!(!r.converged, "should not converge: rate {}", contraction_rate(&incar, 0.95));
+        assert!(
+            !r.converged,
+            "should not converge: rate {}",
+            contraction_rate(&incar, 0.95)
+        );
     }
 
     #[test]
@@ -113,7 +117,11 @@ mod tests {
             ..Incar::default()
         };
         let r = run_scf(&incar, 0.95, -5.0);
-        assert!(r.converged, "safe algorithm should converge (rate {})", contraction_rate(&incar, 0.95));
+        assert!(
+            r.converged,
+            "safe algorithm should converge (rate {})",
+            contraction_rate(&incar, 0.95)
+        );
     }
 
     #[test]
@@ -149,9 +157,27 @@ mod tests {
     #[test]
     fn contraction_rate_orders_algorithms_on_hard_systems() {
         let hard = 0.9;
-        let fast = contraction_rate(&Incar { algo: Algo::Fast, ..Incar::default() }, hard);
-        let normal = contraction_rate(&Incar { algo: Algo::Normal, ..Incar::default() }, hard);
-        let all = contraction_rate(&Incar { algo: Algo::All, ..Incar::default() }, hard);
+        let fast = contraction_rate(
+            &Incar {
+                algo: Algo::Fast,
+                ..Incar::default()
+            },
+            hard,
+        );
+        let normal = contraction_rate(
+            &Incar {
+                algo: Algo::Normal,
+                ..Incar::default()
+            },
+            hard,
+        );
+        let all = contraction_rate(
+            &Incar {
+                algo: Algo::All,
+                ..Incar::default()
+            },
+            hard,
+        );
         assert!(fast > normal, "Fast should be most fragile");
         assert!(normal > all * 0.8, "All is safest");
         assert!(all < 1.0, "All must converge even on hard systems");

@@ -136,9 +136,7 @@ fn parse_stage(op: &str, spec: &Value) -> Result<Stage> {
                     "$push" => Accumulator::Push,
                     "$first" => Accumulator::First,
                     other => {
-                        return Err(StoreError::BadQuery(format!(
-                            "unknown accumulator {other}"
-                        )))
+                        return Err(StoreError::BadQuery(format!("unknown accumulator {other}")))
                     }
                 };
                 let input_path = match input {
@@ -207,8 +205,7 @@ pub fn run_pipeline(docs: Vec<Value>, stages: &[Stage]) -> Result<Vec<Value>> {
                         Some(Value::Array(items)) => {
                             for item in items.clone() {
                                 let mut copy = doc.clone();
-                                set_path(&mut copy, path, item)
-                                    .map_err(StoreError::BadQuery)?;
+                                set_path(&mut copy, path, item).map_err(StoreError::BadQuery)?;
                                 out.push(copy);
                             }
                         }

@@ -81,7 +81,9 @@ impl Collection {
     pub fn insert_one(&self, mut doc: Value) -> Result<Value> {
         let _t = self.profiler.start(&self.name, OpKind::Insert);
         if !doc.is_object() {
-            return Err(StoreError::InvalidDocument("document must be a JSON object".into()));
+            return Err(StoreError::InvalidDocument(
+                "document must be a JSON object".into(),
+            ));
         }
         let mut inner = self.inner.write();
         let id_num = self.next_id.fetch_add(1, AtomicOrdering::Relaxed);
@@ -89,9 +91,14 @@ impl Collection {
             Some(v) => v.clone(),
             None => {
                 let v = json!(format!("oid{:012x}", id_num));
-                doc.as_object_mut()
-                    .expect("checked object above")
-                    .insert("_id".into(), v.clone());
+                match doc.as_object_mut() {
+                    Some(obj) => obj.insert("_id".into(), v.clone()),
+                    None => {
+                        return Err(StoreError::InvalidDocument(
+                            "document must be a JSON object".into(),
+                        ))
+                    }
+                };
                 v
             }
         };
@@ -153,9 +160,11 @@ impl Collection {
         if f.is_empty() {
             return Ok(inner.docs.len());
         }
-        Ok(self.candidate_ids(&inner, &f).into_iter().filter(|id| {
-            inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false)
-        }).count())
+        Ok(self
+            .candidate_ids(&inner, &f)
+            .into_iter()
+            .filter(|id| inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false))
+            .count())
     }
 
     /// Distinct values at `path` among documents matching `filter`.
@@ -211,12 +220,10 @@ impl Collection {
         let ids = self.candidate_ids(&inner, &f);
         let mut res = UpdateResult::default();
         for id in ids {
-            let matched = inner.docs.get(&id).map(|d| f.matches(d)).unwrap_or(false);
-            if !matched {
+            let Some(old) = inner.docs.get(&id).filter(|d| f.matches(d)).cloned() else {
                 continue;
-            }
+            };
             res.matched += 1;
-            let old = inner.docs.get(&id).cloned().expect("doc exists");
             let mut new_doc = old.clone();
             u.apply(&mut new_doc, now, false)?;
             if new_doc != old {
@@ -307,7 +314,9 @@ impl Collection {
         for id in ids {
             let matched = inner.docs.get(&id).map(|d| f.matches(d)).unwrap_or(false);
             if matched {
-                let doc = inner.docs.remove(&id).expect("doc exists");
+                let Some(doc) = inner.docs.remove(&id) else {
+                    continue;
+                };
                 let idv = doc.get("_id").cloned().unwrap_or(Value::Null);
                 inner.by_id.remove(&OrderedValue(idv));
                 for ix in &mut inner.indexes {
@@ -347,7 +356,12 @@ impl Collection {
 
     /// Paths of the existing indexes.
     pub fn index_paths(&self) -> Vec<String> {
-        self.inner.read().indexes.iter().map(|ix| ix.path.clone()).collect()
+        self.inner
+            .read()
+            .indexes
+            .iter()
+            .map(|ix| ix.path.clone())
+            .collect()
     }
 
     /// Snapshot every document (used by MapReduce and persistence).
@@ -360,8 +374,11 @@ impl Collection {
         let mut inner = self.inner.write();
         inner.docs.clear();
         inner.by_id.clear();
-        let paths: Vec<(String, bool)> =
-            inner.indexes.iter().map(|ix| (ix.path.clone(), ix.unique)).collect();
+        let paths: Vec<(String, bool)> = inner
+            .indexes
+            .iter()
+            .map(|ix| (ix.path.clone(), ix.unique))
+            .collect();
         inner.indexes = paths.into_iter().map(|(p, u)| Index::new(p, u)).collect();
     }
 
@@ -376,24 +393,17 @@ impl Collection {
                 Some("_id".to_string()),
                 usize::from(inner.by_id.contains_key(&OrderedValue(id_val.clone()))),
             )
-        } else if let Some(ix) = inner
-            .indexes
-            .iter()
-            .find(|ix| f.equality_on(&ix.path).is_some())
-        {
-            let v = f.equality_on(&ix.path).expect("checked");
-            ("INDEX_EQ", Some(ix.path.clone()), ix.lookup_eq(v).len())
-        } else if let Some(ix) = inner
-            .indexes
-            .iter()
-            .find(|ix| f.range_on(&ix.path).is_some())
-        {
-            let (lo, loi, hi, hii) = f.range_on(&ix.path).expect("checked");
-            (
-                "INDEX_RANGE",
-                Some(ix.path.clone()),
-                ix.lookup_range(lo, loi, hi, hii).len(),
-            )
+        } else if let Some((path, hits)) = inner.indexes.iter().find_map(|ix| {
+            f.equality_on(&ix.path)
+                .map(|v| (ix.path.clone(), ix.lookup_eq(v).len()))
+        }) {
+            ("INDEX_EQ", Some(path), hits)
+        } else if let Some((path, hits)) = inner.indexes.iter().find_map(|ix| {
+            f.range_on(&ix.path).map(|(lo, loi, hi, hii)| {
+                (ix.path.clone(), ix.lookup_range(lo, loi, hi, hii).len())
+            })
+        }) {
+            ("INDEX_RANGE", Some(path), hits)
         } else {
             ("COLLSCAN", None, inner.docs.len())
         };
@@ -541,13 +551,21 @@ mod tests {
     #[test]
     fn update_many_and_one() {
         let c = coll();
-        c.insert_many(vec![json!({"s": "R"}), json!({"s": "R"}), json!({"s": "C"})])
+        c.insert_many(vec![
+            json!({"s": "R"}),
+            json!({"s": "R"}),
+            json!({"s": "C"}),
+        ])
+        .unwrap();
+        let r = c
+            .update_many(&json!({"s": "R"}), &json!({"$set": {"s": "D"}}))
             .unwrap();
-        let r = c.update_many(&json!({"s": "R"}), &json!({"$set": {"s": "D"}})).unwrap();
         assert_eq!((r.matched, r.modified), (2, 2));
         assert_eq!(c.count(&json!({"s": "D"})).unwrap(), 2);
 
-        let r = c.update_one(&json!({"s": "D"}), &json!({"$set": {"s": "E"}})).unwrap();
+        let r = c
+            .update_one(&json!({"s": "D"}), &json!({"$set": {"s": "E"}}))
+            .unwrap();
         assert_eq!((r.matched, r.modified), (1, 1));
     }
 
@@ -555,7 +573,9 @@ mod tests {
     fn update_no_change_counts_matched_only() {
         let c = coll();
         c.insert_one(json!({"a": 1})).unwrap();
-        let r = c.update_many(&json!({"a": 1}), &json!({"$set": {"a": 1}})).unwrap();
+        let r = c
+            .update_many(&json!({"a": 1}), &json!({"$set": {"a": 1}}))
+            .unwrap();
         assert_eq!((r.matched, r.modified), (1, 0));
     }
 
@@ -655,7 +675,8 @@ mod tests {
         let c = coll();
         c.create_index("k", false).unwrap();
         c.insert_one(json!({"_id": 1, "k": "a"})).unwrap();
-        c.update_one(&json!({"_id": 1}), &json!({"$set": {"k": "b"}})).unwrap();
+        c.update_one(&json!({"_id": 1}), &json!({"$set": {"k": "b"}}))
+            .unwrap();
         assert!(c.find(&json!({"k": "a"})).unwrap().is_empty());
         assert_eq!(c.find(&json!({"k": "b"})).unwrap().len(), 1);
         c.delete_many(&json!({"k": "b"})).unwrap();
@@ -689,7 +710,8 @@ mod tests {
     fn explain_reports_access_path() {
         let c = coll();
         for i in 0..50 {
-            c.insert_one(json!({"_id": format!("d{i}"), "grp": i % 5, "n": i})).unwrap();
+            c.insert_one(json!({"_id": format!("d{i}"), "grp": i % 5, "n": i}))
+                .unwrap();
         }
         // Full scan without indexes.
         let e = c.explain(&json!({"grp": 3})).unwrap();

@@ -124,12 +124,16 @@ mod tests {
     #[test]
     fn sort_asc_desc() {
         let mut d = docs();
-        FindOptions::all().sort_by("n", SortDir::Asc).apply_order(&mut d);
+        FindOptions::all()
+            .sort_by("n", SortDir::Asc)
+            .apply_order(&mut d);
         let ns: Vec<i64> = d.iter().map(|x| x["n"].as_i64().unwrap()).collect();
         assert_eq!(ns, vec![10, 20, 20, 30]);
 
         let mut d = docs();
-        FindOptions::all().sort_by("n", SortDir::Desc).apply_order(&mut d);
+        FindOptions::all()
+            .sort_by("n", SortDir::Desc)
+            .apply_order(&mut d);
         let ns: Vec<i64> = d.iter().map(|x| x["n"].as_i64().unwrap()).collect();
         assert_eq!(ns, vec![30, 20, 20, 10]);
     }
@@ -167,7 +171,9 @@ mod tests {
     #[test]
     fn missing_sort_field_sorts_first() {
         let mut d = vec![json!({"_id": 1, "n": 5}), json!({"_id": 2})];
-        FindOptions::all().sort_by("n", SortDir::Asc).apply_order(&mut d);
+        FindOptions::all()
+            .sort_by("n", SortDir::Asc)
+            .apply_order(&mut d);
         assert_eq!(d[0]["_id"], json!(2));
     }
 

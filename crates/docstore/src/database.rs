@@ -144,7 +144,10 @@ mod tests {
         c.insert_one(json!({"_id": 1})).unwrap();
         c.update_one(&json!({"_id": 1}), &json!({"$currentDate": {"ts": true}}))
             .unwrap();
-        assert_eq!(c.find_one(&json!({"_id": 1})).unwrap().unwrap()["ts"], json!(42));
+        assert_eq!(
+            c.find_one(&json!({"_id": 1})).unwrap().unwrap()["ts"],
+            json!(42)
+        );
     }
 
     #[test]

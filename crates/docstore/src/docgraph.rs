@@ -24,7 +24,14 @@ pub fn doc_stats(doc: &Value) -> DocStats {
     let mut max_depth = 0usize;
     let mut leaf_depth_sum = 0usize;
     let mut leaves = 0usize;
-    walk(doc, 1, &mut nodes, &mut max_depth, &mut leaf_depth_sum, &mut leaves);
+    walk(
+        doc,
+        1,
+        &mut nodes,
+        &mut max_depth,
+        &mut leaf_depth_sum,
+        &mut leaves,
+    );
     DocStats {
         nodes,
         depth: max_depth,

@@ -188,7 +188,8 @@ mod tests {
     #[test]
     fn multikey_arrays() {
         let mut ix = Index::new("elements", false);
-        ix.insert(1, &json!({"elements": ["Li", "Fe", "O"]})).unwrap();
+        ix.insert(1, &json!({"elements": ["Li", "Fe", "O"]}))
+            .unwrap();
         ix.insert(2, &json!({"elements": ["Na", "O"]})).unwrap();
         assert_eq!(ix.lookup_eq(&json!("O")), vec![1, 2]);
         assert_eq!(ix.lookup_eq(&json!("Li")), vec![1]);
@@ -201,8 +202,14 @@ mod tests {
         for (id, n) in [(1u64, 10), (2, 20), (3, 30), (4, 40)] {
             ix.insert(id, &json!({ "n": n })).unwrap();
         }
-        assert_eq!(ix.lookup_range(Some(&json!(20)), true, Some(&json!(30)), true), vec![2, 3]);
-        assert_eq!(ix.lookup_range(Some(&json!(20)), false, None, true), vec![3, 4]);
+        assert_eq!(
+            ix.lookup_range(Some(&json!(20)), true, Some(&json!(30)), true),
+            vec![2, 3]
+        );
+        assert_eq!(
+            ix.lookup_range(Some(&json!(20)), false, None, true),
+            vec![3, 4]
+        );
         assert_eq!(ix.lookup_range(None, true, Some(&json!(15)), true), vec![1]);
     }
 
@@ -228,7 +235,8 @@ mod tests {
     #[test]
     fn nested_path() {
         let mut ix = Index::new("spec.task_type", false);
-        ix.insert(1, &json!({"spec": {"task_type": "static"}})).unwrap();
+        ix.insert(1, &json!({"spec": {"task_type": "static"}}))
+            .unwrap();
         assert_eq!(ix.lookup_eq(&json!("static")), vec![1]);
     }
 

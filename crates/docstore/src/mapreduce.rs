@@ -45,7 +45,6 @@ pub struct BuiltinEngine {
     pub overhead_ns: u64,
 }
 
-
 impl BuiltinEngine {
     /// Engine with an explicit interpreter-tax per document.
     pub fn with_overhead_ns(overhead_ns: u64) -> Self {
@@ -220,9 +219,13 @@ mod tests {
         let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
             emit(doc["els"][0].clone(), doc["n"].clone());
         };
-        let seq = BuiltinEngine::default().run(&docs, &map, &sum_reduce).unwrap();
+        let seq = BuiltinEngine::default()
+            .run(&docs, &map, &sum_reduce)
+            .unwrap();
         for workers in [1, 2, 4, 8] {
-            let par = HadoopEngine::new(workers).run(&docs, &map, &sum_reduce).unwrap();
+            let par = HadoopEngine::new(workers)
+                .run(&docs, &map, &sum_reduce)
+                .unwrap();
             assert_eq!(seq, par, "workers={workers}");
         }
     }

@@ -76,7 +76,9 @@ impl JournalOp {
                 many: v["m"].as_bool().unwrap_or(true),
             },
             other => {
-                return Err(StoreError::Persistence(format!("unknown journal op '{other}'")))
+                return Err(StoreError::Persistence(format!(
+                    "unknown journal op '{other}'"
+                )))
             }
         })
     }
@@ -155,7 +157,8 @@ impl Persister {
         let db = Database::new();
         if let Ok(f) = File::open(self.snapshot_path()) {
             for line in BufReader::new(f).lines() {
-                let line = line.map_err(|e| StoreError::Persistence(format!("snapshot read: {e}")))?;
+                let line =
+                    line.map_err(|e| StoreError::Persistence(format!("snapshot read: {e}")))?;
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -169,7 +172,8 @@ impl Persister {
         }
         if let Ok(f) = File::open(self.journal_path()) {
             for line in BufReader::new(f).lines() {
-                let line = line.map_err(|e| StoreError::Persistence(format!("journal read: {e}")))?;
+                let line =
+                    line.map_err(|e| StoreError::Persistence(format!("journal read: {e}")))?;
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -220,10 +224,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "mp-docstore-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("mp-docstore-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -232,8 +233,12 @@ mod tests {
     fn snapshot_and_recover() {
         let dir = tmpdir("snap");
         let db = Database::new();
-        db.collection("mps").insert_one(json!({"_id": 1, "formula": "Fe2O3"})).unwrap();
-        db.collection("tasks").insert_one(json!({"_id": 2, "state": "DONE"})).unwrap();
+        db.collection("mps")
+            .insert_one(json!({"_id": 1, "formula": "Fe2O3"}))
+            .unwrap();
+        db.collection("tasks")
+            .insert_one(json!({"_id": 2, "state": "DONE"}))
+            .unwrap();
 
         let mut p = Persister::open(&dir).unwrap();
         p.snapshot(&db).unwrap();
@@ -242,7 +247,10 @@ mod tests {
         assert_eq!(rec.collection("mps").len(), 1);
         assert_eq!(rec.collection("tasks").len(), 1);
         assert_eq!(
-            rec.collection("mps").find_one(&json!({"_id": 1})).unwrap().unwrap()["formula"],
+            rec.collection("mps")
+                .find_one(&json!({"_id": 1}))
+                .unwrap()
+                .unwrap()["formula"],
             json!("Fe2O3")
         );
         let _ = std::fs::remove_dir_all(dir);
@@ -252,7 +260,9 @@ mod tests {
     fn journal_replay_after_snapshot() {
         let dir = tmpdir("journal");
         let db = Database::new();
-        db.collection("c").insert_one(json!({"_id": 1, "n": 0})).unwrap();
+        db.collection("c")
+            .insert_one(json!({"_id": 1, "n": 0}))
+            .unwrap();
         let mut p = Persister::open(&dir).unwrap();
         p.snapshot(&db).unwrap();
 
@@ -278,7 +288,10 @@ mod tests {
         let rec = Persister::open(&dir).unwrap().recover().unwrap();
         assert_eq!(rec.collection("c").len(), 1);
         assert_eq!(
-            rec.collection("c").find_one(&json!({"_id": 1})).unwrap().unwrap()["n"],
+            rec.collection("c")
+                .find_one(&json!({"_id": 1}))
+                .unwrap()
+                .unwrap()["n"],
             json!(7)
         );
         let _ = std::fs::remove_dir_all(dir);
@@ -301,7 +314,8 @@ mod tests {
             .open(dir.join("journal.jsonl"))
             .unwrap();
         use std::io::Write as _;
-        f.write_all(b"{\"op\": \"i\", \"c\": \"c\", \"d\": {\"_i").unwrap();
+        f.write_all(b"{\"op\": \"i\", \"c\": \"c\", \"d\": {\"_i")
+            .unwrap();
         drop(f);
 
         let rec = Persister::open(&dir).unwrap().recover().unwrap();

@@ -71,9 +71,9 @@ impl Filter {
 
     /// Parse a JSON filter document.
     pub fn parse(q: &Value) -> Result<Filter> {
-        let obj = q
-            .as_object()
-            .ok_or_else(|| StoreError::BadQuery(format!("filter must be object, got {}", type_name(q))))?;
+        let obj = q.as_object().ok_or_else(|| {
+            StoreError::BadQuery(format!("filter must be object, got {}", type_name(q)))
+        })?;
         let mut f = Filter::default();
         for (k, v) in obj {
             match k.as_str() {
@@ -81,7 +81,9 @@ impl Filter {
                 "$or" => f.or.extend(parse_clause_list(k, v)?),
                 "$nor" => f.nor.extend(parse_clause_list(k, v)?),
                 _ if k.starts_with('$') => {
-                    return Err(StoreError::BadQuery(format!("unknown top-level operator {k}")))
+                    return Err(StoreError::BadQuery(format!(
+                        "unknown top-level operator {k}"
+                    )))
                 }
                 path => {
                     let preds = parse_predicates(v)?;
@@ -217,11 +219,11 @@ fn parse_operator(op: &str, v: &Value) -> Result<Predicate> {
         "$in" => Predicate::In(expect_array(op, v)?),
         "$nin" => Predicate::Nin(expect_array(op, v)?),
         "$all" => Predicate::All(expect_array(op, v)?),
-        "$size" => Predicate::Size(
-            v.as_u64()
-                .ok_or_else(|| StoreError::BadQuery("$size expects a non-negative integer".into()))?
-                as usize,
-        ),
+        "$size" => {
+            Predicate::Size(v.as_u64().ok_or_else(|| {
+                StoreError::BadQuery("$size expects a non-negative integer".into())
+            })? as usize)
+        }
         "$exists" => Predicate::Exists(
             v.as_bool()
                 .ok_or_else(|| StoreError::BadQuery("$exists expects a bool".into()))?,
@@ -250,7 +252,9 @@ fn parse_operator(op: &str, v: &Value) -> Result<Predicate> {
         "$mod" => {
             let arr = expect_array(op, v)?;
             if arr.len() != 2 {
-                return Err(StoreError::BadQuery("$mod expects [divisor, remainder]".into()));
+                return Err(StoreError::BadQuery(
+                    "$mod expects [divisor, remainder]".into(),
+                ));
             }
             let d = arr[0]
                 .as_i64()
@@ -334,9 +338,7 @@ fn match_single(stored: &Value, pred: &Predicate) -> bool {
         Predicate::Lte(o) => ord_match(stored, o, &[Ordering::Less, Ordering::Equal]),
         Predicate::In(set) => set.iter().any(|s| eq_or_contains(stored, s)),
         Predicate::All(set) => match stored {
-            Value::Array(a) => set
-                .iter()
-                .all(|s| a.iter().any(|e| values_equal(e, s))),
+            Value::Array(a) => set.iter().all(|s| a.iter().any(|e| values_equal(e, s))),
             single => set.len() == 1 && values_equal(single, &set[0]),
         },
         Predicate::Size(n) => stored.as_array().map(|a| a.len() == *n).unwrap_or(false),
@@ -425,15 +427,27 @@ mod tests {
     #[test]
     fn in_nin() {
         let doc = json!({"state": "RUNNING"});
-        assert!(matches(json!({"state": {"$in": ["READY", "RUNNING"]}}), doc.clone()));
-        assert!(!matches(json!({"state": {"$nin": ["READY", "RUNNING"]}}), doc.clone()));
+        assert!(matches(
+            json!({"state": {"$in": ["READY", "RUNNING"]}}),
+            doc.clone()
+        ));
+        assert!(!matches(
+            json!({"state": {"$nin": ["READY", "RUNNING"]}}),
+            doc.clone()
+        ));
         assert!(matches(json!({"state": {"$nin": ["DONE"]}}), doc));
     }
 
     #[test]
     fn ne_on_arrays_requires_no_element_match() {
-        assert!(!matches(json!({"tags": {"$ne": "x"}}), json!({"tags": ["x", "y"]})));
-        assert!(matches(json!({"tags": {"$ne": "z"}}), json!({"tags": ["x", "y"]})));
+        assert!(!matches(
+            json!({"tags": {"$ne": "x"}}),
+            json!({"tags": ["x", "y"]})
+        ));
+        assert!(matches(
+            json!({"tags": {"$ne": "z"}}),
+            json!({"tags": ["x", "y"]})
+        ));
     }
 
     #[test]
@@ -452,16 +466,31 @@ mod tests {
     fn size_and_type() {
         assert!(matches(json!({"xs": {"$size": 2}}), json!({"xs": [1, 2]})));
         assert!(!matches(json!({"xs": {"$size": 3}}), json!({"xs": [1, 2]})));
-        assert!(matches(json!({"a": {"$type": "string"}}), json!({"a": "s"})));
+        assert!(matches(
+            json!({"a": {"$type": "string"}}),
+            json!({"a": "s"})
+        ));
         assert!(matches(json!({"a": {"$type": "int"}}), json!({"a": 3})));
-        assert!(matches(json!({"a": {"$type": "double"}}), json!({"a": 3.5})));
+        assert!(matches(
+            json!({"a": {"$type": "double"}}),
+            json!({"a": 3.5})
+        ));
     }
 
     #[test]
     fn regex_subset() {
-        assert!(matches(json!({"f": {"$regex": "^Li"}}), json!({"f": "LiFePO4"})));
-        assert!(!matches(json!({"f": {"$regex": "^Fe"}}), json!({"f": "LiFePO4"})));
-        assert!(matches(json!({"f": {"$regex": "PO4"}}), json!({"f": "LiFePO4"})));
+        assert!(matches(
+            json!({"f": {"$regex": "^Li"}}),
+            json!({"f": "LiFePO4"})
+        ));
+        assert!(!matches(
+            json!({"f": {"$regex": "^Fe"}}),
+            json!({"f": "LiFePO4"})
+        ));
+        assert!(matches(
+            json!({"f": {"$regex": "PO4"}}),
+            json!({"f": "LiFePO4"})
+        ));
     }
 
     #[test]
@@ -486,7 +515,10 @@ mod tests {
     #[test]
     fn not_negates() {
         assert!(matches(json!({"x": {"$not": {"$gt": 5}}}), json!({"x": 3})));
-        assert!(!matches(json!({"x": {"$not": {"$gt": 5}}}), json!({"x": 7})));
+        assert!(!matches(
+            json!({"x": {"$not": {"$gt": 5}}}),
+            json!({"x": 7})
+        ));
         // $not on a missing field matches (nothing satisfied the inner pred).
         assert!(matches(json!({"x": {"$not": {"$gt": 5}}}), json!({"y": 7})));
     }
@@ -523,6 +555,54 @@ mod tests {
         assert!(loi);
         assert_eq!(hi, Some(&json!(9)));
         assert!(!hii);
+    }
+
+    #[test]
+    fn empty_logical_clause_lists_rejected() {
+        for op in ["$and", "$or", "$nor"] {
+            let err = Filter::parse(&json!({ op: [] }));
+            assert!(err.is_err(), "{op}: empty clause list must not parse");
+            // Non-array operands are rejected too.
+            assert!(
+                Filter::parse(&json!({ op: {"a": 1} })).is_err(),
+                "{op}: non-array"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_not_parses_and_double_negates() {
+        // $not containing $not: inner pred fails → inner $not matches →
+        // outer $not must NOT match.
+        let q = json!({"x": {"$not": {"$not": {"$gt": 5}}}});
+        assert!(matches(q.clone(), json!({"x": 7})));
+        assert!(!matches(q, json!({"x": 3})));
+        // $not wrapping several predicates negates their conjunction.
+        let q = json!({"x": {"$not": {"$gte": 2, "$lte": 8}}});
+        assert!(matches(q.clone(), json!({"x": 9})));
+        assert!(!matches(q, json!({"x": 5})));
+    }
+
+    #[test]
+    fn mixed_type_equality_never_matches() {
+        // Equality across type groups is simply false, not an error.
+        assert!(!matches(json!({"x": "5"}), json!({"x": 5})));
+        assert!(!matches(json!({"x": 5}), json!({"x": "5"})));
+        assert!(!matches(json!({"x": true}), json!({"x": 1})));
+        assert!(!matches(json!({"x": null}), json!({"x": 0})));
+        // But int/double cross-representation equality holds.
+        assert!(matches(json!({"x": 5}), json!({"x": 5.0})));
+    }
+
+    #[test]
+    fn empty_in_parses_but_matches_nothing() {
+        // The store accepts `$in: []` (mp-lint flags it as Q002); it must
+        // behave as always-false, never panic.
+        let q = json!({"x": {"$in": []}});
+        assert!(!matches(q.clone(), json!({"x": 1})));
+        assert!(!matches(q, json!({"y": 1})));
+        // `$nin: []` is vacuously true.
+        assert!(matches(json!({"x": {"$nin": []}}), json!({"x": 1})));
     }
 
     #[test]

@@ -71,10 +71,7 @@ impl ShardedCluster {
     /// Insert a document; it must carry the shard key.
     pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
         let key = get_path(&doc, &self.shard_key).ok_or_else(|| {
-            StoreError::InvalidDocument(format!(
-                "document missing shard key '{}'",
-                self.shard_key
-            ))
+            StoreError::InvalidDocument(format!("document missing shard key '{}'", self.shard_key))
         })?;
         self.shard_for(&key.clone())
             .collection(collection)
@@ -190,7 +187,10 @@ impl ReplicaSet {
 
     /// Write through the primary, appending to the oplog.
     pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
-        let id = self.primary.collection(collection).insert_one(doc.clone())?;
+        let id = self
+            .primary
+            .collection(collection)
+            .insert_one(doc.clone())?;
         // Store the post-insert doc (with assigned _id) in the oplog.
         let stored = self
             .primary
@@ -340,7 +340,10 @@ mod tests {
         let cluster = ShardedCluster::new(4, "chemsys");
         for i in 0..200 {
             cluster
-                .insert_one("materials", json!({"chemsys": format!("sys-{}", i % 37), "n": i}))
+                .insert_one(
+                    "materials",
+                    json!({"chemsys": format!("sys-{}", i % 37), "n": i}),
+                )
                 .unwrap();
         }
         let dist = cluster.distribution("materials");
@@ -426,7 +429,9 @@ mod tests {
         rs.update_many("c", &json!({"_id": 1}), &json!({"$set": {"v": 9}}))
             .unwrap();
         rs.replicate().unwrap();
-        let sec = rs.find(ReadPreference::Secondary, "c", &json!({"_id": 1})).unwrap();
+        let sec = rs
+            .find(ReadPreference::Secondary, "c", &json!({"_id": 1}))
+            .unwrap();
         assert_eq!(sec[0]["v"], json!(9));
     }
 
@@ -441,12 +446,16 @@ mod tests {
         assert_eq!(lost, 4, "un-replicated writes are lost");
         // The new primary serves the replicated prefix and accepts writes.
         assert_eq!(
-            rs.find(ReadPreference::Primary, "c", &json!({})).unwrap().len(),
+            rs.find(ReadPreference::Primary, "c", &json!({}))
+                .unwrap()
+                .len(),
             6
         );
         rs.insert_one("c", json!({"i": 99})).unwrap();
         assert_eq!(
-            rs.find(ReadPreference::Primary, "c", &json!({})).unwrap().len(),
+            rs.find(ReadPreference::Primary, "c", &json!({}))
+                .unwrap()
+                .len(),
             7
         );
     }

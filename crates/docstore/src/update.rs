@@ -99,7 +99,9 @@ fn num_of(path: &str, v: &Value) -> Result<f64> {
 
 fn parse_op(op: &str, path: &str, operand: &Value) -> Result<UpdateOp> {
     if path.is_empty() || path.starts_with('$') {
-        return Err(StoreError::BadUpdate(format!("invalid target path '{path}'")));
+        return Err(StoreError::BadUpdate(format!(
+            "invalid target path '{path}'"
+        )));
     }
     Ok(match op {
         "$set" => UpdateOp::Set(path.into(), operand.clone()),
@@ -147,7 +149,11 @@ fn parse_op(op: &str, path: &str, operand: &Value) -> Result<UpdateOp> {
         }
         "$currentDate" => UpdateOp::CurrentDate(path.into()),
         "$setOnInsert" => UpdateOp::SetOnInsert(path.into(), operand.clone()),
-        other => return Err(StoreError::BadUpdate(format!("unknown update operator {other}"))),
+        other => {
+            return Err(StoreError::BadUpdate(format!(
+                "unknown update operator {other}"
+            )))
+        }
     })
 }
 
@@ -155,7 +161,9 @@ fn json_num(x: f64) -> Value {
     if x.fract() == 0.0 && x.abs() < 9e15 {
         Value::Number(Number::from(x as i64))
     } else {
-        Number::from_f64(x).map(Value::Number).unwrap_or(Value::Null)
+        Number::from_f64(x)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
     }
 }
 
@@ -256,7 +264,9 @@ fn ensure_array<'a>(doc: &'a mut Value, path: &str) -> Result<&'a mut Vec<Value>
             "field '{path}' is {} not an array",
             crate::value::type_name(other)
         ))),
-        None => Err(StoreError::BadUpdate(format!("could not create array at '{path}'"))),
+        None => Err(StoreError::BadUpdate(format!(
+            "could not create array at '{path}'"
+        ))),
     }
 }
 
@@ -277,13 +287,19 @@ mod tests {
     use serde_json::json;
 
     fn apply(u: Value, mut doc: Value) -> Value {
-        Update::parse(&u).unwrap().apply(&mut doc, 1000.0, false).unwrap();
+        Update::parse(&u)
+            .unwrap()
+            .apply(&mut doc, 1000.0, false)
+            .unwrap();
         doc
     }
 
     #[test]
     fn set_and_nested_set() {
-        assert_eq!(apply(json!({"$set": {"a": 2}}), json!({"a": 1})), json!({"a": 2}));
+        assert_eq!(
+            apply(json!({"$set": {"a": 2}}), json!({"a": 1})),
+            json!({"a": 2})
+        );
         assert_eq!(
             apply(json!({"$set": {"spec.walltime": 3600}}), json!({})),
             json!({"spec": {"walltime": 3600}})
@@ -292,27 +308,48 @@ mod tests {
 
     #[test]
     fn unset() {
-        assert_eq!(apply(json!({"$unset": {"a": ""}}), json!({"a": 1, "b": 2})), json!({"b": 2}));
+        assert_eq!(
+            apply(json!({"$unset": {"a": ""}}), json!({"a": 1, "b": 2})),
+            json!({"b": 2})
+        );
     }
 
     #[test]
     fn inc_existing_and_missing() {
-        assert_eq!(apply(json!({"$inc": {"n": 5}}), json!({"n": 1})), json!({"n": 6}));
+        assert_eq!(
+            apply(json!({"$inc": {"n": 5}}), json!({"n": 1})),
+            json!({"n": 6})
+        );
         assert_eq!(apply(json!({"$inc": {"n": 5}}), json!({})), json!({"n": 5}));
-        assert_eq!(apply(json!({"$inc": {"n": 0.5}}), json!({"n": 1})), json!({"n": 1.5}));
+        assert_eq!(
+            apply(json!({"$inc": {"n": 0.5}}), json!({"n": 1})),
+            json!({"n": 1.5})
+        );
     }
 
     #[test]
     fn mul() {
-        assert_eq!(apply(json!({"$mul": {"n": 3}}), json!({"n": 4})), json!({"n": 12}));
+        assert_eq!(
+            apply(json!({"$mul": {"n": 3}}), json!({"n": 4})),
+            json!({"n": 12})
+        );
         assert_eq!(apply(json!({"$mul": {"n": 3}}), json!({})), json!({"n": 0}));
     }
 
     #[test]
     fn min_max() {
-        assert_eq!(apply(json!({"$min": {"n": 2}}), json!({"n": 5})), json!({"n": 2}));
-        assert_eq!(apply(json!({"$min": {"n": 9}}), json!({"n": 5})), json!({"n": 5}));
-        assert_eq!(apply(json!({"$max": {"n": 9}}), json!({"n": 5})), json!({"n": 9}));
+        assert_eq!(
+            apply(json!({"$min": {"n": 2}}), json!({"n": 5})),
+            json!({"n": 2})
+        );
+        assert_eq!(
+            apply(json!({"$min": {"n": 9}}), json!({"n": 5})),
+            json!({"n": 5})
+        );
+        assert_eq!(
+            apply(json!({"$max": {"n": 9}}), json!({"n": 5})),
+            json!({"n": 9})
+        );
         assert_eq!(apply(json!({"$max": {"n": 2}}), json!({})), json!({"n": 2}));
     }
 
@@ -323,15 +360,27 @@ mod tests {
             json!({"new": 7})
         );
         // Renaming a missing field is a no-op.
-        assert_eq!(apply(json!({"$rename": {"x": "y"}}), json!({"a": 1})), json!({"a": 1}));
+        assert_eq!(
+            apply(json!({"$rename": {"x": "y"}}), json!({"a": 1})),
+            json!({"a": 1})
+        );
     }
 
     #[test]
     fn push_single_and_each() {
-        assert_eq!(apply(json!({"$push": {"xs": 3}}), json!({"xs": [1]})), json!({"xs": [1, 3]}));
-        assert_eq!(apply(json!({"$push": {"xs": 3}}), json!({})), json!({"xs": [3]}));
         assert_eq!(
-            apply(json!({"$push": {"xs": {"$each": [2, 3]}}}), json!({"xs": [1]})),
+            apply(json!({"$push": {"xs": 3}}), json!({"xs": [1]})),
+            json!({"xs": [1, 3]})
+        );
+        assert_eq!(
+            apply(json!({"$push": {"xs": 3}}), json!({})),
+            json!({"xs": [3]})
+        );
+        assert_eq!(
+            apply(
+                json!({"$push": {"xs": {"$each": [2, 3]}}}),
+                json!({"xs": [1]})
+            ),
             json!({"xs": [1, 2, 3]})
         );
     }
@@ -349,8 +398,14 @@ mod tests {
             apply(json!({"$pull": {"xs": 2}}), json!({"xs": [1, 2, 3, 2]})),
             json!({"xs": [1, 3]})
         );
-        assert_eq!(apply(json!({"$pop": {"xs": 1}}), json!({"xs": [1, 2]})), json!({"xs": [1]}));
-        assert_eq!(apply(json!({"$pop": {"xs": -1}}), json!({"xs": [1, 2]})), json!({"xs": [2]}));
+        assert_eq!(
+            apply(json!({"$pop": {"xs": 1}}), json!({"xs": [1, 2]})),
+            json!({"xs": [1]})
+        );
+        assert_eq!(
+            apply(json!({"$pop": {"xs": -1}}), json!({"xs": [1, 2]})),
+            json!({"xs": [2]})
+        );
     }
 
     #[test]

@@ -151,7 +151,7 @@ pub fn remove_path(doc: &mut Value, path: &str) -> Option<Value> {
     let mut cur = doc;
     for seg in parents {
         match cur {
-            Value::Object(m) => cur = m.get_mut(*seg)?,
+            Value::Object(m) => cur = m.get_mut(seg)?,
             Value::Array(a) => {
                 let idx: usize = seg.parse().ok()?;
                 cur = a.get_mut(idx)?;
@@ -160,7 +160,7 @@ pub fn remove_path(doc: &mut Value, path: &str) -> Option<Value> {
         }
     }
     match cur {
-        Value::Object(m) => m.remove(*last),
+        Value::Object(m) => m.remove(last),
         Value::Array(a) => {
             // MongoDB $unset on an array element nulls it rather than shifting.
             let idx: usize = last.parse().ok()?;

@@ -334,7 +334,9 @@ mod tests {
     fn valid_dag_passes() {
         let a = Firework::new("a", "a", Stage::empty());
         let b = Firework::new("b", "b", Stage::empty()).after("a");
-        let c = Firework::new("c", "c", Stage::empty()).after("a").after("b");
+        let c = Firework::new("c", "c", Stage::empty())
+            .after("a")
+            .after("b");
         let wf = Workflow::new("wf", vec![a, b, c]).unwrap();
         assert_eq!(wf.children_of("a").len(), 2);
         assert_eq!(wf.children_of("c").len(), 0);

@@ -129,15 +129,15 @@ impl GeneticSearch {
         mut fitness: impl FnMut(&[f64]) -> f64,
     ) -> (Vec<f64>, f64) {
         let mut pop: Vec<Vec<f64>> = (0..self.population).map(|_| self.random_genome()).collect();
-        let mut scored: Vec<(f64, Vec<f64>)> = pop
-            .drain(..)
-            .map(|g| (fitness(&g), g))
-            .collect();
+        let mut scored: Vec<(f64, Vec<f64>)> = pop.drain(..).map(|g| (fitness(&g), g)).collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"));
         for _ in 0..generations {
             let elite = self.population / 4;
-            let mut next: Vec<Vec<f64>> =
-                scored.iter().take(elite.max(1)).map(|(_, g)| g.clone()).collect();
+            let mut next: Vec<Vec<f64>> = scored
+                .iter()
+                .take(elite.max(1))
+                .map(|(_, g)| g.clone())
+                .collect();
             while next.len() < self.population {
                 // Tournament parents from the top half.
                 let half = (scored.len() / 2).max(1);
@@ -216,9 +216,7 @@ mod tests {
     #[test]
     fn ga_finds_quadratic_minimum() {
         let mut ga = GeneticSearch::new(vec![(-5.0, 5.0), (-5.0, 5.0)], 24, 7);
-        let (best, f) = ga.minimize(40, |g| {
-            (g[0] - 1.5).powi(2) + (g[1] + 2.0).powi(2)
-        });
+        let (best, f) = ga.minimize(40, |g| (g[0] - 1.5).powi(2) + (g[1] + 2.0).powi(2));
         assert!(f < 0.05, "fitness {f}");
         assert!((best[0] - 1.5).abs() < 0.25, "{best:?}");
         assert!((best[1] + 2.0).abs() < 0.25, "{best:?}");

@@ -73,6 +73,10 @@ pub struct LaunchPadConfig {
     pub max_launches: u32,
     /// Max detours per firework before a detour request fizzles it.
     pub max_detours: u32,
+    /// Run the `mp-lint` workflow analyzer as a hard gate in
+    /// [`LaunchPad::add_workflow`] (escape hatch: set false to submit
+    /// workflows the analyzer would reject).
+    pub lint_gate: bool,
 }
 
 impl Default for LaunchPadConfig {
@@ -80,6 +84,7 @@ impl Default for LaunchPadConfig {
         LaunchPadConfig {
             max_launches: 5,
             max_detours: 4,
+            lint_gate: true,
         }
     }
 }
@@ -115,7 +120,18 @@ impl LaunchPad {
     /// Submit a workflow: every firework becomes an `engines` document,
     /// roots READY, the rest WAITING. Duplicate binders short-circuit
     /// immediately to ARCHIVED-with-pointer.
+    ///
+    /// With `config.lint_gate` (the default), the `mp-lint` workflow
+    /// analyzer runs first and Error-severity findings (cycles, unknown
+    /// parents, duplicate ids, fuse inconsistencies) reject the
+    /// submission with the rendered diagnostics.
     pub fn add_workflow(&self, wf: &Workflow) -> Result<()> {
+        if self.config.lint_gate {
+            let diags = mp_lint::analyze_workflow(&Self::lint_nodes(wf));
+            if mp_lint::has_errors(&diags) {
+                return Err(StoreError::InvalidDocument(mp_lint::render(&diags)));
+            }
+        }
         wf.validate().map_err(StoreError::InvalidDocument)?;
         self.db.collection("workflows").insert_one(json!({
             "_id": wf.wf_id,
@@ -140,6 +156,27 @@ impl LaunchPad {
             }
         }
         Ok(())
+    }
+
+    /// Reduce fireworks to the generic node shape the lint analyzer takes.
+    fn lint_nodes(wf: &Workflow) -> Vec<mp_lint::WfNode> {
+        wf.fireworks
+            .iter()
+            .map(|fw| mp_lint::WfNode {
+                id: fw.fw_id.clone(),
+                name: fw.name.clone(),
+                parents: fw.parents.clone(),
+                binder_key: fw.binder.as_ref().map(|b| b.key.clone()),
+                fuse_filter: match &fw.fuse.condition {
+                    FuseCondition::ParentOutputMatches { filter } => Some(filter.clone()),
+                    _ => None,
+                },
+                fuse_requires_parent_output: matches!(
+                    fw.fuse.condition,
+                    FuseCondition::ParentOutputMatches { .. }
+                ),
+            })
+            .collect()
     }
 
     fn engine_doc(&self, wf: &Workflow, fw: &Firework, state: FwState) -> Value {
@@ -517,10 +554,9 @@ impl LaunchPad {
     /// Approve a workflow (releases `UserApproved` fuses on next
     /// promotion sweep).
     pub fn approve_workflow(&self, wf_id: &str) -> Result<()> {
-        self.db.collection("workflows").update_one(
-            &json!({"_id": wf_id}),
-            &json!({"$set": {"approved": true}}),
-        )?;
+        self.db
+            .collection("workflows")
+            .update_one(&json!({"_id": wf_id}), &json!({"$set": {"approved": true}}))?;
         // Sweep: re-promote children of every completed fw in this wf.
         let done = self
             .db
@@ -548,7 +584,13 @@ impl LaunchPad {
         let engines = self.db.collection("engines");
         let mut out = Vec::new();
         for s in [
-            "WAITING", "READY", "RUNNING", "COMPLETED", "FIZZLED", "DEFUSED", "ARCHIVED",
+            "WAITING",
+            "READY",
+            "RUNNING",
+            "COMPLETED",
+            "FIZZLED",
+            "DEFUSED",
+            "ARCHIVED",
         ] {
             let n = engines.count(&json!({ "state": s }))?;
             if n > 0 {
@@ -566,13 +608,10 @@ impl LaunchPad {
     }
 }
 
-
 /// Does an override document contain a `$fromParent` reference?
 fn contains_from_parent(v: &Value) -> bool {
     match v {
-        Value::Object(m) => {
-            m.contains_key("$fromParent") || m.values().any(contains_from_parent)
-        }
+        Value::Object(m) => m.contains_key("$fromParent") || m.values().any(contains_from_parent),
         Value::Array(a) => a.iter().any(contains_from_parent),
         _ => false,
     }
@@ -648,8 +687,13 @@ mod tests {
         let doc = lp.claim_next(&json!({}), "w0").unwrap().unwrap();
         assert_eq!(doc["_id"], "a");
         assert_eq!(doc["state"], "RUNNING");
-        lp.report("a", LaunchReport::Success { task_doc: json!({"output": {"e": -1.0}}) })
-            .unwrap();
+        lp.report(
+            "a",
+            LaunchReport::Success {
+                task_doc: json!({"output": {"e": -1.0}}),
+            },
+        )
+        .unwrap();
         assert_eq!(lp.state_of("a").unwrap(), Some(FwState::Completed));
         assert_eq!(lp.state_of("b").unwrap(), Some(FwState::Ready));
         assert_eq!(lp.state_of("c").unwrap(), Some(FwState::Waiting));
@@ -660,7 +704,8 @@ mod tests {
         let lp = pad();
         let a = fw("li", json!({"elements": ["Li", "O"], "nelectrons": 100}));
         let b = fw("fe", json!({"elements": ["Fe", "O"], "nelectrons": 300}));
-        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap()).unwrap();
+        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap())
+            .unwrap();
         // The paper's job-selection pattern (§III-B2).
         let q = json!({"spec.elements": {"$all": ["Li", "O"]}, "spec.nelectrons": {"$lte": 200}});
         let doc = lp.claim_next(&q, "w0").unwrap().unwrap();
@@ -679,7 +724,8 @@ mod tests {
         let lp = pad();
         let a = fw("x1", json!({}));
         let b = fw("x2", json!({}));
-        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap()).unwrap();
+        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap())
+            .unwrap();
         let c1 = lp.claim_next(&json!({}), "w1").unwrap().unwrap();
         let c2 = lp.claim_next(&json!({}), "w2").unwrap().unwrap();
         assert_ne!(c1["_id"], c2["_id"]);
@@ -689,13 +735,17 @@ mod tests {
     #[test]
     fn rerun_requeues_with_updated_spec() {
         let lp = pad();
-        lp.add_workflow(&Workflow::single("wf", fw("a", json!({"walltime": 3600})))).unwrap();
+        lp.add_workflow(&Workflow::single("wf", fw("a", json!({"walltime": 3600}))))
+            .unwrap();
         lp.claim_next(&json!({}), "w0").unwrap().unwrap();
         let out = lp
-            .report("a", LaunchReport::Rerun {
-                spec_updates: json!({"$mul": {"walltime": 2}}),
-                reason: "walltime kill".into(),
-            })
+            .report(
+                "a",
+                LaunchReport::Rerun {
+                    spec_updates: json!({"$mul": {"walltime": 2}}),
+                    reason: "walltime kill".into(),
+                },
+            )
             .unwrap();
         assert!(matches!(out, ReportOutcome::Requeued(_)));
         let doc = lp.claim_next(&json!({}), "w0").unwrap().unwrap();
@@ -707,18 +757,26 @@ mod tests {
     fn rerun_fizzles_after_max_launches() {
         let lp = LaunchPad::with_config(
             Database::new(),
-            LaunchPadConfig { max_launches: 2, max_detours: 2 },
+            LaunchPadConfig {
+                max_launches: 2,
+                max_detours: 2,
+                ..LaunchPadConfig::default()
+            },
         )
         .unwrap();
-        lp.add_workflow(&Workflow::single("wf", fw("a", json!({})))).unwrap();
+        lp.add_workflow(&Workflow::single("wf", fw("a", json!({}))))
+            .unwrap();
         for expect_fizzle in [false, true] {
             let claimed = lp.claim_next(&json!({}), "w").unwrap();
             assert!(claimed.is_some());
             let out = lp
-                .report("a", LaunchReport::Rerun {
-                    spec_updates: json!({"$set": {"retry": true}}),
-                    reason: "kill".into(),
-                })
+                .report(
+                    "a",
+                    LaunchReport::Rerun {
+                        spec_updates: json!({"$set": {"retry": true}}),
+                        reason: "kill".into(),
+                    },
+                )
                 .unwrap();
             if expect_fizzle {
                 assert_eq!(out, ReportOutcome::Fizzled);
@@ -734,10 +792,13 @@ mod tests {
         lp.add_workflow(&chain("wf")).unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
         let out = lp
-            .report("a", LaunchReport::Detour {
-                spec_updates: json!({"$set": {"algo": "Normal"}}),
-                reason: "zbrent".into(),
-            })
+            .report(
+                "a",
+                LaunchReport::Detour {
+                    spec_updates: json!({"$set": {"algo": "Normal"}}),
+                    reason: "zbrent".into(),
+                },
+            )
             .unwrap();
         let ReportOutcome::Detoured(new_id) = out else {
             panic!("expected detour, got {out:?}")
@@ -749,7 +810,13 @@ mod tests {
         let doc = lp.claim_next(&json!({}), "w").unwrap().unwrap();
         assert_eq!(doc["_id"], "a-d1");
         assert_eq!(doc["spec"]["algo"], "Normal");
-        lp.report("a-d1", LaunchReport::Success { task_doc: json!({"output": {}}) }).unwrap();
+        lp.report(
+            "a-d1",
+            LaunchReport::Success {
+                task_doc: json!({"output": {}}),
+            },
+        )
+        .unwrap();
         assert_eq!(lp.state_of("b").unwrap(), Some(FwState::Ready));
     }
 
@@ -757,18 +824,26 @@ mod tests {
     fn detour_chain_fizzles_at_cap() {
         let lp = LaunchPad::with_config(
             Database::new(),
-            LaunchPadConfig { max_launches: 10, max_detours: 2 },
+            LaunchPadConfig {
+                max_launches: 10,
+                max_detours: 2,
+                ..LaunchPadConfig::default()
+            },
         )
         .unwrap();
-        lp.add_workflow(&Workflow::single("wf", fw("a", json!({})))).unwrap();
+        lp.add_workflow(&Workflow::single("wf", fw("a", json!({}))))
+            .unwrap();
         let mut current = "a".to_string();
         for round in 0..3 {
             lp.claim_next(&json!({}), "w").unwrap().unwrap();
             let out = lp
-                .report(&current, LaunchReport::Detour {
-                    spec_updates: json!({"$inc": {"attempt": 1}}),
-                    reason: "err".into(),
-                })
+                .report(
+                    &current,
+                    LaunchReport::Detour {
+                        spec_updates: json!({"$inc": {"attempt": 1}}),
+                        reason: "err".into(),
+                    },
+                )
                 .unwrap();
             match out {
                 ReportOutcome::Detoured(id) => current = id,
@@ -787,7 +862,13 @@ mod tests {
         let lp = pad();
         lp.add_workflow(&chain("wf")).unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("a", LaunchReport::Fatal { reason: "corrupt input".into() }).unwrap();
+        lp.report(
+            "a",
+            LaunchReport::Fatal {
+                reason: "corrupt input".into(),
+            },
+        )
+        .unwrap();
         assert_eq!(lp.state_of("a").unwrap(), Some(FwState::Fizzled));
         assert_eq!(lp.state_of("b").unwrap(), Some(FwState::Defused));
         assert_eq!(lp.state_of("c").unwrap(), Some(FwState::Defused));
@@ -802,8 +883,13 @@ mod tests {
         let first = fw("orig", json!({})).with_binder(Binder::new("fp-1", "GGA"));
         lp.add_workflow(&Workflow::single("wf1", first)).unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("orig", LaunchReport::Success { task_doc: json!({"output": {"e": -2.0}}) })
-            .unwrap();
+        lp.report(
+            "orig",
+            LaunchReport::Success {
+                task_doc: json!({"output": {"e": -2.0}}),
+            },
+        )
+        .unwrap();
 
         // A second user submits the identical calculation.
         let dup = fw("dup", json!({})).with_binder(Binder::new("fp-1", "GGA"));
@@ -830,7 +916,13 @@ mod tests {
         lp.add_workflow(&Workflow::single("wf2", b)).unwrap();
         let first = lp.claim_next(&json!({}), "w").unwrap().unwrap();
         let first_id = first["_id"].as_str().unwrap().to_string();
-        lp.report(&first_id, LaunchReport::Success { task_doc: json!({"output": {}}) }).unwrap();
+        lp.report(
+            &first_id,
+            LaunchReport::Success {
+                task_doc: json!({"output": {}}),
+            },
+        )
+        .unwrap();
         // The second claim must skip the duplicate and find nothing.
         assert!(lp.claim_next(&json!({}), "w").unwrap().is_none());
         let other = if first_id == "a" { "b" } else { "a" };
@@ -841,19 +933,21 @@ mod tests {
     fn fuse_output_condition_gates_promotion() {
         let lp = pad();
         let a = fw("a", json!({}));
-        let b = fw("b", json!({}))
-            .after("a")
-            .with_fuse(Fuse {
-                condition: FuseCondition::ParentOutputMatches {
-                    filter: json!({"output.converged": true}),
-                },
-                overrides: None,
-            });
-        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap()).unwrap();
+        let b = fw("b", json!({})).after("a").with_fuse(Fuse {
+            condition: FuseCondition::ParentOutputMatches {
+                filter: json!({"output.converged": true}),
+            },
+            overrides: None,
+        });
+        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap())
+            .unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("a", LaunchReport::Success {
-            task_doc: json!({"output": {"converged": false}}),
-        })
+        lp.report(
+            "a",
+            LaunchReport::Success {
+                task_doc: json!({"output": {"converged": false}}),
+            },
+        )
         .unwrap();
         // Condition unmet: b stays waiting.
         assert_eq!(lp.state_of("b").unwrap(), Some(FwState::Waiting));
@@ -863,15 +957,20 @@ mod tests {
     fn fuse_overrides_applied_on_release() {
         let lp = pad();
         let a = fw("a", json!({}));
-        let b = fw("b", json!({"encut": 400}))
-            .after("a")
-            .with_fuse(Fuse {
-                condition: FuseCondition::ParentsCompleted,
-                overrides: Some(json!({"$set": {"encut": 520}})),
-            });
-        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap()).unwrap();
+        let b = fw("b", json!({"encut": 400})).after("a").with_fuse(Fuse {
+            condition: FuseCondition::ParentsCompleted,
+            overrides: Some(json!({"$set": {"encut": 520}})),
+        });
+        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap())
+            .unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("a", LaunchReport::Success { task_doc: json!({"output": {}}) }).unwrap();
+        lp.report(
+            "a",
+            LaunchReport::Success {
+                task_doc: json!({"output": {}}),
+            },
+        )
+        .unwrap();
         let doc = lp.claim_next(&json!({}), "w").unwrap().unwrap();
         assert_eq!(doc["_id"], "b");
         assert_eq!(doc["spec"]["encut"], json!(520));
@@ -884,15 +983,20 @@ mod tests {
     fn user_approval_gates_and_releases() {
         let lp = pad();
         let a = fw("a", json!({}));
-        let b = fw("b", json!({}))
-            .after("a")
-            .with_fuse(Fuse {
-                condition: FuseCondition::UserApproved,
-                overrides: None,
-            });
-        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap()).unwrap();
+        let b = fw("b", json!({})).after("a").with_fuse(Fuse {
+            condition: FuseCondition::UserApproved,
+            overrides: None,
+        });
+        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap())
+            .unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("a", LaunchReport::Success { task_doc: json!({"output": {}}) }).unwrap();
+        lp.report(
+            "a",
+            LaunchReport::Success {
+                task_doc: json!({"output": {}}),
+            },
+        )
+        .unwrap();
         assert_eq!(lp.state_of("b").unwrap(), Some(FwState::Waiting));
         lp.approve_workflow("wf").unwrap();
         assert_eq!(lp.state_of("b").unwrap(), Some(FwState::Ready));
@@ -913,12 +1017,16 @@ mod tests {
                     "encut": 520,
                 }})),
             });
-        lp.add_workflow(&Workflow::new("wf", vec![relax, static_run]).unwrap()).unwrap();
+        lp.add_workflow(&Workflow::new("wf", vec![relax, static_run]).unwrap())
+            .unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("relax", LaunchReport::Success {
-            task_doc: json!({"output": {"structure": {"volume": 64.2, "sites": 8},
+        lp.report(
+            "relax",
+            LaunchReport::Success {
+                task_doc: json!({"output": {"structure": {"volume": 64.2, "sites": 8},
                                           "energy_per_atom": -4.0}}),
-        })
+            },
+        )
         .unwrap();
         let doc = lp.claim_next(&json!({}), "w").unwrap().unwrap();
         assert_eq!(doc["_id"], "static");
@@ -930,17 +1038,19 @@ mod tests {
     fn fuse_from_parent_missing_path_errors() {
         let lp = pad();
         let a = fw("a", json!({}));
-        let b = fw("b", json!({}))
-            .after("a")
-            .with_fuse(Fuse {
-                condition: FuseCondition::ParentsCompleted,
-                overrides: Some(json!({"$set": {"x": {"$fromParent": "output.nope"}}})),
-            });
-        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap()).unwrap();
-        lp.claim_next(&json!({}), "w").unwrap();
-        let err = lp.report("a", LaunchReport::Success {
-            task_doc: json!({"output": {}}),
+        let b = fw("b", json!({})).after("a").with_fuse(Fuse {
+            condition: FuseCondition::ParentsCompleted,
+            overrides: Some(json!({"$set": {"x": {"$fromParent": "output.nope"}}})),
         });
+        lp.add_workflow(&Workflow::new("wf", vec![a, b]).unwrap())
+            .unwrap();
+        lp.claim_next(&json!({}), "w").unwrap();
+        let err = lp.report(
+            "a",
+            LaunchReport::Success {
+                task_doc: json!({"output": {}}),
+            },
+        );
         assert!(err.is_err(), "missing parent output must not pass silently");
     }
 
@@ -956,11 +1066,15 @@ mod tests {
     #[test]
     fn tasks_link_back_to_fireworks() {
         let lp = pad();
-        lp.add_workflow(&Workflow::single("wf", fw("a", json!({})))).unwrap();
+        lp.add_workflow(&Workflow::single("wf", fw("a", json!({}))))
+            .unwrap();
         lp.claim_next(&json!({}), "w").unwrap();
-        lp.report("a", LaunchReport::Success {
-            task_doc: json!({"output": {"energy": -3.5}}),
-        })
+        lp.report(
+            "a",
+            LaunchReport::Success {
+                task_doc: json!({"output": {"energy": -3.5}}),
+            },
+        )
         .unwrap();
         let task = lp
             .database()
@@ -971,5 +1085,57 @@ mod tests {
         assert_eq!(task["wf_id"], "wf");
         assert_eq!(task["output"]["energy"], json!(-3.5));
         assert_eq!(task["_id"], "task-a-1");
+    }
+
+    #[test]
+    fn lint_gate_rejects_cyclic_workflow() {
+        let lp = pad();
+        // Workflow::new would refuse this, so build the struct directly —
+        // the gate must catch it anyway, with the cycle path in the error.
+        let wf = Workflow {
+            wf_id: "wf-cyclic".into(),
+            name: "cyclic".into(),
+            fireworks: vec![fw("a", json!({})).after("b"), fw("b", json!({})).after("a")],
+        };
+        let err = lp.add_workflow(&wf);
+        match err {
+            Err(StoreError::InvalidDocument(msg)) => {
+                assert!(msg.contains("W001"), "{msg}");
+                assert!(msg.contains("->"), "cycle path rendered: {msg}");
+            }
+            other => panic!("expected InvalidDocument(W001), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_gate_rejects_root_parent_output_fuse_unless_disabled() {
+        let bad_wf = || {
+            Workflow::single(
+                "wf-fuse",
+                fw("root", json!({})).with_fuse(Fuse {
+                    condition: FuseCondition::ParentOutputMatches {
+                        filter: json!({"status": "converged"}),
+                    },
+                    overrides: None,
+                }),
+            )
+        };
+        let lp = pad();
+        let err = lp.add_workflow(&bad_wf());
+        match err {
+            Err(StoreError::InvalidDocument(msg)) => assert!(msg.contains("W006"), "{msg}"),
+            other => panic!("expected InvalidDocument(W006), got {other:?}"),
+        }
+
+        // Escape hatch: with the gate off the submission goes through.
+        let lax = LaunchPad::with_config(
+            Database::new(),
+            LaunchPadConfig {
+                lint_gate: false,
+                ..LaunchPadConfig::default()
+            },
+        )
+        .unwrap();
+        lax.add_workflow(&bad_wf()).unwrap();
     }
 }

@@ -66,7 +66,8 @@ mod tests {
         let fws: Vec<Firework> = (0..n)
             .map(|i| Firework::new(format!("fw{i}"), "job", Stage(json!({"i": i}))))
             .collect();
-        pad.add_workflow(&Workflow::new("wf", fws).unwrap()).unwrap();
+        pad.add_workflow(&Workflow::new("wf", fws).unwrap())
+            .unwrap();
         pad
     }
 

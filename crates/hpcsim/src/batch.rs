@@ -155,10 +155,7 @@ impl BatchSimulator {
         loop {
             // Next event: a submission or a running-job end.
             let t_submit = (next_submit < n).then(|| requests[order[next_submit]].submit_time);
-            let t_end = running
-                .iter()
-                .map(|r| r.end)
-                .fold(f64::INFINITY, f64::min);
+            let t_end = running.iter().map(|r| r.end).fold(f64::INFINITY, f64::min);
             let t_next = match (t_submit, t_end.is_finite()) {
                 (Some(ts), true) => ts.min(t_end),
                 (Some(ts), false) => ts,
@@ -370,10 +367,16 @@ mod tests {
             })
             .collect();
         let recs = sim().run(jobs);
-        let completed = recs.iter().filter(|r| r.outcome == JobEnd::Completed).count();
+        let completed = recs
+            .iter()
+            .filter(|r| r.outcome == JobEnd::Completed)
+            .count();
         assert_eq!(completed, 33);
         let max_wait = recs.iter().map(|r| r.wait_time()).fold(0.0f64, f64::max);
-        assert!((max_wait - 100.0).abs() < 1e-6, "33rd job waits one round: {max_wait}");
+        assert!(
+            (max_wait - 100.0).abs() < 1e-6,
+            "33rd job waits one round: {max_wait}"
+        );
     }
 
     #[test]
@@ -385,8 +388,14 @@ mod tests {
             .map(|i| req(&format!("j{i}"), "flooder", 0.0, 200.0, 100.0))
             .collect();
         let recs = sim().run(jobs);
-        let rejected = recs.iter().filter(|r| r.outcome == JobEnd::QueueRejected).count();
-        assert_eq!(rejected, 42, "cap 8 admits only 8 of 50 simultaneous submissions");
+        let rejected = recs
+            .iter()
+            .filter(|r| r.outcome == JobEnd::QueueRejected)
+            .count();
+        assert_eq!(
+            rejected, 42,
+            "cap 8 admits only 8 of 50 simultaneous submissions"
+        );
     }
 
     #[test]
@@ -453,14 +462,27 @@ mod tests {
     fn wait_times_accumulate_under_load() {
         // 128 jobs from 16 users on 32 nodes.
         let jobs: Vec<JobRequest> = (0..128)
-            .map(|i| req(&format!("j{i}"), &format!("u{}", i % 16), (i / 16) as f64, 400.0, 300.0))
+            .map(|i| {
+                req(
+                    &format!("j{i}"),
+                    &format!("u{}", i % 16),
+                    (i / 16) as f64,
+                    400.0,
+                    300.0,
+                )
+            })
             .collect();
         let recs = sim().run(jobs);
-        let completed: Vec<&JobRecord> =
-            recs.iter().filter(|r| r.outcome == JobEnd::Completed).collect();
+        let completed: Vec<&JobRecord> = recs
+            .iter()
+            .filter(|r| r.outcome == JobEnd::Completed)
+            .collect();
         assert!(completed.len() > 100);
         let mean_wait: f64 =
             completed.iter().map(|r| r.wait_time()).sum::<f64>() / completed.len() as f64;
-        assert!(mean_wait > 100.0, "mean wait {mean_wait} too low for 4× oversubscription");
+        assert!(
+            mean_wait > 100.0,
+            "mean wait {mean_wait} too low for 4× oversubscription"
+        );
     }
 }

@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn empty_working_set_is_local() {
         let node = NumaNode::default();
-        assert_eq!(node.mean_latency_ns(MemPolicy::FirstTouch, 0.0), node.local_ns);
+        assert_eq!(
+            node.mean_latency_ns(MemPolicy::FirstTouch, 0.0),
+            node.local_ns
+        );
         // Interleave of a zero working set is degenerate; we report the
         // steady-state interleave latency for consistency.
         assert!(node.mean_latency_ns(MemPolicy::Interleave, 0.0) >= node.local_ns);

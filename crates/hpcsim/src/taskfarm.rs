@@ -153,7 +153,11 @@ mod tests {
         let out = run_farm(&tasks, 2, total); // generous wall
         assert_eq!(out.completed.len(), tasks.len());
         // Makespan close to total/2 (perfect split is 135).
-        assert!(out.used_walltime_s <= 0.6 * total, "{}", out.used_walltime_s);
+        assert!(
+            out.used_walltime_s <= 0.6 * total,
+            "{}",
+            out.used_walltime_s
+        );
     }
 
     #[test]

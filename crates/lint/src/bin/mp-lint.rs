@@ -1,0 +1,132 @@
+//! CLI front-end for the three analysis passes.
+//!
+//! ```text
+//! mp-lint query <query.json> [--db <dir>] [--collection <name>]
+//! mp-lint workflow <workflow.json>
+//! mp-lint data <doc.json> [<doc.json> ...]
+//! ```
+//!
+//! `query` lints a Mongo-style filter document; with `--db` it recovers a
+//! persisted database directory, infers the collection's schema, and runs
+//! the schema-aware checks too. `workflow` lints a serialized workflow
+//! document. `data` validates task documents against the default V&V
+//! contract. Exit status is 1 when any Error-severity diagnostic fires,
+//! 2 on usage/IO problems.
+
+use std::process::ExitCode;
+
+use mp_docstore::Persister;
+use mp_lint::{
+    analyze_query, analyze_query_with_schema, analyze_workflow, has_errors, render,
+    CollectionSchema, RuleSet, WfNode,
+};
+use serde_json::Value;
+
+const USAGE: &str = "usage:
+  mp-lint query <query.json> [--db <dir>] [--collection <name>]
+  mp-lint workflow <workflow.json>
+  mp-lint data <doc.json> [<doc.json> ...]";
+
+const SCHEMA_SAMPLE: usize = 256;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mp-lint: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Returns `Ok(true)` when no Error-severity diagnostics fired.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mode = args
+        .first()
+        .map(String::as_str)
+        .ok_or("missing subcommand")?;
+    match mode {
+        "query" => lint_query(&args[1..]),
+        "workflow" => lint_workflow(&args[1..]),
+        "data" => lint_data(&args[1..]),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn read_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))
+}
+
+fn report(label: &str, diags: &[mp_lint::Diagnostic]) -> bool {
+    if diags.is_empty() {
+        println!("{label}: clean");
+        true
+    } else {
+        println!("{}", render(diags));
+        !has_errors(diags)
+    }
+}
+
+fn lint_query(args: &[String]) -> Result<bool, String> {
+    let file = args.first().ok_or("query: missing <query.json>")?;
+    let mut db_dir = None;
+    let mut collection = "tasks".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                db_dir = Some(args.get(i + 1).ok_or("--db needs a directory")?.clone());
+                i += 2;
+            }
+            "--collection" => {
+                collection = args.get(i + 1).ok_or("--collection needs a name")?.clone();
+                i += 2;
+            }
+            other => return Err(format!("query: unknown flag `{other}`")),
+        }
+    }
+
+    let raw = read_json(file)?;
+    let diags = match db_dir {
+        None => analyze_query(&raw),
+        Some(dir) => {
+            let persister = Persister::open(&dir).map_err(|e| format!("open `{dir}`: {e}"))?;
+            let db = persister
+                .recover()
+                .map_err(|e| format!("recover `{dir}`: {e}"))?;
+            let coll = db.collection(&collection);
+            let schema = CollectionSchema::infer(&coll, SCHEMA_SAMPLE);
+            analyze_query_with_schema(&raw, &schema, &std::collections::BTreeMap::new())
+        }
+    };
+    Ok(report(file, &diags))
+}
+
+fn lint_workflow(args: &[String]) -> Result<bool, String> {
+    let file = args.first().ok_or("workflow: missing <workflow.json>")?;
+    let doc = read_json(file)?;
+    let nodes = WfNode::from_workflow_json(&doc)?;
+    Ok(report(file, &analyze_workflow(&nodes)))
+}
+
+fn lint_data(args: &[String]) -> Result<bool, String> {
+    if args.is_empty() {
+        return Err("data: missing <doc.json>".to_string());
+    }
+    let rules = RuleSet::task_defaults();
+    let mut clean = true;
+    for file in args {
+        let doc = read_json(file)?;
+        clean &= report(file, &rules.validate(&doc));
+    }
+    Ok(clean)
+}

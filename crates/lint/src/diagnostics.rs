@@ -1,0 +1,142 @@
+//! Rustc-style diagnostics shared by every analysis pass.
+//!
+//! A [`Diagnostic`] carries a severity, a stable code (`Q…` query, `W…`
+//! workflow, `D…` data V&V), a span-ish path locating the problem (a field
+//! path, a `fw_id`, a `collection.field`), a human message, and an optional
+//! suggestion. Stable codes are part of the public contract: tests and
+//! downstream tooling match on them, so codes are never renumbered.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` findings make gates (query sanitizer, `add_workflow`, data
+/// loading) reject the input; `Warning`s are surfaced but do not block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not disqualifying (e.g. unindexed scan).
+    Warning,
+    /// Definitely wrong (e.g. type mismatch, workflow cycle).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding from an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Blocking or advisory.
+    pub severity: Severity,
+    /// Stable code, e.g. `Q001`, `W001`, `D001`.
+    pub code: &'static str,
+    /// Where: a field path, `fw_id`, or `collection.field`.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+    /// How to fix it, when the analyzer has a concrete idea.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A blocking finding.
+    pub fn error(code: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            path: path.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// An advisory finding.
+    pub fn warning(
+        code: &'static str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            path: path.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a fix-it hint.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at `{}`: {}",
+            self.severity, self.code, self.path, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (help: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// True when any diagnostic is `Error`-severity.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Render a batch one-per-line (errors first) for error bodies and CLI output.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
+    sorted
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_path_and_suggestion() {
+        let d = Diagnostic::error("Q001", "output.energy", "type mismatch")
+            .with_suggestion("compare against a number");
+        let s = d.to_string();
+        assert!(s.contains("error[Q001]"));
+        assert!(s.contains("`output.energy`"));
+        assert!(s.contains("help:"));
+    }
+
+    #[test]
+    fn has_errors_distinguishes_severities() {
+        let warn = Diagnostic::warning("Q004", "a", "unindexed");
+        let err = Diagnostic::error("Q002", "a", "always false");
+        assert!(!has_errors(std::slice::from_ref(&warn)));
+        assert!(has_errors(&[warn, err]));
+    }
+
+    #[test]
+    fn render_puts_errors_first() {
+        let out = render(&[
+            Diagnostic::warning("Q004", "a", "unindexed"),
+            Diagnostic::error("Q001", "b", "mismatch"),
+        ]);
+        let first = out.lines().next().unwrap();
+        assert!(first.starts_with("error"), "{out}");
+    }
+}

@@ -1,0 +1,33 @@
+//! mp-lint: schema-aware static analysis for the MP datastore pipeline.
+//!
+//! Three passes share one rustc-style diagnostics framework
+//! ([`Diagnostic`]: severity, stable code, span-ish path, message,
+//! optional suggestion):
+//!
+//! 1. **Query analyzer** ([`query`]) — checks Mongo-style filters against
+//!    per-collection schemas inferred from sampled documents plus index
+//!    metadata ([`schema::CollectionSchema`]). Codes `Q000`–`Q004`.
+//! 2. **Workflow analyzer** ([`workflow`]) — cycle detection with the
+//!    offending path, orphaned steps, fuse/binder consistency, duplicate
+//!    ids. Codes `W001`–`W007`.
+//! 3. **Data V&V** ([`vnv`]) — declarative per-collection contracts
+//!    (required fields, types, ranges, cross-field invariants) applied to
+//!    staged documents before commit. Codes `D001`–`D004`.
+//!
+//! `Error`-severity findings are used as hard gates by
+//! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
+//! `DataLoader::drain`; `Warning`s are surfaced but never block.
+
+#![deny(rust_2018_idioms)]
+
+pub mod diagnostics;
+pub mod query;
+pub mod schema;
+pub mod vnv;
+pub mod workflow;
+
+pub use diagnostics::{has_errors, render, Diagnostic, Severity};
+pub use query::{analyze_query, analyze_query_with_schema};
+pub use schema::{CollectionSchema, TypeSet};
+pub use vnv::{FieldCheck, FieldRule, Invariant, RuleSet};
+pub use workflow::{analyze_workflow, WfNode};

@@ -1,0 +1,630 @@
+//! Pass 1: static analysis of Mongo-style filter documents.
+//!
+//! Codes:
+//! - `Q000` (error): filter does not parse.
+//! - `Q001` (error): type mismatch — an operand can never compare against
+//!   the field's observed types (cross-type comparisons never match).
+//! - `Q002` (error): always-false predicate set (contradictory bounds,
+//!   conflicting equalities, empty `$in`, `$exists: false` plus a value
+//!   constraint, incompatible range operand types).
+//! - `Q003` (warning): unknown field, with did-you-mean suggestions against
+//!   the schema and the API's field aliases.
+//! - `Q004` (warning): no constrained field is indexed — the query is a full
+//!   collection scan.
+
+use std::collections::BTreeMap;
+
+use mp_docstore::query::Predicate;
+use mp_docstore::value::{cmp_values, values_equal};
+use mp_docstore::Filter;
+use serde_json::Value;
+
+use crate::diagnostics::Diagnostic;
+use crate::schema::{CollectionSchema, TypeSet};
+
+/// Analyze a filter without schema context (parse + contradiction checks).
+pub fn analyze_query(raw: &Value) -> Vec<Diagnostic> {
+    analyze_inner(raw, None, &BTreeMap::new())
+}
+
+/// Analyze a filter against an inferred collection schema. `aliases` maps
+/// user-facing alias → stored path (used for did-you-mean suggestions).
+pub fn analyze_query_with_schema(
+    raw: &Value,
+    schema: &CollectionSchema,
+    aliases: &BTreeMap<String, String>,
+) -> Vec<Diagnostic> {
+    analyze_inner(raw, Some(schema), aliases)
+}
+
+fn analyze_inner(
+    raw: &Value,
+    schema: Option<&CollectionSchema>,
+    aliases: &BTreeMap<String, String>,
+) -> Vec<Diagnostic> {
+    let filter = match Filter::parse(raw) {
+        Ok(f) => f,
+        Err(e) => {
+            return vec![Diagnostic::error(
+                "Q000",
+                "$filter",
+                format!("filter does not parse: {e}"),
+            )]
+        }
+    };
+    let mut out = Vec::new();
+    check_scope(&filter, "", schema, aliases, &mut out);
+    if let Some(schema) = schema {
+        check_index_use(&filter, schema, &mut out);
+    }
+    out
+}
+
+/// Analyze one conjunctive scope (a filter node plus all nested `$and`s),
+/// then recurse into `$or`/`$nor` branches and `$elemMatch` sub-filters.
+fn check_scope(
+    filter: &Filter,
+    prefix: &str,
+    schema: Option<&CollectionSchema>,
+    aliases: &BTreeMap<String, String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut conj: BTreeMap<String, Vec<&Predicate>> = BTreeMap::new();
+    let mut branches: Vec<&Filter> = Vec::new();
+    collect_conjuncts(filter, prefix, &mut conj, &mut branches);
+
+    for (path, preds) in &conj {
+        if let Some(schema) = schema {
+            check_field_known(path, schema, aliases, out);
+            check_types(path, preds, schema, out);
+        }
+        check_contradictions(path, preds, out);
+        for pred in preds {
+            if let Predicate::ElemMatch(sub) = pred {
+                check_scope(sub, &format!("{path}."), schema, aliases, out);
+            }
+        }
+    }
+    for branch in branches {
+        check_scope(branch, prefix, schema, aliases, out);
+    }
+}
+
+/// Flatten `filter.fields` plus nested `$and` clauses into one conjunctive
+/// constraint map; collect `$or`/`$nor` branches for separate scopes.
+fn collect_conjuncts<'f>(
+    filter: &'f Filter,
+    prefix: &str,
+    conj: &mut BTreeMap<String, Vec<&'f Predicate>>,
+    branches: &mut Vec<&'f Filter>,
+) {
+    for (path, preds) in &filter.fields {
+        conj.entry(format!("{prefix}{path}"))
+            .or_default()
+            .extend(preds.iter());
+    }
+    for sub in &filter.and {
+        collect_conjuncts(sub, prefix, conj, branches);
+    }
+    branches.extend(filter.or.iter());
+    branches.extend(filter.nor.iter());
+}
+
+// ---------------------------------------------------------------------------
+// Q003: unknown fields with did-you-mean
+// ---------------------------------------------------------------------------
+
+fn check_field_known(
+    path: &str,
+    schema: &CollectionSchema,
+    aliases: &BTreeMap<String, String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if schema.has_field(path) || schema.sampled == 0 {
+        return;
+    }
+    let mut d = Diagnostic::warning(
+        "Q003",
+        path,
+        format!(
+            "field `{path}` does not appear in any sampled document of `{}`",
+            schema.collection
+        ),
+    );
+    let candidates = schema
+        .fields
+        .keys()
+        .map(String::as_str)
+        .chain(aliases.keys().map(String::as_str));
+    if let Some(best) = did_you_mean(path, candidates) {
+        d = d.with_suggestion(format!("did you mean `{best}`?"));
+    }
+    out.push(d);
+}
+
+/// Closest candidate within an edit distance of 2 (ties broken first-seen).
+fn did_you_mean<'a>(path: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = levenshtein(path, cand, 3);
+        if d <= 2 && best.map(|(bd, _)| d < bd).unwrap_or(true) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Bounded Levenshtein distance; returns `cap` when the distance exceeds it.
+fn levenshtein(a: &str, b: &str, cap: usize) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) >= cap {
+        return cap;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            row.push((prev[j] + cost).min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()].min(cap)
+}
+
+// ---------------------------------------------------------------------------
+// Q001: type mismatches against the schema
+// ---------------------------------------------------------------------------
+
+/// The type group an operand can match: numbers compare across int/double.
+fn operand_group(v: &Value) -> TypeSet {
+    match TypeSet::of(v) {
+        t if t.intersects(TypeSet::NUMBER) => TypeSet::NUMBER,
+        t => t,
+    }
+}
+
+fn check_types(
+    path: &str,
+    preds: &[&Predicate],
+    schema: &CollectionSchema,
+    out: &mut Vec<Diagnostic>,
+) {
+    let field = schema.types_at(path);
+    if field.is_empty() {
+        return; // unknown field: Q003's job
+    }
+    let mismatch = |op: &str, want: TypeSet, out: &mut Vec<Diagnostic>| {
+        out.push(
+            Diagnostic::error(
+                "Q001",
+                path,
+                format!(
+                    "`{op}` needs a {want} value but `{path}` holds {field} in `{}`",
+                    schema.collection
+                ),
+            )
+            .with_suggestion(format!("compare `{path}` against {field}")),
+        );
+    };
+    for pred in preds {
+        match pred {
+            Predicate::Eq(v) | Predicate::Ne(v) => {
+                let group = operand_group(v);
+                if !field.intersects(group) {
+                    let op = if matches!(pred, Predicate::Eq(_)) {
+                        "$eq"
+                    } else {
+                        "$ne"
+                    };
+                    mismatch(op, group, out);
+                }
+            }
+            Predicate::Gt(v) | Predicate::Gte(v) | Predicate::Lt(v) | Predicate::Lte(v) => {
+                let group = operand_group(v);
+                if !field.intersects(group) {
+                    mismatch(range_op_name(pred), group, out);
+                }
+            }
+            Predicate::In(vs) | Predicate::Nin(vs) => {
+                if !vs.is_empty() && !vs.iter().any(|v| field.intersects(operand_group(v))) {
+                    let op = if matches!(pred, Predicate::In(_)) {
+                        "$in"
+                    } else {
+                        "$nin"
+                    };
+                    mismatch(
+                        op,
+                        vs.first().map(operand_group).unwrap_or(TypeSet::EMPTY),
+                        out,
+                    );
+                }
+            }
+            Predicate::Contains(_) | Predicate::StartsWith(_) => {
+                if !field.intersects(TypeSet::STRING) {
+                    mismatch("$regex", TypeSet::STRING, out);
+                }
+            }
+            Predicate::Mod(_, _) => {
+                if !field.intersects(TypeSet::NUMBER) {
+                    mismatch("$mod", TypeSet::NUMBER, out);
+                }
+            }
+            Predicate::All(_) | Predicate::Size(_) | Predicate::ElemMatch(_) => {
+                if !field.intersects(TypeSet::ARRAY) {
+                    let op = match pred {
+                        Predicate::All(_) => "$all",
+                        Predicate::Size(_) => "$size",
+                        _ => "$elemMatch",
+                    };
+                    mismatch(op, TypeSet::ARRAY, out);
+                }
+            }
+            Predicate::Type(name) => {
+                const KNOWN: [&str; 8] = [
+                    "null", "bool", "int", "double", "number", "string", "array", "object",
+                ];
+                if !KNOWN.contains(&name.as_str()) {
+                    out.push(Diagnostic::error(
+                        "Q001",
+                        path,
+                        format!("`$type` operand `{name}` is not a known type name"),
+                    ));
+                }
+            }
+            Predicate::Exists(_) | Predicate::Not(_) => {}
+        }
+    }
+}
+
+fn range_op_name(p: &Predicate) -> &'static str {
+    match p {
+        Predicate::Gt(_) => "$gt",
+        Predicate::Gte(_) => "$gte",
+        Predicate::Lt(_) => "$lt",
+        Predicate::Lte(_) => "$lte",
+        _ => "$cmp",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Q002: always-false predicate sets
+// ---------------------------------------------------------------------------
+
+fn check_contradictions(path: &str, preds: &[&Predicate], out: &mut Vec<Diagnostic>) {
+    let mut eq: Option<&Value> = None;
+    let mut lo: Option<(&Value, bool)> = None; // tightest lower bound
+    let mut hi: Option<(&Value, bool)> = None; // tightest upper bound
+    let mut size: Option<usize> = None;
+    let mut exists_false = false;
+    let mut value_constrained = false;
+
+    let push = |msg: String, out: &mut Vec<Diagnostic>| {
+        out.push(
+            Diagnostic::error("Q002", path, msg)
+                .with_suggestion("this predicate set can never match any document"),
+        );
+    };
+
+    for pred in preds {
+        if !matches!(pred, Predicate::Exists(_)) {
+            value_constrained = true;
+        }
+        match pred {
+            Predicate::Eq(v) => {
+                if let Some(prev) = eq {
+                    if !values_equal(prev, v) {
+                        push(format!("conflicting equalities: {prev} and {v}"), out);
+                    }
+                }
+                eq = Some(v);
+            }
+            Predicate::Gt(v) => tighten(&mut lo, v, false, true),
+            Predicate::Gte(v) => tighten(&mut lo, v, true, true),
+            Predicate::Lt(v) => tighten(&mut hi, v, false, false),
+            Predicate::Lte(v) => tighten(&mut hi, v, true, false),
+            Predicate::In(vs) if vs.is_empty() => {
+                push("`$in: []` matches nothing".to_string(), out);
+            }
+            Predicate::Size(n) => {
+                if let Some(prev) = size {
+                    if prev != *n {
+                        push(format!("conflicting `$size`: {prev} and {n}"), out);
+                    }
+                }
+                size = Some(*n);
+            }
+            Predicate::Exists(false) => exists_false = true,
+            _ => {}
+        }
+    }
+
+    if let (Some((l, li)), Some((h, hi_inc))) = (lo, hi) {
+        if !comparable(l, h) {
+            push(
+                format!("range bounds {l} and {h} have incompatible types"),
+                out,
+            );
+        } else {
+            let ord = cmp_values(l, h);
+            let empty = match ord {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => !(li && hi_inc),
+                std::cmp::Ordering::Less => false,
+            };
+            if empty {
+                push(
+                    format!("empty range: lower bound {l} excludes upper bound {h}"),
+                    out,
+                );
+            }
+        }
+    }
+    if let Some(v) = eq {
+        for (bound, is_lower, inclusive) in [
+            lo.map(|(b, i)| (b, true, i)),
+            hi.map(|(b, i)| (b, false, i)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if !comparable(v, bound) {
+                push(
+                    format!("equality {v} can never satisfy bound {bound} (different types)"),
+                    out,
+                );
+                continue;
+            }
+            let ord = cmp_values(v, bound);
+            let violates = match (is_lower, inclusive) {
+                (true, true) => ord == std::cmp::Ordering::Less,
+                (true, false) => ord != std::cmp::Ordering::Greater,
+                (false, true) => ord == std::cmp::Ordering::Greater,
+                (false, false) => ord != std::cmp::Ordering::Less,
+            };
+            if violates {
+                push(format!("equality {v} lies outside the required range"), out);
+            }
+        }
+    }
+    if exists_false && value_constrained {
+        push(
+            "`$exists: false` combined with a value constraint".to_string(),
+            out,
+        );
+    }
+}
+
+/// Keep the tighter of two bounds (`is_lower` picks max for lower bounds,
+/// min for upper); incomparable mixed-type bounds are reported elsewhere, so
+/// keep the first.
+fn tighten<'v>(
+    slot: &mut Option<(&'v Value, bool)>,
+    v: &'v Value,
+    inclusive: bool,
+    is_lower: bool,
+) {
+    match slot {
+        None => *slot = Some((v, inclusive)),
+        Some((cur, _)) if comparable(cur, v) => {
+            let ord = cmp_values(v, cur);
+            let replace = if is_lower {
+                ord == std::cmp::Ordering::Greater
+            } else {
+                ord == std::cmp::Ordering::Less
+            };
+            if replace {
+                *slot = Some((v, inclusive));
+            }
+        }
+        Some(_) => {}
+    }
+}
+
+/// Values the store's ordering actually ranks against each other.
+fn comparable(a: &Value, b: &Value) -> bool {
+    operand_group(a) == operand_group(b)
+}
+
+// ---------------------------------------------------------------------------
+// Q004: unindexed scans
+// ---------------------------------------------------------------------------
+
+/// Warn when the root conjunctive scope constrains fields but none of them
+/// is indexed — the planner will walk every document.
+fn check_index_use(filter: &Filter, schema: &CollectionSchema, out: &mut Vec<Diagnostic>) {
+    // An empty collection (or a typo'd database path resolving to one)
+    // costs nothing to scan; warning about it would only mislead.
+    if schema.total_docs == 0 {
+        return;
+    }
+    let mut conj: BTreeMap<String, Vec<&Predicate>> = BTreeMap::new();
+    let mut branches = Vec::new();
+    collect_conjuncts(filter, "", &mut conj, &mut branches);
+
+    let driver_paths: Vec<&String> = conj
+        .iter()
+        .filter(|(_, preds)| {
+            preds.iter().any(|p| {
+                matches!(
+                    p,
+                    Predicate::Eq(_)
+                        | Predicate::In(_)
+                        | Predicate::Gt(_)
+                        | Predicate::Gte(_)
+                        | Predicate::Lt(_)
+                        | Predicate::Lte(_)
+                )
+            })
+        })
+        .map(|(path, _)| path)
+        .collect();
+    if driver_paths.is_empty() || driver_paths.iter().any(|p| schema.is_indexed(p)) {
+        return;
+    }
+    let listed = driver_paths
+        .iter()
+        .map(|p| format!("`{p}`"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push(
+        Diagnostic::warning(
+            "Q004",
+            driver_paths[0].as_str(),
+            format!(
+                "no index covers {listed}; this scans all {} documents of `{}`",
+                schema.total_docs, schema.collection
+            ),
+        )
+        .with_suggestion(format!(
+            "create_index(\"{}\") would serve this query",
+            driver_paths[0]
+        )),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{has_errors, Severity};
+    use serde_json::json;
+
+    fn schema() -> CollectionSchema {
+        CollectionSchema {
+            sampled: 8,
+            total_docs: 8,
+            ..CollectionSchema::with_fields(
+                "tasks",
+                [
+                    ("chemsys", TypeSet::STRING),
+                    ("nsites", TypeSet::INT),
+                    ("band_gap", TypeSet::DOUBLE),
+                    ("elements", TypeSet::ARRAY.union(TypeSet::STRING)),
+                    ("output.energy", TypeSet::DOUBLE),
+                ],
+                ["chemsys"],
+            )
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn q000_unparseable_filter() {
+        let diags = analyze_query(&json!({"a": {"$frobnicate": 1}}));
+        assert_eq!(codes(&diags), vec!["Q000"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn q001_type_mismatch_range_on_string_field() {
+        let diags =
+            analyze_query_with_schema(&json!({"chemsys": {"$gt": 5}}), &schema(), &BTreeMap::new());
+        assert!(codes(&diags).contains(&"Q001"), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn q001_equality_against_wrong_type() {
+        let diags =
+            analyze_query_with_schema(&json!({"nsites": "two"}), &schema(), &BTreeMap::new());
+        assert!(codes(&diags).contains(&"Q001"), "{diags:?}");
+    }
+
+    #[test]
+    fn q001_number_matches_int_or_double() {
+        // 2 vs a double field and 2.0 vs an int field are both fine: the
+        // store compares numbers across representations.
+        let ok = analyze_query_with_schema(
+            &json!({"band_gap": 2, "nsites": {"$lte": 4.0}}),
+            &schema(),
+            &BTreeMap::new(),
+        );
+        assert!(!ok.iter().any(|d| d.code == "Q001"), "{ok:?}");
+    }
+
+    #[test]
+    fn q002_contradictory_bounds() {
+        let diags = analyze_query(&json!({"n": {"$gt": 5, "$lt": 3}}));
+        assert_eq!(codes(&diags), vec!["Q002"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn q002_exclusive_equal_bounds() {
+        let diags = analyze_query(&json!({"n": {"$gt": 5, "$lt": 5}}));
+        assert_eq!(codes(&diags), vec!["Q002"]);
+        // But an inclusive pair is satisfiable.
+        assert!(analyze_query(&json!({"n": {"$gte": 5, "$lte": 5}})).is_empty());
+    }
+
+    #[test]
+    fn q002_empty_in_and_equality_outside_range() {
+        assert_eq!(
+            codes(&analyze_query(&json!({"n": {"$in": []}}))),
+            vec!["Q002"]
+        );
+        assert_eq!(
+            codes(&analyze_query(&json!({"n": {"$eq": 10, "$lt": 5}}))),
+            vec!["Q002"]
+        );
+        assert_eq!(
+            codes(&analyze_query(&json!({"n": {"$exists": false, "$gt": 1}}))),
+            vec!["Q002"]
+        );
+    }
+
+    #[test]
+    fn q002_found_inside_and_clauses() {
+        let diags = analyze_query(&json!({
+            "$and": [{"n": {"$gte": 10}}, {"n": {"$lte": 3}}]
+        }));
+        assert_eq!(codes(&diags), vec!["Q002"]);
+    }
+
+    #[test]
+    fn q003_unknown_field_suggests_alias() {
+        let mut aliases = BTreeMap::new();
+        aliases.insert(
+            "e_above_hull".to_string(),
+            "stability.e_above_hull".to_string(),
+        );
+        let diags = analyze_query_with_schema(&json!({"chemsy": "Li-O"}), &schema(), &aliases);
+        let q003 = diags
+            .iter()
+            .find(|d| d.code == "Q003")
+            .expect("Q003 emitted");
+        assert_eq!(q003.severity, Severity::Warning);
+        assert!(
+            q003.suggestion.as_deref().unwrap_or("").contains("chemsys"),
+            "{q003:?}"
+        );
+    }
+
+    #[test]
+    fn q004_unindexed_scan_warns_and_indexed_does_not() {
+        let diags = analyze_query_with_schema(&json!({"nsites": 2}), &schema(), &BTreeMap::new());
+        assert!(codes(&diags).contains(&"Q004"), "{diags:?}");
+        assert!(!has_errors(&diags), "Q004 is advisory");
+
+        let ok = analyze_query_with_schema(
+            &json!({"chemsys": "Li-O", "nsites": 2}),
+            &schema(),
+            &BTreeMap::new(),
+        );
+        assert!(!ok.iter().any(|d| d.code == "Q004"), "{ok:?}");
+    }
+
+    #[test]
+    fn clean_query_has_no_diagnostics() {
+        let diags = analyze_query_with_schema(
+            &json!({"chemsys": "Li-O", "output.energy": {"$lt": 0.0}}),
+            &schema(),
+            &BTreeMap::new(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Pass 2: workflow DAG analysis.
+//!
+//! Codes:
+//! - `W001` (error): dependency cycle, reported with the offending path.
+//! - `W002` (error): parent reference to a fw_id that is not in the workflow.
+//! - `W003` (error): duplicate fw_id.
+//! - `W004` (warning): disconnected firework in a multi-step workflow (no
+//!   parents and no children — likely an orphaned step).
+//! - `W005` (warning): two fireworks share a binder key, so dedup will
+//!   archive one of them as a duplicate of the other.
+//! - `W006` (error): fuse inconsistency — a `ParentOutputMatches` condition
+//!   on a root firework (there is no parent output to match), or a fuse
+//!   filter that does not parse.
+//! - `W007` (warning): malformed binder key (missing the
+//!   `<structure>|<functional>` shape).
+//!
+//! The analyzer consumes generic [`WfNode`] descriptions rather than the
+//! fireworks crate's types so that `mp-fireworks` can depend on `mp-lint`
+//! without a cycle. [`WfNode::from_workflow_json`] understands the
+//! serialized `Workflow` document shape for CLI use.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mp_docstore::Filter;
+use serde_json::Value;
+
+use crate::diagnostics::Diagnostic;
+
+/// One workflow step, reduced to what the analyzer needs.
+#[derive(Debug, Clone, Default)]
+pub struct WfNode {
+    /// Unique id within the workflow.
+    pub id: String,
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Parent ids this step depends on.
+    pub parents: Vec<String>,
+    /// Dedup identity key, if the step has a binder.
+    pub binder_key: Option<String>,
+    /// The `ParentOutputMatches` filter, when the fuse has one.
+    pub fuse_filter: Option<Value>,
+    /// True when the fuse condition needs parent outputs to evaluate.
+    pub fuse_requires_parent_output: bool,
+}
+
+impl WfNode {
+    /// Parse the nodes out of a serialized `Workflow` document
+    /// (`{"wf_id": …, "fireworks": [{"fw_id", "name", "parents", "binder",
+    /// "fuse"}, …]}`).
+    pub fn from_workflow_json(doc: &Value) -> Result<Vec<WfNode>, String> {
+        let fws = doc
+            .get("fireworks")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "workflow document has no `fireworks` array".to_string())?;
+        let mut nodes = Vec::with_capacity(fws.len());
+        for (i, fw) in fws.iter().enumerate() {
+            let id = fw
+                .get("fw_id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("fireworks[{i}] has no string `fw_id`"))?;
+            let parents = fw
+                .get("parents")
+                .and_then(Value::as_array)
+                .map(|ps| {
+                    ps.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            let binder_key = fw
+                .get("binder")
+                .and_then(|b| b.get("key").or(Some(b)))
+                .and_then(Value::as_str)
+                .map(str::to_string);
+            let fuse = fw.get("fuse").cloned().unwrap_or(Value::Null);
+            let fuse_type = fuse.get("type").and_then(Value::as_str).unwrap_or("");
+            nodes.push(WfNode {
+                id: id.to_string(),
+                name: fw
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or(id)
+                    .to_string(),
+                parents,
+                binder_key,
+                fuse_filter: fuse.get("filter").cloned().filter(|f| !f.is_null()),
+                fuse_requires_parent_output: fuse_type == "parent_output_matches",
+            });
+        }
+        Ok(nodes)
+    }
+}
+
+/// Run every workflow check over the node set.
+pub fn analyze_workflow(nodes: &[WfNode]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_duplicate_ids(nodes, &mut out);
+    check_parent_refs(nodes, &mut out);
+    check_cycles(nodes, &mut out);
+    check_disconnected(nodes, &mut out);
+    check_binders(nodes, &mut out);
+    check_fuses(nodes, &mut out);
+    out
+}
+
+fn check_duplicate_ids(nodes: &[WfNode], out: &mut Vec<Diagnostic>) {
+    let mut seen = BTreeSet::new();
+    for n in nodes {
+        if !seen.insert(n.id.as_str()) {
+            out.push(Diagnostic::error(
+                "W003",
+                &n.id,
+                format!("fw_id `{}` appears more than once in the workflow", n.id),
+            ));
+        }
+    }
+}
+
+fn check_parent_refs(nodes: &[WfNode], out: &mut Vec<Diagnostic>) {
+    let ids: BTreeSet<&str> = nodes.iter().map(|n| n.id.as_str()).collect();
+    for n in nodes {
+        for p in &n.parents {
+            if !ids.contains(p.as_str()) {
+                out.push(
+                    Diagnostic::error(
+                        "W002",
+                        &n.id,
+                        format!("`{}` depends on `{p}`, which is not in this workflow", n.id),
+                    )
+                    .with_suggestion("add the missing firework or drop the dependency"),
+                );
+            }
+        }
+    }
+}
+
+/// Depth-first search over parent edges; a node found on the current stack
+/// closes a cycle, which is reported with the full offending path.
+fn check_cycles(nodes: &[WfNode], out: &mut Vec<Diagnostic>) {
+    let by_id: BTreeMap<&str, &WfNode> = nodes.iter().map(|n| (n.id.as_str(), n)).collect();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for start in nodes {
+        if done.contains(start.id.as_str()) {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start.id.as_str(), 0)];
+        let mut on_stack: BTreeSet<&str> = [start.id.as_str()].into();
+        while let Some((id, next_parent)) = stack.last().copied() {
+            let parents = by_id.get(id).map(|n| n.parents.as_slice()).unwrap_or(&[]);
+            match parents.get(next_parent) {
+                None => {
+                    done.insert(id);
+                    on_stack.remove(id);
+                    stack.pop();
+                }
+                Some(p) => {
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    let p = p.as_str();
+                    if on_stack.contains(p) {
+                        let from = stack.iter().position(|(s, _)| *s == p).unwrap_or(0);
+                        let mut path: Vec<&str> = stack[from..].iter().map(|(s, _)| *s).collect();
+                        path.push(p);
+                        out.push(
+                            Diagnostic::error(
+                                "W001",
+                                p,
+                                format!("dependency cycle: {}", path.join(" -> ")),
+                            )
+                            .with_suggestion("break one edge of the cycle"),
+                        );
+                        return; // one cycle report is enough to block
+                    }
+                    if !done.contains(p) && by_id.contains_key(p) {
+                        on_stack.insert(p);
+                        stack.push((p, 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_disconnected(nodes: &[WfNode], out: &mut Vec<Diagnostic>) {
+    if nodes.len() < 2 {
+        return;
+    }
+    let referenced: BTreeSet<&str> = nodes
+        .iter()
+        .flat_map(|n| n.parents.iter().map(String::as_str))
+        .collect();
+    for n in nodes {
+        if n.parents.is_empty() && !referenced.contains(n.id.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    "W004",
+                    &n.id,
+                    format!(
+                        "`{}` has no parents and no children in a {}-step workflow",
+                        n.id,
+                        nodes.len()
+                    ),
+                )
+                .with_suggestion("orphaned step — connect it or submit it as its own workflow"),
+            );
+        }
+    }
+}
+
+fn check_binders(nodes: &[WfNode], out: &mut Vec<Diagnostic>) {
+    let mut first_owner: BTreeMap<&str, &str> = BTreeMap::new();
+    for n in nodes {
+        let Some(key) = n.binder_key.as_deref() else {
+            continue;
+        };
+        match first_owner.get(key) {
+            Some(owner) => out.push(
+                Diagnostic::warning(
+                    "W005",
+                    &n.id,
+                    format!("`{}` and `{owner}` share binder key `{key}`", n.id),
+                )
+                .with_suggestion("dedup will archive one of them as a duplicate of the other"),
+            ),
+            None => {
+                first_owner.insert(key, n.id.as_str());
+            }
+        }
+        let well_formed = {
+            let mut parts = key.splitn(2, '|');
+            let structure = parts.next().unwrap_or("");
+            let functional = parts.next().unwrap_or("");
+            !structure.is_empty() && !functional.is_empty()
+        };
+        if !well_formed {
+            out.push(
+                Diagnostic::warning(
+                    "W007",
+                    &n.id,
+                    format!("binder key `{key}` is not of the form `<structure>|<functional>`"),
+                )
+                .with_suggestion("build binders with Binder::new(structure_id, functional)"),
+            );
+        }
+    }
+}
+
+fn check_fuses(nodes: &[WfNode], out: &mut Vec<Diagnostic>) {
+    for n in nodes {
+        if n.fuse_requires_parent_output && n.parents.is_empty() {
+            out.push(
+                Diagnostic::error(
+                    "W006",
+                    &n.id,
+                    format!(
+                        "`{}` gates on parent output (`parent_output_matches`) but has no parents",
+                        n.id
+                    ),
+                )
+                .with_suggestion("root fireworks must use `parents_completed` or `user_approved`"),
+            );
+        }
+        if let Some(filter) = &n.fuse_filter {
+            if let Err(e) = Filter::parse(filter) {
+                out.push(Diagnostic::error(
+                    "W006",
+                    &n.id,
+                    format!("fuse filter on `{}` does not parse: {e}", n.id),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{has_errors, Severity};
+    use serde_json::json;
+
+    fn node(id: &str, parents: &[&str]) -> WfNode {
+        WfNode {
+            id: id.to_string(),
+            name: id.to_string(),
+            parents: parents.iter().map(|p| p.to_string()).collect(),
+            ..WfNode::default()
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn w001_cycle_reports_offending_path() {
+        let diags = analyze_workflow(&[node("a", &["c"]), node("b", &["a"]), node("c", &["b"])]);
+        let w001 = diags
+            .iter()
+            .find(|d| d.code == "W001")
+            .expect("cycle detected");
+        assert_eq!(w001.severity, Severity::Error);
+        for id in ["a", "b", "c"] {
+            assert!(
+                w001.message.contains(id),
+                "path names every member: {w001:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn w002_unknown_parent() {
+        let diags = analyze_workflow(&[node("a", &["ghost"])]);
+        assert_eq!(codes(&diags), vec!["W002"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn w003_duplicate_fw_id() {
+        let diags = analyze_workflow(&[node("a", &[]), node("a", &[])]);
+        assert!(codes(&diags).contains(&"W003"), "{diags:?}");
+    }
+
+    #[test]
+    fn w004_orphaned_firework() {
+        let diags = analyze_workflow(&[node("a", &[]), node("b", &["a"]), node("loner", &[])]);
+        let w004 = diags
+            .iter()
+            .find(|d| d.code == "W004")
+            .expect("orphan flagged");
+        assert_eq!(w004.severity, Severity::Warning);
+        assert_eq!(w004.path, "loner");
+        // A single-step workflow is not an orphan.
+        assert!(analyze_workflow(&[node("solo", &[])]).is_empty());
+    }
+
+    #[test]
+    fn w005_duplicate_binder_key() {
+        let mut a = node("a", &[]);
+        a.binder_key = Some("fp|GGA".to_string());
+        let mut b = node("b", &["a"]);
+        b.binder_key = Some("fp|GGA".to_string());
+        let diags = analyze_workflow(&[a, b]);
+        assert_eq!(codes(&diags), vec!["W005"]);
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn w006_root_with_parent_output_fuse() {
+        let mut a = node("a", &[]);
+        a.fuse_requires_parent_output = true;
+        a.fuse_filter = Some(json!({"energy": {"$lt": 0.0}}));
+        let diags = analyze_workflow(&[a]);
+        assert_eq!(codes(&diags), vec!["W006"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn w006_unparseable_fuse_filter() {
+        let mut b = node("b", &["a"]);
+        b.fuse_requires_parent_output = true;
+        b.fuse_filter = Some(json!({"energy": {"$bogus": 1}}));
+        let diags = analyze_workflow(&[node("a", &[]), b]);
+        assert_eq!(codes(&diags), vec!["W006"]);
+    }
+
+    #[test]
+    fn w007_malformed_binder_key() {
+        let mut a = node("a", &[]);
+        a.binder_key = Some("no-separator".to_string());
+        let diags = analyze_workflow(&[a]);
+        assert_eq!(codes(&diags), vec!["W007"]);
+    }
+
+    #[test]
+    fn clean_dag_has_no_diagnostics() {
+        let mut b = node("b", &["a"]);
+        b.binder_key = Some("fp|GGA".to_string());
+        b.fuse_requires_parent_output = true;
+        b.fuse_filter = Some(json!({"converged": true}));
+        let diags = analyze_workflow(&[node("a", &[]), b, node("c", &["b"])]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn parses_serialized_workflow_documents() {
+        let doc = json!({
+            "wf_id": "wf-1",
+            "fireworks": [
+                {"fw_id": "relax", "name": "relax", "parents": [],
+                 "binder": {"key": "fp|GGA"},
+                 "fuse": {"type": "parents_completed", "overrides": null}},
+                {"fw_id": "static", "name": "static", "parents": ["relax"],
+                 "binder": null,
+                 "fuse": {"type": "parent_output_matches",
+                          "filter": {"converged": true}, "overrides": null}},
+            ]
+        });
+        let nodes = WfNode::from_workflow_json(&doc).expect("parses");
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].binder_key.as_deref(), Some("fp|GGA"));
+        assert!(nodes[1].fuse_requires_parent_output);
+        assert!(nodes[1].fuse_filter.is_some());
+        assert!(analyze_workflow(&nodes).is_empty());
+    }
+}

@@ -25,8 +25,12 @@ pub fn build_materials_view(db: &Database, engine: &dyn MapReduce) -> Result<usi
         values
             .iter()
             .min_by(|a, b| {
-                let ea = a["output"]["energy_per_atom"].as_f64().unwrap_or(f64::INFINITY);
-                let eb = b["output"]["energy_per_atom"].as_f64().unwrap_or(f64::INFINITY);
+                let ea = a["output"]["energy_per_atom"]
+                    .as_f64()
+                    .unwrap_or(f64::INFINITY);
+                let eb = b["output"]["energy_per_atom"]
+                    .as_f64()
+                    .unwrap_or(f64::INFINITY);
                 ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
             })
             .cloned()
@@ -86,10 +90,7 @@ pub fn run_vnv_checks(db: &Database, engine: &dyn MapReduce) -> Result<VnvViolat
     };
     let collect = |_k: &Value, vs: &[Value]| -> Value { json!(vs) };
     let out = engine.run(&materials, &map, &collect)?;
-    violations.push((
-        "energy_in_physical_range".into(),
-        flatten_ids(&out),
-    ));
+    violations.push(("energy_in_physical_range".into(), flatten_ids(&out)));
 
     // Check 2: one material per mps_id (the view builder's contract).
     let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
@@ -228,10 +229,16 @@ mod tests {
             .unwrap();
         let v = run_vnv_checks(&db, &BuiltinEngine::default()).unwrap();
         assert!(!vnv_clean(&v));
-        let bad = v.iter().find(|(n, _)| n == "energy_in_physical_range").unwrap();
+        let bad = v
+            .iter()
+            .find(|(n, _)| n == "energy_in_physical_range")
+            .unwrap();
         assert_eq!(bad.1, vec!["mp-bad".to_string()]);
         // Provenance check also fires.
-        let orphan = v.iter().find(|(n, _)| n == "provenance_task_exists").unwrap();
+        let orphan = v
+            .iter()
+            .find(|(n, _)| n == "provenance_task_exists")
+            .unwrap();
         assert_eq!(orphan.1, vec!["mp-bad".to_string()]);
     }
 
@@ -247,7 +254,10 @@ mod tests {
             ])
             .unwrap();
         let v = run_vnv_checks(&db, &BuiltinEngine::default()).unwrap();
-        let dups = v.iter().find(|(n, _)| n == "unique_material_per_mps").unwrap();
+        let dups = v
+            .iter()
+            .find(|(n, _)| n == "unique_material_per_mps")
+            .unwrap();
         assert_eq!(dups.1.len(), 2);
     }
 }

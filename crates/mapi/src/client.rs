@@ -153,11 +153,7 @@ impl<'a> MpClient<'a> {
 
     /// Run an arbitrary (sanitized) criteria/properties query — the
     /// pymatgen `MPRester.query` call.
-    pub fn query(
-        &self,
-        criteria: &Value,
-        properties: &[&str],
-    ) -> Result<Vec<Value>, ClientError> {
+    pub fn query(&self, criteria: &Value, properties: &[&str]) -> Result<Vec<Value>, ClientError> {
         let resp = self.api.structured_query(
             &self.request("/query/materials"),
             "materials",

@@ -15,8 +15,8 @@
 //! * [`sandbox`] — user-private data areas with publish flow (Fig. 3).
 
 pub mod auth;
-pub mod client;
 pub mod builder;
+pub mod client;
 pub mod queryengine;
 pub mod ratelimit;
 pub mod rest;
@@ -25,8 +25,8 @@ pub mod weblog;
 pub mod webui;
 
 pub use auth::{visibility_filter, Account, AuthError, AuthRegistry, Provider, ProviderAssertion};
-pub use client::{ClientError, MpClient};
 pub use builder::{build_materials_view, run_vnv_checks, vnv_clean, VnvViolations};
+pub use client::{ClientError, MpClient};
 pub use queryengine::QueryEngine;
 pub use ratelimit::{RateLimitConfig, RateLimiter};
 pub use rest::{ApiRequest, ApiResponse, MaterialsApi};

@@ -8,8 +8,12 @@
 //! access the database directly."
 
 use mp_docstore::{Database, FindOptions, Result, StoreError};
+use mp_lint::{CollectionSchema, Diagnostic};
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
+
+/// How many documents schema inference samples per collection.
+const SCHEMA_SAMPLE: usize = 256;
 
 /// Central query gateway with aliasing and sanitization.
 pub struct QueryEngine {
@@ -48,9 +52,26 @@ impl QueryEngine {
             field_aliases,
             collection_aliases: BTreeMap::new(),
             allowed_operators: vec![
-                "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin", "$all", "$size",
-                "$exists", "$and", "$or", "$nor", "$not", "$elemMatch", "$regex", "$contains",
-                "$mod", "$type",
+                "$eq",
+                "$ne",
+                "$gt",
+                "$gte",
+                "$lt",
+                "$lte",
+                "$in",
+                "$nin",
+                "$all",
+                "$size",
+                "$exists",
+                "$and",
+                "$or",
+                "$nor",
+                "$not",
+                "$elemMatch",
+                "$regex",
+                "$contains",
+                "$mod",
+                "$type",
             ],
             max_depth: 8,
         }
@@ -88,10 +109,32 @@ impl QueryEngine {
     /// Sanitize and alias-translate a raw (user-supplied) filter.
     ///
     /// Rejected: unknown `$` operators (`$where` most importantly),
-    /// nesting beyond `max_depth`, and non-object roots. Field names are
-    /// passed through the alias table.
+    /// nesting beyond `max_depth`, non-object roots, and filters the
+    /// static analyzer proves can never match (`mp-lint` Error-severity
+    /// diagnostics: contradictory bounds, empty `$in`, …). Field names
+    /// are passed through the alias table.
     pub fn sanitize(&self, raw: &Value) -> Result<Value> {
-        self.sanitize_level(raw, 0)
+        let out = self.sanitize_level(raw, 0)?;
+        let diags = mp_lint::analyze_query(&out);
+        if mp_lint::has_errors(&diags) {
+            return Err(StoreError::BadQuery(mp_lint::render(&diags)));
+        }
+        Ok(out)
+    }
+
+    /// Schema-aware lint of a raw filter against `collection`'s inferred
+    /// schema: everything `sanitize` checks plus type mismatches, unknown
+    /// fields with did-you-mean, and unindexed-scan warnings.
+    pub fn lint_for(&self, collection: &str, raw: &Value) -> Result<Vec<Diagnostic>> {
+        let real_coll = self.resolve_collection(collection).to_string();
+        let filter = self.sanitize_level(raw, 0)?;
+        let coll = self.db.collection(&real_coll);
+        let schema = CollectionSchema::infer(&coll, SCHEMA_SAMPLE);
+        Ok(mp_lint::analyze_query_with_schema(
+            &filter,
+            &schema,
+            &self.field_aliases,
+        ))
     }
 
     fn sanitize_level(&self, raw: &Value, depth: usize) -> Result<Value> {
@@ -265,5 +308,42 @@ mod tests {
         let qe = engine();
         assert!(qe.query("materials", &json!([1, 2]), &[], None).is_err());
         assert!(qe.query("materials", &json!("str"), &[], None).is_err());
+    }
+
+    #[test]
+    fn always_false_query_rejected_by_sanitize() {
+        let qe = engine();
+        let err = qe.query(
+            "materials",
+            &json!({"band_gap": {"$gt": 5, "$lt": 3}}),
+            &[],
+            None,
+        );
+        match err {
+            Err(StoreError::BadQuery(msg)) => assert!(msg.contains("Q002"), "{msg}"),
+            other => panic!("expected BadQuery(Q002), got {other:?}"),
+        }
+        let err = qe.query("materials", &json!({"formula": {"$in": []}}), &[], None);
+        assert!(matches!(err, Err(StoreError::BadQuery(_))));
+    }
+
+    #[test]
+    fn lint_for_reports_schema_findings() {
+        let qe = engine();
+        // Typo'd field: warned with a did-you-mean against aliases/schema.
+        let diags = qe
+            .lint_for("materials", &json!({"band_gapp": 2.0}))
+            .unwrap();
+        assert!(diags.iter().any(|d| d.code == "Q003"), "{diags:?}");
+        // Type mismatch against the inferred schema is an error.
+        let diags = qe
+            .lint_for("materials", &json!({"formula": {"$gt": 3}}))
+            .unwrap();
+        assert!(mp_lint::has_errors(&diags), "{diags:?}");
+        // A clean aliased query lints clean apart from the unindexed scan.
+        let diags = qe
+            .lint_for("materials", &json!({"band_gap": {"$gt": 2.0}}))
+            .unwrap();
+        assert!(diags.iter().all(|d| d.code == "Q004"), "{diags:?}");
     }
 }

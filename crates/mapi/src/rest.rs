@@ -73,6 +73,19 @@ impl ApiResponse {
         }
     }
 
+    /// Attach advisory lint findings (unindexed scans, unknown fields) to
+    /// the envelope; the `warnings` key only appears when there are any.
+    fn with_warnings(mut self, warnings: &[mp_lint::Diagnostic]) -> Self {
+        if !warnings.is_empty() {
+            let rendered: Vec<Value> = warnings
+                .iter()
+                .map(|d| Value::String(d.to_string()))
+                .collect();
+            self.body["warnings"] = Value::Array(rendered);
+        }
+        self
+    }
+
     fn error(status: u16, msg: &str) -> Self {
         ApiResponse {
             status,
@@ -196,10 +209,7 @@ impl MaterialsApi {
             [ident, "vasp"] => self.fetch("materials", ident, None),
             [ident, "vasp", prop] => {
                 if !VASP_PROPERTIES.contains(prop) {
-                    return ApiResponse::error(
-                        400,
-                        &format!("unknown property '{prop}'"),
-                    );
+                    return ApiResponse::error(400, &format!("unknown property '{prop}'"));
                 }
                 self.fetch("materials", ident, Some(prop))
             }
@@ -271,16 +281,39 @@ impl MaterialsApi {
         if !self.limiter.admit(&bucket_key, req.now) {
             return ApiResponse::error(429, "rate limit exceeded");
         }
-        let resp = match self.qe.query(collection, criteria, properties, Some(10_000)) {
-            Ok(docs) => ApiResponse::ok(json!(docs)),
+        // Schema-aware lint: Error findings become a 400 whose body carries
+        // the rendered diagnostics; Warnings ride along in the envelope.
+        let warnings: Vec<mp_lint::Diagnostic> = match self.qe.lint_for(collection, criteria) {
+            Ok(diags) if mp_lint::has_errors(&diags) => {
+                let resp = ApiResponse::error(400, &mp_lint::render(&diags));
+                self.log.record(
+                    req.now,
+                    &format!("POST /query/{collection}"),
+                    started.elapsed().as_micros() as u64,
+                    0,
+                );
+                return resp;
+            }
+            Ok(diags) => diags,
+            Err(_) => Vec::new(), // sanitize-level failures reported below
+        };
+        let resp = match self
+            .qe
+            .query(collection, criteria, properties, Some(10_000))
+        {
+            Ok(docs) => ApiResponse::ok(json!(docs)).with_warnings(&warnings),
             Err(e) => ApiResponse::error(400, &e.to_string()),
         };
         let nrecords = match resp.payload() {
             Value::Array(a) => a.len(),
             _ => 0,
         };
-        self.log
-            .record(req.now, &format!("POST /query/{collection}"), started.elapsed().as_micros() as u64, nrecords);
+        self.log.record(
+            req.now,
+            &format!("POST /query/{collection}"),
+            started.elapsed().as_micros() as u64,
+            nrecords,
+        );
         resp
     }
 }
@@ -303,8 +336,10 @@ mod tests {
             ])
             .unwrap();
         db.collection("batteries")
-            .insert_one(json!({"_id": "bat-1", "framework": "CoO2", "working_ion": "Li",
-                               "average_voltage": 3.9, "capacity_grav": 274.0}))
+            .insert_one(
+                json!({"_id": "bat-1", "framework": "CoO2", "working_ion": "Li",
+                               "average_voltage": 3.9, "capacity_grav": 274.0}),
+            )
             .unwrap();
         MaterialsApi::new(QueryEngine::new(db), AuthRegistry::new())
     }
@@ -351,9 +386,16 @@ mod tests {
     #[test]
     fn bad_version_and_path() {
         let api = api();
-        assert_eq!(api.handle(&ApiRequest::get("/rest/v9/materials/Fe2O3")).status, 400);
+        assert_eq!(
+            api.handle(&ApiRequest::get("/rest/v9/materials/Fe2O3"))
+                .status,
+            400
+        );
         assert_eq!(api.handle(&ApiRequest::get("/nope")).status, 404);
-        assert_eq!(api.handle(&ApiRequest::get("/rest/v1/genomes/x")).status, 404);
+        assert_eq!(
+            api.handle(&ApiRequest::get("/rest/v1/genomes/x")).status,
+            404
+        );
     }
 
     #[test]
@@ -369,8 +411,14 @@ mod tests {
     #[test]
     fn tasks_not_public() {
         let api = api();
-        assert_eq!(api.handle(&ApiRequest::get("/rest/v1/tasks/task-1")).status, 403);
-        assert_eq!(api.handle(&ApiRequest::get("/rest/v1/tasks/count")).status, 200);
+        assert_eq!(
+            api.handle(&ApiRequest::get("/rest/v1/tasks/task-1")).status,
+            403
+        );
+        assert_eq!(
+            api.handle(&ApiRequest::get("/rest/v1/tasks/count")).status,
+            200
+        );
     }
 
     #[test]
@@ -428,6 +476,41 @@ mod tests {
             &[],
         );
         assert_eq!(evil.status, 400);
+    }
+
+    #[test]
+    fn structured_query_surfaces_lint_diagnostics() {
+        let api = api();
+        // A provably-always-false filter is rejected with the diagnostic
+        // rendered into the error body.
+        let resp = api.structured_query(
+            &ApiRequest::get("/query"),
+            "materials",
+            &json!({"band_gap": {"$gt": 5, "$lt": 3}}),
+            &[],
+        );
+        assert_eq!(resp.status, 400);
+        assert!(
+            resp.body["error"].as_str().unwrap().contains("Q002"),
+            "{:?}",
+            resp.body
+        );
+
+        // An unindexed scan succeeds but carries a warning in the envelope.
+        let ok = api.structured_query(
+            &ApiRequest::get("/query").at(1.0),
+            "materials",
+            &json!({"band_gap": {"$gt": 2.5}}),
+            &[],
+        );
+        assert_eq!(ok.status, 200);
+        let warnings = ok.body["warnings"].as_array().expect("warnings surfaced");
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.as_str().unwrap_or("").contains("Q004")),
+            "{warnings:?}"
+        );
     }
 
     #[test]

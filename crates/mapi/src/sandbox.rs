@@ -55,7 +55,9 @@ impl<'a> Sandbox<'a> {
 
     /// Everything `viewer` may see (None = anonymous public view).
     pub fn visible_to(&self, viewer: Option<&str>) -> Result<Vec<Value>> {
-        self.db.collection("sandbox").find(&visibility_filter(viewer))
+        self.db
+            .collection("sandbox")
+            .find(&visibility_filter(viewer))
     }
 }
 

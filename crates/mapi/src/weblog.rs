@@ -167,7 +167,10 @@ mod tests {
             .max_by_key(|(_, (_, c))| *c)
             .map(|(i, _)| i)
             .unwrap();
-        assert!(mode_idx == 1 || mode_idx == 2, "mode bucket {mode_idx}: {hist:?}");
+        assert!(
+            mode_idx == 1 || mode_idx == 2,
+            "mode bucket {mode_idx}: {hist:?}"
+        );
         let tail: usize = hist[4..].iter().map(|(_, c)| c).sum();
         assert!(tail > 0 && tail < 25, "tail {tail}");
     }

@@ -93,7 +93,9 @@ impl<'a> WebUi<'a> {
             sys = esc(m["chemsys"].as_str().unwrap_or("?")),
             epa = m["output"]["energy_per_atom"].as_f64().unwrap_or(0.0),
             gap = m["output"]["band_gap"].as_f64().unwrap_or(0.0),
-            ef = m["stability"]["formation_energy_per_atom"].as_f64().unwrap_or(0.0),
+            ef = m["stability"]["formation_energy_per_atom"]
+                .as_f64()
+                .unwrap_or(0.0),
             hull = m["stability"]["e_above_hull"].as_f64().unwrap_or(0.0),
             stable = m["stability"]["is_stable"].as_bool().unwrap_or(false),
         );
@@ -111,7 +113,9 @@ impl<'a> WebUi<'a> {
         }
 
         // DOS panel.
-        let dos = self.qe.query("dos", &json!({"material_id": material_id}), &[], Some(1))?;
+        let dos = self
+            .qe
+            .query("dos", &json!({"material_id": material_id}), &[], Some(1))?;
         if let Some(d) = dos.first() {
             body.push_str("<h3>Density of states</h3>\n");
             body.push_str(&render_dos_svg(d, 480, 140));
@@ -129,7 +133,10 @@ impl<'a> WebUi<'a> {
             body.push_str(&render_xrd_svg(p, 480, 180));
         }
 
-        Ok(Some(page(m["formula"].as_str().unwrap_or("material"), &body)))
+        Ok(Some(page(
+            m["formula"].as_str().unwrap_or("material"),
+            &body,
+        )))
     }
 
     /// Statistics dashboard: element prevalence, gap distribution, and
@@ -148,10 +155,7 @@ impl<'a> WebUi<'a> {
             {"$match": {"stability.is_stable": true}},
             {"$count": "n"},
         ]))?;
-        let n_stable = stable
-            .first()
-            .and_then(|v| v["n"].as_u64())
-            .unwrap_or(0);
+        let n_stable = stable.first().and_then(|v| v["n"].as_u64()).unwrap_or(0);
         let gap_stats = mats.aggregate(&json!([
             {"$group": {"_id": null,
                          "metals": {"$sum": 1},
@@ -425,7 +429,10 @@ mod tests {
 
     #[test]
     fn html_escaping() {
-        assert_eq!(esc("<Fe2O3 & \"friends\">"), "&lt;Fe2O3 &amp; &quot;friends&quot;&gt;");
+        assert_eq!(
+            esc("<Fe2O3 & \"friends\">"),
+            "&lt;Fe2O3 &amp; &quot;friends&quot;&gt;"
+        );
     }
 
     #[test]
@@ -467,10 +474,7 @@ pub fn render_binary_hull_svg(
         let stable = pd.e_above_hull(i) < 1e-6;
         points.push((x, ef, stable, e.composition.reduced_formula()));
     }
-    let emin = points
-        .iter()
-        .map(|p| p.1)
-        .fold(0.0f64, f64::min);
+    let emin = points.iter().map(|p| p.1).fold(0.0f64, f64::min);
     let e_lo = emin.min(-0.1) * 1.15;
     let e_hi = 0.25f64;
     let px = |x: f64| 40.0 + x * (width as f64 - 60.0);
@@ -485,8 +489,7 @@ pub fn render_binary_hull_svg(
         y0 = py(0.0),
     );
     // Hull line through the stable points, in x order.
-    let mut stable: Vec<&(f64, f64, bool, String)> =
-        points.iter().filter(|p| p.2).collect();
+    let mut stable: Vec<&(f64, f64, bool, String)> = points.iter().filter(|p| p.2).collect();
     stable.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
     let path: Vec<String> = stable
         .iter()
@@ -499,7 +502,11 @@ pub fn render_binary_hull_svg(
         ));
     }
     for (x, ef, is_stable, label) in &points {
-        let (fill, r) = if *is_stable { ("#1f6f43", 4.0) } else { ("#b22222", 3.0) };
+        let (fill, r) = if *is_stable {
+            ("#1f6f43", 4.0)
+        } else {
+            ("#b22222", 3.0)
+        };
         svg.push_str(&format!(
             "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r}\" fill=\"{fill}\">\
              <title>{}</title></circle>\n",
@@ -538,16 +545,19 @@ impl WebUi<'_> {
         )?;
         let mut entries = Vec::new();
         for d in &docs {
-            let Some(formula) = d["formula"].as_str() else { continue };
-            let Ok(comp) = mp_matsci::Composition::parse(formula) else { continue };
-            let inside = comp
-                .elements()
-                .iter()
-                .all(|e| parts.contains(&e.symbol()));
+            let Some(formula) = d["formula"].as_str() else {
+                continue;
+            };
+            let Ok(comp) = mp_matsci::Composition::parse(formula) else {
+                continue;
+            };
+            let inside = comp.elements().iter().all(|e| parts.contains(&e.symbol()));
             if !inside {
                 continue;
             }
-            let Some(epa) = d["output"]["energy_per_atom"].as_f64() else { continue };
+            let Some(epa) = d["output"]["energy_per_atom"].as_f64() else {
+                continue;
+            };
             entries.push(mp_matsci::PdEntry::new(
                 d["_id"].as_str().unwrap_or(formula),
                 comp,

@@ -38,11 +38,26 @@ pub struct BandStructure {
 /// The standard cubic k-path Γ–X–M–Γ–R.
 pub fn cubic_kpath() -> Vec<KPoint> {
     vec![
-        KPoint { label: "Γ".into(), frac: [0.0, 0.0, 0.0] },
-        KPoint { label: "X".into(), frac: [0.5, 0.0, 0.0] },
-        KPoint { label: "M".into(), frac: [0.5, 0.5, 0.0] },
-        KPoint { label: "Γ".into(), frac: [0.0, 0.0, 0.0] },
-        KPoint { label: "R".into(), frac: [0.5, 0.5, 0.5] },
+        KPoint {
+            label: "Γ".into(),
+            frac: [0.0, 0.0, 0.0],
+        },
+        KPoint {
+            label: "X".into(),
+            frac: [0.5, 0.0, 0.0],
+        },
+        KPoint {
+            label: "M".into(),
+            frac: [0.5, 0.5, 0.0],
+        },
+        KPoint {
+            label: "Γ".into(),
+            frac: [0.0, 0.0, 0.0],
+        },
+        KPoint {
+            label: "R".into(),
+            frac: [0.5, 0.5, 0.5],
+        },
     ]
 }
 
@@ -246,7 +261,10 @@ mod tests {
     fn valence_below_conduction() {
         let s = prototypes::rocksalt(el("Na"), el("Cl"));
         let bs = compute_bands(&s, 8, 10);
-        let vmax = bs.bands[3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let vmax = bs.bands[3]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let cmin = bs.bands[4].iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(vmax <= cmin + 1e-9);
     }

@@ -68,10 +68,7 @@ impl InsertionElectrode {
             return Err("need at least two lithiation states".into());
         }
         points.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite x"));
-        if points
-            .windows(2)
-            .any(|w| (w[1].x - w[0].x).abs() < 1e-12)
-        {
+        if points.windows(2).any(|w| (w[1].x - w[0].x).abs() < 1e-12) {
             return Err("duplicate lithiation states".into());
         }
         // Lower convex hull in (x, E) by monotone-chain.
@@ -80,7 +77,8 @@ impl InsertionElectrode {
             while hull.len() >= 2 {
                 let a = hull[hull.len() - 2];
                 let b = hull[hull.len() - 1];
-                let cross = (b.x - a.x) * (p.energy - a.energy) - (b.energy - a.energy) * (p.x - a.x);
+                let cross =
+                    (b.x - a.x) * (p.energy - a.energy) - (b.energy - a.energy) * (p.x - a.x);
                 if cross <= 0.0 {
                     hull.pop();
                 } else {
@@ -145,8 +143,7 @@ impl InsertionElectrode {
     pub fn gravimetric_capacity(&self) -> f64 {
         let dx = self.delta_x();
         let x_max = self.steps.last().map(|s| s.x_to).unwrap_or(0.0);
-        let m_discharged =
-            self.framework.weight() + x_max * self.working_ion.mass();
+        let m_discharged = self.framework.weight() + x_max * self.working_ion.mass();
         if m_discharged <= 0.0 {
             return 0.0;
         }
@@ -161,7 +158,9 @@ impl InsertionElectrode {
     /// Is the voltage profile physically valid (monotone non-increasing,
     /// all steps positive)?
     pub fn is_valid_profile(&self) -> bool {
-        self.steps.windows(2).all(|w| w[0].voltage >= w[1].voltage - 1e-9)
+        self.steps
+            .windows(2)
+            .all(|w| w[0].voltage >= w[1].voltage - 1e-9)
             && self.steps.iter().all(|s| s.voltage.is_finite())
     }
 
@@ -266,8 +265,14 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();
@@ -283,8 +288,14 @@ mod tests {
             li(),
             -1.9,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();
@@ -299,9 +310,18 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 0.5, energy: -18.0 }, // above tieline
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 0.5,
+                    energy: -18.0,
+                }, // above tieline
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();
@@ -316,9 +336,18 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 0.5, energy: -22.5 }, // below tieline
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 0.5,
+                    energy: -22.5,
+                }, // below tieline
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();
@@ -339,8 +368,14 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();
@@ -355,8 +390,14 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();
@@ -372,8 +413,14 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.5, energy: -1.0 },
-                LithiationPoint { x: 0.5, energy: -2.0 },
+                LithiationPoint {
+                    x: 0.5,
+                    energy: -1.0
+                },
+                LithiationPoint {
+                    x: 0.5,
+                    energy: -2.0
+                },
             ]
         )
         .is_err());
@@ -401,8 +448,14 @@ mod tests {
             li(),
             0.0,
             vec![
-                LithiationPoint { x: 0.0, energy: -20.0 },
-                LithiationPoint { x: 1.0, energy: -24.0 },
+                LithiationPoint {
+                    x: 0.0,
+                    energy: -20.0,
+                },
+                LithiationPoint {
+                    x: 1.0,
+                    energy: -24.0,
+                },
             ],
         )
         .unwrap();

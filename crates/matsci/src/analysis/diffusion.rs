@@ -67,11 +67,7 @@ pub fn easiest_path(structure: &Structure, ion: Element) -> Option<MigrationPath
             for di in -1i32..=1 {
                 for dj in -1i32..=1 {
                     for dk in -1i32..=1 {
-                        let img = [
-                            fj[0] + di as f64,
-                            fj[1] + dj as f64,
-                            fj[2] + dk as f64,
-                        ];
+                        let img = [fj[0] + di as f64, fj[1] + dj as f64, fj[2] + dk as f64];
                         let c = lattice.to_cartesian(&img);
                         let d = norm(&[c[0] - a[0], c[1] - a[1], c[2] - a[2]]);
                         if d < best_d {

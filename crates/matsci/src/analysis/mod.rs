@@ -6,8 +6,8 @@
 //! hull is built on.
 
 pub mod bandstructure;
-pub mod diffusion;
 pub mod battery;
+pub mod diffusion;
 pub mod phase_diagram;
 pub mod simplex;
 pub mod xrd;

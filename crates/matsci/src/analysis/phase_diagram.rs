@@ -72,16 +72,11 @@ impl PhaseDiagram {
         for &el in &elements {
             let best = entries
                 .iter()
-                .filter(|e| {
-                    e.composition.num_elements() == 1 && e.composition.amount(el) > 0.0
-                })
+                .filter(|e| e.composition.num_elements() == 1 && e.composition.amount(el) > 0.0)
                 .map(|e| e.energy_per_atom)
                 .fold(f64::INFINITY, f64::min);
             if best.is_infinite() {
-                return Err(format!(
-                    "no elemental reference entry for {}",
-                    el.symbol()
-                ));
+                return Err(format!("no elemental reference entry for {}", el.symbol()));
             }
             refs.push((el, best));
         }
@@ -134,7 +129,12 @@ impl PhaseDiagram {
         let mut a: Vec<Vec<f64>> = Vec::with_capacity(self.elements.len() + 1);
         let mut b: Vec<f64> = Vec::with_capacity(self.elements.len() + 1);
         for &el in &self.elements {
-            a.push(candidates.iter().map(|e| e.composition.fraction(el)).collect());
+            a.push(
+                candidates
+                    .iter()
+                    .map(|e| e.composition.fraction(el))
+                    .collect(),
+            );
             b.push(comp.fraction(el));
         }
         a.push(vec![1.0; n]);
@@ -207,12 +207,7 @@ impl PhaseDiagram {
     /// element's chemical potential is fixed — the quantity battery
     /// voltage calculations need. Returns energy per atom *of the frame*
     /// (the non-`open_el` atoms).
-    pub fn hull_energy_open(
-        &self,
-        comp: &Composition,
-        open_el: Element,
-        mu: f64,
-    ) -> Option<f64> {
+    pub fn hull_energy_open(&self, comp: &Composition, open_el: Element, mu: f64) -> Option<f64> {
         let h = self.hull_energy(comp, None)?;
         let n = comp.num_atoms();
         let n_open = comp.amount(open_el);
@@ -252,7 +247,11 @@ mod tests {
     #[test]
     fn stable_set() {
         let pd = PhaseDiagram::new(li_o_entries()).unwrap();
-        let stable: Vec<&str> = pd.stable_entries(1e-8).iter().map(|e| e.id.as_str()).collect();
+        let stable: Vec<&str> = pd
+            .stable_entries(1e-8)
+            .iter()
+            .map(|e| e.id.as_str())
+            .collect();
         assert!(stable.contains(&"Li"));
         assert!(stable.contains(&"O"));
         assert!(stable.contains(&"Li2O"));
@@ -325,7 +324,11 @@ mod tests {
             PdEntry::new("bad", comp("Li2FeO3"), -1.0),
         ];
         let pd = PhaseDiagram::new(entries).unwrap();
-        let stable: Vec<&str> = pd.stable_entries(1e-8).iter().map(|e| e.id.as_str()).collect();
+        let stable: Vec<&str> = pd
+            .stable_entries(1e-8)
+            .iter()
+            .map(|e| e.id.as_str())
+            .collect();
         assert!(stable.contains(&"LiFeO2"), "{stable:?}");
         assert!(!stable.contains(&"bad"));
         let d = pd.decomposition(6);

@@ -117,7 +117,9 @@ fn pivot_until_optimal(
         for i in 0..m {
             if t[i][enter] > EPS {
                 let ratio = t[i][cols - 1] / t[i][enter];
-                if ratio < best - EPS || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false)) {
+                if ratio < best - EPS
+                    || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
                     best = ratio;
                     leave = Some(i);
                 }
@@ -208,10 +210,7 @@ mod tests {
     #[test]
     fn larger_random_feasibility() {
         // min Σ xi over a stochastic-matrix-like system stays bounded.
-        let a = vec![
-            vec![0.2, 0.5, 0.1, 0.9],
-            vec![1.0, 1.0, 1.0, 1.0],
-        ];
+        let a = vec![vec![0.2, 0.5, 0.1, 0.9], vec![1.0, 1.0, 1.0, 1.0]];
         let sol = solve_min(&[1.0, 1.0, 1.0, 1.0], &a, &[0.4, 1.0]).unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-6);
         // Solution satisfies constraints.

@@ -79,8 +79,7 @@ pub fn compute_pattern(s: &Structure, lambda: f64, two_theta_max: f64) -> XrdPat
                     // Angle-dependent form factor: f ≈ Z·exp(-B s²) with
                     // s = sinθ/λ and a universal B, a standard
                     // approximation for relative intensities.
-                    let sf = site.element.z() as f64
-                        * (-1.5 * (sin_theta / lambda).powi(2)).exp();
+                    let sf = site.element.z() as f64 * (-1.5 * (sin_theta / lambda).powi(2)).exp();
                     re += sf * phase.cos();
                     im += sf * phase.sin();
                 }
@@ -89,8 +88,8 @@ pub fn compute_pattern(s: &Structure, lambda: f64, two_theta_max: f64) -> XrdPat
                     continue;
                 }
                 // Lorentz-polarization factor.
-                let lp = (1.0 + (2.0 * theta).cos().powi(2))
-                    / ((theta).sin().powi(2) * (theta).cos());
+                let lp =
+                    (1.0 + (2.0 * theta).cos().powi(2)) / ((theta).sin().powi(2) * (theta).cos());
                 raw.push((two_theta, d, f2 * lp, (h, k, l)));
             }
         }
@@ -169,7 +168,11 @@ mod tests {
         let pat = compute_pattern(&s, CU_KA, 60.0);
         assert!(!pat.peaks.is_empty());
         let has_peak_near = |tt: f64| pat.peaks.iter().any(|p| (p.two_theta - tt).abs() < 0.3);
-        assert!(has_peak_near(31.7), "missing (200): {:?}", pat.peaks.iter().map(|p| p.two_theta).collect::<Vec<_>>());
+        assert!(
+            has_peak_near(31.7),
+            "missing (200): {:?}",
+            pat.peaks.iter().map(|p| p.two_theta).collect::<Vec<_>>()
+        );
         assert!(has_peak_near(45.5), "missing (220)");
     }
 
@@ -212,8 +215,16 @@ mod tests {
     fn different_structures_different_patterns() {
         let p1 = compute_pattern(&prototypes::rocksalt(el("Na"), el("Cl")), CU_KA, 60.0);
         let p2 = compute_pattern(&prototypes::zincblende(el("Zn"), el("S")), CU_KA, 60.0);
-        let a1: Vec<i64> = p1.peaks.iter().map(|p| (p.two_theta * 10.0) as i64).collect();
-        let a2: Vec<i64> = p2.peaks.iter().map(|p| (p.two_theta * 10.0) as i64).collect();
+        let a1: Vec<i64> = p1
+            .peaks
+            .iter()
+            .map(|p| (p.two_theta * 10.0) as i64)
+            .collect();
+        let a2: Vec<i64> = p2
+            .peaks
+            .iter()
+            .map(|p| (p.two_theta * 10.0) as i64)
+            .collect();
         assert_ne!(a1, a2);
     }
 

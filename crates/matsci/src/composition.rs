@@ -216,7 +216,10 @@ impl Composition {
         if n == 0.0 {
             return 0.0;
         }
-        self.iter().map(|(e, a)| e.electronegativity() * a).sum::<f64>() / n
+        self.iter()
+            .map(|(e, a)| e.electronegativity() * a)
+            .sum::<f64>()
+            / n
     }
 
     /// Can the composition be charge-balanced with common oxidation
@@ -392,14 +395,23 @@ mod tests {
 
     #[test]
     fn reduced_formula_gcd() {
-        assert_eq!(Composition::parse("Fe4O6").unwrap().reduced_formula(), "Fe2O3");
-        assert_eq!(Composition::parse("Li2Co2O4").unwrap().reduced_formula(), "LiCoO2");
+        assert_eq!(
+            Composition::parse("Fe4O6").unwrap().reduced_formula(),
+            "Fe2O3"
+        );
+        assert_eq!(
+            Composition::parse("Li2Co2O4").unwrap().reduced_formula(),
+            "LiCoO2"
+        );
     }
 
     #[test]
     fn reduced_formula_orders_by_electronegativity() {
         // Li (0.98) < Fe (1.83) < P (2.19) < O (3.44)
-        assert_eq!(Composition::parse("O4PFeLi").unwrap().reduced_formula(), "LiFePO4");
+        assert_eq!(
+            Composition::parse("O4PFeLi").unwrap().reduced_formula(),
+            "LiFePO4"
+        );
     }
 
     #[test]
@@ -418,13 +430,22 @@ mod tests {
 
     #[test]
     fn chemical_system_alphabetical() {
-        assert_eq!(Composition::parse("LiFePO4").unwrap().chemical_system(), "Fe-Li-O-P");
+        assert_eq!(
+            Composition::parse("LiFePO4").unwrap().chemical_system(),
+            "Fe-Li-O-P"
+        );
     }
 
     #[test]
     fn anonymized() {
-        assert_eq!(Composition::parse("Fe2O3").unwrap().anonymized_formula(), "A2B3");
-        assert_eq!(Composition::parse("LiCoO2").unwrap().anonymized_formula(), "ABC2");
+        assert_eq!(
+            Composition::parse("Fe2O3").unwrap().anonymized_formula(),
+            "A2B3"
+        );
+        assert_eq!(
+            Composition::parse("LiCoO2").unwrap().anonymized_formula(),
+            "ABC2"
+        );
     }
 
     #[test]

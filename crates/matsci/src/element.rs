@@ -168,7 +168,9 @@ impl Element {
 
     /// The static data record for this element.
     pub fn data(&self) -> &'static ElementData {
-        &PERIODIC_TABLE[(self.0 as usize).saturating_sub(1).min(PERIODIC_TABLE.len() - 1)]
+        &PERIODIC_TABLE[(self.0 as usize)
+            .saturating_sub(1)
+            .min(PERIODIC_TABLE.len() - 1)]
     }
 
     /// Atomic number.
@@ -297,7 +299,10 @@ mod tests {
     #[test]
     fn noble_gases_have_no_oxidation_states() {
         for sym in ["He", "Ne", "Ar"] {
-            assert!(Element::from_symbol(sym).unwrap().oxidation_states().is_empty());
+            assert!(Element::from_symbol(sym)
+                .unwrap()
+                .oxidation_states()
+                .is_empty());
         }
     }
 

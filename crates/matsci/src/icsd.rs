@@ -12,8 +12,8 @@
 
 use crate::element::Element;
 use crate::mps::{MpsRecord, MpsSource};
-use crate::structure::Structure;
 use crate::prototypes;
+use crate::structure::Structure;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,7 +110,10 @@ impl IcsdGenerator {
                 Self::pick(&mut self.rng, &pools.transition),
                 Self::pick(&mut self.rng, &pools.anions),
             ),
-            7 => prototypes::rutile(Self::pick(&mut self.rng, &pools.transition), Self::pick(&mut self.rng, &pools.anions)),
+            7 => prototypes::rutile(
+                Self::pick(&mut self.rng, &pools.transition),
+                Self::pick(&mut self.rng, &pools.anions),
+            ),
             8 => prototypes::layered_amo2(
                 Self::pick(&mut self.rng, &pools.alkali),
                 Self::pick(&mut self.rng, &pools.transition),
@@ -196,15 +199,31 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a: Vec<String> = IcsdGenerator::new(7).generate(20).iter().map(|r| r.structure.formula()).collect();
-        let b: Vec<String> = IcsdGenerator::new(7).generate(20).iter().map(|r| r.structure.formula()).collect();
+        let a: Vec<String> = IcsdGenerator::new(7)
+            .generate(20)
+            .iter()
+            .map(|r| r.structure.formula())
+            .collect();
+        let b: Vec<String> = IcsdGenerator::new(7)
+            .generate(20)
+            .iter()
+            .map(|r| r.structure.formula())
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<String> = IcsdGenerator::new(1).generate(30).iter().map(|r| r.structure.formula()).collect();
-        let b: Vec<String> = IcsdGenerator::new(2).generate(30).iter().map(|r| r.structure.formula()).collect();
+        let a: Vec<String> = IcsdGenerator::new(1)
+            .generate(30)
+            .iter()
+            .map(|r| r.structure.formula())
+            .collect();
+        let b: Vec<String> = IcsdGenerator::new(2)
+            .generate(30)
+            .iter()
+            .map(|r| r.structure.formula())
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -253,7 +272,11 @@ mod tests {
         let recs = IcsdGenerator::new(9).generate_battery_candidates(50, li);
         assert_eq!(recs.len(), 50);
         for r in &recs {
-            assert!(r.composition().amount(li) > 0.0, "{}", r.structure.formula());
+            assert!(
+                r.composition().amount(li) > 0.0,
+                "{}",
+                r.structure.formula()
+            );
         }
     }
 

@@ -61,11 +61,7 @@ impl Lattice {
     /// From cell parameters (lengths in Å, angles in degrees), using the
     /// standard crystallographic construction.
     pub fn from_parameters(a: f64, b: f64, c: f64, alpha: f64, beta: f64, gamma: f64) -> Self {
-        let (ar, br, gr) = (
-            alpha.to_radians(),
-            beta.to_radians(),
-            gamma.to_radians(),
-        );
+        let (ar, br, gr) = (alpha.to_radians(), beta.to_radians(), gamma.to_radians());
         let val = (ar.cos() * br.cos() - gr.cos()) / (ar.sin() * br.sin());
         let val = val.clamp(-1.0, 1.0);
         let gamma_star = val.acos();
@@ -240,7 +236,11 @@ mod tests {
     fn hexagonal_volume() {
         // V = a²c·sin(120°)
         let l = Lattice::hexagonal(3.0, 5.0);
-        assert!(approx(l.volume(), 9.0 * 5.0 * (120f64).to_radians().sin(), 1e-9));
+        assert!(approx(
+            l.volume(),
+            9.0 * 5.0 * (120f64).to_radians().sin(),
+            1e-9
+        ));
     }
 
     #[test]

@@ -25,9 +25,13 @@ pub mod mps;
 pub mod prototypes;
 pub mod structure;
 
-pub use analysis::bandstructure::{compute_bands, estimate_band_gap, BandStructure, DensityOfStates};
+pub use analysis::bandstructure::{
+    compute_bands, estimate_band_gap, BandStructure, DensityOfStates,
+};
+pub use analysis::battery::{
+    ConversionElectrode, InsertionElectrode, LithiationPoint, VoltageStep,
+};
 pub use analysis::diffusion::{diffusivity, easiest_path, MigrationPath};
-pub use analysis::battery::{ConversionElectrode, InsertionElectrode, LithiationPoint, VoltageStep};
 pub use analysis::phase_diagram::{PdEntry, PhaseDiagram};
 pub use analysis::xrd::{compute_pattern, XrdPattern, CU_KA};
 pub use composition::{Composition, FormulaError};

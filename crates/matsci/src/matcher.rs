@@ -74,9 +74,9 @@ impl StructureMatcher {
         let ea = env(a);
         let eb = env(b);
         if a.num_sites() == b.num_sites() {
-            ea.iter().zip(eb.iter()).all(|((za, da), (zb, db))| {
-                za == zb && (da - db).abs() <= self.nn_tol
-            })
+            ea.iter()
+                .zip(eb.iter())
+                .all(|((za, da), (zb, db))| za == zb && (da - db).abs() <= self.nn_tol)
         } else {
             // Different cell sizes: compare the per-element min NN only.
             let min_by_z = |env: &[(u8, f64)]| -> Vec<(u8, f64)> {
@@ -92,9 +92,10 @@ impl StructureMatcher {
             let ma = min_by_z(&ea);
             let mb = min_by_z(&eb);
             ma.len() == mb.len()
-                && ma.iter().zip(mb.iter()).all(|((za, da), (zb, db))| {
-                    za == zb && (da - db).abs() <= self.nn_tol
-                })
+                && ma
+                    .iter()
+                    .zip(mb.iter())
+                    .all(|((za, da), (zb, db))| za == zb && (da - db).abs() <= self.nn_tol)
         }
     }
 

@@ -44,10 +44,7 @@ pub fn hcp(el: Element) -> Structure {
     let c = a * 1.633;
     Structure::new(
         Lattice::hexagonal(a, c),
-        vec![
-            (el, [0.0, 0.0, 0.0]),
-            (el, [1.0 / 3.0, 2.0 / 3.0, 0.5]),
-        ],
+        vec![(el, [0.0, 0.0, 0.0]), (el, [1.0 / 3.0, 2.0 / 3.0, 0.5])],
     )
 }
 
@@ -235,7 +232,10 @@ mod tests {
         assert_eq!(fluorite(el("Ca"), el("F")).formula(), "CaF2");
         assert_eq!(perovskite(el("Sr"), el("Ti"), el("O")).formula(), "SrTiO3");
         assert_eq!(rutile(el("Ti"), el("O")).formula(), "TiO2");
-        assert_eq!(layered_amo2(el("Li"), el("Co"), el("O")).formula(), "LiCoO2");
+        assert_eq!(
+            layered_amo2(el("Li"), el("Co"), el("O")).formula(),
+            "LiCoO2"
+        );
         assert_eq!(olivine_ampo4(el("Li"), el("Fe")).formula(), "LiFePO4");
         assert_eq!(spinel(el("Li"), el("Mn"), el("O")).formula(), "LiMn2O4");
     }

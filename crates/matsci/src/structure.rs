@@ -84,7 +84,8 @@ impl Structure {
 
     /// Minimum-image distance between two sites (Å).
     pub fn distance(&self, i: usize, j: usize) -> f64 {
-        self.lattice.pbc_distance(&self.sites[i].frac, &self.sites[j].frac)
+        self.lattice
+            .pbc_distance(&self.sites[i].frac, &self.sites[j].frac)
     }
 
     /// Shortest interatomic distance in the cell (or `None` for < 2 sites

@@ -9,9 +9,8 @@ fn element() -> impl Strategy<Value = Element> {
 }
 
 fn small_formula() -> impl Strategy<Value = Composition> {
-    prop::collection::btree_map(element(), 1u8..9, 1..4).prop_map(|m| {
-        Composition::from_pairs(m.into_iter().map(|(e, n)| (e, n as f64)))
-    })
+    prop::collection::btree_map(element(), 1u8..9, 1..4)
+        .prop_map(|m| Composition::from_pairs(m.into_iter().map(|(e, n)| (e, n as f64))))
 }
 
 proptest! {

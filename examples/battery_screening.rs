@@ -20,15 +20,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Known electrodes (the red band of Fig. 1): classic layered /
     // olivine / spinel chemistries.
     let knowns = [
-        ("LiCoO2 (layered)", prototypes::layered_amo2(li, Element::from_symbol("Co")?, Element::from_symbol("O")?)),
-        ("LiFePO4 (olivine)", prototypes::olivine_ampo4(li, Element::from_symbol("Fe")?)),
-        ("LiMn2O4 (spinel)", prototypes::spinel(li, Element::from_symbol("Mn")?, Element::from_symbol("O")?)),
-        ("LiNiO2 (layered)", prototypes::layered_amo2(li, Element::from_symbol("Ni")?, Element::from_symbol("O")?)),
+        (
+            "LiCoO2 (layered)",
+            prototypes::layered_amo2(li, Element::from_symbol("Co")?, Element::from_symbol("O")?),
+        ),
+        (
+            "LiFePO4 (olivine)",
+            prototypes::olivine_ampo4(li, Element::from_symbol("Fe")?),
+        ),
+        (
+            "LiMn2O4 (spinel)",
+            prototypes::spinel(li, Element::from_symbol("Mn")?, Element::from_symbol("O")?),
+        ),
+        (
+            "LiNiO2 (layered)",
+            prototypes::layered_amo2(li, Element::from_symbol("Ni")?, Element::from_symbol("O")?),
+        ),
     ];
 
     // Screened candidates: several hundred decorated frameworks.
     let candidates = mp.ingest_battery_candidates(300, 1234, li)?;
-    println!("screening {} Li-framework candidates + {} knowns", candidates.len(), knowns.len());
+    println!(
+        "screening {} Li-framework candidates + {} knowns",
+        candidates.len(),
+        knowns.len()
+    );
     mp.submit_calculations(&candidates)?;
     let report = mp.run_campaign(25)?;
     println!(
@@ -51,11 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if (0.0..=5.0).contains(&v) && c <= 1200.0 {
             in_window += 1;
             if in_window <= 25 {
-                println!(" {c:>15.0}  {v:>10.2}  {}", b["framework"].as_str().unwrap_or("?"));
+                println!(
+                    " {c:>15.0}  {v:>10.2}  {}",
+                    b["framework"].as_str().unwrap_or("?")
+                );
             }
         }
     }
-    println!(" ... {} candidates inside the Fig.-1 window (0-5 V, 0-1200 mAh/g)", in_window);
+    println!(
+        " ... {} candidates inside the Fig.-1 window (0-5 V, 0-1200 mAh/g)",
+        in_window
+    );
 
     // Knowns, computed through the same physics.
     println!("\n known electrode          capacity  voltage");
@@ -69,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             li,
             materials_project::elemental_reference(li),
             vec![
-                materials_project::matsci::LithiationPoint { x: 0.0, energy: e_frame },
+                materials_project::matsci::LithiationPoint {
+                    x: 0.0,
+                    energy: e_frame,
+                },
                 materials_project::matsci::LithiationPoint { x, energy: e_lith },
             ],
         )?;

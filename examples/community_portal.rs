@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &json!({"$where": "while(1){}"}),
         &[],
     );
-    println!("injection attempt -> {} ({})", evil.status, evil.body["error"]);
+    println!(
+        "injection attempt -> {} ({})",
+        evil.status, evil.body["error"]
+    );
 
     // --- a scraper hits the rate limiter ---
     let mut served = 0;
@@ -89,11 +92,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     sandbox.share("alice@university.edu", &rec_id, "bob@lab.gov")?;
     println!("\nsandbox: alice uploaded a private record and shared it with bob");
-    println!("  visible to anonymous: {}", sandbox.visible_to(None)?.len());
-    println!("  visible to bob:       {}", sandbox.visible_to(Some("bob@lab.gov"))?.len());
+    println!(
+        "  visible to anonymous: {}",
+        sandbox.visible_to(None)?.len()
+    );
+    println!(
+        "  visible to bob:       {}",
+        sandbox.visible_to(Some("bob@lab.gov"))?.len()
+    );
     sandbox.publish("alice@university.edu", &rec_id)?;
     println!("after publication:");
-    println!("  visible to anonymous: {}", sandbox.visible_to(None)?.len());
+    println!(
+        "  visible to anonymous: {}",
+        sandbox.visible_to(None)?.len()
+    );
 
     // --- the QueryEngine alias layer in action ---
     let qe = QueryEngine::new(db.clone());
@@ -120,7 +132,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- portal telemetry: the Fig.-5 histogram over this session ---
     println!("\nquery-latency histogram (this session):");
-    for (bucket, n) in api.weblog().histogram_ms(&[100.0, 250.0, 500.0, 1000.0, 2000.0]) {
+    for (bucket, n) in api
+        .weblog()
+        .histogram_ms(&[100.0, 250.0, 500.0, 1000.0, 2000.0])
+    {
         println!("  {bucket:>12}  {}", "#".repeat(n.min(60)));
     }
     let _ = AuthRegistry::new(); // (exported type exercised)

@@ -30,15 +30,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- recovery ledger (80 submissions, hostile cluster) ---");
     println!("completed          {}", report.completed);
-    println!("walltime re-runs   {}  (killed at the limit, resubmitted with 2x walltime)", report.walltime_reruns);
-    println!("memory re-runs     {}  (OOM-killed, resubmitted on 2x nodes)", report.memory_reruns);
-    println!("error detours      {}  (ZBRENT / bands / SCF; parameters adjusted, workflow continues)", report.detours);
-    println!("duplicate hits     {}  (binder pointed at a previous result)", report.dedup_hits);
-    println!("fizzled            {}  (beyond automated repair, flagged for a human)", report.fizzled);
+    println!(
+        "walltime re-runs   {}  (killed at the limit, resubmitted with 2x walltime)",
+        report.walltime_reruns
+    );
+    println!(
+        "memory re-runs     {}  (OOM-killed, resubmitted on 2x nodes)",
+        report.memory_reruns
+    );
+    println!(
+        "error detours      {}  (ZBRENT / bands / SCF; parameters adjusted, workflow continues)",
+        report.detours
+    );
+    println!(
+        "duplicate hits     {}  (binder pointed at a previous result)",
+        report.dedup_hits
+    );
+    println!(
+        "fizzled            {}  (beyond automated repair, flagged for a human)",
+        report.fizzled
+    );
 
     // What a human operator sees in the morning.
     let needing_human = mp.launchpad().needs_human()?;
-    println!("\nworkflows awaiting manual intervention: {}", needing_human.len());
+    println!(
+        "\nworkflows awaiting manual intervention: {}",
+        needing_human.len()
+    );
     for wf in needing_human.iter().take(5) {
         println!("  {}  reason: {}", wf["_id"], wf["fizzle_reason"]);
     }

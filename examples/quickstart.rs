@@ -11,7 +11,7 @@
 
 use materials_project::mapi::ApiRequest;
 use materials_project::matsci::Element;
-use materials_project::{render_input_files, assemble, MaterialsProject};
+use materials_project::{assemble, render_input_files, MaterialsProject};
 use serde_json::json;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,12 +19,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (a)→(b): candidate materials arrive as MPS records.
     let recs = mp.ingest_icsd(25, 2012)?;
-    println!("ingested {} MPS records, e.g. {}", recs.len(), recs[0].structure.formula());
+    println!(
+        "ingested {} MPS records, e.g. {}",
+        recs.len(),
+        recs[0].structure.formula()
+    );
 
     // Show what the Assembler turns a Stage into on the compute node.
-    let spec = materials_project::make_spec(&recs[0], &materials_project::mp_dft::Incar::default(), 3600.0);
+    let spec = materials_project::make_spec(
+        &recs[0],
+        &materials_project::mp_dft::Incar::default(),
+        3600.0,
+    );
     let job = assemble(&spec)?;
-    println!("\n--- assembled input files for {} ---", job.structure.formula());
+    println!(
+        "\n--- assembled input files for {} ---",
+        job.structure.formula()
+    );
     for (name, content) in render_input_files(&job) {
         println!("[{name}]");
         for line in content.lines().take(4) {
@@ -45,17 +56,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fizzled (human)   {}", report.fizzled);
     println!("compute node-sec  {:.0}", report.compute_s);
     println!("data loading sec  {:.1}", report.load_s);
-    println!("store overhead    {:.3} s  (the 'negligible fraction')",
-             report.store_overhead_us as f64 / 1e6);
+    println!(
+        "store overhead    {:.3} s  (the 'negligible fraction')",
+        report.store_overhead_us as f64 / 1e6
+    );
 
     // (e): analytics — materials view, stability, batteries, spectra.
     let li = Element::from_symbol("Li")?;
     let summary = mp.build_views(li)?;
-    println!("\n--- derived collections ---\n{}", serde_json::to_string_pretty(&summary)?);
+    println!(
+        "\n--- derived collections ---\n{}",
+        serde_json::to_string_pretty(&summary)?
+    );
 
     // V&V before "release".
     let violations = mp.run_vnv()?;
-    println!("\nV&V clean: {}", materials_project::mapi::vnv_clean(&violations));
+    println!(
+        "\nV&V clean: {}",
+        materials_project::mapi::vnv_clean(&violations)
+    );
 
     // (f): dissemination through the Materials API.
     let api = mp.materials_api();

@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut sorbents = Vec::new();
     for r in &rows {
-        let Some(formula) = r["formula"].as_str() else { continue };
+        let Some(formula) = r["formula"].as_str() else {
+            continue;
+        };
         let Ok(comp) = materials_project::matsci::Composition::parse(formula) else {
             continue;
         };
@@ -88,7 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut found = 0;
     for m in &li_mats {
         let id = m["_id"].as_str().unwrap();
-        let Ok(s) = client.get_structure(id) else { continue };
+        let Ok(s) = client.get_structure(id) else {
+            continue;
+        };
         let sc = s.supercell(2, 2, 1);
         if let Some(path) = diffusion::easiest_path(&sc, li) {
             println!(
@@ -117,9 +121,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // elemental entries in a small deployment; add model references).
         for el_sym in &els {
             let el = Element::from_symbol(el_sym)?;
-            if !entries.iter().any(|e| {
-                e.composition.num_elements() == 1 && e.composition.amount(el) > 0.0
-            }) {
+            if !entries
+                .iter()
+                .any(|e| e.composition.num_elements() == 1 && e.composition.amount(el) > 0.0)
+            {
                 entries.push(materials_project::matsci::PdEntry::new(
                     format!("ref-{el_sym}"),
                     materials_project::matsci::Composition::from_pairs([(el, 1.0)]),

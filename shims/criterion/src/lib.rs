@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`) with simple wall-clock
+//! measurement and a plain-text report — no statistics, plots, or comparisons.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Expected per-iteration workload, for elements/second reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for the following benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            best_ns: f64::INFINITY,
+            samples: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, bencher.best_ns);
+        self
+    }
+
+    /// Run an unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            best_ns: f64::INFINITY,
+            samples: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.label, bencher.best_ns);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, best_ns: f64) {
+        let mut line = format!("  {}/{label}: {}", self.name, fmt_ns(best_ns));
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if best_ns > 0.0 {
+                line.push_str(&format!("  ({:.0} elem/s)", n as f64 / (best_ns / 1e9)));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    best_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best-of-N sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            drop(out);
+            if elapsed < self.best_ns {
+                self.best_ns = elapsed;
+            }
+        }
+    }
+}
+
+/// A benchmark label, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Re-export point used by generated code.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `crossbeam` scoped threads, on `std::thread::scope`.
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| ...) })` shape is supported —
+//! the spawn closure receives a unit placeholder instead of a nested scope
+//! handle (the workspace always ignores that argument).
+
+use std::thread;
+
+/// Scope handle passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure's argument is a placeholder for
+    /// crossbeam's nested-scope handle and is always `()`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries the panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowing spawns are allowed; all spawned
+/// threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}

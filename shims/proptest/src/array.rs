@@ -1,0 +1,32 @@
+//! Fixed-size array strategies (`uniform2`..`uniform4`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; N]` with every element drawn from `element`.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// `[T; 2]` strategy.
+pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+    UniformArray { element }
+}
+
+/// `[T; 3]` strategy.
+pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+    UniformArray { element }
+}
+
+/// `[T; 4]` strategy.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray { element }
+}

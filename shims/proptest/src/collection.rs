@@ -1,0 +1,115 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with entry counts drawn from `size`.
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        // Duplicate keys collapse; retry a bounded number of times to reach
+        // the requested size.
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 10 + 16 {
+            attempts += 1;
+            out.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        out
+    }
+}

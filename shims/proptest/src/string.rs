@@ -1,0 +1,115 @@
+//! Regex-subset string strategy for `&'static str` patterns.
+//!
+//! Supports literal characters, `[a-z0-9_]`-style classes (ranges and single
+//! characters, no negation), and the quantifiers `{n}`, `{m,n}`, `*`, `+`,
+//! `?`. This covers the patterns used in this workspace (e.g. `[a-z]{0,8}`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive character ranges to choose from.
+    choices: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"))
+                    + i;
+                let mut choices = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        choices.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        choices.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                choices
+            }
+            '\\' => {
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => vec![('0', '9')],
+                    'w' => vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                    other => vec![(other, other)],
+                }
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                let (lo, hi) = atom.choices[rng.below(atom.choices.len() as u64) as usize];
+                let span = (hi as u32) - (lo as u32) + 1;
+                let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                    .expect("invalid character range");
+                out.push(c);
+            }
+        }
+        out
+    }
+}

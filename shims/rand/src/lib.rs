@@ -1,0 +1,151 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods the workspace uses (`gen_range`, `gen_bool`, `gen`). The generator
+//! is splitmix64 — deterministic for a given seed, statistically fine for
+//! synthetic-data generation, NOT cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods over a raw 64-bit source.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value from a range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A full-range random value.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64_source(self)
+    }
+}
+
+fn unit_f64(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draw from a raw source.
+    fn from_u64_source<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn from_u64_source<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64_source<R: Rng>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty)*) => {$(
+        impl Standard for $t {
+            fn from_u64_source<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+standard_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type.
+    type Output;
+
+    /// Draw a uniform value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty)*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo + 1) as u64;
+                (lo + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*}
+}
+sample_int_range!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stand-in for rand's ChaCha-based
+    /// `StdRng`; NOT cryptographically secure).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Insertion-ordered map matching `serde_json::Map` with `preserve_order`.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// An insertion-ordered `String -> Value` map backed by a vector.
+///
+/// Lookups are linear; documents in this workspace are small enough that this
+/// beats hashing in practice and keeps the shim dependency-free.
+#[derive(Clone, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create an empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Map {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Insert a key/value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Keep only entries for which `f` returns true.
+    pub fn retain(&mut self, mut f: impl FnMut(&String, &mut Value) -> bool) {
+        self.entries.retain_mut(|(k, v)| f(k, v));
+    }
+
+    /// Vacant-or-occupied entry handle.
+    pub fn entry(&mut self, key: impl Into<String>) -> Entry<'_> {
+        Entry {
+            map: self,
+            key: key.into(),
+        }
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate with mutable values.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterate over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate over mutable values.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut Value> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+}
+
+/// Entry handle returned by [`Map::entry`].
+pub struct Entry<'a> {
+    map: &'a mut Map<String, Value>,
+    key: String,
+}
+
+impl<'a> Entry<'a> {
+    /// Insert `default` if vacant, then return the value.
+    pub fn or_insert(self, default: Value) -> &'a mut Value {
+        self.or_insert_with(|| default)
+    }
+
+    /// Insert `default()` if vacant, then return the value.
+    pub fn or_insert_with(self, default: impl FnOnce() -> Value) -> &'a mut Value {
+        let idx = match self.map.entries.iter().position(|(k, _)| *k == self.key) {
+            Some(i) => i,
+            None => {
+                self.map.entries.push((self.key, default()));
+                self.map.entries.len() - 1
+            }
+        };
+        &mut self.map.entries[idx].1
+    }
+
+    /// Mutate the value in place if occupied.
+    pub fn and_modify(self, f: impl FnOnce(&mut Value)) -> Self {
+        if let Some(idx) = self.map.entries.iter().position(|(k, _)| *k == self.key) {
+            f(&mut self.map.entries[idx].1);
+        }
+        self
+    }
+}
+
+impl<Q: AsRef<str> + ?Sized> std::ops::Index<&Q> for Map<String, Value> {
+    type Output = Value;
+
+    fn index(&self, key: &Q) -> &Value {
+        self.get(key.as_ref())
+            .unwrap_or_else(|| panic!("no entry for key {:?}", key.as_ref()))
+    }
+}
+
+impl<Q: AsRef<str> + ?Sized> std::ops::IndexMut<&Q> for Map<String, Value> {
+    fn index_mut(&mut self, key: &Q) -> &mut Value {
+        let key = key.as_ref();
+        if !self.contains_key(key) {
+            panic!("no entry for key {key:?}");
+        }
+        self.get_mut(key).expect("checked above")
+    }
+}
+
+/// Equality is order-independent, matching map semantics.
+impl PartialEq for Map<String, Value> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl fmt::Debug for Map<String, Value> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = Box<dyn Iterator<Item = (&'a String, &'a Value)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.entries.iter().map(|(k, v)| (k, v)))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl Extend<(String, Value)> for Map<String, Value> {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}

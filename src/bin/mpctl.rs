@@ -66,8 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match cmd.as_str() {
         "demo" => {
-            let n: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(40);
-            let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+            let n: usize = arg_value(&args, "--n")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(40);
+            let seed: u64 = arg_value(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(7);
             let mut mp = MaterialsProject::new()?;
             let recs = mp.ingest_icsd(n, seed)?;
             mp.submit_calculations(&recs)?;
@@ -116,7 +120,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "vnv" => {
             let db = recover(&data)?;
-            let violations = materials_project::mapi::run_vnv_checks(&db, &BuiltinEngine::default())?;
+            let violations =
+                materials_project::mapi::run_vnv_checks(&db, &BuiltinEngine::default())?;
             for (check, ids) in &violations {
                 let status = if ids.is_empty() { "PASS" } else { "FAIL" };
                 println!("{status}  {check}  ({} violations)", ids.len());
@@ -129,7 +134,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "page" => {
-            let Some(id) = positional.first() else { usage() };
+            let Some(id) = positional.first() else {
+                usage()
+            };
             let db = recover(&data)?;
             let qe = QueryEngine::new(db);
             let ui = WebUi::new(&qe);

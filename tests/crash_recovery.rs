@@ -34,7 +34,11 @@ fn full_deployment_survives_snapshot_recovery() {
         );
     }
     // Spot-check: a material document round-trips byte-for-byte.
-    let orig = mp.database().collection("materials").find(&json!({})).unwrap();
+    let orig = mp
+        .database()
+        .collection("materials")
+        .find(&json!({}))
+        .unwrap();
     let back = recovered
         .collection("materials")
         .find_one(&json!({"_id": orig[0]["_id"]}))

@@ -20,12 +20,20 @@ fn deployment() -> MaterialsProject {
 fn api_serves_every_material_by_three_identifier_kinds() {
     let mp = deployment();
     let api = mp.materials_api();
-    let mats = mp.database().collection("materials").find(&json!({})).unwrap();
+    let mats = mp
+        .database()
+        .collection("materials")
+        .find(&json!({}))
+        .unwrap();
     assert!(!mats.is_empty());
     for (i, m) in mats.iter().enumerate() {
         let t = i as f64 * 5.0;
         let by_id = api.handle(
-            &ApiRequest::get(&format!("/rest/v1/materials/{}", m["_id"].as_str().unwrap())).at(t),
+            &ApiRequest::get(&format!(
+                "/rest/v1/materials/{}",
+                m["_id"].as_str().unwrap()
+            ))
+            .at(t),
         );
         assert_eq!(by_id.status, 200, "by id: {:?}", by_id.body);
         let by_formula = api.handle(
@@ -105,8 +113,12 @@ fn sandbox_lifecycle_and_isolation() {
     let mp = deployment();
     let db = mp.database();
     let sb = Sandbox::new(db);
-    let id_a = sb.upload("alice@x", json!({"formula": "LiNi0.5Mn1.5O4"})).unwrap();
-    let id_b = sb.upload("bob@y", json!({"formula": "Na3V2(PO4)3"})).unwrap();
+    let id_a = sb
+        .upload("alice@x", json!({"formula": "LiNi0.5Mn1.5O4"}))
+        .unwrap();
+    let id_b = sb
+        .upload("bob@y", json!({"formula": "Na3V2(PO4)3"}))
+        .unwrap();
 
     // Isolation between users.
     assert_eq!(sb.visible_to(Some("alice@x")).unwrap().len(), 1);
@@ -125,7 +137,11 @@ fn sandbox_lifecycle_and_isolation() {
 fn weblog_histogram_has_paper_shape() {
     let mp = deployment();
     let api = mp.materials_api();
-    let mats = mp.database().collection("materials").find(&json!({})).unwrap();
+    let mats = mp
+        .database()
+        .collection("materials")
+        .find(&json!({}))
+        .unwrap();
     for i in 0..400usize {
         let f = mats[i % mats.len()]["formula"].as_str().unwrap();
         api.handle(&ApiRequest::get(&format!("/rest/v1/materials/{f}")).at(i as f64 * 3.0));

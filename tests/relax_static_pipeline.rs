@@ -27,7 +27,11 @@ fn relax_then_static_flows_structure_through_the_fuse() {
     for t in &relax_tasks {
         assert!(t["output"]["structure"].is_object(), "{}", t["_id"]);
         assert!(
-            t["output"]["relax_trajectory"].as_array().map(Vec::len).unwrap_or(0) >= 4,
+            t["output"]["relax_trajectory"]
+                .as_array()
+                .map(Vec::len)
+                .unwrap_or(0)
+                >= 4,
             "trajectory missing on {}",
             t["_id"]
         );
@@ -82,8 +86,12 @@ fn relaxed_volume_differs_from_input_when_strained() {
             account: "test".into(),
         },
     );
-    mp.database().collection("mps").insert_one(rec.to_doc()).unwrap();
-    mp.submit_relax_static_workflows(std::slice::from_ref(&rec)).unwrap();
+    mp.database()
+        .collection("mps")
+        .insert_one(rec.to_doc())
+        .unwrap();
+    mp.submit_relax_static_workflows(std::slice::from_ref(&rec))
+        .unwrap();
     let report = mp.run_campaign(20).unwrap();
     assert!(report.completed >= 1, "{report:?}");
 
