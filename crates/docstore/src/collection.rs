@@ -9,7 +9,7 @@ use crate::profiler::{OpKind, Profiler};
 use crate::query::Filter;
 use crate::update::Update;
 use crate::value::OrderedValue;
-use parking_lot::RwLock;
+use mp_sync::{LockRank, OrderedRwLock};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -35,22 +35,25 @@ struct Inner {
 /// A named collection of JSON documents.
 pub struct Collection {
     name: String,
-    inner: RwLock<Inner>,
+    inner: OrderedRwLock<Inner>,
     next_id: AtomicU64,
     profiler: Arc<Profiler>,
     /// Simulated clock (seconds) used by `$currentDate`; shared with the DB.
-    clock: Arc<RwLock<f64>>,
+    clock: Arc<OrderedRwLock<f64>>,
 }
 
 impl Collection {
-    pub(crate) fn new(name: &str, profiler: Arc<Profiler>, clock: Arc<RwLock<f64>>) -> Self {
+    pub(crate) fn new(name: &str, profiler: Arc<Profiler>, clock: Arc<OrderedRwLock<f64>>) -> Self {
         Collection {
             name: name.to_string(),
-            inner: RwLock::new(Inner {
-                docs: BTreeMap::new(),
-                by_id: BTreeMap::new(),
-                indexes: Vec::new(),
-            }),
+            inner: OrderedRwLock::new(
+                LockRank::Collection,
+                Inner {
+                    docs: BTreeMap::new(),
+                    by_id: BTreeMap::new(),
+                    indexes: Vec::new(),
+                },
+            ),
             next_id: AtomicU64::new(1),
             profiler,
             clock,
@@ -495,7 +498,7 @@ mod tests {
         Collection::new(
             "test",
             Arc::new(Profiler::new(16_384)),
-            Arc::new(RwLock::new(0.0)),
+            Arc::new(OrderedRwLock::new(LockRank::Clock, 0.0)),
         )
     }
 

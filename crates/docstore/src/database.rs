@@ -5,7 +5,7 @@
 use crate::collection::Collection;
 use crate::docgraph::{schema_stats, DocStats};
 use crate::profiler::Profiler;
-use parking_lot::RwLock;
+use mp_sync::{LockRank, OrderedRwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -16,9 +16,9 @@ pub struct Database {
 }
 
 struct DbInner {
-    collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+    collections: OrderedRwLock<BTreeMap<String, Arc<Collection>>>,
     profiler: Arc<Profiler>,
-    clock: Arc<RwLock<f64>>,
+    clock: Arc<OrderedRwLock<f64>>,
 }
 
 impl Default for Database {
@@ -32,14 +32,19 @@ impl Database {
     pub fn new() -> Self {
         Database {
             inner: Arc::new(DbInner {
-                collections: RwLock::new(BTreeMap::new()),
+                collections: OrderedRwLock::new(LockRank::Database, BTreeMap::new()),
                 profiler: Arc::new(Profiler::new(65_536)),
-                clock: Arc::new(RwLock::new(0.0)),
+                clock: Arc::new(OrderedRwLock::new(LockRank::Clock, 0.0)),
             }),
         }
     }
 
     /// Get (creating on first use, like MongoDB) the named collection.
+    ///
+    /// Two threads can both miss on the read probe; the `entry` upgrade
+    /// under the write lock makes the construction race benign — the
+    /// loser's closure never runs and both callers get the same `Arc`
+    /// (asserted by `concurrent_creation_yields_one_instance`).
     pub fn collection(&self, name: &str) -> Arc<Collection> {
         if let Some(c) = self.inner.collections.read().get(name) {
             return c.clone();
@@ -148,6 +153,23 @@ mod tests {
             c.find_one(&json!({"_id": 1})).unwrap().unwrap()["ts"],
             json!(42)
         );
+    }
+
+    #[test]
+    fn concurrent_creation_yields_one_instance() {
+        // Regression for the read-miss/construct race: every thread must
+        // end up with the *same* Arc<Collection>, never a duplicate
+        // handle whose documents would be lost.
+        let db = Database::new();
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                Arc::as_ptr(&db.collection("racy")) as usize
+            }));
+        }
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "{ptrs:?}");
     }
 
     #[test]

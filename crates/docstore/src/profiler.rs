@@ -8,7 +8,7 @@
 //! reproduced histogram lands in the paper's few-hundred-millisecond
 //! regime instead of the in-process microsecond regime.
 
-use parking_lot::Mutex;
+use mp_sync::{LockRank, OrderedMutex};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -60,7 +60,7 @@ struct State {
 
 /// Bounded ring buffer of operation samples.
 pub struct Profiler {
-    state: Mutex<State>,
+    state: OrderedMutex<State>,
     capacity: usize,
 }
 
@@ -68,11 +68,16 @@ impl Profiler {
     /// Create a profiler retaining at most `capacity` samples.
     pub fn new(capacity: usize) -> Self {
         Profiler {
-            state: Mutex::new(State {
-                samples: VecDeque::with_capacity(capacity.min(4096)),
-                seq: 0,
-                enabled: true,
-            }),
+            // Innermost rank: `record` runs from RAII timers that may
+            // drop while store guards are (briefly) still live.
+            state: OrderedMutex::new(
+                LockRank::Profiler,
+                State {
+                    samples: VecDeque::with_capacity(capacity.min(4096)),
+                    seq: 0,
+                    enabled: true,
+                },
+            ),
             capacity,
         }
     }

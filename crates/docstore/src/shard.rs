@@ -15,8 +15,8 @@ use crate::error::{Result, StoreError};
 use crate::persist::JournalOp;
 use crate::query::Filter;
 use crate::value::get_path;
-use parking_lot::Mutex;
-use serde_json::Value;
+use mp_sync::{LockRank, OrderedMutex};
+use serde_json::{json, Value};
 
 /// Stable hash of a shard-key value.
 fn key_hash(v: &Value) -> u64 {
@@ -35,17 +35,54 @@ pub struct ShardedCluster {
     /// Dotted path of the shard key.
     shard_key: String,
     /// Router statistics: (targeted reads, scatter-gather reads).
-    stats: Mutex<(u64, u64)>,
+    stats: OrderedMutex<(u64, u64)>,
 }
 
 impl ShardedCluster {
     /// Create a cluster of `n` shards keyed on `shard_key`.
     pub fn new(n: usize, shard_key: impl Into<String>) -> Self {
+        Self::from_shards((0..n.max(1)).map(|_| Database::new()).collect(), shard_key)
+    }
+
+    /// Assemble a cluster from existing shard databases — how a cluster
+    /// grows: reuse the old shards, append fresh empty ones, then call
+    /// [`rebalance`](Self::rebalance) to migrate misplaced documents.
+    pub fn from_shards(shards: Vec<Database>, shard_key: impl Into<String>) -> Self {
+        assert!(!shards.is_empty(), "a cluster needs at least one shard");
         ShardedCluster {
-            shards: (0..n.max(1)).map(|_| Database::new()).collect(),
+            shards,
             shard_key: shard_key.into(),
-            stats: Mutex::new((0, 0)),
+            stats: OrderedMutex::new(LockRank::ShardStats, (0, 0)),
         }
+    }
+
+    /// Move every document whose shard key no longer hashes to its
+    /// current shard (the cluster shape changed) onto the right one.
+    /// Returns how many documents moved. Each document is inserted at
+    /// its destination *before* being deleted at the source, so a
+    /// concurrent scatter-gather read sees it once or (transiently)
+    /// twice, never zero times.
+    pub fn rebalance(&self, collection: &str) -> Result<usize> {
+        let mut moved = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let coll = shard.collection(collection);
+            for doc in coll.dump() {
+                let Some(key) = get_path(&doc, &self.shard_key) else {
+                    continue;
+                };
+                let target = (key_hash(key) % self.shards.len() as u64) as usize;
+                if target == i {
+                    continue;
+                }
+                let id = doc.get("_id").cloned().unwrap_or(Value::Null);
+                self.shards[target]
+                    .collection(collection)
+                    .insert_one(doc.clone())?;
+                coll.delete_one(&json!({ "_id": id }))?;
+                moved += 1;
+            }
+        }
+        Ok(moved)
     }
 
     /// Number of shards.
@@ -158,12 +195,12 @@ pub enum ReadPreference {
 pub struct ReplicaSet {
     primary: Database,
     secondaries: Vec<Database>,
-    oplog: Mutex<Vec<JournalOp>>,
+    oplog: OrderedMutex<Vec<JournalOp>>,
     /// How many oplog entries each secondary has applied.
-    applied: Mutex<Vec<usize>>,
+    applied: OrderedMutex<Vec<usize>>,
     /// Entries applied per `replicate()` call per secondary (lag model).
     pub batch: usize,
-    rr: Mutex<usize>,
+    rr: OrderedMutex<usize>,
 }
 
 impl ReplicaSet {
@@ -173,10 +210,10 @@ impl ReplicaSet {
         ReplicaSet {
             primary: Database::new(),
             secondaries: (0..n_secondaries).map(|_| Database::new()).collect(),
-            oplog: Mutex::new(Vec::new()),
-            applied: Mutex::new(vec![0; n_secondaries]),
+            oplog: OrderedMutex::new(LockRank::ReplOplog, Vec::new()),
+            applied: OrderedMutex::new(LockRank::ReplApplied, vec![0; n_secondaries]),
             batch: batch.max(1),
-            rr: Mutex::new(0),
+            rr: OrderedMutex::new(LockRank::ReplRouter, 0),
         }
     }
 
@@ -227,6 +264,8 @@ impl ReplicaSet {
     /// One replication round: each secondary applies up to `batch`
     /// pending oplog entries. Returns the max remaining lag (entries).
     pub fn replicate(&self) -> Result<usize> {
+        // mp-lint: allow(L003) — ReplOplog(300) -> ReplApplied(310) ->
+        // Collection (via apply_op) is the sanctioned replication chain.
         let oplog = self.oplog.lock();
         let mut applied = self.applied.lock();
         let mut max_lag = 0;
@@ -255,9 +294,12 @@ impl ReplicaSet {
                 if self.secondaries.is_empty() {
                     return self.primary.collection(collection).find(filter);
                 }
-                let mut rr = self.rr.lock();
-                let i = *rr % self.secondaries.len();
-                *rr += 1;
+                let i = {
+                    let mut rr = self.rr.lock();
+                    let i = *rr % self.secondaries.len();
+                    *rr += 1;
+                    i
+                };
                 self.secondaries[i].collection(collection).find(filter)
             }
         }
@@ -388,6 +430,30 @@ mod tests {
             .unwrap();
         assert_eq!(r.modified, 30);
         assert_eq!(cluster.count("c", &json!({"v": 1})).unwrap(), 30);
+    }
+
+    #[test]
+    fn cluster_grows_and_rebalances() {
+        let cluster = ShardedCluster::new(2, "k");
+        for i in 0..100 {
+            cluster.insert_one("c", json!({"k": i, "_id": i})).unwrap();
+        }
+        // Grow to 4 shards: reuse the two existing databases, add two
+        // empty ones, then migrate misplaced documents.
+        let mut shards: Vec<Database> = (0..2).map(|i| cluster.shard(i).clone()).collect();
+        shards.push(Database::new());
+        shards.push(Database::new());
+        let grown = ShardedCluster::from_shards(shards, "k");
+        let moved = grown.rebalance("c").unwrap();
+        assert!(moved > 0, "growing 2→4 shards must relocate documents");
+        assert_eq!(grown.rebalance("c").unwrap(), 0, "rebalance is idempotent");
+        assert_eq!(grown.count("c", &json!({})).unwrap(), 100);
+        // Targeted reads route correctly after the migration.
+        for i in 0..100 {
+            assert_eq!(grown.find("c", &json!({"k": i})).unwrap().len(), 1);
+        }
+        let dist = grown.distribution("c");
+        assert!(dist.iter().all(|&n| n > 0), "unbalanced: {dist:?}");
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Concurrency stress tests — bounded, deterministic invariants under
+//! real OS threads (no loom). These run in the ordinary `cargo test`
+//! suite and double as the curated TSan subset: iteration counts are
+//! reduced under `--cfg tsan` so instrumented builds stay fast.
+
+use mp_docstore::{Database, FindOptions, ShardedCluster, SortDir, StoreError};
+use serde_json::json;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 12;
+
+/// Per-thread iteration budget: trimmed under sanitizers, where every
+/// memory access costs an order of magnitude more.
+fn iters(full: usize) -> usize {
+    if cfg!(tsan) {
+        (full / 8).max(4)
+    } else {
+        full
+    }
+}
+
+/// Every insert from every thread lands: no lost updates under
+/// contention on one collection's write lock.
+#[test]
+fn concurrent_inserts_are_all_retained() {
+    let db = Arc::new(Database::new());
+    let per_thread = iters(50);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for i in 0..per_thread {
+                    db.collection("stable")
+                        .insert_one(json!({"t": t, "i": i}))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(db.collection("stable").len(), THREADS * per_thread);
+}
+
+/// A unique index under an insert storm admits exactly one winner per
+/// key; every loser gets `DuplicateKey`, never a torn half-insert.
+#[test]
+fn unique_index_admits_one_winner_per_key() {
+    let db = Arc::new(Database::new());
+    let coll = db.collection("elections");
+    coll.create_index("key", true).unwrap();
+    let keys = iters(24);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = db.clone();
+            thread::spawn(move || {
+                let mut won = 0usize;
+                for k in 0..keys {
+                    match db
+                        .collection("elections")
+                        .insert_one(json!({"key": format!("k{k}"), "by": t}))
+                    {
+                        Ok(_) => won += 1,
+                        Err(StoreError::DuplicateKey(_)) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                won
+            })
+        })
+        .collect();
+    let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total_wins, keys, "each key has exactly one winner");
+    assert_eq!(db.collection("elections").len(), keys);
+}
+
+/// `find_one_and_update` as a queue-pop primitive: N READY documents,
+/// many claiming threads, every document claimed exactly once.
+#[test]
+fn find_one_and_update_claims_each_doc_once() {
+    let db = Arc::new(Database::new());
+    let coll = db.collection("queue");
+    coll.create_index("state", false).unwrap();
+    let n = iters(96);
+    for i in 0..n {
+        coll.insert_one(json!({"_id": format!("job-{i:03}"), "state": "READY"}))
+            .unwrap();
+    }
+    let sort = FindOptions::default().sort_by("_id", SortDir::Asc);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let db = db.clone();
+            let sort = sort.clone();
+            thread::spawn(move || {
+                let mut claimed = Vec::new();
+                while let Some(doc) = db
+                    .collection("queue")
+                    .find_one_and_update(
+                        &json!({"state": "READY"}),
+                        &json!({"$set": {"state": "RUNNING"}}),
+                        Some(&sort),
+                        true,
+                    )
+                    .unwrap()
+                {
+                    claimed.push(doc["_id"].as_str().unwrap().to_string());
+                }
+                claimed
+            })
+        })
+        .collect();
+    let mut all: Vec<String> = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    assert_eq!(all.len(), n, "every job claimed");
+    let unique: BTreeSet<_> = all.iter().collect();
+    assert_eq!(unique.len(), n, "no job claimed twice");
+    assert_eq!(
+        db.collection("queue")
+            .count(&json!({"state": "RUNNING"}))
+            .unwrap(),
+        n
+    );
+}
+
+/// Writers racing readers on a sharded cluster while it rebalances onto
+/// new shards: the final scatter count equals total inserts and routing
+/// still targets one copy per document.
+#[test]
+fn sharded_rebalance_under_write_read_storm() {
+    let n_docs = iters(64);
+    let small = ShardedCluster::new(2, "mid");
+    for i in 0..n_docs {
+        small
+            .insert_one("tasks", json!({"mid": format!("mp-{i}"), "i": i}))
+            .unwrap();
+    }
+    let mut shards: Vec<Database> = (0..small.num_shards())
+        .map(|i| small.shard(i).clone())
+        .collect();
+    shards.push(Database::new());
+    shards.push(Database::new());
+    let big = Arc::new(ShardedCluster::from_shards(shards, "mid"));
+
+    let mover = {
+        let big = big.clone();
+        thread::spawn(move || big.rebalance("tasks").unwrap())
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let big = big.clone();
+            thread::spawn(move || {
+                for _ in 0..iters(16) {
+                    // Insert-before-delete migration: never undercounts.
+                    assert!(big.count("tasks", &json!({})).unwrap() >= n_docs);
+                }
+            })
+        })
+        .collect();
+    mover.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(big.count("tasks", &json!({})).unwrap(), n_docs);
+    for i in 0..n_docs {
+        assert_eq!(
+            big.find("tasks", &json!({"mid": format!("mp-{i}")}))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::firework::{Firework, FuseCondition, FwState, Stage, Workflow};
 use mp_docstore::{Database, FindOptions, Result, SortDir, StoreError};
+use mp_sync::{LockRank, OrderedMutex};
 use serde_json::{json, Value};
 
 /// What a worker reports after executing a claimed firework. The
@@ -93,6 +94,13 @@ impl Default for LaunchPadConfig {
 pub struct LaunchPad {
     db: Database,
     config: LaunchPadConfig,
+    /// Serializes the multi-operation claim transaction in
+    /// [`claim_next`](Self::claim_next): the READY→RUNNING flip, the
+    /// late-dedup binder lookup, and the running-twin check are several
+    /// store operations, and without this outermost lock two workers can
+    /// both pass the twin check and compute the same binder twice.
+    /// Rank `LaunchPad` — held across `Database`/`Collection` locks.
+    claim_lock: OrderedMutex<()>,
 }
 
 impl LaunchPad {
@@ -109,7 +117,11 @@ impl LaunchPad {
         let binders = db.collection("binders");
         binders.create_index("key", true)?;
         db.collection("tasks").create_index("fw_id", false)?;
-        Ok(LaunchPad { db, config })
+        Ok(LaunchPad {
+            db,
+            config,
+            claim_lock: OrderedMutex::new(LockRank::LaunchPad, ()),
+        })
     }
 
     /// The underlying database (shared with analytics and the web API).
@@ -234,6 +246,9 @@ impl LaunchPad {
     /// `{"spec.elements": {"$all": ["Li","O"]}}`). Highest-priority =
     /// fewest launches first, then insertion order.
     pub fn claim_next(&self, extra_query: &Value, worker: &str) -> Result<Option<Value>> {
+        // mp-lint: allow(L003) — holding rank LaunchPad across store
+        // operations is exactly what the rank table sanctions here.
+        let _claim = self.claim_lock.lock();
         let engines = self.db.collection("engines");
         // Fireworks deferred within this call because an identical job
         // (same binder) is currently running — they stay READY and will

@@ -1,0 +1,48 @@
+//! Loom model-checking of the LaunchPad claim protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`. The claim transaction
+//! (READY→RUNNING flip, binder dedup, running-twin check) spans several
+//! store operations; the rank-100 `claim_lock` serializes it. This
+//! model verifies the user-visible consequence: one firework, two
+//! racing workers, exactly one successful checkout.
+#![cfg(loom)]
+
+use loom::thread;
+use mp_docstore::Database;
+use mp_fireworks::{Firework, LaunchPad, LaunchPadConfig, Stage, Workflow};
+use serde_json::json;
+use std::sync::Arc;
+
+#[test]
+fn claim_race_admits_exactly_one_worker() {
+    loom::model(|| {
+        let lp = Arc::new(
+            LaunchPad::with_config(
+                Database::new(),
+                LaunchPadConfig {
+                    lint_gate: false,
+                    ..LaunchPadConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        lp.add_workflow(&Workflow::single(
+            "wf",
+            Firework::new("fw", "only", Stage::empty()),
+        ))
+        .unwrap();
+
+        let handles: Vec<_> = (0..2)
+            .map(|w| {
+                let lp = lp.clone();
+                thread::spawn(move || lp.claim_next(&json!({}), &format!("w{w}")).unwrap())
+            })
+            .collect();
+        let claims: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            claims.iter().filter(|c| c.is_some()).count(),
+            1,
+            "exactly one worker must win the checkout: {claims:?}"
+        );
+    });
+}

@@ -4,14 +4,16 @@
 //! mp-lint query <query.json> [--db <dir>] [--collection <name>]
 //! mp-lint workflow <workflow.json>
 //! mp-lint data <doc.json> [<doc.json> ...]
+//! mp-lint concurrency [<root>]
 //! ```
 //!
 //! `query` lints a Mongo-style filter document; with `--db` it recovers a
 //! persisted database directory, infers the collection's schema, and runs
 //! the schema-aware checks too. `workflow` lints a serialized workflow
 //! document. `data` validates task documents against the default V&V
-//! contract. Exit status is 1 when any Error-severity diagnostic fires,
-//! 2 on usage/IO problems.
+//! contract. `concurrency` scans a source tree (default `.`) for lock
+//! facade violations (`L0xx`). Exit status is 1 when any Error-severity
+//! diagnostic fires, 2 on usage/IO problems.
 
 use std::process::ExitCode;
 
@@ -25,7 +27,8 @@ use serde_json::Value;
 const USAGE: &str = "usage:
   mp-lint query <query.json> [--db <dir>] [--collection <name>]
   mp-lint workflow <workflow.json>
-  mp-lint data <doc.json> [<doc.json> ...]";
+  mp-lint data <doc.json> [<doc.json> ...]
+  mp-lint concurrency [<root>]";
 
 const SCHEMA_SAMPLE: usize = 256;
 
@@ -57,6 +60,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "query" => lint_query(&args[1..]),
         "workflow" => lint_workflow(&args[1..]),
         "data" => lint_data(&args[1..]),
+        "concurrency" => lint_concurrency(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -116,6 +120,24 @@ fn lint_workflow(args: &[String]) -> Result<bool, String> {
     let doc = read_json(file)?;
     let nodes = WfNode::from_workflow_json(&doc)?;
     Ok(report(file, &analyze_workflow(&nodes)))
+}
+
+fn lint_concurrency(args: &[String]) -> Result<bool, String> {
+    let root = args.first().map(String::as_str).unwrap_or(".");
+    if let Some(extra) = args.get(1) {
+        return Err(format!("concurrency: unexpected argument `{extra}`"));
+    }
+    let diags = mp_lint::analyze_tree(std::path::Path::new(root))
+        .map_err(|e| format!("scan `{root}`: {e}"))?;
+    // Warnings block here too: the workspace invariant is *zero* L0xx
+    // findings, with sanctioned nesting annotated at the site.
+    if diags.is_empty() {
+        println!("{root}: clean");
+        Ok(true)
+    } else {
+        println!("{}", render(&diags));
+        Ok(false)
+    }
 }
 
 fn lint_data(args: &[String]) -> Result<bool, String> {

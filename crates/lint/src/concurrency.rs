@@ -1,0 +1,568 @@
+//! Concurrency lints (`L0xx`): enforce the mp-sync lock facade.
+//!
+//! A line-based scan over workspace Rust sources. It does not parse the
+//! language — like the kernel's `checkpatch`, it trades soundness for
+//! zero build-time cost and catches the patterns that matter in this
+//! codebase:
+//!
+//! * `L001` (error) — raw `Mutex`/`RwLock` construction or a direct
+//!   `parking_lot`/`std::sync` lock import outside the facade. Every
+//!   lock must be an `OrderedMutex`/`OrderedRwLock` with an explicit
+//!   [`LockRank`](../../../sync/src/lib.rs) so the runtime checker and
+//!   this pass agree on the ordering discipline.
+//! * `L002` (warning) — `.lock().unwrap()`-style poisoning propagation.
+//!   The facade is non-poisoning (parking_lot semantics); unwrapping a
+//!   `LockResult` is dead weight that turns one panicking thread into a
+//!   cascade.
+//! * `L003` (warning) — a `let`-bound guard is still live when another
+//!   lock is acquired (directly, or via `Database::collection`, which
+//!   takes the Database lock). Nesting sanctioned by the rank table is
+//!   annotated `mp-lint: allow(L003)` at the site; everything else is a
+//!   latent deadlock ingredient.
+//! * `L004` (error) — the same receiver is locked twice while the first
+//!   guard is still live: self-deadlock with a non-reentrant lock.
+//!
+//! Suppression: a `mp-lint: allow(LXXX)` comment on the offending line
+//! or the line directly above it silences that code for that line. An
+//! `allow(L003)` on a guard's *binding* line additionally covers every
+//! acquisition made while that guard is live — for lock-then-operate
+//! sections like `LaunchPad::claim_next` where the outer lock is the
+//! whole point.
+//!
+//! The pattern literals below are assembled with `concat!` so this
+//! file's own source never matches the patterns it searches for — the
+//! workspace self-scan test would otherwise flag the scanner itself.
+
+use crate::diagnostics::Diagnostic;
+use std::path::Path;
+
+const RAW_MUTEX: &str = concat!("Mutex::", "new(");
+const RAW_RWLOCK: &str = concat!("RwLock::", "new(");
+const PARKING_IMPORT: &str = concat!("use parking", "_lot");
+const STD_SYNC_PREFIX: &str = concat!("std::", "sync::");
+const ACQ_LOCK: &str = concat!(".lock", "()");
+const ACQ_READ: &str = concat!(".read", "()");
+const ACQ_WRITE: &str = concat!(".write", "()");
+const UNWRAP_CALL: &str = concat!(".unwrap", "(");
+const EXPECT_CALL: &str = concat!(".expect", "(");
+const COLLECTION_CALL: &str = concat!(".collection", "(");
+const ALLOW_MARK: &str = "mp-lint: allow(";
+
+/// A live `let`-bound lock guard discovered by the scanner.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Binding name (`accounts` in `let mut accounts = ...`).
+    name: String,
+    /// Receiver expression the guard came from (`self.accounts`).
+    receiver: String,
+    /// Brace depth the binding lives at; dies when depth drops below.
+    depth: i32,
+    /// 1-based line of the binding, for the diagnostic message.
+    line: usize,
+    /// `allow(L003)` on the binding line: nesting under this guard is
+    /// sanctioned for its whole lifetime.
+    allows_nesting: bool,
+}
+
+/// Scan one Rust source file; `path` is used verbatim in diagnostics.
+pub fn analyze_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut allow_from_prev: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let (code, comment) = split_comment(raw_line);
+        let trimmed = code.trim();
+
+        let mut allowed = std::mem::take(&mut allow_from_prev);
+        allowed.extend(parse_allows(comment));
+        if trimmed.is_empty() {
+            // Comment-only line: its allows apply to the next line.
+            allow_from_prev = allowed;
+            continue;
+        }
+
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+        let new_depth = depth + opens - closes;
+        guards.retain(|g| g.depth <= new_depth);
+
+        if let Some(name) = dropped_guard(trimmed) {
+            guards.retain(|g| g.name != name);
+        }
+
+        let at = |msg_line: usize| format!("{path}:{msg_line}");
+        let is_allowed = |code: &str| allowed.iter().any(|a| a == code);
+
+        // L001: raw construction and raw imports.
+        if !is_allowed("L001") {
+            for pat in [RAW_MUTEX, RAW_RWLOCK] {
+                for pos in match_positions(code, pat) {
+                    if !preceded_by_ident(code, pos) {
+                        diags.push(
+                            Diagnostic::error(
+                                "L001",
+                                at(lineno),
+                                format!("raw `{pat}...)` bypasses the mp-sync facade"),
+                            )
+                            .with_suggestion(
+                                "construct an OrderedMutex/OrderedRwLock with an explicit LockRank",
+                            ),
+                        );
+                    }
+                }
+            }
+            if trimmed.starts_with(PARKING_IMPORT) {
+                diags.push(
+                    Diagnostic::error(
+                        "L001",
+                        at(lineno),
+                        "direct parking_lot import bypasses the mp-sync facade",
+                    )
+                    .with_suggestion("import lock types from mp_sync instead"),
+                );
+            }
+            if trimmed.starts_with("use ")
+                && trimmed.contains(STD_SYNC_PREFIX)
+                && (trimmed.contains("Mutex") || trimmed.contains("RwLock"))
+            {
+                diags.push(
+                    Diagnostic::error(
+                        "L001",
+                        at(lineno),
+                        "direct std::sync lock import bypasses the mp-sync facade",
+                    )
+                    .with_suggestion("import lock types from mp_sync instead"),
+                );
+            }
+        }
+
+        // L002: poisoning propagation on an acquisition result.
+        if !is_allowed("L002") {
+            for acq in [ACQ_LOCK, ACQ_READ, ACQ_WRITE] {
+                for pos in match_positions(code, acq) {
+                    let rest = &code[pos + acq.len()..];
+                    if rest.starts_with(UNWRAP_CALL) || rest.starts_with(EXPECT_CALL) {
+                        diags.push(
+                            Diagnostic::warning(
+                                "L002",
+                                at(lineno),
+                                format!("`{acq}{UNWRAP_CALL}...)` propagates lock poisoning"),
+                            )
+                            .with_suggestion(
+                                "the mp-sync facade is non-poisoning; drop the unwrap/expect",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // L003/L004: acquisitions while a guard is live.
+        let mut bound_this_line: Option<Guard> = None;
+        for acq in [ACQ_LOCK, ACQ_READ, ACQ_WRITE] {
+            for pos in match_positions(code, acq) {
+                let receiver = receiver_before(code, pos);
+                if receiver.is_empty() {
+                    continue;
+                }
+                if let Some(g) = guards.iter().find(|g| g.receiver == receiver) {
+                    if !is_allowed("L004") {
+                        diags.push(Diagnostic::error(
+                            "L004",
+                            at(lineno),
+                            format!(
+                                "`{receiver}` locked again while guard `{}` (line {}) is live: \
+                                 self-deadlock",
+                                g.name, g.line
+                            ),
+                        ));
+                    }
+                } else if let Some(g) = guards.first() {
+                    if !is_allowed("L003") && !g.allows_nesting {
+                        diags.push(
+                            Diagnostic::warning(
+                                "L003",
+                                at(lineno),
+                                format!(
+                                    "guard `{}` (line {}) still held while `{receiver}` is locked",
+                                    g.name, g.line
+                                ),
+                            )
+                            .with_suggestion(
+                                "scope the outer guard, or annotate `mp-lint: allow(L003)` if \
+                                 the LockRank table sanctions this nesting",
+                            ),
+                        );
+                    }
+                }
+                // Track new let-bound guards (not chained temporaries).
+                if bound_this_line.is_none() {
+                    if let Some((name, recv)) = guard_binding(trimmed, acq) {
+                        if name != "_" && recv == receiver {
+                            bound_this_line = Some(Guard {
+                                name,
+                                receiver: recv,
+                                depth: new_depth,
+                                line: lineno,
+                                allows_nesting: is_allowed("L003"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(g) = guards.first().filter(|g| {
+            code.contains(COLLECTION_CALL)
+                && !is_allowed("L003")
+                && !g.allows_nesting
+                && !trimmed.starts_with("fn ")
+                && !trimmed.starts_with("pub fn ")
+        }) {
+            diags.push(
+                Diagnostic::warning(
+                    "L003",
+                    at(lineno),
+                    format!(
+                        "guard `{}` (line {}) still held across Database::collection \
+                         (takes the Database lock)",
+                        g.name, g.line
+                    ),
+                )
+                .with_suggestion(
+                    "scope the guard, or annotate `mp-lint: allow(L003)` if the LockRank \
+                     table sanctions this nesting",
+                ),
+            );
+        }
+        if let Some(g) = bound_this_line {
+            guards.push(g);
+        }
+        depth = new_depth;
+    }
+    diags
+}
+
+/// Recursively scan every `.rs` file under `root`, skipping build output
+/// (`target/`), vendored shims (`shims/` — third-party API surface), the
+/// facade crate itself (`crates/sync` constructs raw locks by design),
+/// and VCS metadata.
+pub fn analyze_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | "shims" | ".git")
+                    || (name == "sync"
+                        && path
+                            .parent()
+                            .and_then(|p| p.file_name())
+                            .and_then(|n| n.to_str())
+                            == Some("crates"))
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let source = std::fs::read_to_string(&path)?;
+                let shown = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .display()
+                    .to_string();
+                diags.extend(analyze_source(&shown, &source));
+            }
+        }
+    }
+    Ok(diags)
+}
+
+/// Split a line at a `//` comment (string-literal-blind, good enough).
+fn split_comment(line: &str) -> (&str, &str) {
+    match line.find("//") {
+        Some(i) => (&line[..i], &line[i..]),
+        None => (line, ""),
+    }
+}
+
+/// Codes named in a `mp-lint: allow(Lxxx)` / `allow(Lxxx, Lyyy)` comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let Some(start) = comment.find(ALLOW_MARK) else {
+        return Vec::new();
+    };
+    let rest = &comment[start + ALLOW_MARK.len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+/// All start offsets of `pat` in `code`.
+fn match_positions(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(i) = code[from..].find(pat) {
+        out.push(from + i);
+        from += i + pat.len();
+    }
+    out
+}
+
+/// True when the char before offset `pos` continues an identifier —
+/// filters `OrderedMutex::new(` out of the raw-`Mutex::new(` pattern.
+fn preceded_by_ident(code: &str, pos: usize) -> bool {
+    code[..pos]
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// The receiver expression ending at `pos` (`self.accounts` for
+/// `self.accounts.write()`), walking back over path-ish characters.
+fn receiver_before(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    code[start..pos].trim_matches('.').to_string()
+}
+
+/// For `let [mut] name = <recv><acq>...;` return `(name, recv)`.
+fn guard_binding(trimmed: &str, acq: &str) -> Option<(String, String)> {
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let eq = trimmed.find('=')?;
+    let after_eq = &trimmed[eq + 1..];
+    let pos = after_eq.find(acq)?;
+    // Guards only: the acquisition must end the expression (a chained
+    // temporary like `x.lock().clone()` drops the guard immediately).
+    let tail = after_eq[pos + acq.len()..].trim();
+    if tail != ";" {
+        return None;
+    }
+    Some((name, receiver_before(after_eq, pos)))
+}
+
+/// `drop(name)` / `drop(name);` — the guard named inside, if any.
+fn dropped_guard(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("drop(")?;
+    let inner = rest.strip_suffix(");").or_else(|| rest.strip_suffix(')'))?;
+    let name = inner.trim();
+    if name.chars().all(|c| c.is_alphanumeric() || c == '_') && !name.is_empty() {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::has_errors;
+
+    #[test]
+    fn raw_construction_is_l001() {
+        let src = concat!("let m = ", "Mutex::", "new(0);\n");
+        let diags = analyze_source("x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "L001");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn facade_construction_is_clean() {
+        let src = concat!("let m = Ordered", "Mutex::", "new(LockRank::WebLog, 0);\n");
+        assert!(analyze_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn parking_lot_and_std_imports_are_l001() {
+        let src = concat!(
+            "use parking",
+            "_lot::{",
+            "Mutex, ",
+            "RwLock};\n",
+            "use ",
+            "std::",
+            "sync::",
+            "Mutex;\n",
+            "use ",
+            "std::",
+            "sync::Arc;\n",
+        );
+        let diags = analyze_source("x.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "L001"));
+    }
+
+    #[test]
+    fn poisoning_unwrap_is_l002() {
+        let src = concat!("let n = *m", ".lock()", ".unwrap", "();\n");
+        let diags = analyze_source("x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "L002");
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn guard_across_lock_is_l003() {
+        let src = concat!(
+            "let a = self.outer",
+            ".write()",
+            ";\n",
+            "let b = self.inner",
+            ".read()",
+            ";\n",
+        );
+        let diags = analyze_source("x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "L003");
+        assert!(diags[0].message.contains("`a`"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_l003() {
+        let src = concat!(
+            "let a = self.outer",
+            ".write()",
+            ";\n",
+            "// mp-lint: allow(L003) — rank table sanctions outer -> inner\n",
+            "let b = self.inner",
+            ".read()",
+            ";\n",
+        );
+        assert!(analyze_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_binding_covers_guard_lifetime() {
+        let src = concat!(
+            "// mp-lint: allow(L003) — outermost claim lock\n",
+            "let a = self.claim",
+            ".lock()",
+            ";\n",
+            "let b = db",
+            ".collection(",
+            "\"fw\");\n",
+            "let c = self.inner",
+            ".read()",
+            ";\n",
+        );
+        assert!(analyze_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_does_not_leak_into_sibling_scope() {
+        let src = concat!(
+            "{\n",
+            "    let a = self.outer",
+            ".write()",
+            ";\n",
+            "}\n",
+            "let b = self.inner",
+            ".read()",
+            ";\n",
+        );
+        assert!(analyze_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_ends_liveness() {
+        let src = concat!(
+            "let a = self.outer",
+            ".write()",
+            ";\n",
+            "drop(a);\n",
+            "let b = self.inner",
+            ".read()",
+            ";\n",
+        );
+        assert!(analyze_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn double_lock_same_receiver_is_l004() {
+        let src = concat!(
+            "let a = self.state",
+            ".lock()",
+            ";\n",
+            "let b = self.state",
+            ".lock()",
+            ";\n",
+        );
+        let diags = analyze_source("x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "L004");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn chained_temporary_is_not_a_guard() {
+        let src = concat!(
+            "let n = self.entries",
+            ".lock()",
+            ".len();\n",
+            "let b = self.inner",
+            ".read()",
+            ";\n",
+        );
+        assert!(analyze_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn collection_call_under_guard_is_l003() {
+        let src = concat!(
+            "let a = self.stats",
+            ".lock()",
+            ";\n",
+            "let c = db",
+            ".collection(",
+            "\"tasks\");\n",
+        );
+        let diags = analyze_source("x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "L003");
+        assert!(diags[0].message.contains("Database::collection"));
+    }
+
+    #[test]
+    fn workspace_is_l0xx_clean() {
+        // The acceptance gate: the whole workspace reports zero L0xx
+        // findings (warnings included). Sanctioned nesting is annotated
+        // at the site.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = analyze_tree(&root).expect("scan workspace");
+        assert!(
+            diags.is_empty(),
+            "workspace L0xx findings:\n{}",
+            crate::diagnostics::render(&diags)
+        );
+    }
+}

@@ -13,6 +13,10 @@
 //! 3. **Data V&V** ([`vnv`]) — declarative per-collection contracts
 //!    (required fields, types, ranges, cross-field invariants) applied to
 //!    staged documents before commit. Codes `D001`–`D004`.
+//! 4. **Concurrency** ([`concurrency`]) — source-level enforcement of
+//!    the mp-sync lock facade: raw lock construction, poisoning
+//!    propagation, guards held across lock-taking calls, same-receiver
+//!    double locks. Codes `L001`–`L004`.
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -20,12 +24,14 @@
 
 #![deny(rust_2018_idioms)]
 
+pub mod concurrency;
 pub mod diagnostics;
 pub mod query;
 pub mod schema;
 pub mod vnv;
 pub mod workflow;
 
+pub use concurrency::{analyze_source, analyze_tree};
 pub use diagnostics::{has_errors, render, Diagnostic, Severity};
 pub use query::{analyze_query, analyze_query_with_schema};
 pub use schema::{CollectionSchema, TypeSet};

@@ -5,7 +5,7 @@
 //! Token-bucket per API key, driven by an explicit clock so tests and
 //! simulations are deterministic.
 
-use parking_lot::Mutex;
+use mp_sync::{LockRank, OrderedMutex};
 use std::collections::HashMap;
 
 /// Token-bucket configuration.
@@ -36,7 +36,7 @@ struct Bucket {
 /// Deterministic-clock token-bucket limiter keyed by API key.
 pub struct RateLimiter {
     config: RateLimitConfig,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: OrderedMutex<HashMap<String, Bucket>>,
 }
 
 impl RateLimiter {
@@ -44,7 +44,7 @@ impl RateLimiter {
     pub fn new(config: RateLimitConfig) -> Self {
         RateLimiter {
             config,
-            buckets: Mutex::new(HashMap::new()),
+            buckets: OrderedMutex::new(LockRank::RateLimit, HashMap::new()),
         }
     }
 

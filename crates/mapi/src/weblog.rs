@@ -6,7 +6,7 @@
 //! Fig. 5: a latency histogram and a time-series of individual queries.
 
 use mp_docstore::RemoteLatencyModel;
-use parking_lot::Mutex;
+use mp_sync::{LockRank, OrderedMutex};
 
 /// One logged web query.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,25 +26,21 @@ pub struct WebQuery {
 /// Bounded log of web queries.
 pub struct WebLog {
     model: RemoteLatencyModel,
-    entries: Mutex<Vec<WebQuery>>,
+    entries: OrderedMutex<Vec<WebQuery>>,
     capacity: usize,
 }
 
 impl WebLog {
     /// Log retaining up to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        WebLog {
-            model: RemoteLatencyModel::default(),
-            entries: Mutex::new(Vec::new()),
-            capacity,
-        }
+        Self::with_model(capacity, RemoteLatencyModel::default())
     }
 
     /// Use a custom latency model.
     pub fn with_model(capacity: usize, model: RemoteLatencyModel) -> Self {
         WebLog {
             model,
-            entries: Mutex::new(Vec::new()),
+            entries: OrderedMutex::new(LockRank::WebLog, Vec::new()),
             capacity,
         }
     }

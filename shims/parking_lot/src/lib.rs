@@ -6,7 +6,11 @@
 //! parking_lot's behavior of not propagating poison.
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// Guard type names matching the real parking_lot exports (here they are
+// aliases of the std guards the shim hands out).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual-exclusion lock; `lock()` returns the guard directly.
 #[derive(Default)]
