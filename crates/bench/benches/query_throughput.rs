@@ -1,0 +1,178 @@
+//! Throughput comparison for PR 3's execution paths: collection scan vs
+//! index probe vs query-cache hit, and sequential vs pooled
+//! scatter-gather across shards. Emits `BENCH_query.json` at the repo
+//! root and exits non-zero if a cache hit is not faster than the
+//! uncached read (the CI perf-smoke gate).
+//!
+//! Usage: `cargo bench --bench query_throughput [-- --quick]`
+//! `--quick` shrinks the document counts for CI smoke runs.
+
+use mp_docstore::shard::ShardedCluster;
+use mp_docstore::Database;
+use mp_exec::WorkPool;
+use mp_mapi::QueryEngine;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+
+fn mat_doc(i: usize) -> Value {
+    let els = ["Li", "Na", "Fe", "Co", "Ni", "Mn", "O", "S", "P", "F"];
+    let e1 = els[i % els.len()];
+    let e2 = els[(i * 3 + 1) % els.len()];
+    json!({
+        "_id": format!("mp-{i}"),
+        "formula": format!("{e1}{e2}{}", i % 7 + 1),
+        "chemsys": format!("{e1}-{e2}"),
+        "elements": [e1, e2],
+        "nsites": i % 20 + 2,
+        "output": {"energy_per_atom": -((i % 9) as f64) - 1.0,
+                   "band_gap": (i % 50) as f64 / 10.0},
+    })
+}
+
+fn populate(n: usize) -> Database {
+    let db = Database::new();
+    let mats = db.collection("materials");
+    mats.create_index("chemsys", false).unwrap();
+    for i in 0..n {
+        mats.insert_one(mat_doc(i)).unwrap();
+    }
+    db.profiler().set_enabled(false);
+    db
+}
+
+fn populate_cluster(n: usize) -> ShardedCluster {
+    let cluster = ShardedCluster::new(SHARDS, "chemsys");
+    for i in 0..n {
+        cluster.insert_one("materials", mat_doc(i)).unwrap();
+    }
+    for s in 0..cluster.num_shards() {
+        cluster.shard(s).profiler().set_enabled(false);
+    }
+    cluster
+}
+
+/// Median wall time of `reps` runs of `f`, in microseconds.
+fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn bench_scale(n: usize, reps: usize) -> Value {
+    let db = populate(n);
+    let mats = db.collection("materials");
+
+    // Full scan: range on an unindexed field.
+    let collscan_filter = json!({"nsites": {"$gte": 18}});
+    let collscan_us = median_us(reps, || {
+        assert!(!mats.find(&collscan_filter).unwrap().is_empty());
+    });
+
+    // Index probe: equality on the indexed shard key. (The generator
+    // pairs Fe with S: every tenth document lands in this chemsys.)
+    let index_filter = json!({"chemsys": "Fe-S"});
+    let index_us = median_us(reps, || {
+        assert!(!mats.find(&index_filter).unwrap().is_empty());
+    });
+
+    // Uncached engine read: a fresh engine each run keeps the cache cold.
+    let cache_miss_us = median_us(reps, || {
+        let qe = QueryEngine::new(db.clone());
+        assert!(!qe
+            .query("materials", &collscan_filter, &[], None)
+            .unwrap()
+            .is_empty());
+    });
+
+    // Cached engine read: prime once, then every probe hits.
+    let qe = QueryEngine::new(db.clone());
+    qe.query("materials", &collscan_filter, &[], None).unwrap();
+    let cache_hit_us = median_us(reps, || {
+        let (rows, hit) = qe
+            .query_cached("materials", &collscan_filter, &[], None)
+            .unwrap();
+        assert!(hit && !rows.is_empty());
+    });
+
+    // Sequential shard iteration (the pre-pool router: re-parse + full
+    // find on every shard, one after another) vs the pooled scatter.
+    let cluster = populate_cluster(n);
+    let shard_seq_us = median_us(reps, || {
+        let mut out = Vec::new();
+        for s in 0..cluster.num_shards() {
+            out.extend(
+                cluster
+                    .shard(s)
+                    .collection("materials")
+                    .find(&collscan_filter)
+                    .unwrap(),
+            );
+        }
+        assert!(!out.is_empty());
+    });
+    let shard_scatter_us = median_us(reps, || {
+        assert!(!cluster
+            .find("materials", &collscan_filter)
+            .unwrap()
+            .is_empty());
+    });
+
+    json!({
+        "docs": n,
+        "collscan_us": collscan_us,
+        "index_us": index_us,
+        "cache_miss_us": cache_miss_us,
+        "cache_hit_us": cache_hit_us,
+        "shard_seq_us": shard_seq_us,
+        "shard_scatter_us": shard_scatter_us,
+    })
+}
+
+fn main() {
+    // Under `cargo bench`, harness=false binaries still receive
+    // criterion-style flags; only `--quick` is ours.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scales: &[usize] = if quick {
+        &[2_000, 10_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    let reps = if quick { 9 } else { 15 };
+
+    let results: Vec<Value> = scales.iter().map(|&n| bench_scale(n, reps)).collect();
+    let report = json!({
+        "bench": "query_throughput",
+        "mode": if quick { "quick" } else { "full" },
+        "pool_workers": WorkPool::global().size(),
+        "shards": SHARDS,
+        "reps": reps,
+        "scales": results,
+    });
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(out, serde_json::to_string_pretty(&report).unwrap() + "\n").unwrap();
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+
+    // Perf-smoke gate: a cache hit must beat the uncached read.
+    for scale in report["scales"].as_array().unwrap() {
+        let hit = scale["cache_hit_us"].as_f64().unwrap();
+        let miss = scale["cache_miss_us"].as_f64().unwrap();
+        if hit >= miss {
+            eprintln!(
+                "FAIL: cache hit ({hit:.1}us) not faster than uncached read \
+                 ({miss:.1}us) at {} docs",
+                scale["docs"]
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("ok: cache hits beat uncached reads at every scale");
+}

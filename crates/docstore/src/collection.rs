@@ -9,11 +9,16 @@ use crate::profiler::{OpKind, Profiler};
 use crate::query::Filter;
 use crate::update::Update;
 use crate::value::OrderedValue;
+use mp_exec::WorkPool;
 use mp_sync::{LockRank, OrderedRwLock};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+/// Candidate sets at or above this size are match-evaluated in parallel
+/// chunks on the global work pool (when it has more than one slot).
+const PARALLEL_SCAN_THRESHOLD: usize = 4096;
 
 /// Outcome of an update call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +29,70 @@ pub struct UpdateResult {
     pub modified: usize,
     /// Whether an upsert inserted a new document.
     pub upserted: bool,
+}
+
+/// Access-path kind a query plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Point lookup on the `_id` primary map.
+    IdLookup,
+    /// Equality probe on a secondary index.
+    IndexEq,
+    /// `$in` probe on a secondary index.
+    IndexIn,
+    /// Range probe on a secondary index.
+    IndexRange,
+    /// Full collection scan.
+    Collscan,
+}
+
+impl PlanKind {
+    /// Stable display name, as reported by `explain()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::IdLookup => "ID_LOOKUP",
+            PlanKind::IndexEq => "INDEX_EQ",
+            PlanKind::IndexIn => "INDEX_IN",
+            PlanKind::IndexRange => "INDEX_RANGE",
+            PlanKind::Collscan => "COLLSCAN",
+        }
+    }
+
+    /// Profiler counter bumped when a query executes via this kind.
+    pub fn counter(self) -> &'static str {
+        match self {
+            PlanKind::IdLookup => "plan.id_lookup",
+            PlanKind::IndexEq => "plan.index_eq",
+            PlanKind::IndexIn => "plan.index_in",
+            PlanKind::IndexRange => "plan.index_range",
+            PlanKind::Collscan => "plan.collscan",
+        }
+    }
+
+    /// Tie-break when two plans estimate the same cost: equality probes
+    /// beat `$in` beat ranges beat a full scan.
+    fn preference(self) -> u8 {
+        match self {
+            PlanKind::IdLookup => 0,
+            PlanKind::IndexEq => 1,
+            PlanKind::IndexIn => 2,
+            PlanKind::IndexRange => 3,
+            PlanKind::Collscan => 4,
+        }
+    }
+}
+
+/// A costed access path. `explain()` reports the chosen plan plus every
+/// alternative considered; `Collection::find`/`count` execute exactly
+/// the plan this planner chooses, so the two always agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Access-path kind.
+    pub kind: PlanKind,
+    /// Index path driving the plan (`None` for a full scan).
+    pub index: Option<String>,
+    /// Estimated documents the plan must examine.
+    pub cost: usize,
 }
 
 struct Inner {
@@ -37,6 +106,10 @@ pub struct Collection {
     name: String,
     inner: OrderedRwLock<Inner>,
     next_id: AtomicU64,
+    /// Generation counter: bumped on every successful mutation. Query
+    /// caches key their entries to a generation and drop them when the
+    /// collection has moved on (see `mp_exec::QueryCache`).
+    version: AtomicU64,
     profiler: Arc<Profiler>,
     /// Simulated clock (seconds) used by `$currentDate`; shared with the DB.
     clock: Arc<OrderedRwLock<f64>>,
@@ -55,9 +128,20 @@ impl Collection {
                 },
             ),
             next_id: AtomicU64::new(1),
+            version: AtomicU64::new(0),
             profiler,
             clock,
         }
+    }
+
+    /// Current write generation. Any successful mutation makes this
+    /// strictly greater than every previously observed value.
+    pub fn version(&self) -> u64 {
+        self.version.load(AtomicOrdering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, AtomicOrdering::AcqRel);
     }
 
     /// Collection name.
@@ -117,6 +201,7 @@ impl Collection {
         }
         inner.by_id.insert(OrderedValue(id_val.clone()), id_num);
         inner.docs.insert(id_num, doc);
+        self.bump_version();
         Ok(id_val)
     }
 
@@ -163,11 +248,25 @@ impl Collection {
         if f.is_empty() {
             return Ok(inner.docs.len());
         }
-        Ok(self
-            .candidate_ids(&inner, &f)
-            .into_iter()
-            .filter(|id| inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false))
-            .count())
+        Ok(self.count_in(&inner, &f))
+    }
+
+    /// Find with a pre-parsed filter: the lean path the shard router's
+    /// scatter-gather uses, skipping the per-shard filter re-parse and
+    /// operation-sampling overhead of [`Collection::find`].
+    pub fn find_filter(&self, f: &Filter) -> Vec<Value> {
+        let inner = self.inner.read();
+        self.scan(&inner, f)
+    }
+
+    /// Count with a pre-parsed filter (lean scatter path, see
+    /// [`Collection::find_filter`]).
+    pub fn count_filter(&self, f: &Filter) -> usize {
+        let inner = self.inner.read();
+        if f.is_empty() {
+            return inner.docs.len();
+        }
+        self.count_in(&inner, f)
     }
 
     /// Distinct values at `path` among documents matching `filter`.
@@ -238,6 +337,9 @@ impl Collection {
                 break;
             }
         }
+        if res.modified > 0 {
+            self.bump_version();
+        }
         if res.matched == 0 && do_upsert {
             drop(inner);
             let mut seed = filter_equality_seed(&f);
@@ -283,6 +385,7 @@ impl Collection {
         if new_doc != old {
             Self::reindex(&mut inner, id, &old, &new_doc)?;
             inner.docs.insert(id, new_doc.clone());
+            self.bump_version();
         }
         Ok(Some(if return_new { new_doc } else { old }))
     }
@@ -306,6 +409,9 @@ impl Collection {
                 }
             }
         }
+        if !ids.is_empty() {
+            self.bump_version();
+        }
         Ok(ids.len())
     }
 
@@ -325,6 +431,7 @@ impl Collection {
                 for ix in &mut inner.indexes {
                     ix.remove(id, &doc);
                 }
+                self.bump_version();
                 return Ok(true);
             }
         }
@@ -343,6 +450,9 @@ impl Collection {
             ix.insert(*id, doc)?;
         }
         inner.indexes.push(ix);
+        // Plans can change when an index appears, so cached results keyed
+        // to the old generation must not outlive it.
+        self.bump_version();
         Ok(())
     }
 
@@ -354,6 +464,7 @@ impl Collection {
         if inner.indexes.len() == before {
             return Err(StoreError::NoSuchIndex(path.into()));
         }
+        self.bump_version();
         Ok(())
     }
 
@@ -383,75 +494,178 @@ impl Collection {
             .map(|ix| (ix.path.clone(), ix.unique))
             .collect();
         inner.indexes = paths.into_iter().map(|(p, u)| Index::new(p, u)).collect();
+        self.bump_version();
     }
 
     /// Query-plan diagnostics, like MongoDB's `explain()`: which access
-    /// path a filter would use and how many documents it must examine.
+    /// path a filter uses, how many documents it must examine, and every
+    /// alternative plan the cost-based planner considered. The reported
+    /// plan is the one `find`/`count` actually execute (both call the
+    /// same planner).
     pub fn explain(&self, filter: &Value) -> Result<Value> {
         let f = Filter::parse(filter)?;
         let inner = self.inner.read();
-        let (plan, index, candidates) = if let Some(id_val) = f.equality_on("_id") {
-            (
-                "ID_LOOKUP",
-                Some("_id".to_string()),
-                usize::from(inner.by_id.contains_key(&OrderedValue(id_val.clone()))),
-            )
-        } else if let Some((path, hits)) = inner.indexes.iter().find_map(|ix| {
-            f.equality_on(&ix.path)
-                .map(|v| (ix.path.clone(), ix.lookup_eq(v).len()))
-        }) {
-            ("INDEX_EQ", Some(path), hits)
-        } else if let Some((path, hits)) = inner.indexes.iter().find_map(|ix| {
-            f.range_on(&ix.path).map(|(lo, loi, hi, hii)| {
-                (ix.path.clone(), ix.lookup_range(lo, loi, hi, hii).len())
-            })
-        }) {
-            ("INDEX_RANGE", Some(path), hits)
-        } else {
-            ("COLLSCAN", None, inner.docs.len())
+        let (plan, considered) = Self::plan_query(&inner, &f);
+        let docs_examined = match plan.kind {
+            PlanKind::Collscan => inner.docs.len(),
+            _ => Self::plan_candidates(&inner, &f, &plan).len(),
         };
+        let considered: Vec<Value> = considered
+            .iter()
+            .map(|p| {
+                json!({
+                    "plan": p.kind.name(),
+                    "index": p.index,
+                    "cost": p.cost,
+                })
+            })
+            .collect();
         Ok(serde_json::json!({
             "collection": self.name,
-            "plan": plan,
-            "index": index,
-            "docs_examined": candidates,
+            "plan": plan.kind.name(),
+            "index": plan.index,
+            "docs_examined": docs_examined,
             "docs_total": inner.docs.len(),
             "filter_paths": f.touched_paths(),
+            "considered": considered,
         }))
+    }
+
+    /// The plan `find`/`count` would execute for `filter` right now.
+    pub fn plan_for(&self, filter: &Value) -> Result<QueryPlan> {
+        let f = Filter::parse(filter)?;
+        let inner = self.inner.read();
+        Ok(Self::plan_query(&inner, &f).0)
     }
 
     // ---- internals ----
 
-    /// Ids worth checking for `f`: narrowed via the best applicable index,
-    /// otherwise every document (full collection scan).
-    fn candidate_ids(&self, inner: &Inner, f: &Filter) -> Vec<DocId> {
+    /// Cost-based plan selection: cost every applicable access path
+    /// (index estimates are set-size counts, no candidate
+    /// materialization) and keep the cheapest; ties prefer equality over
+    /// `$in` over range over scan, then earlier-created indexes. Returns
+    /// the winner plus everything considered, for `explain()`.
+    fn plan_query(inner: &Inner, f: &Filter) -> (QueryPlan, Vec<QueryPlan>) {
         if let Some(id_val) = f.equality_on("_id") {
+            let plan = QueryPlan {
+                kind: PlanKind::IdLookup,
+                index: Some("_id".to_string()),
+                cost: usize::from(inner.by_id.contains_key(&OrderedValue(id_val.clone()))),
+            };
+            return (plan.clone(), vec![plan]);
+        }
+        let mut considered: Vec<QueryPlan> = Vec::new();
+        for ix in &inner.indexes {
+            if let Some(v) = f.equality_on(&ix.path) {
+                considered.push(QueryPlan {
+                    kind: PlanKind::IndexEq,
+                    index: Some(ix.path.clone()),
+                    cost: ix.estimate_eq(v),
+                });
+            }
+            if let Some(vs) = f.in_on(&ix.path) {
+                considered.push(QueryPlan {
+                    kind: PlanKind::IndexIn,
+                    index: Some(ix.path.clone()),
+                    cost: ix.estimate_in(vs),
+                });
+            }
+            if let Some((lo, loi, hi, hii)) = f.range_on(&ix.path) {
+                considered.push(QueryPlan {
+                    kind: PlanKind::IndexRange,
+                    index: Some(ix.path.clone()),
+                    cost: ix.estimate_range(lo, loi, hi, hii),
+                });
+            }
+        }
+        considered.push(QueryPlan {
+            kind: PlanKind::Collscan,
+            index: None,
+            cost: inner.docs.len(),
+        });
+        let best = considered
+            .iter()
+            .min_by_key(|p| (p.cost, p.kind.preference()))
+            .cloned()
+            .expect("COLLSCAN is always a considered plan");
+        (best, considered)
+    }
+
+    /// Materialize the candidate ids for an already-chosen plan.
+    fn plan_candidates(inner: &Inner, f: &Filter, plan: &QueryPlan) -> Vec<DocId> {
+        if plan.kind == PlanKind::IdLookup {
+            let Some(id_val) = f.equality_on("_id") else {
+                return Vec::new();
+            };
             return inner
                 .by_id
                 .get(&OrderedValue(id_val.clone()))
                 .map(|id| vec![*id])
                 .unwrap_or_default();
         }
-        for ix in &inner.indexes {
-            if let Some(v) = f.equality_on(&ix.path) {
-                return ix.lookup_eq(v);
-            }
+        if plan.kind == PlanKind::Collscan {
+            return inner.docs.keys().copied().collect();
         }
-        for ix in &inner.indexes {
-            if let Some((lo, loi, hi, hii)) = f.range_on(&ix.path) {
-                return ix.lookup_range(lo, loi, hi, hii);
-            }
+        let Some(ix) = plan
+            .index
+            .as_deref()
+            .and_then(|p| inner.indexes.iter().find(|ix| ix.path == p))
+        else {
+            return Vec::new();
+        };
+        match plan.kind {
+            PlanKind::IndexEq => f
+                .equality_on(&ix.path)
+                .map(|v| ix.lookup_eq(v))
+                .unwrap_or_default(),
+            PlanKind::IndexIn => f
+                .in_on(&ix.path)
+                .map(|vs| ix.lookup_in(vs))
+                .unwrap_or_default(),
+            PlanKind::IndexRange => f
+                .range_on(&ix.path)
+                .map(|(lo, loi, hi, hii)| ix.lookup_range(lo, loi, hi, hii))
+                .unwrap_or_default(),
+            PlanKind::IdLookup | PlanKind::Collscan => unreachable!("handled above"),
         }
-        inner.docs.keys().copied().collect()
     }
 
+    /// Ids worth checking for `f`, via the planner's chosen access path
+    /// (used by the update/delete paths, which need ids, not documents).
+    fn candidate_ids(&self, inner: &Inner, f: &Filter) -> Vec<DocId> {
+        let (plan, _) = Self::plan_query(inner, f);
+        Self::plan_candidates(inner, f, &plan)
+    }
+
+    /// Plan, then execute: resolve candidate documents and match-filter
+    /// them, in parallel chunks when the candidate set is large and the
+    /// global pool has more than one slot. A COLLSCAN walks document
+    /// values directly instead of materializing every id and re-probing
+    /// the tree per id.
     fn scan(&self, inner: &Inner, f: &Filter) -> Vec<Value> {
-        self.candidate_ids(inner, f)
-            .into_iter()
-            .filter_map(|id| inner.docs.get(&id))
-            .filter(|d| f.matches(d))
-            .cloned()
-            .collect()
+        let (plan, _) = Self::plan_query(inner, f);
+        self.profiler.bump(plan.kind.counter());
+        let docs: Vec<&Value> = match plan.kind {
+            PlanKind::Collscan => inner.docs.values().collect(),
+            _ => Self::plan_candidates(inner, f, &plan)
+                .into_iter()
+                .filter_map(|id| inner.docs.get(&id))
+                .collect(),
+        };
+        filter_matches(WorkPool::global(), docs, f)
+    }
+
+    /// Counting twin of `scan`: same planner, no document cloning.
+    fn count_in(&self, inner: &Inner, f: &Filter) -> usize {
+        let (plan, _) = Self::plan_query(inner, f);
+        self.profiler.bump(plan.kind.counter());
+        match plan.kind {
+            PlanKind::Collscan => inner.docs.values().filter(|d| f.matches(d)).count(),
+            _ => Self::plan_candidates(inner, f, &plan)
+                .into_iter()
+                .filter(|id| inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false))
+                .count(),
+        }
     }
 
     fn reindex(inner: &mut Inner, id: DocId, old: &Value, new: &Value) -> Result<()> {
@@ -472,6 +686,27 @@ impl Collection {
             inner.by_id.insert(OrderedValue(new_id), id);
         }
         Ok(())
+    }
+}
+
+/// Match-filter candidate documents, splitting large sets into one chunk
+/// per pool slot and evaluating them on the work pool. Chunk results are
+/// concatenated in chunk order, so the output order is identical to the
+/// sequential path.
+fn filter_matches(pool: &WorkPool, docs: Vec<&Value>, f: &Filter) -> Vec<Value> {
+    if docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
+        let per_chunk = docs.len().div_ceil(pool.size());
+        let chunks: Vec<&[&Value]> = docs.chunks(per_chunk).collect();
+        let parts = pool.scatter(chunks, |chunk| {
+            chunk
+                .iter()
+                .filter(|d| f.matches(d))
+                .map(|d| (*d).clone())
+                .collect::<Vec<Value>>()
+        });
+        parts.into_iter().flatten().collect()
+    } else {
+        docs.into_iter().filter(|d| f.matches(d)).cloned().collect()
     }
 }
 
@@ -735,6 +970,146 @@ mod tests {
         let e = c.explain(&json!({"_id": "d7"})).unwrap();
         assert_eq!(e["plan"], "ID_LOOKUP");
         assert_eq!(e["docs_examined"], 1);
+    }
+
+    #[test]
+    fn cost_based_planner_picks_most_selective_index() {
+        let c = coll();
+        // grp repeats every 3 docs (20 hits/value); n is unique. A mixed
+        // equality+range filter must pick whichever access path examines
+        // fewer documents, not whichever index was created first.
+        for i in 0..60 {
+            c.insert_one(json!({"grp": i % 3, "n": i})).unwrap();
+        }
+        c.create_index("grp", false).unwrap();
+        c.create_index("n", false).unwrap();
+
+        let q = json!({"grp": 1, "n": {"$gte": 55}});
+        let e = c.explain(&q).unwrap();
+        assert_eq!(
+            e["plan"], "INDEX_RANGE",
+            "range (5 hits) beats eq (20): {e}"
+        );
+        assert_eq!(e["index"], "n");
+        assert_eq!(e["docs_examined"], 5);
+        let considered = e["considered"].as_array().unwrap();
+        assert_eq!(considered.len(), 3, "eq + range + collscan: {e}");
+        assert_eq!(c.find(&q).unwrap().len(), 2);
+
+        // Flipped selectivity: now the equality side is cheaper.
+        let q = json!({"grp": 1, "n": {"$gte": 0}});
+        let e = c.explain(&q).unwrap();
+        assert_eq!(e["plan"], "INDEX_EQ", "eq (20 hits) beats range (60): {e}");
+        assert_eq!(e["index"], "grp");
+    }
+
+    #[test]
+    fn in_queries_use_the_index() {
+        let c = coll();
+        for i in 0..50 {
+            c.insert_one(json!({ "n": i })).unwrap();
+        }
+        c.create_index("n", false).unwrap();
+        let q = json!({"n": {"$in": [3, 7, 7, 41]}});
+        let e = c.explain(&q).unwrap();
+        assert_eq!(e["plan"], "INDEX_IN");
+        assert_eq!(e["index"], "n");
+        assert_eq!(c.find(&q).unwrap().len(), 3);
+    }
+
+    /// Regression (PR 3 satellite): `explain` must report the plan the
+    /// query actually executes. Verified via the per-plan profiler
+    /// counters `scan` bumps on the access path it takes.
+    #[test]
+    fn explain_plan_matches_access_path_taken() {
+        let prof = Arc::new(Profiler::new(16_384));
+        let c = Collection::new(
+            "t",
+            prof.clone(),
+            Arc::new(OrderedRwLock::new(LockRank::Clock, 0.0)),
+        );
+        for i in 0..40 {
+            c.insert_one(json!({"grp": i % 4, "n": i})).unwrap();
+        }
+        c.create_index("grp", false).unwrap();
+        c.create_index("n", false).unwrap();
+        let queries = [
+            json!({"grp": 2, "n": {"$lt": 3}}), // mixed: range is cheaper
+            json!({"grp": 2}),                  // plain equality
+            json!({"n": {"$in": [1, 2]}}),      // $in probe
+            json!({"free_text": "x"}),          // nothing indexed
+            json!({"_id": "nope"}),             // id point lookup
+        ];
+        for q in queries {
+            let plan = c.plan_for(&q).unwrap();
+            let explained = c.explain(&q).unwrap();
+            assert_eq!(explained["plan"], plan.kind.name(), "{q}");
+            let before = prof.counter(plan.kind.counter());
+            c.find(&q).unwrap();
+            assert_eq!(
+                prof.counter(plan.kind.counter()),
+                before + 1,
+                "query {q}: explain chose {} but find took a different path",
+                plan.kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn version_counter_tracks_writes() {
+        let c = coll();
+        let v0 = c.version();
+        c.insert_one(json!({"_id": "a", "a": 1})).unwrap();
+        assert!(c.version() > v0, "insert must bump the generation");
+        let v1 = c.version();
+        // A no-op update leaves cached reads valid.
+        c.update_many(&json!({"a": 1}), &json!({"$set": {"a": 1}}))
+            .unwrap();
+        assert_eq!(c.version(), v1);
+        c.update_many(&json!({"a": 1}), &json!({"$set": {"a": 2}}))
+            .unwrap();
+        assert!(c.version() > v1, "update must bump the generation");
+        let v2 = c.version();
+        c.create_index("a", false).unwrap();
+        assert!(c.version() > v2, "index creation changes plans");
+        let v3 = c.version();
+        c.delete_many(&json!({"a": 2})).unwrap();
+        assert!(c.version() > v3, "delete must bump the generation");
+        let v4 = c.version();
+        c.clear();
+        assert!(c.version() > v4, "clear must bump the generation");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "10k docs and real threads are slow under miri")]
+    fn parallel_chunked_scan_matches_sequential() {
+        let pool = WorkPool::new(4);
+        let owned: Vec<Value> = (0..10_000).map(|i| json!({"n": i, "grp": i % 7})).collect();
+        let docs: Vec<&Value> = owned.iter().collect();
+        let f = Filter::parse(&json!({"grp": 3})).unwrap();
+        let par = filter_matches(&pool, docs.clone(), &f);
+        let seq: Vec<Value> = docs.into_iter().filter(|d| f.matches(d)).cloned().collect();
+        assert_eq!(par, seq, "chunked parallel scan must preserve order");
+        assert_eq!(
+            pool.stats().scatters,
+            1,
+            "a 10k-candidate scan on a 4-slot pool must use the pool"
+        );
+    }
+
+    #[test]
+    fn find_filter_and_count_filter_match_parsed_paths() {
+        let c = coll();
+        for i in 0..30 {
+            c.insert_one(json!({"grp": i % 5, "n": i})).unwrap();
+        }
+        c.create_index("grp", false).unwrap();
+        let q = json!({"grp": 2});
+        let f = Filter::parse(&q).unwrap();
+        assert_eq!(c.find_filter(&f), c.find(&q).unwrap());
+        assert_eq!(c.count_filter(&f), c.count(&q).unwrap());
+        let empty = Filter::parse(&json!({})).unwrap();
+        assert_eq!(c.count_filter(&empty), 30);
     }
 
     #[test]

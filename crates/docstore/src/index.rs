@@ -154,6 +154,52 @@ impl Index {
         out.into_iter().collect()
     }
 
+    /// Number of ids an equality probe for `v` would return, without
+    /// materializing them. Used by the cost-based planner.
+    pub fn estimate_eq(&self, v: &Value) -> usize {
+        self.map
+            .get(&OrderedValue(v.clone()))
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// Upper bound on ids an `$in` probe over `vs` would return (sum of
+    /// per-value set sizes; duplicates across multikey entries ignored).
+    pub fn estimate_in(&self, vs: &[Value]) -> usize {
+        vs.iter()
+            .map(|v| {
+                self.map
+                    .get(&OrderedValue(v.clone()))
+                    .map(|s| s.len())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Upper bound on ids a range probe would return.
+    pub fn estimate_range(
+        &self,
+        lo: Option<&Value>,
+        lo_incl: bool,
+        hi: Option<&Value>,
+        hi_incl: bool,
+    ) -> usize {
+        let lower: Bound<OrderedValue> = match lo {
+            Some(v) if lo_incl => Bound::Included(OrderedValue(v.clone())),
+            Some(v) => Bound::Excluded(OrderedValue(v.clone())),
+            None => Bound::Unbounded,
+        };
+        let upper: Bound<OrderedValue> = match hi {
+            Some(v) if hi_incl => Bound::Included(OrderedValue(v.clone())),
+            Some(v) => Bound::Excluded(OrderedValue(v.clone())),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((lower, upper))
+            .map(|(_, ids)| ids.len())
+            .sum()
+    }
+
     /// All ids in value order (supports index-assisted sort).
     pub fn scan_ordered(&self, descending: bool) -> Vec<DocId> {
         let mut out = Vec::new();

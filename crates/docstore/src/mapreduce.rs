@@ -6,10 +6,9 @@
 //!   MongoDB's built-in MapReduce, which the paper notes is "severely
 //!   limited by implementation within a single-threaded Javascript
 //!   engine" (§IV-C2).
-//! * [`HadoopEngine`] — partitions the input and runs mappers/reducers on
-//!   a thread pool (crossbeam scoped threads), reproducing the
-//!   Mongo-Hadoop connector the paper found "several times faster"
-//!   (§IV-B2).
+//! * [`HadoopEngine`] — partitions the input and scatters the mappers
+//!   over the shared `mp-exec` work pool, reproducing the Mongo-Hadoop
+//!   connector the paper found "several times faster" (§IV-B2).
 //!
 //! The V&V framework (§IV-C2: "A logical language in which to write the
 //! V&V of a database is MapReduce") and the materials-view builder
@@ -109,37 +108,32 @@ impl MapReduce for HadoopEngine {
     fn run(&self, docs: &[Value], map: &MapFn, reduce: &ReduceFn) -> Result<Vec<(Value, Value)>> {
         let nw = self.workers.min(docs.len().max(1));
         let chunk = docs.len().div_ceil(nw);
-        let mut partials: Vec<BTreeMap<OrderedValue, Vec<Value>>> = Vec::new();
 
-        crossbeam::scope(|s| {
-            let mut handles = Vec::new();
-            for part in docs.chunks(chunk.max(1)) {
-                handles.push(s.spawn(move |_| {
-                    let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
-                    for doc in part {
-                        map(doc, &mut |k, v| {
-                            groups.entry(OrderedValue(k)).or_default().push(v);
-                        });
-                    }
-                    // Combiner: pre-reduce each key locally to shrink the
-                    // shuffle, as Hadoop combiners do.
-                    let mut combined: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
-                    for (k, vs) in groups {
-                        let v = if vs.len() == 1 {
-                            vs.into_iter().next().expect("len checked")
-                        } else {
-                            reduce(&k.0, &vs)
-                        };
-                        combined.insert(k, vec![v]);
-                    }
-                    combined
-                }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("mapreduce worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
+        // Scatter one partition per configured worker over the shared
+        // pool; chunk outputs come back in partition order, so the merge
+        // below is deterministic regardless of scheduling.
+        let parts: Vec<&[Value]> = docs.chunks(chunk.max(1)).collect();
+        let partials: Vec<BTreeMap<OrderedValue, Vec<Value>>> = mp_exec::WorkPool::global()
+            .scatter(parts, |part| {
+                let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
+                for doc in part {
+                    map(doc, &mut |k, v| {
+                        groups.entry(OrderedValue(k)).or_default().push(v);
+                    });
+                }
+                // Combiner: pre-reduce each key locally to shrink the
+                // shuffle, as Hadoop combiners do.
+                let mut combined: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
+                for (k, vs) in groups {
+                    let v = if vs.len() == 1 {
+                        vs.into_iter().next().expect("len checked")
+                    } else {
+                        reduce(&k.0, &vs)
+                    };
+                    combined.insert(k, vec![v]);
+                }
+                combined
+            });
 
         // Shuffle: merge per-worker groups.
         let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();

@@ -9,7 +9,7 @@
 //! regime instead of the in-process microsecond regime.
 
 use mp_sync::{LockRank, OrderedMutex};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 /// Kind of store operation being timed.
@@ -56,6 +56,7 @@ struct State {
     samples: VecDeque<OpSample>,
     seq: u64,
     enabled: bool,
+    counters: BTreeMap<String, u64>,
 }
 
 /// Bounded ring buffer of operation samples.
@@ -76,6 +77,7 @@ impl Profiler {
                     samples: VecDeque::with_capacity(capacity.min(4096)),
                     seq: 0,
                     enabled: true,
+                    counters: BTreeMap::new(),
                 },
             ),
             capacity,
@@ -113,6 +115,29 @@ impl Profiler {
             micros,
             seq,
         });
+    }
+
+    /// Increment the named event counter (`plan.collscan`, `cache.hit`,
+    /// ...). Counters are independent of sampling being enabled and are
+    /// not capped by the ring-buffer capacity.
+    pub fn bump(&self, counter: &str) {
+        let mut st = self.state.lock();
+        *st.counters.entry(counter.to_string()).or_insert(0) += 1;
+    }
+
+    /// Current value of a named counter (0 when never bumped).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.state
+            .lock()
+            .counters
+            .get(counter)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all named counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.state.lock().counters.clone()
     }
 
     /// Copy out all retained samples.

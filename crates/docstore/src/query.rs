@@ -128,6 +128,21 @@ impl Filter {
         None
     }
 
+    /// If this filter constrains `path` with a root-level `$in`, return
+    /// the candidate value list (for index-assisted `$in` probes).
+    pub fn in_on(&self, path: &str) -> Option<&[Value]> {
+        for (p, preds) in &self.fields {
+            if p == path {
+                for pred in preds {
+                    if let Predicate::In(vs) = pred {
+                        return Some(vs);
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// If this filter constrains `path` with a range, return
     /// (lower, lower_inclusive, upper, upper_inclusive).
     #[allow(clippy::type_complexity)]

@@ -15,6 +15,7 @@ use crate::error::{Result, StoreError};
 use crate::persist::JournalOp;
 use crate::query::Filter;
 use crate::value::get_path;
+use mp_exec::WorkPool;
 use mp_sync::{LockRank, OrderedMutex};
 use serde_json::{json, Value};
 
@@ -63,9 +64,14 @@ impl ShardedCluster {
     /// concurrent scatter-gather read sees it once or (transiently)
     /// twice, never zero times.
     pub fn rebalance(&self, collection: &str) -> Result<usize> {
-        let mut moved = 0;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let coll = shard.collection(collection);
+        // One migration job per source shard, scattered over the pool;
+        // destinations are distinct Database instances, so concurrent
+        // inserts from different sources are safe, and the per-document
+        // insert-before-delete ordering is preserved inside each job.
+        let sources: Vec<usize> = (0..self.shards.len()).collect();
+        let moved_per_shard = WorkPool::global().scatter(sources, |i| -> Result<usize> {
+            let coll = self.shards[i].collection(collection);
+            let mut moved = 0;
             for doc in coll.dump() {
                 let Some(key) = get_path(&doc, &self.shard_key) else {
                     continue;
@@ -81,8 +87,11 @@ impl ShardedCluster {
                 coll.delete_one(&json!({ "_id": id }))?;
                 moved += 1;
             }
-        }
-        Ok(moved)
+            Ok(moved)
+        });
+        moved_per_shard
+            .into_iter()
+            .try_fold(0usize, |acc, r| r.map(|m| acc + m))
     }
 
     /// Number of shards.
@@ -127,11 +136,13 @@ impl ShardedCluster {
                 .find(filter);
         }
         self.stats.lock().1 += 1;
-        let mut out = Vec::new();
-        for s in &self.shards {
-            out.extend(s.collection(collection).find(filter)?);
-        }
-        Ok(out)
+        // Scatter-gather: the filter is parsed once here and every shard
+        // is probed through the lean `find_filter` path on the pool; the
+        // merge keeps shard order, matching the sequential router.
+        let shards: Vec<&Database> = self.shards.iter().collect();
+        let parts =
+            WorkPool::global().scatter(shards, |s| s.collection(collection).find_filter(&parsed));
+        Ok(parts.into_iter().flatten().collect())
     }
 
     /// Count across the cluster (targeted when possible).
@@ -143,11 +154,10 @@ impl ShardedCluster {
                 .collection(collection)
                 .count(filter);
         }
-        let mut n = 0;
-        for s in &self.shards {
-            n += s.collection(collection).count(filter)?;
-        }
-        Ok(n)
+        let shards: Vec<&Database> = self.shards.iter().collect();
+        let counts =
+            WorkPool::global().scatter(shards, |s| s.collection(collection).count_filter(&parsed));
+        Ok(counts.into_iter().sum())
     }
 
     /// Update across the cluster; returns the merged result.
@@ -165,8 +175,12 @@ impl ShardedCluster {
                 .collection(collection)
                 .update_many(filter, update);
         }
-        for s in &self.shards {
-            let r = s.collection(collection).update_many(filter, update)?;
+        let shards: Vec<&Database> = self.shards.iter().collect();
+        let results = WorkPool::global().scatter(shards, |s| {
+            s.collection(collection).update_many(filter, update)
+        });
+        for r in results {
+            let r = r?;
             merged.matched += r.matched;
             merged.modified += r.modified;
         }
@@ -191,6 +205,17 @@ pub enum ReadPreference {
     Secondary,
 }
 
+/// Round-robin router bookkeeping for a [`ReplicaSet`].
+#[derive(Default)]
+struct RouterState {
+    /// Next secondary to try (round-robin cursor).
+    cursor: usize,
+    /// Reads served by the primary.
+    primary_reads: u64,
+    /// Reads served by a secondary.
+    secondary_reads: u64,
+}
+
 /// A primary + N secondaries kept in sync by an oplog.
 pub struct ReplicaSet {
     primary: Database,
@@ -200,7 +225,7 @@ pub struct ReplicaSet {
     applied: OrderedMutex<Vec<usize>>,
     /// Entries applied per `replicate()` call per secondary (lag model).
     pub batch: usize,
-    rr: OrderedMutex<usize>,
+    router: OrderedMutex<RouterState>,
 }
 
 impl ReplicaSet {
@@ -213,13 +238,24 @@ impl ReplicaSet {
             oplog: OrderedMutex::new(LockRank::ReplOplog, Vec::new()),
             applied: OrderedMutex::new(LockRank::ReplApplied, vec![0; n_secondaries]),
             batch: batch.max(1),
-            rr: OrderedMutex::new(LockRank::ReplRouter, 0),
+            router: OrderedMutex::new(LockRank::ReplRouter, RouterState::default()),
         }
     }
 
     /// The primary (for inspection).
     pub fn primary(&self) -> &Database {
         &self.primary
+    }
+
+    /// Direct access to one secondary (for inspection in tests).
+    pub fn secondary(&self, i: usize) -> &Database {
+        &self.secondaries[i]
+    }
+
+    /// `(primary_reads, secondary_reads)` routed since creation.
+    pub fn read_distribution(&self) -> (u64, u64) {
+        let rt = self.router.lock();
+        (rt.primary_reads, rt.secondary_reads)
     }
 
     /// Write through the primary, appending to the oplog.
@@ -289,20 +325,58 @@ impl ReplicaSet {
         filter: &Value,
     ) -> Result<Vec<Value>> {
         match pref {
-            ReadPreference::Primary => self.primary.collection(collection).find(filter),
+            ReadPreference::Primary => {
+                self.router.lock().primary_reads += 1;
+                self.primary.collection(collection).find(filter)
+            }
             ReadPreference::Secondary => {
                 if self.secondaries.is_empty() {
+                    self.router.lock().primary_reads += 1;
                     return self.primary.collection(collection).find(filter);
                 }
                 let i = {
-                    let mut rr = self.rr.lock();
-                    let i = *rr % self.secondaries.len();
-                    *rr += 1;
+                    let mut rt = self.router.lock();
+                    let i = rt.cursor % self.secondaries.len();
+                    rt.cursor += 1;
+                    rt.secondary_reads += 1;
                     i
                 };
                 self.secondaries[i].collection(collection).find(filter)
             }
         }
+    }
+
+    /// Read tolerating at most `max_lag` pending oplog entries of
+    /// staleness: secondaries within the tolerance serve the read
+    /// round-robin — so with `max_lag == 0`, fully caught-up
+    /// secondaries still spread the load instead of everything
+    /// falling on the primary. Only when *no* secondary qualifies
+    /// does the primary serve the read.
+    pub fn find_with_tolerance(
+        &self,
+        max_lag: usize,
+        collection: &str,
+        filter: &Value,
+    ) -> Result<Vec<Value>> {
+        let lags = self.lag();
+        let eligible: Vec<usize> = lags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &lag)| lag <= max_lag)
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            self.router.lock().primary_reads += 1;
+            return self.primary.collection(collection).find(filter);
+        }
+        let pick = {
+            let mut rt = self.router.lock();
+            let pick = eligible[rt.cursor % eligible.len()];
+            rt.cursor += 1;
+            rt.secondary_reads += 1;
+            pick
+        };
+        self.secondaries[pick].collection(collection).find(filter)
     }
 
     /// Current replication lag (pending entries) per secondary.
@@ -499,6 +573,59 @@ mod tests {
             .find(ReadPreference::Secondary, "c", &json!({"_id": 1}))
             .unwrap();
         assert_eq!(sec[0]["v"], json!(9));
+    }
+
+    #[test]
+    fn tolerant_reads_round_robin_caught_up_secondaries() {
+        let rs = ReplicaSet::new(2, 100);
+        for i in 0..4 {
+            rs.insert_one("c", json!({ "i": i })).unwrap();
+        }
+        while rs.replicate().unwrap() > 0 {}
+        // Stamp each secondary out-of-band so the serving replica is
+        // observable from the read result.
+        rs.secondary(0)
+            .collection("who")
+            .insert_one(json!({"sec": 0}))
+            .unwrap();
+        rs.secondary(1)
+            .collection("who")
+            .insert_one(json!({"sec": 1}))
+            .unwrap();
+        let mut served = Vec::new();
+        for _ in 0..4 {
+            let hits = rs.find_with_tolerance(0, "who", &json!({})).unwrap();
+            assert_eq!(hits.len(), 1);
+            served.push(hits[0]["sec"].as_i64().unwrap());
+        }
+        served.sort_unstable();
+        assert_eq!(
+            served,
+            vec![0, 0, 1, 1],
+            "caught-up secondaries must share the reads round-robin"
+        );
+        let (primary, secondary) = rs.read_distribution();
+        assert_eq!(
+            (primary, secondary),
+            (0, 4),
+            "max_lag == 0 with caught-up secondaries must not touch the primary"
+        );
+    }
+
+    #[test]
+    fn tolerant_reads_fall_back_to_primary_when_all_lag() {
+        let rs = ReplicaSet::new(2, 1);
+        for i in 0..5 {
+            rs.insert_one("c", json!({ "i": i })).unwrap();
+        }
+        // Nothing replicated yet: every secondary lags by 5 > 0.
+        let hits = rs.find_with_tolerance(0, "c", &json!({})).unwrap();
+        assert_eq!(hits.len(), 5, "primary serves when no secondary qualifies");
+        assert_eq!(rs.read_distribution(), (1, 0));
+        // A tolerance of 5 admits the (empty, stale) secondaries again.
+        let hits = rs.find_with_tolerance(5, "c", &json!({})).unwrap();
+        assert_eq!(hits.len(), 0, "stale secondary has applied nothing yet");
+        assert_eq!(rs.read_distribution(), (1, 1));
     }
 
     #[test]

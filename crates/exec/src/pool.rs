@@ -1,0 +1,314 @@
+//! Fixed-size work pool with a scoped scatter-gather primitive.
+//!
+//! The pool owns `size - 1` persistent worker threads, each fed by its
+//! own single-consumer channel (no shared run-queue lock on the dispatch
+//! path). The caller of [`WorkPool::scatter`] acts as worker zero: it
+//! keeps every `size`-th input for itself and runs that share while the
+//! workers chew on theirs, so a pool of size 1 has no workers, spawns no
+//! threads, and degrades to a plain in-order sequential map.
+//!
+//! Scatter is *scoped*: the closure and inputs may borrow from the
+//! caller's stack even though the dispatched jobs are sent to
+//! `'static` worker threads. Soundness rests on one invariant, enforced
+//! by construction below: **scatter does not return (or unwind) until it
+//! has collected a completion message for every job it dispatched**, so
+//! no borrow escapes the call. Panics inside a job are caught on the
+//! worker, shipped back as a completion, and re-raised on the caller
+//! after all other jobs finish.
+
+use mp_sync::{LockRank, OrderedMutex};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+/// Type-erased unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread: a nested scatter
+    /// issued from inside a job runs inline instead of re-entering the
+    /// pool, which would risk starving the pool of workers (deadlock
+    /// when every worker blocks waiting for a slot).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Counters describing pool usage, for benches and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Scatter calls that fanned out to worker threads.
+    pub scatters: u64,
+    /// Scatter calls that ran inline (size 1, single input, or nested).
+    pub inline_runs: u64,
+    /// Jobs shipped to worker threads across all scatters.
+    pub jobs_dispatched: u64,
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Cheap to share by reference; the process-wide instance is
+/// [`WorkPool::global`]. Dropping a non-global pool closes the feed
+/// channels and the workers exit after draining them.
+pub struct WorkPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    cursor: AtomicUsize,
+    stats: OrderedMutex<PoolStats>,
+}
+
+impl WorkPool {
+    /// Pool with `size` execution slots: the caller plus `size - 1`
+    /// worker threads. `size` is clamped to at least 1.
+    pub fn new(size: usize) -> Self {
+        let workers = size.max(1) - 1;
+        let mut senders = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            std::thread::Builder::new()
+                .name(format!("mp-exec-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn mp-exec worker");
+            senders.push(tx);
+        }
+        WorkPool {
+            senders,
+            cursor: AtomicUsize::new(0),
+            stats: OrderedMutex::new(LockRank::ExecPool, PoolStats::default()),
+        }
+    }
+
+    /// The process-wide pool, sized by `MP_EXEC_WORKERS` when set (>= 1)
+    /// and the machine's available parallelism otherwise. On a
+    /// single-core host this is size 1: no threads are ever spawned and
+    /// every scatter runs inline.
+    pub fn global() -> &'static WorkPool {
+        static GLOBAL: OnceLock<WorkPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkPool::new(default_size()))
+    }
+
+    /// Execution slots (workers plus the participating caller).
+    pub fn size(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Snapshot of the usage counters.
+    pub fn stats(&self) -> PoolStats {
+        *self.stats.lock()
+    }
+
+    /// Map `inputs` through `f` in parallel, returning outputs in input
+    /// order. The closure may borrow from the caller's environment; see
+    /// the module docs for the scoping argument. A panic in any job is
+    /// re-raised here after every dispatched job has completed.
+    pub fn scatter<I, R, F>(&self, inputs: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.senders.len();
+        if workers == 0 || n == 1 || IN_WORKER.with(|w| w.get()) {
+            {
+                let mut st = self.stats.lock();
+                st.inline_runs += 1;
+            }
+            return inputs.into_iter().map(f).collect();
+        }
+
+        let (done_tx, done_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        let fref: &F = &f;
+        let slots = workers + 1;
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut local: Vec<(usize, I)> = Vec::new();
+        let mut dispatched = 0usize;
+        for (idx, item) in inputs.into_iter().enumerate() {
+            if idx % slots == 0 {
+                // The caller's own share, run below while workers work.
+                local.push((idx, item));
+                continue;
+            }
+            let tx = done_tx.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let out = panic::catch_unwind(AssertUnwindSafe(|| fref(item)));
+                let _ = tx.send((idx, out));
+            });
+            // SAFETY: the job borrows `fref` and `item` from this stack
+            // frame. Every dispatched job sends exactly one completion
+            // (the send is the job's last action, panic or not), and the
+            // recv loop below blocks until `dispatched` completions have
+            // arrived before this frame can return or unwind — so every
+            // borrow in the erased closure is live for the job's whole
+            // execution.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            match self.senders[(start + idx) % workers].send(job) {
+                Ok(()) => dispatched += 1,
+                Err(mpsc::SendError(job)) => {
+                    // Worker gone (only possible mid-teardown): run the
+                    // job here; it still sends its completion.
+                    job();
+                    dispatched += 1;
+                }
+            }
+        }
+        drop(done_tx);
+        {
+            let mut st = self.stats.lock();
+            st.scatters += 1;
+            st.jobs_dispatched += dispatched as u64;
+        }
+
+        let mut results: Vec<(usize, std::thread::Result<R>)> = Vec::with_capacity(n);
+        for (idx, item) in local {
+            let out = panic::catch_unwind(AssertUnwindSafe(|| fref(item)));
+            results.push((idx, out));
+        }
+        for _ in 0..dispatched {
+            let msg = done_rx.recv().expect("mp-exec worker completion");
+            results.push(msg);
+        }
+        results.sort_by_key(|(idx, _)| *idx);
+
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for (_, r) in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(p) if first_panic.is_none() => first_panic = Some(p),
+                Err(_) => {}
+            }
+        }
+        if let Some(p) = first_panic {
+            panic::resume_unwind(p);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("size", &self.size())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Pool size for [`WorkPool::global`].
+fn default_size() -> usize {
+    std::env::var("MP_EXEC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn worker_loop(rx: mpsc::Receiver<Job>) {
+    IN_WORKER.with(|w| w.set(true));
+    while let Ok(job) = rx.recv() {
+        // Panics are caught inside the job itself (and shipped back to
+        // the scattering caller), so the loop — and the thread — outlive
+        // any failing job.
+        job();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scatter_preserves_input_order() {
+        let pool = WorkPool::new(4);
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = pool.scatter(inputs, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(pool.stats().scatters, 1);
+        assert!(pool.stats().jobs_dispatched > 0);
+    }
+
+    #[test]
+    fn scatter_borrows_from_the_callers_stack() {
+        let pool = WorkPool::new(3);
+        let data: Vec<String> = (0..32).map(|i| format!("doc-{i}")).collect();
+        let total = AtomicU64::new(0);
+        let lens = pool.scatter(data.iter().collect::<Vec<&String>>(), |s| {
+            total.fetch_add(s.len() as u64, Ordering::Relaxed);
+            s.len()
+        });
+        assert_eq!(lens.len(), 32);
+        let expect: u64 = data.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn size_one_pool_runs_inline() {
+        let pool = WorkPool::new(1);
+        assert_eq!(pool.size(), 1);
+        let out = pool.scatter(vec![1, 2, 3], |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let st = pool.stats();
+        assert_eq!(st.scatters, 0);
+        assert_eq!(st.inline_runs, 1);
+        assert_eq!(st.jobs_dispatched, 0);
+    }
+
+    #[test]
+    fn nested_scatter_runs_inline_and_completes() {
+        let pool = WorkPool::new(2);
+        // Each outer job issues another scatter on the same pool; the
+        // IN_WORKER guard makes the inner one inline on the worker, so
+        // this terminates even though the pool has a single worker.
+        let out = pool.scatter(vec![10u64, 20, 30, 40], |base| {
+            pool.scatter((0..4).map(|k| base + k).collect(), |v| v)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out, vec![10 * 4 + 6, 20 * 4 + 6, 30 * 4 + 6, 40 * 4 + 6]);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        let pool = WorkPool::new(3);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter((0..16).collect::<Vec<u32>>(), |i| {
+                assert!(i != 7, "boom at 7");
+                i
+            })
+        }))
+        .expect_err("panic must propagate to the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 7"), "{msg}");
+        // The workers caught the panic locally and are still serving.
+        let out = pool.scatter((0..16).collect::<Vec<u32>>(), |i| i + 1);
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[15], 16);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let pool = WorkPool::new(4);
+        let out: Vec<u32> = pool.scatter(Vec::<u32>::new(), |i| i);
+        assert!(out.is_empty());
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkPool::global();
+        let b = WorkPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.size() >= 1);
+    }
+}

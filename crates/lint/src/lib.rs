@@ -17,6 +17,8 @@
 //!    the mp-sync lock facade: raw lock construction, poisoning
 //!    propagation, guards held across lock-taking calls, same-receiver
 //!    double locks. Codes `L001`–`L004`.
+//! 5. **Performance** ([`perf`]) — query shapes whose only possible plan
+//!    is a full collection scan regardless of indexes. Code `P001`.
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -26,6 +28,7 @@
 
 pub mod concurrency;
 pub mod diagnostics;
+pub mod perf;
 pub mod query;
 pub mod schema;
 pub mod vnv;
@@ -33,6 +36,7 @@ pub mod workflow;
 
 pub use concurrency::{analyze_source, analyze_tree};
 pub use diagnostics::{has_errors, render, Diagnostic, Severity};
+pub use perf::analyze_query_perf;
 pub use query::{analyze_query, analyze_query_with_schema};
 pub use schema::{CollectionSchema, TypeSet};
 pub use vnv::{FieldCheck, FieldRule, Invariant, RuleSet};

@@ -92,7 +92,7 @@ fn check_scope(
 
 /// Flatten `filter.fields` plus nested `$and` clauses into one conjunctive
 /// constraint map; collect `$or`/`$nor` branches for separate scopes.
-fn collect_conjuncts<'f>(
+pub(crate) fn collect_conjuncts<'f>(
     filter: &'f Filter,
     prefix: &str,
     conj: &mut BTreeMap<String, Vec<&'f Predicate>>,

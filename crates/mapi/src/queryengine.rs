@@ -8,12 +8,51 @@
 //! access the database directly."
 
 use mp_docstore::{Database, FindOptions, Result, StoreError};
+use mp_exec::{CacheStats, QueryCache};
 use mp_lint::{CollectionSchema, Diagnostic};
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How many documents schema inference samples per collection.
 const SCHEMA_SAMPLE: usize = 256;
+
+/// How many distinct query shapes the read-through cache retains.
+const QUERY_CACHE_CAPACITY: usize = 256;
+
+/// Serialize a JSON value with object keys sorted recursively, so that
+/// `{"a":1,"b":2}` and `{"b":2,"a":1}` produce the same cache key (the
+/// workspace `serde_json` preserves insertion order, which would
+/// otherwise split identical filters into distinct keys).
+fn canonical_json(v: &Value, out: &mut String) {
+    match v {
+        Value::Object(m) => {
+            let mut keys: Vec<&String> = m.keys().collect();
+            keys.sort_unstable();
+            out.push('{');
+            for (i, k) in keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&Value::String((*k).clone()).to_string());
+                out.push(':');
+                canonical_json(&m[k.as_str()], out);
+            }
+            out.push('}');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                canonical_json(item, out);
+            }
+            out.push(']');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
 
 /// Central query gateway with aliasing and sanitization.
 pub struct QueryEngine {
@@ -26,6 +65,8 @@ pub struct QueryEngine {
     allowed_operators: Vec<&'static str>,
     /// Maximum filter nesting depth.
     max_depth: usize,
+    /// Read-through result cache, invalidated by collection version.
+    cache: QueryCache<Arc<Vec<Value>>>,
 }
 
 impl QueryEngine {
@@ -74,6 +115,7 @@ impl QueryEngine {
                 "$type",
             ],
             max_depth: 8,
+            cache: QueryCache::new(QUERY_CACHE_CAPACITY),
         }
     }
 
@@ -124,17 +166,16 @@ impl QueryEngine {
 
     /// Schema-aware lint of a raw filter against `collection`'s inferred
     /// schema: everything `sanitize` checks plus type mismatches, unknown
-    /// fields with did-you-mean, and unindexed-scan warnings.
+    /// fields with did-you-mean, unindexed-scan warnings, and forced-
+    /// collection-scan shapes (`P001`) no index could ever serve.
     pub fn lint_for(&self, collection: &str, raw: &Value) -> Result<Vec<Diagnostic>> {
         let real_coll = self.resolve_collection(collection).to_string();
         let filter = self.sanitize_level(raw, 0)?;
         let coll = self.db.collection(&real_coll);
         let schema = CollectionSchema::infer(&coll, SCHEMA_SAMPLE);
-        Ok(mp_lint::analyze_query_with_schema(
-            &filter,
-            &schema,
-            &self.field_aliases,
-        ))
+        let mut diags = mp_lint::analyze_query_with_schema(&filter, &schema, &self.field_aliases);
+        diags.extend(mp_lint::analyze_query_perf(&filter, &schema));
+        Ok(diags)
     }
 
     fn sanitize_level(&self, raw: &Value, depth: usize) -> Result<Value> {
@@ -195,21 +236,58 @@ impl QueryEngine {
         properties: &[&str],
         limit: Option<usize>,
     ) -> Result<Vec<Value>> {
+        let (rows, _cached) = self.query_cached(collection, criteria, properties, limit)?;
+        Ok(rows.as_ref().clone())
+    }
+
+    /// Like [`query`](Self::query), but read-through the result cache:
+    /// returns the (shared) result rows plus whether they were served
+    /// from the cache. A cache hit is only possible while the backing
+    /// collection's version counter is unchanged since the entry was
+    /// stored — every write bumps it, so hits never serve pre-write
+    /// data.
+    pub fn query_cached(
+        &self,
+        collection: &str,
+        criteria: &Value,
+        properties: &[&str],
+        limit: Option<usize>,
+    ) -> Result<(Arc<Vec<Value>>, bool)> {
         let real_coll = self.resolve_collection(collection).to_string();
         let filter = self.sanitize(criteria)?;
+        let real_props: Vec<String> = properties
+            .iter()
+            .map(|p| self.resolve_field(p).to_string())
+            .collect();
+        let mut key = format!("{real_coll}|{limit:?}|{real_props:?}|");
+        canonical_json(&filter, &mut key);
+        let coll = self.db.collection(&real_coll);
+        // Snapshot the version *before* running the query: a write
+        // racing the scan can only make this entry stale (dropped on
+        // the next probe), never let a hit serve pre-write rows as
+        // current.
+        let generation = coll.version();
+        if let Some(rows) = self.cache.get(&key, generation) {
+            self.db.profiler().bump("cache.hit");
+            return Ok((rows, true));
+        }
+        self.db.profiler().bump("cache.miss");
         let mut opts = FindOptions::all();
         if let Some(l) = limit {
             opts = opts.limit(l);
         }
-        if !properties.is_empty() {
-            let real_props: Vec<String> = properties
-                .iter()
-                .map(|p| self.resolve_field(p).to_string())
-                .collect();
+        if !real_props.is_empty() {
             let refs: Vec<&str> = real_props.iter().map(String::as_str).collect();
             opts = opts.project(&refs);
         }
-        self.db.collection(&real_coll).find_with(&filter, &opts)
+        let rows = Arc::new(coll.find_with(&filter, &opts)?);
+        self.cache.put(key, generation, Arc::clone(&rows));
+        Ok((rows, false))
+    }
+
+    /// Hit/miss/invalidation/eviction counters of the query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Count documents matching sanitized criteria.
@@ -328,6 +406,47 @@ mod tests {
     }
 
     #[test]
+    fn query_cache_hits_and_write_invalidation() {
+        let qe = engine();
+        let crit = json!({"band_gap": {"$gt": 1.0}});
+        let (rows1, hit1) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(!hit1, "first read is a miss");
+        assert_eq!(rows1.len(), 2);
+        let (rows2, hit2) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(hit2, "repeat read is a hit");
+        assert!(Arc::ptr_eq(&rows1, &rows2), "hit shares the cached rows");
+        assert_eq!(qe.database().profiler().counter("cache.hit"), 1);
+        // A write to the collection bumps its version: the entry is
+        // stale and the next read recomputes.
+        qe.database()
+            .collection("materials")
+            .insert_one(json!({"formula": "NaCl", "output": {"band_gap": 5.0}}))
+            .unwrap();
+        let (rows3, hit3) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(!hit3, "write must invalidate the cached entry");
+        assert_eq!(rows3.len(), 3);
+        let st = qe.cache_stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.invalidations, 1);
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        let qe = engine();
+        let a = json!({"band_gap": {"$gt": 1.0}, "formula": "Fe2O3"});
+        let b = json!({"formula": "Fe2O3", "band_gap": {"$gt": 1.0}});
+        let (_, h1) = qe.query_cached("materials", &a, &[], None).unwrap();
+        assert!(!h1);
+        let (_, h2) = qe.query_cached("materials", &b, &[], None).unwrap();
+        assert!(h2, "key-order permutations must share one cache slot");
+        // Projection and limit are part of the key, though.
+        let (_, h3) = qe.query_cached("materials", &a, &["energy"], None).unwrap();
+        assert!(!h3, "projection changes the key");
+        let (_, h4) = qe.query_cached("materials", &a, &[], Some(1)).unwrap();
+        assert!(!h4, "limit changes the key");
+    }
+
+    #[test]
     fn lint_for_reports_schema_findings() {
         let qe = engine();
         // Typo'd field: warned with a did-you-mean against aliases/schema.
@@ -345,5 +464,20 @@ mod tests {
             .lint_for("materials", &json!({"band_gap": {"$gt": 2.0}}))
             .unwrap();
         assert!(diags.iter().all(|d| d.code == "Q004"), "{diags:?}");
+    }
+
+    #[test]
+    fn lint_for_flags_forced_collscans() {
+        let qe = engine();
+        // No sargable predicate: no index could ever serve this.
+        let diags = qe
+            .lint_for("materials", &json!({"formula": {"$regex": "Fe"}}))
+            .unwrap();
+        assert!(diags.iter().any(|d| d.code == "P001"), "{diags:?}");
+        // Sargable queries are Q004's territory at worst, never P001.
+        let diags = qe
+            .lint_for("materials", &json!({"formula": "Fe2O3"}))
+            .unwrap();
+        assert!(diags.iter().all(|d| d.code != "P001"), "{diags:?}");
     }
 }

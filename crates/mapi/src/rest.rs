@@ -59,6 +59,8 @@ pub struct ApiResponse {
     pub status: u16,
     /// JSON body (the envelope).
     pub body: Value,
+    /// Response headers, e.g. `X-Cache: HIT`.
+    pub headers: Vec<(String, String)>,
 }
 
 impl ApiResponse {
@@ -70,7 +72,22 @@ impl ApiResponse {
                 "version": {"api": "v1", "db": "2012.08"},
                 "response": response,
             }),
+            headers: Vec::new(),
         }
+    }
+
+    /// Attach a response header.
+    fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// First value of header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Attach advisory lint findings (unindexed scans, unknown fields) to
@@ -93,6 +110,7 @@ impl ApiResponse {
                 "valid_response": false,
                 "error": msg,
             }),
+            headers: Vec::new(),
         }
     }
 
@@ -252,11 +270,15 @@ impl MaterialsApi {
             Some(p) => vec![p],
             None => vec![],
         };
-        match self.qe.query(collection, &criteria, &props, Some(500)) {
-            Ok(docs) if docs.is_empty() => {
+        match self
+            .qe
+            .query_cached(collection, &criteria, &props, Some(500))
+        {
+            Ok((docs, _)) if docs.is_empty() => {
                 ApiResponse::error(404, &format!("no {collection} match '{ident}'"))
             }
-            Ok(docs) => ApiResponse::ok(json!(docs)),
+            Ok((docs, cached)) => ApiResponse::ok(Value::Array(docs.as_ref().clone()))
+                .with_header("X-Cache", if cached { "HIT" } else { "MISS" }),
             Err(e) => ApiResponse::error(400, &e.to_string()),
         }
     }
@@ -299,9 +321,11 @@ impl MaterialsApi {
         };
         let resp = match self
             .qe
-            .query(collection, criteria, properties, Some(10_000))
+            .query_cached(collection, criteria, properties, Some(10_000))
         {
-            Ok(docs) => ApiResponse::ok(json!(docs)).with_warnings(&warnings),
+            Ok((docs, cached)) => ApiResponse::ok(Value::Array(docs.as_ref().clone()))
+                .with_warnings(&warnings)
+                .with_header("X-Cache", if cached { "HIT" } else { "MISS" }),
             Err(e) => ApiResponse::error(400, &e.to_string()),
         };
         let nrecords = match resp.payload() {
@@ -511,6 +535,24 @@ mod tests {
                 .any(|w| w.as_str().unwrap_or("").contains("Q004")),
             "{warnings:?}"
         );
+    }
+
+    #[test]
+    fn x_cache_header_reports_hit_miss_and_invalidation() {
+        let api = api();
+        let r1 = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3"));
+        assert_eq!(r1.header("X-Cache"), Some("MISS"));
+        let r2 = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3").at(10.0));
+        assert_eq!(r2.header("X-Cache"), Some("HIT"));
+        assert_eq!(r1.payload(), r2.payload(), "hit serves identical rows");
+        // A write bumps the collection version: the entry is stale.
+        api.query_engine()
+            .database()
+            .collection("materials")
+            .insert_one(json!({"_id": "mp-9", "formula": "TiO2"}))
+            .unwrap();
+        let r3 = api.handle(&ApiRequest::get("/rest/v1/materials/Fe2O3").at(20.0));
+        assert_eq!(r3.header("X-Cache"), Some("MISS"));
     }
 
     #[test]

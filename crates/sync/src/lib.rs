@@ -16,8 +16,8 @@
 //! ```text
 //! outermost (acquired first)                         innermost (acquired last)
 //! LaunchPad → RateLimit → AuthAccounts → AuthKeyCounter → WebLog
-//!   → ReplOplog → ReplApplied → ReplRouter → ShardStats
-//!   → Database → Collection → Index → Clock → Profiler
+//!   → QueryCache → ReplOplog → ReplApplied → ReplRouter → ShardStats
+//!   → Database → Collection → Index → ExecPool → Clock → Profiler
 //! ```
 //!
 //! The docstore chain mirrors the containment hierarchy (a `Database`
@@ -57,6 +57,8 @@ pub enum LockRank {
     AuthKeyCounter = 220,
     /// MAPI web-query log.
     WebLog = 230,
+    /// MAPI read-through query cache (probed before any store lock).
+    QueryCache = 240,
     /// Replica-set oplog (held across secondary apply → collection ops).
     ReplOplog = 300,
     /// Replica-set per-secondary applied counters.
@@ -71,6 +73,9 @@ pub enum LockRank {
     Collection = 500,
     /// Reserved for split-out secondary indexes.
     Index = 600,
+    /// mp-exec work-pool bookkeeping (taken under `Collection` by
+    /// chunked parallel scans).
+    ExecPool = 650,
     /// Simulated clock.
     Clock = 700,
     /// Operation profiler (innermost: recorded from RAII timers).
@@ -91,6 +96,7 @@ impl LockRank {
             LockRank::AuthAccounts => "AuthAccounts",
             LockRank::AuthKeyCounter => "AuthKeyCounter",
             LockRank::WebLog => "WebLog",
+            LockRank::QueryCache => "QueryCache",
             LockRank::ReplOplog => "ReplOplog",
             LockRank::ReplApplied => "ReplApplied",
             LockRank::ReplRouter => "ReplRouter",
@@ -98,6 +104,7 @@ impl LockRank {
             LockRank::Database => "Database",
             LockRank::Collection => "Collection",
             LockRank::Index => "Index",
+            LockRank::ExecPool => "ExecPool",
             LockRank::Clock => "Clock",
             LockRank::Profiler => "Profiler",
         }
