@@ -6,18 +6,18 @@ use mp_docstore::{BuiltinEngine, HadoopEngine, MapReduce};
 use serde_json::{json, Value};
 use std::hint::black_box;
 
-fn tasks(n: usize) -> Vec<Value> {
+fn tasks(n: usize) -> mp_docstore::Docs {
     (0..n)
         .map(|i| {
-            json!({
+            std::sync::Arc::new(json!({
                 "mps_id": format!("mps-{}", i % (n / 4).max(1)),
                 "output": {"energy_per_atom": -(i as f64 % 13.0)},
-            })
+            }))
         })
         .collect()
 }
 
-fn run(engine: &dyn MapReduce, docs: &[Value]) -> usize {
+fn run(engine: &dyn MapReduce, docs: &[std::sync::Arc<Value>]) -> usize {
     let map = |d: &Value, emit: &mut dyn FnMut(Value, Value)| {
         emit(d["mps_id"].clone(), d["output"]["energy_per_atom"].clone());
     };

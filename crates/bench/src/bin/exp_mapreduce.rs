@@ -16,22 +16,22 @@ use mp_docstore::{BuiltinEngine, HadoopEngine, MapReduce};
 use serde_json::{json, Value};
 use std::time::Instant;
 
-fn synth_tasks(n: usize) -> Vec<Value> {
+fn synth_tasks(n: usize) -> mp_docstore::Docs {
     (0..n)
         .map(|i| {
-            json!({
+            std::sync::Arc::new(json!({
                 "_id": format!("t{i}"),
                 "mps_id": format!("mps-{}", i % (n / 3).max(1)),
                 "status": "converged",
                 "formula": "X", "elements": ["X"],
                 "output": {"energy_per_atom": -(i as f64 % 11.0) - 1.0,
                             "scf_trace": (0..24).map(|k| -5.0 - k as f64 * 0.1).collect::<Vec<f64>>()},
-            })
+            }))
         })
         .collect()
 }
 
-fn group_best(engine: &dyn MapReduce, docs: &[Value]) -> usize {
+fn group_best(engine: &dyn MapReduce, docs: &[std::sync::Arc<Value>]) -> usize {
     let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
         emit(doc["mps_id"].clone(), doc.clone());
     };

@@ -37,7 +37,7 @@ fn populate(n: usize) -> Database {
     db
 }
 
-fn job(engine: &dyn MapReduce, docs: &[Value]) -> usize {
+fn job(engine: &dyn MapReduce, docs: &[std::sync::Arc<Value>]) -> usize {
     let map = |d: &Value, emit: &mut dyn FnMut(Value, Value)| {
         emit(d["chemsys"].clone(), d["output"]["band_gap"].clone());
     };

@@ -15,7 +15,7 @@ use mp_docstore::{doc_stats, DocStats};
 
 /// Mean per-document structure statistics over a collection — Table I
 /// characterizes representative documents, arrays included.
-fn collection_stats(docs: &[serde_json::Value]) -> DocStats {
+fn collection_stats(docs: &[std::sync::Arc<serde_json::Value>]) -> DocStats {
     if docs.is_empty() {
         return DocStats {
             nodes: 0,
@@ -23,7 +23,7 @@ fn collection_stats(docs: &[serde_json::Value]) -> DocStats {
             mean_depth: 0.0,
         };
     }
-    let all: Vec<DocStats> = docs.iter().map(doc_stats).collect();
+    let all: Vec<DocStats> = docs.iter().map(|d| doc_stats(d)).collect();
     DocStats {
         nodes: all.iter().map(|s| s.nodes).sum::<usize>() / all.len(),
         depth: all.iter().map(|s| s.depth).max().unwrap_or(0),

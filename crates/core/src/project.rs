@@ -260,7 +260,7 @@ impl MaterialsProject {
 
         for _round in 0..max_rounds {
             // Claim everything currently READY.
-            let mut claims: Vec<Value> = Vec::new();
+            let mut claims: mp_docstore::Docs = Vec::new();
             while let Some(doc) = self.pad.claim_next(&json!({}), &self.user)? {
                 claims.push(doc);
                 if claims.len() >= (self.cluster.nodes as usize) * 4 {
@@ -317,7 +317,7 @@ impl MaterialsProject {
     fn round_one_per_calc(
         &mut self,
         sim: &BatchSimulator,
-        claims: &[Value],
+        claims: &[std::sync::Arc<Value>],
         loader: &mut DataLoader,
         report: &mut CampaignReport,
     ) -> Result<()> {
@@ -414,7 +414,7 @@ impl MaterialsProject {
     fn round_farmed(
         &mut self,
         sim: &BatchSimulator,
-        claims: &[Value],
+        claims: &[std::sync::Arc<Value>],
         tasks_per_farm: usize,
         loader: &mut DataLoader,
         report: &mut CampaignReport,

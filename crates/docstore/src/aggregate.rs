@@ -11,9 +11,10 @@
 use crate::cursor::{FindOptions, SortDir};
 use crate::error::{Result, StoreError};
 use crate::query::Filter;
-use crate::value::{cmp_values, get_path, set_path, OrderedValue};
+use crate::value::{cmp_values, get_path, set_path, Docs, Document, OrderedValue};
 use serde_json::{json, Map, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One pipeline stage, parsed.
 #[derive(Debug, Clone)]
@@ -188,15 +189,26 @@ fn parse_stage(op: &str, spec: &Value) -> Result<Stage> {
 }
 
 /// Execute a parsed pipeline over a document stream.
-pub fn run_pipeline(docs: Vec<Value>, stages: &[Stage]) -> Result<Vec<Value>> {
+///
+/// The stream is a set of shared [`Arc<Document>`] handles: stages that
+/// merely route documents (`$match`, `$sort`, `$skip`, `$limit`, `$group`
+/// membership) move pointers, and only stages that synthesize new
+/// documents (`$project`, `$unwind`, `$group` rows, `$count`) allocate.
+pub fn run_pipeline(docs: Docs, stages: &[Stage]) -> Result<Docs> {
     let mut stream = docs;
     for stage in stages {
         stream = match stage {
-            Stage::Match(f) => stream.into_iter().filter(|d| f.matches(d)).collect(),
+            Stage::Match(f) => {
+                let cf = f.compile();
+                stream.into_iter().filter(|d| cf.matches(d)).collect()
+            }
             Stage::Project(paths) => {
                 let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
                 let opts = FindOptions::all().project(&refs);
-                stream.iter().map(|d| opts.project_doc(d)).collect()
+                stream
+                    .iter()
+                    .map(|d| Arc::new(opts.project_doc(d)))
+                    .collect()
             }
             Stage::Unwind(path) => {
                 let mut out = Vec::new();
@@ -204,9 +216,9 @@ pub fn run_pipeline(docs: Vec<Value>, stages: &[Stage]) -> Result<Vec<Value>> {
                     match get_path(&doc, path) {
                         Some(Value::Array(items)) => {
                             for item in items.clone() {
-                                let mut copy = doc.clone();
+                                let mut copy = (*doc).clone();
                                 set_path(&mut copy, path, item).map_err(StoreError::BadQuery)?;
-                                out.push(copy);
+                                out.push(Arc::new(copy));
                             }
                         }
                         Some(_) => out.push(doc), // scalar passes through
@@ -216,7 +228,7 @@ pub fn run_pipeline(docs: Vec<Value>, stages: &[Stage]) -> Result<Vec<Value>> {
                 out
             }
             Stage::Group { key, accumulators } => {
-                let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
+                let mut groups: BTreeMap<OrderedValue, Docs> = BTreeMap::new();
                 for doc in stream {
                     let k = match key {
                         Some(path) => get_path(&doc, path).cloned().unwrap_or(Value::Null),
@@ -231,7 +243,7 @@ pub fn run_pipeline(docs: Vec<Value>, stages: &[Stage]) -> Result<Vec<Value>> {
                     for (field, acc, input) in accumulators {
                         row.insert(field.clone(), accumulate(*acc, input, &members));
                     }
-                    out.push(Value::Object(row));
+                    out.push(Arc::new(Value::Object(row)));
                 }
                 out
             }
@@ -245,14 +257,14 @@ pub fn run_pipeline(docs: Vec<Value>, stages: &[Stage]) -> Result<Vec<Value>> {
             Stage::Skip(n) => stream.into_iter().skip(*n).collect(),
             Stage::Limit(n) => stream.into_iter().take(*n).collect(),
             Stage::Count(field) => {
-                vec![json!({ field.as_str(): stream.len() })]
+                vec![Arc::new(json!({ field.as_str(): stream.len() }))]
             }
         };
     }
     Ok(stream)
 }
 
-fn accumulate(acc: Accumulator, input: &str, members: &[Value]) -> Value {
+fn accumulate(acc: Accumulator, input: &str, members: &[Arc<Document>]) -> Value {
     let values: Vec<&Value> = members
         .iter()
         .filter_map(|d| {
@@ -285,15 +297,15 @@ fn accumulate(acc: Accumulator, input: &str, members: &[Value]) -> Value {
         Accumulator::Min => values
             .iter()
             .min_by(|a, b| cmp_values(a, b))
-            .map(|v| (*v).clone())
+            .map(|&v| v.clone())
             .unwrap_or(Value::Null),
         Accumulator::Max => values
             .iter()
             .max_by(|a, b| cmp_values(a, b))
-            .map(|v| (*v).clone())
+            .map(|&v| v.clone())
             .unwrap_or(Value::Null),
-        Accumulator::Push => json!(values.iter().map(|v| (*v).clone()).collect::<Vec<_>>()),
-        Accumulator::First => values.first().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        Accumulator::Push => json!(values),
+        Accumulator::First => values.first().map(|&v| v.clone()).unwrap_or(Value::Null),
     }
 }
 
@@ -307,7 +319,7 @@ fn number(x: f64) -> Value {
 
 impl crate::collection::Collection {
     /// Run an aggregation pipeline over this collection.
-    pub fn aggregate(&self, pipeline: &Value) -> Result<Vec<Value>> {
+    pub fn aggregate(&self, pipeline: &Value) -> Result<Docs> {
         let stages = parse_pipeline(pipeline)?;
         // A leading $match can use the index-assisted find path.
         if let Some(Stage::Match(_)) = stages.first() {
@@ -420,7 +432,7 @@ mod tests {
                 {"$count": "n_li"},
             ]))
             .unwrap();
-        assert_eq!(out, vec![json!({"n_li": 3})]);
+        assert_eq!(out, crate::value::to_docs(vec![json!({"n_li": 3})]));
     }
 
     #[test]

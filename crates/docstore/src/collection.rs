@@ -6,9 +6,9 @@ use crate::cursor::FindOptions;
 use crate::error::{Result, StoreError};
 use crate::index::{DocId, Index};
 use crate::profiler::{OpKind, Profiler};
-use crate::query::Filter;
+use crate::query::{CompiledFilter, Filter};
 use crate::update::Update;
-use crate::value::OrderedValue;
+use crate::value::{Docs, Document, OrderedValue};
 use mp_exec::WorkPool;
 use mp_sync::{LockRank, OrderedRwLock};
 use serde_json::{json, Value};
@@ -96,7 +96,11 @@ pub struct QueryPlan {
 }
 
 struct Inner {
-    docs: BTreeMap<DocId, Value>,
+    /// Documents are shared-ownership: readers clone the `Arc` (a pointer
+    /// bump) and never the document. Writers copy-on-write — clone the
+    /// JSON once, mutate the copy, swap the `Arc` in — so any snapshot a
+    /// reader took stays exactly what it was when the lock was released.
+    docs: BTreeMap<DocId, Arc<Document>>,
     by_id: BTreeMap<OrderedValue, DocId>,
     indexes: Vec<Index>,
 }
@@ -200,7 +204,7 @@ impl Collection {
             ix.insert(id_num, &doc)?;
         }
         inner.by_id.insert(OrderedValue(id_val.clone()), id_num);
-        inner.docs.insert(id_num, doc);
+        inner.docs.insert(id_num, Arc::new(doc));
         self.bump_version();
         Ok(id_val)
     }
@@ -211,30 +215,33 @@ impl Collection {
     }
 
     /// Find documents matching a JSON filter with default options.
-    pub fn find(&self, filter: &Value) -> Result<Vec<Value>> {
+    pub fn find(&self, filter: &Value) -> Result<Docs> {
         self.find_with(filter, &FindOptions::all())
     }
 
     /// Find with sort/skip/limit/projection.
-    pub fn find_with(&self, filter: &Value, opts: &FindOptions) -> Result<Vec<Value>> {
+    ///
+    /// Returns shared documents ([`Docs`]): no deep copy is made on the
+    /// way out, and a projection materializes only the projected fields
+    /// from the borrowed document.
+    pub fn find_with(&self, filter: &Value, opts: &FindOptions) -> Result<Docs> {
         let _t = self.profiler.start(&self.name, OpKind::Find);
-        let f = Filter::parse(filter)?;
-        let inner = self.inner.read();
-        let mut out = self.scan(&inner, &f);
+        let cf = Filter::parse(filter)?.compile();
+        let mut out = self.scan(&cf);
         opts.apply_order(&mut out);
         if opts.projection.is_some() {
-            out = out.iter().map(|d| opts.project_doc(d)).collect();
+            out = out.iter().map(|d| Arc::new(opts.project_doc(d))).collect();
         }
         Ok(out)
     }
 
     /// First matching document, if any.
-    pub fn find_one(&self, filter: &Value) -> Result<Option<Value>> {
+    pub fn find_one(&self, filter: &Value) -> Result<Option<Arc<Document>>> {
         Ok(self.find_with(filter, &FindOptions::all().limit(1))?.pop())
     }
 
-    /// Fetch by `_id` directly.
-    pub fn get(&self, id: &Value) -> Option<Value> {
+    /// Fetch by `_id` directly (a shared snapshot, not a copy).
+    pub fn get(&self, id: &Value) -> Option<Arc<Document>> {
         let inner = self.inner.read();
         let did = *inner.by_id.get(&OrderedValue(id.clone()))?;
         inner.docs.get(&did).cloned()
@@ -243,39 +250,37 @@ impl Collection {
     /// Count documents matching the filter.
     pub fn count(&self, filter: &Value) -> Result<usize> {
         let _t = self.profiler.start(&self.name, OpKind::Count);
-        let f = Filter::parse(filter)?;
+        let cf = Filter::parse(filter)?.compile();
         let inner = self.inner.read();
-        if f.is_empty() {
+        if cf.is_empty() {
             return Ok(inner.docs.len());
         }
-        Ok(self.count_in(&inner, &f))
+        Ok(self.count_in(&inner, &cf))
     }
 
-    /// Find with a pre-parsed filter: the lean path the shard router's
-    /// scatter-gather uses, skipping the per-shard filter re-parse and
-    /// operation-sampling overhead of [`Collection::find`].
-    pub fn find_filter(&self, f: &Filter) -> Vec<Value> {
-        let inner = self.inner.read();
-        self.scan(&inner, f)
+    /// Find with a pre-compiled filter: the lean path the shard router's
+    /// scatter-gather uses, skipping the per-shard filter re-parse (and
+    /// re-compile) and operation-sampling overhead of [`Collection::find`].
+    pub fn find_filter(&self, cf: &CompiledFilter) -> Docs {
+        self.scan(cf)
     }
 
-    /// Count with a pre-parsed filter (lean scatter path, see
+    /// Count with a pre-compiled filter (lean scatter path, see
     /// [`Collection::find_filter`]).
-    pub fn count_filter(&self, f: &Filter) -> usize {
+    pub fn count_filter(&self, cf: &CompiledFilter) -> usize {
         let inner = self.inner.read();
-        if f.is_empty() {
+        if cf.is_empty() {
             return inner.docs.len();
         }
-        self.count_in(&inner, f)
+        self.count_in(&inner, cf)
     }
 
     /// Distinct values at `path` among documents matching `filter`.
     pub fn distinct(&self, path: &str, filter: &Value) -> Result<Vec<Value>> {
         let _t = self.profiler.start(&self.name, OpKind::Find);
-        let f = Filter::parse(filter)?;
-        let inner = self.inner.read();
+        let cf = Filter::parse(filter)?.compile();
         let mut set: BTreeMap<OrderedValue, ()> = BTreeMap::new();
-        for doc in self.scan(&inner, &f) {
+        for doc in self.scan(&cf) {
             for v in crate::value::get_path_multi(&doc, path) {
                 match v {
                     Value::Array(a) => {
@@ -316,21 +321,24 @@ impl Collection {
     ) -> Result<UpdateResult> {
         let _t = self.profiler.start(&self.name, OpKind::Update);
         let f = Filter::parse(filter)?;
+        let cf = f.compile();
         let u = Update::parse(update)?;
         let now = self.now();
         let mut inner = self.inner.write();
-        let ids = self.candidate_ids(&inner, &f);
+        let ids = self.candidate_ids(&inner, &cf);
         let mut res = UpdateResult::default();
         for id in ids {
-            let Some(old) = inner.docs.get(&id).filter(|d| f.matches(d)).cloned() else {
+            let Some(old) = inner.docs.get(&id).filter(|d| cf.matches(d)).cloned() else {
                 continue;
             };
             res.matched += 1;
-            let mut new_doc = old.clone();
+            // Copy-on-write: readers may hold the old Arc, so mutate a
+            // fresh copy and swap it in rather than writing through.
+            let mut new_doc = (*old).clone();
             u.apply(&mut new_doc, now, false)?;
-            if new_doc != old {
+            if new_doc != *old {
                 Self::reindex(&mut inner, id, &old, &new_doc)?;
-                inner.docs.insert(id, new_doc);
+                inner.docs.insert(id, Arc::new(new_doc));
                 res.modified += 1;
             }
             if only_one {
@@ -360,17 +368,17 @@ impl Collection {
         update: &Value,
         sort: Option<&FindOptions>,
         return_new: bool,
-    ) -> Result<Option<Value>> {
+    ) -> Result<Option<Arc<Document>>> {
         let _t = self.profiler.start(&self.name, OpKind::FindAndModify);
-        let f = Filter::parse(filter)?;
+        let cf = Filter::parse(filter)?.compile();
         let u = Update::parse(update)?;
         let now = self.now();
         let mut inner = self.inner.write();
-        let ids = self.candidate_ids(&inner, &f);
-        let mut matches: Vec<(DocId, &Value)> = ids
+        let ids = self.candidate_ids(&inner, &cf);
+        let mut matches: Vec<(DocId, &Arc<Document>)> = ids
             .iter()
             .filter_map(|id| inner.docs.get(id).map(|d| (*id, d)))
-            .filter(|(_, d)| f.matches(d))
+            .filter(|(_, d)| cf.matches(d))
             .collect();
         if matches.is_empty() {
             return Ok(None);
@@ -379,26 +387,28 @@ impl Collection {
             matches.sort_by(|a, b| opts.compare(a.1, b.1));
         }
         let (id, old_ref) = matches[0];
-        let old = old_ref.clone();
-        let mut new_doc = old.clone();
+        let old = Arc::clone(old_ref);
+        let mut new_doc = (*old).clone();
         u.apply(&mut new_doc, now, false)?;
-        if new_doc != old {
-            Self::reindex(&mut inner, id, &old, &new_doc)?;
-            inner.docs.insert(id, new_doc.clone());
+        if new_doc != *old {
+            let new_arc = Arc::new(new_doc);
+            Self::reindex(&mut inner, id, &old, &new_arc)?;
+            inner.docs.insert(id, Arc::clone(&new_arc));
             self.bump_version();
+            return Ok(Some(if return_new { new_arc } else { old }));
         }
-        Ok(Some(if return_new { new_doc } else { old }))
+        Ok(Some(old))
     }
 
     /// Delete all documents matching the filter; returns how many.
     pub fn delete_many(&self, filter: &Value) -> Result<usize> {
         let _t = self.profiler.start(&self.name, OpKind::Delete);
-        let f = Filter::parse(filter)?;
+        let cf = Filter::parse(filter)?.compile();
         let mut inner = self.inner.write();
         let ids: Vec<DocId> = self
-            .candidate_ids(&inner, &f)
+            .candidate_ids(&inner, &cf)
             .into_iter()
-            .filter(|id| inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false))
+            .filter(|id| inner.docs.get(id).map(|d| cf.matches(d)).unwrap_or(false))
             .collect();
         for id in &ids {
             if let Some(doc) = inner.docs.remove(id) {
@@ -417,11 +427,11 @@ impl Collection {
 
     /// Delete the first matching document. Returns true if one was removed.
     pub fn delete_one(&self, filter: &Value) -> Result<bool> {
-        let f = Filter::parse(filter)?;
+        let cf = Filter::parse(filter)?.compile();
         let mut inner = self.inner.write();
-        let ids = self.candidate_ids(&inner, &f);
+        let ids = self.candidate_ids(&inner, &cf);
         for id in ids {
-            let matched = inner.docs.get(&id).map(|d| f.matches(d)).unwrap_or(false);
+            let matched = inner.docs.get(&id).map(|d| cf.matches(d)).unwrap_or(false);
             if matched {
                 let Some(doc) = inner.docs.remove(&id) else {
                     continue;
@@ -478,8 +488,10 @@ impl Collection {
             .collect()
     }
 
-    /// Snapshot every document (used by MapReduce and persistence).
-    pub fn dump(&self) -> Vec<Value> {
+    /// Snapshot every document (used by MapReduce and persistence). The
+    /// snapshot shares ownership with the store: cost is one `Arc` bump
+    /// per document, not a deep copy.
+    pub fn dump(&self) -> Docs {
         self.inner.read().docs.values().cloned().collect()
     }
 
@@ -503,12 +515,12 @@ impl Collection {
     /// plan is the one `find`/`count` actually execute (both call the
     /// same planner).
     pub fn explain(&self, filter: &Value) -> Result<Value> {
-        let f = Filter::parse(filter)?;
+        let cf = Filter::parse(filter)?.compile();
         let inner = self.inner.read();
-        let (plan, considered) = Self::plan_query(&inner, &f);
+        let (plan, considered) = Self::plan_query(&inner, &cf);
         let docs_examined = match plan.kind {
             PlanKind::Collscan => inner.docs.len(),
-            _ => Self::plan_candidates(&inner, &f, &plan).len(),
+            _ => Self::plan_candidates(&inner, &cf, &plan).len(),
         };
         let considered: Vec<Value> = considered
             .iter()
@@ -526,16 +538,16 @@ impl Collection {
             "index": plan.index,
             "docs_examined": docs_examined,
             "docs_total": inner.docs.len(),
-            "filter_paths": f.touched_paths(),
+            "filter_paths": cf.touched_paths(),
             "considered": considered,
         }))
     }
 
     /// The plan `find`/`count` would execute for `filter` right now.
     pub fn plan_for(&self, filter: &Value) -> Result<QueryPlan> {
-        let f = Filter::parse(filter)?;
+        let cf = Filter::parse(filter)?.compile();
         let inner = self.inner.read();
-        Ok(Self::plan_query(&inner, &f).0)
+        Ok(Self::plan_query(&inner, &cf).0)
     }
 
     // ---- internals ----
@@ -545,7 +557,7 @@ impl Collection {
     /// materialization) and keep the cheapest; ties prefer equality over
     /// `$in` over range over scan, then earlier-created indexes. Returns
     /// the winner plus everything considered, for `explain()`.
-    fn plan_query(inner: &Inner, f: &Filter) -> (QueryPlan, Vec<QueryPlan>) {
+    fn plan_query(inner: &Inner, f: &CompiledFilter) -> (QueryPlan, Vec<QueryPlan>) {
         if let Some(id_val) = f.equality_on("_id") {
             let plan = QueryPlan {
                 kind: PlanKind::IdLookup,
@@ -592,7 +604,7 @@ impl Collection {
     }
 
     /// Materialize the candidate ids for an already-chosen plan.
-    fn plan_candidates(inner: &Inner, f: &Filter, plan: &QueryPlan) -> Vec<DocId> {
+    fn plan_candidates(inner: &Inner, f: &CompiledFilter, plan: &QueryPlan) -> Vec<DocId> {
         if plan.kind == PlanKind::IdLookup {
             let Some(id_val) = f.equality_on("_id") else {
                 return Vec::new();
@@ -630,40 +642,46 @@ impl Collection {
         }
     }
 
-    /// Ids worth checking for `f`, via the planner's chosen access path
+    /// Ids worth checking for `cf`, via the planner's chosen access path
     /// (used by the update/delete paths, which need ids, not documents).
-    fn candidate_ids(&self, inner: &Inner, f: &Filter) -> Vec<DocId> {
-        let (plan, _) = Self::plan_query(inner, f);
-        Self::plan_candidates(inner, f, &plan)
+    fn candidate_ids(&self, inner: &Inner, cf: &CompiledFilter) -> Vec<DocId> {
+        let (plan, _) = Self::plan_query(inner, cf);
+        Self::plan_candidates(inner, cf, &plan)
     }
 
-    /// Plan, then execute: resolve candidate documents and match-filter
-    /// them, in parallel chunks when the candidate set is large and the
-    /// global pool has more than one slot. A COLLSCAN walks document
-    /// values directly instead of materializing every id and re-probing
-    /// the tree per id.
-    fn scan(&self, inner: &Inner, f: &Filter) -> Vec<Value> {
-        let (plan, _) = Self::plan_query(inner, f);
-        self.profiler.bump(plan.kind.counter());
-        let docs: Vec<&Value> = match plan.kind {
-            PlanKind::Collscan => inner.docs.values().collect(),
-            _ => Self::plan_candidates(inner, f, &plan)
-                .into_iter()
-                .filter_map(|id| inner.docs.get(&id))
-                .collect(),
+    /// Plan, then execute as a *snapshot scan*: the collection lock is
+    /// held only long enough to choose the plan and clone the `Arc`s of
+    /// the candidate set; match evaluation (in parallel chunks when the
+    /// set is large and the global pool has more than one slot) runs
+    /// lock-free on the released snapshot, so writers are never blocked
+    /// behind a large scan. A COLLSCAN walks document values directly
+    /// instead of materializing every id and re-probing the tree per id.
+    fn scan(&self, cf: &CompiledFilter) -> Docs {
+        let candidates: Docs = {
+            let inner = self.inner.read();
+            let (plan, _) = Self::plan_query(&inner, cf);
+            self.profiler.bump(plan.kind.counter());
+            match plan.kind {
+                PlanKind::Collscan => inner.docs.values().cloned().collect(),
+                _ => Self::plan_candidates(&inner, cf, &plan)
+                    .into_iter()
+                    .filter_map(|id| inner.docs.get(&id).cloned())
+                    .collect(),
+            }
         };
-        filter_matches(WorkPool::global(), docs, f)
+        filter_matches(WorkPool::global(), candidates, cf)
     }
 
-    /// Counting twin of `scan`: same planner, no document cloning.
-    fn count_in(&self, inner: &Inner, f: &Filter) -> usize {
-        let (plan, _) = Self::plan_query(inner, f);
+    /// Counting twin of `scan`: same planner; counts under the read lock
+    /// (no snapshot needed — nothing is handed out).
+    fn count_in(&self, inner: &Inner, cf: &CompiledFilter) -> usize {
+        let (plan, _) = Self::plan_query(inner, cf);
         self.profiler.bump(plan.kind.counter());
         match plan.kind {
-            PlanKind::Collscan => inner.docs.values().filter(|d| f.matches(d)).count(),
-            _ => Self::plan_candidates(inner, f, &plan)
+            PlanKind::Collscan => inner.docs.values().filter(|d| cf.matches(d)).count(),
+            _ => Self::plan_candidates(inner, cf, &plan)
                 .into_iter()
-                .filter(|id| inner.docs.get(id).map(|d| f.matches(d)).unwrap_or(false))
+                .filter(|id| inner.docs.get(id).map(|d| cf.matches(d)).unwrap_or(false))
                 .count(),
         }
     }
@@ -689,24 +707,25 @@ impl Collection {
     }
 }
 
-/// Match-filter candidate documents, splitting large sets into one chunk
-/// per pool slot and evaluating them on the work pool. Chunk results are
-/// concatenated in chunk order, so the output order is identical to the
-/// sequential path.
-fn filter_matches(pool: &WorkPool, docs: Vec<&Value>, f: &Filter) -> Vec<Value> {
+/// Match-filter a snapshot of candidate documents, splitting large sets
+/// into one chunk per pool slot and evaluating them on the work pool.
+/// Chunk results are concatenated in chunk order, so the output order is
+/// identical to the sequential path. A match retains the `Arc` (pointer
+/// bump) — the documents themselves are never copied.
+fn filter_matches(pool: &WorkPool, docs: Docs, cf: &CompiledFilter) -> Docs {
     if docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
         let per_chunk = docs.len().div_ceil(pool.size());
-        let chunks: Vec<&[&Value]> = docs.chunks(per_chunk).collect();
+        let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
         let parts = pool.scatter(chunks, |chunk| {
             chunk
                 .iter()
-                .filter(|d| f.matches(d))
-                .map(|d| (*d).clone())
-                .collect::<Vec<Value>>()
+                .filter(|d| cf.matches(d))
+                .cloned()
+                .collect::<Docs>()
         });
         parts.into_iter().flatten().collect()
     } else {
-        docs.into_iter().filter(|d| f.matches(d)).cloned().collect()
+        docs.into_iter().filter(|d| cf.matches(d)).collect()
     }
 }
 
@@ -1084,11 +1103,12 @@ mod tests {
     #[cfg_attr(miri, ignore = "10k docs and real threads are slow under miri")]
     fn parallel_chunked_scan_matches_sequential() {
         let pool = WorkPool::new(4);
-        let owned: Vec<Value> = (0..10_000).map(|i| json!({"n": i, "grp": i % 7})).collect();
-        let docs: Vec<&Value> = owned.iter().collect();
-        let f = Filter::parse(&json!({"grp": 3})).unwrap();
-        let par = filter_matches(&pool, docs.clone(), &f);
-        let seq: Vec<Value> = docs.into_iter().filter(|d| f.matches(d)).cloned().collect();
+        let docs: Docs = (0..10_000)
+            .map(|i| Arc::new(json!({"n": i, "grp": i % 7})))
+            .collect();
+        let cf = Filter::parse(&json!({"grp": 3})).unwrap().compile();
+        let par = filter_matches(&pool, docs.clone(), &cf);
+        let seq: Docs = docs.into_iter().filter(|d| cf.matches(d)).collect();
         assert_eq!(par, seq, "chunked parallel scan must preserve order");
         assert_eq!(
             pool.stats().scatters,
@@ -1105,10 +1125,10 @@ mod tests {
         }
         c.create_index("grp", false).unwrap();
         let q = json!({"grp": 2});
-        let f = Filter::parse(&q).unwrap();
-        assert_eq!(c.find_filter(&f), c.find(&q).unwrap());
-        assert_eq!(c.count_filter(&f), c.count(&q).unwrap());
-        let empty = Filter::parse(&json!({})).unwrap();
+        let cf = Filter::parse(&q).unwrap().compile();
+        assert_eq!(c.find_filter(&cf), c.find(&q).unwrap());
+        assert_eq!(c.count_filter(&cf), c.count(&q).unwrap());
+        let empty = Filter::parse(&json!({})).unwrap().compile();
         assert_eq!(c.count_filter(&empty), 30);
     }
 

@@ -3,6 +3,7 @@
 
 use crate::value::{cmp_values, get_path, set_path};
 use serde_json::{Map, Value};
+use std::borrow::Borrow;
 use std::cmp::Ordering;
 
 /// Sort direction for one key.
@@ -55,10 +56,12 @@ impl FindOptions {
         self
     }
 
-    /// Apply sort/skip/limit to a materialized result set.
-    pub fn apply_order(&self, docs: &mut Vec<Value>) {
+    /// Apply sort/skip/limit to a materialized result set. Generic over
+    /// ownership so it sorts owned `Vec<Value>` and shared [`crate::value::Docs`]
+    /// alike (reordering `Arc`s moves pointers, not documents).
+    pub fn apply_order<D: Borrow<Value>>(&self, docs: &mut Vec<D>) {
         if !self.sort.is_empty() {
-            docs.sort_by(|a, b| self.compare(a, b));
+            docs.sort_by(|a, b| self.compare(a.borrow(), b.borrow()));
         }
         if self.skip > 0 {
             let n = self.skip.min(docs.len());

@@ -75,10 +75,10 @@ fn walk(
 /// two nodes are the same schema node when they share the same path of
 /// object keys (array elements collapse into one). This matches how the
 /// paper summarizes a whole collection with a single structure graph.
-pub fn schema_stats(docs: &[Value]) -> DocStats {
+pub fn schema_stats<D: std::borrow::Borrow<Value>>(docs: &[D]) -> DocStats {
     let mut schema = Value::Object(serde_json::Map::new());
     for d in docs {
-        merge_schema(&mut schema, d);
+        merge_schema(&mut schema, d.borrow());
     }
     doc_stats(&schema)
 }

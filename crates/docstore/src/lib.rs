@@ -63,6 +63,7 @@ pub use index::{DocId, Index};
 pub use mapreduce::{BuiltinEngine, HadoopEngine, HdfsStage, MapReduce};
 pub use persist::{JournalOp, Persister};
 pub use profiler::{OpKind, Profiler, RemoteLatencyModel};
-pub use query::Filter;
+pub use query::{CompiledFilter, Filter};
 pub use shard::{ReadPreference, ReplicaSet, ShardedCluster};
 pub use update::Update;
+pub use value::{to_docs, Docs, Document};

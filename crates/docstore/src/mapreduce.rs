@@ -15,9 +15,10 @@
 //! (§III-B3) are both written against the [`MapReduce`] trait.
 
 use crate::error::Result;
-use crate::value::OrderedValue;
+use crate::value::{Document, OrderedValue};
 use serde_json::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Emits `(key, value)` pairs for one input document.
 pub type MapFn = dyn Fn(&Value, &mut dyn FnMut(Value, Value)) + Sync;
@@ -25,10 +26,19 @@ pub type MapFn = dyn Fn(&Value, &mut dyn FnMut(Value, Value)) + Sync;
 pub type ReduceFn = dyn Fn(&Value, &[Value]) -> Value + Sync;
 
 /// A MapReduce execution engine.
+///
+/// Inputs are shared-ownership [`Arc<Document>`]s — the same handles the
+/// read path returns — so staging a collection into a job never deep-copies
+/// it; mappers borrow `&Value` through the `Arc`.
 pub trait MapReduce {
     /// Run map + shuffle + reduce over `docs`; returns key → reduced value
     /// in key order.
-    fn run(&self, docs: &[Value], map: &MapFn, reduce: &ReduceFn) -> Result<Vec<(Value, Value)>>;
+    fn run(
+        &self,
+        docs: &[Arc<Document>],
+        map: &MapFn,
+        reduce: &ReduceFn,
+    ) -> Result<Vec<(Value, Value)>>;
 
     /// Engine display name (for experiment tables).
     fn name(&self) -> &'static str;
@@ -62,7 +72,12 @@ fn spin_ns(ns: u64) {
 }
 
 impl MapReduce for BuiltinEngine {
-    fn run(&self, docs: &[Value], map: &MapFn, reduce: &ReduceFn) -> Result<Vec<(Value, Value)>> {
+    fn run(
+        &self,
+        docs: &[Arc<Document>],
+        map: &MapFn,
+        reduce: &ReduceFn,
+    ) -> Result<Vec<(Value, Value)>> {
         let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
         for doc in docs {
             spin_ns(self.overhead_ns);
@@ -105,14 +120,19 @@ impl HadoopEngine {
 }
 
 impl MapReduce for HadoopEngine {
-    fn run(&self, docs: &[Value], map: &MapFn, reduce: &ReduceFn) -> Result<Vec<(Value, Value)>> {
+    fn run(
+        &self,
+        docs: &[Arc<Document>],
+        map: &MapFn,
+        reduce: &ReduceFn,
+    ) -> Result<Vec<(Value, Value)>> {
         let nw = self.workers.min(docs.len().max(1));
         let chunk = docs.len().div_ceil(nw);
 
         // Scatter one partition per configured worker over the shared
         // pool; chunk outputs come back in partition order, so the merge
         // below is deterministic regardless of scheduling.
-        let parts: Vec<&[Value]> = docs.chunks(chunk.max(1)).collect();
+        let parts: Vec<&[Arc<Document>]> = docs.chunks(chunk.max(1)).collect();
         let partials: Vec<BTreeMap<OrderedValue, Vec<Value>>> = mp_exec::WorkPool::global()
             .scatter(parts, |part| {
                 let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
@@ -173,14 +193,15 @@ pub fn sum_reduce(_key: &Value, values: &[Value]) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::to_docs;
     use serde_json::json;
 
-    fn word_docs() -> Vec<Value> {
-        vec![
+    fn word_docs() -> crate::value::Docs {
+        to_docs(vec![
             json!({"els": ["Li", "O"]}),
             json!({"els": ["Fe", "O"]}),
             json!({"els": ["Li", "Fe", "O"]}),
-        ]
+        ])
     }
 
     fn count_map(doc: &Value, emit: &mut dyn FnMut(Value, Value)) {
@@ -207,8 +228,8 @@ mod tests {
 
     #[test]
     fn hadoop_matches_builtin() {
-        let docs: Vec<Value> = (0..500)
-            .map(|i| json!({"els": [format!("E{}", i % 13)], "n": i}))
+        let docs: crate::value::Docs = (0..500)
+            .map(|i| Arc::new(json!({"els": [format!("E{}", i % 13)], "n": i})))
             .collect();
         let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
             emit(doc["els"][0].clone(), doc["n"].clone());
@@ -227,7 +248,7 @@ mod tests {
     #[test]
     fn single_value_keys_skip_reduce() {
         // Reduce must not be called for singleton groups (Mongo contract).
-        let docs = vec![json!({"k": "a"}), json!({"k": "b"})];
+        let docs = to_docs(vec![json!({"k": "a"}), json!({"k": "b"})]);
         let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
             emit(doc["k"].clone(), json!(1));
         };
@@ -248,11 +269,11 @@ mod tests {
     fn group_best_pattern() {
         // The materials-view pattern: group tasks by mps_id, keep the one
         // with lowest energy.
-        let docs = vec![
+        let docs = to_docs(vec![
             json!({"mps_id": 1, "energy": -3.0}),
             json!({"mps_id": 1, "energy": -5.0}),
             json!({"mps_id": 2, "energy": -1.0}),
-        ];
+        ]);
         let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {
             emit(doc["mps_id"].clone(), doc.clone());
         };
@@ -282,7 +303,7 @@ mod tests {
 /// references to the data" — the stage records its source collection
 /// and document count for exactly that purpose.
 pub struct HdfsStage {
-    docs: std::sync::Arc<Vec<Value>>,
+    docs: std::sync::Arc<crate::value::Docs>,
     /// Source collection name (the reference kept in MongoDB).
     pub source: String,
     /// Store op-count at staging time (staleness diagnostics).

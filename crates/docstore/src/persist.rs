@@ -117,7 +117,9 @@ impl Persister {
             for name in db.collection_names() {
                 let coll = db.collection(&name);
                 for doc in coll.dump() {
-                    let line = json!({"c": name, "d": doc});
+                    // `doc` is a shared Arc handle; borrow it into the
+                    // snapshot line rather than cloning the document.
+                    let line = json!({"c": name, "d": *doc});
                     writeln!(w, "{line}")
                         .map_err(|e| StoreError::Persistence(format!("snapshot write: {e}")))?;
                 }

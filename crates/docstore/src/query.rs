@@ -6,7 +6,10 @@
 //! through exactly this code path.
 
 use crate::error::{Result, StoreError};
-use crate::value::{cmp_values, get_path, get_path_multi, type_name, values_equal};
+use crate::value::{
+    any_at_path, cmp_values, compile_path, get_path, get_path_multi, get_path_segs, type_name,
+    values_equal, PathSeg,
+};
 use serde_json::Value;
 use std::cmp::Ordering;
 
@@ -183,6 +186,285 @@ impl Filter {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Compile the filter for the zero-allocation match path: every dotted
+    /// path is pre-split into segments and every `$in`/`$nin` operand list
+    /// is pre-sorted for binary-search probes. `matches` on the compiled
+    /// form allocates nothing per document. Parse once, compile once,
+    /// share across shards and scan chunks.
+    pub fn compile(&self) -> CompiledFilter {
+        CompiledFilter {
+            fields: self
+                .fields
+                .iter()
+                .map(|(path, preds)| {
+                    (
+                        CompiledPath {
+                            raw: path.clone(),
+                            segs: compile_path(path),
+                        },
+                        preds.iter().map(CompiledPredicate::from).collect(),
+                    )
+                })
+                .collect(),
+            and: self.and.iter().map(Filter::compile).collect(),
+            or: self.or.iter().map(Filter::compile).collect(),
+            nor: self.nor.iter().map(Filter::compile).collect(),
+        }
+    }
+}
+
+/// A dotted path pre-split into segments, keeping the raw text for the
+/// planner (index paths are matched by their dotted spelling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPath {
+    raw: String,
+    segs: Vec<PathSeg>,
+}
+
+/// [`Predicate`] with per-document work hoisted to compile time: `$in`
+/// and `$nin` carry a second operand list sorted under [`cmp_values`] so
+/// membership is a binary search instead of a linear scan. The original
+/// operand order is retained for the planner, whose index estimates (and
+/// therefore `explain` output) must not change under compilation.
+#[derive(Debug, Clone, PartialEq)]
+enum CompiledPredicate {
+    Eq(Value),
+    Ne(Value),
+    Gt(Value),
+    Gte(Value),
+    Lt(Value),
+    Lte(Value),
+    In { raw: Vec<Value>, sorted: Vec<Value> },
+    Nin(Vec<Value>),
+    All(Vec<Value>),
+    Size(usize),
+    Exists(bool),
+    Type(String),
+    Contains(String),
+    StartsWith(String),
+    Mod(i64, i64),
+    ElemMatch(Box<CompiledFilter>),
+    Not(Vec<CompiledPredicate>),
+}
+
+impl From<&Predicate> for CompiledPredicate {
+    fn from(p: &Predicate) -> Self {
+        match p {
+            Predicate::Eq(v) => CompiledPredicate::Eq(v.clone()),
+            Predicate::Ne(v) => CompiledPredicate::Ne(v.clone()),
+            Predicate::Gt(v) => CompiledPredicate::Gt(v.clone()),
+            Predicate::Gte(v) => CompiledPredicate::Gte(v.clone()),
+            Predicate::Lt(v) => CompiledPredicate::Lt(v.clone()),
+            Predicate::Lte(v) => CompiledPredicate::Lte(v.clone()),
+            Predicate::In(vs) => CompiledPredicate::In {
+                raw: vs.clone(),
+                sorted: sort_operands(vs),
+            },
+            Predicate::Nin(vs) => CompiledPredicate::Nin(sort_operands(vs)),
+            Predicate::All(vs) => CompiledPredicate::All(vs.clone()),
+            Predicate::Size(n) => CompiledPredicate::Size(*n),
+            Predicate::Exists(b) => CompiledPredicate::Exists(*b),
+            Predicate::Type(t) => CompiledPredicate::Type(t.clone()),
+            Predicate::Contains(s) => CompiledPredicate::Contains(s.clone()),
+            Predicate::StartsWith(s) => CompiledPredicate::StartsWith(s.clone()),
+            Predicate::Mod(d, r) => CompiledPredicate::Mod(*d, *r),
+            Predicate::ElemMatch(f) => CompiledPredicate::ElemMatch(Box::new(f.compile())),
+            Predicate::Not(ps) => CompiledPredicate::Not(ps.iter().map(Self::from).collect()),
+        }
+    }
+}
+
+fn sort_operands(vs: &[Value]) -> Vec<Value> {
+    let mut out = vs.to_vec();
+    out.sort_by(cmp_values);
+    out
+}
+
+/// Sorted-set membership with MongoDB equality semantics: true when the
+/// stored value equals any operand, or (stored array, scalar operand) any
+/// element does. Equivalent to `set.iter().any(|s| eq_or_contains(v, s))`
+/// — `cmp_values == Equal` implies equal type ranks, so a binary-search
+/// hit is exactly a `values_equal` hit, and an array element can only
+/// ever equal a non-array operand when the element itself is non-array.
+fn in_sorted(sorted: &[Value], stored: &Value) -> bool {
+    let found = |v: &Value| {
+        sorted
+            .binary_search_by(|probe| cmp_values(probe, v))
+            .is_ok()
+    };
+    if found(stored) {
+        return true;
+    }
+    if let Value::Array(a) = stored {
+        return a.iter().any(|e| !e.is_array() && found(e));
+    }
+    false
+}
+
+/// A [`Filter`] compiled for repeated matching: the product of
+/// [`Filter::compile`]. `matches` performs zero heap allocation per
+/// document — paths are pre-split, numeric segments pre-parsed, and
+/// `$in`/`$nin` membership is a binary search over pre-sorted operands.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledFilter {
+    fields: Vec<(CompiledPath, Vec<CompiledPredicate>)>,
+    and: Vec<CompiledFilter>,
+    or: Vec<CompiledFilter>,
+    nor: Vec<CompiledFilter>,
+}
+
+impl CompiledFilter {
+    /// True when this filter matches everything.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.and.is_empty() && self.or.is_empty() && self.nor.is_empty()
+    }
+
+    /// Does `doc` satisfy this filter? Decision-equivalent to
+    /// [`Filter::matches`] on the source filter (property-tested), with
+    /// no per-document allocation.
+    pub fn matches(&self, doc: &Value) -> bool {
+        for (path, preds) in &self.fields {
+            if !preds.iter().all(|p| match_compiled(doc, path, p)) {
+                return false;
+            }
+        }
+        if !self.and.iter().all(|c| c.matches(doc)) {
+            return false;
+        }
+        if !self.or.is_empty() && !self.or.iter().any(|c| c.matches(doc)) {
+            return false;
+        }
+        if self.nor.iter().any(|c| c.matches(doc)) {
+            return false;
+        }
+        true
+    }
+
+    /// Compiled twin of [`Filter::equality_on`] (same contract), so the
+    /// planner runs on the compiled form without re-parsing.
+    pub fn equality_on(&self, path: &str) -> Option<&Value> {
+        for (p, preds) in &self.fields {
+            if p.raw == path {
+                for pred in preds {
+                    if let CompiledPredicate::Eq(v) = pred {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Compiled twin of [`Filter::in_on`]: returns the operands in their
+    /// *original* order so index estimates match the uncompiled planner.
+    pub fn in_on(&self, path: &str) -> Option<&[Value]> {
+        for (p, preds) in &self.fields {
+            if p.raw == path {
+                for pred in preds {
+                    if let CompiledPredicate::In { raw, .. } = pred {
+                        return Some(raw);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Compiled twin of [`Filter::range_on`] (same contract).
+    #[allow(clippy::type_complexity)]
+    pub fn range_on(&self, path: &str) -> Option<(Option<&Value>, bool, Option<&Value>, bool)> {
+        let mut lo: Option<(&Value, bool)> = None;
+        let mut hi: Option<(&Value, bool)> = None;
+        for (p, preds) in &self.fields {
+            if p.raw != path {
+                continue;
+            }
+            for pred in preds {
+                match pred {
+                    CompiledPredicate::Gt(v) => lo = Some((v, false)),
+                    CompiledPredicate::Gte(v) => lo = Some((v, true)),
+                    CompiledPredicate::Lt(v) => hi = Some((v, false)),
+                    CompiledPredicate::Lte(v) => hi = Some((v, true)),
+                    _ => {}
+                }
+            }
+        }
+        if lo.is_none() && hi.is_none() {
+            return None;
+        }
+        Some((
+            lo.map(|(v, _)| v),
+            lo.map(|(_, i)| i).unwrap_or(true),
+            hi.map(|(v, _)| v),
+            hi.map(|(_, i)| i).unwrap_or(true),
+        ))
+    }
+
+    /// Compiled twin of [`Filter::touched_paths`] (same contract).
+    pub fn touched_paths(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.fields.iter().map(|(p, _)| p.raw.as_str()).collect();
+        for sub in self.and.iter().chain(self.or.iter()).chain(self.nor.iter()) {
+            out.extend(sub.touched_paths());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Compiled twin of `match_predicate`: the reachable-value walk runs as a
+/// borrowing visitor ([`any_at_path`]) instead of materializing a `Vec`
+/// of references per document per predicate.
+fn match_compiled(doc: &Value, path: &CompiledPath, pred: &CompiledPredicate) -> bool {
+    let segs = &path.segs;
+    match pred {
+        CompiledPredicate::Exists(want) => {
+            let exists =
+                any_at_path(doc, segs, &mut |_| true) || get_path_segs(doc, segs).is_some();
+            exists == *want
+        }
+        CompiledPredicate::Ne(operand) => {
+            !any_at_path(doc, segs, &mut |v| eq_or_contains(v, operand))
+        }
+        CompiledPredicate::Nin(sorted) => !any_at_path(doc, segs, &mut |v| in_sorted(sorted, v)),
+        CompiledPredicate::Not(preds) => !preds.iter().all(|p| match_compiled(doc, path, p)),
+        _ => any_at_path(doc, segs, &mut |v| match_compiled_single(v, pred)),
+    }
+}
+
+fn match_compiled_single(stored: &Value, pred: &CompiledPredicate) -> bool {
+    match pred {
+        CompiledPredicate::Eq(operand) => eq_or_contains(stored, operand),
+        CompiledPredicate::Gt(o) => ord_match(stored, o, &[Ordering::Greater]),
+        CompiledPredicate::Gte(o) => ord_match(stored, o, &[Ordering::Greater, Ordering::Equal]),
+        CompiledPredicate::Lt(o) => ord_match(stored, o, &[Ordering::Less]),
+        CompiledPredicate::Lte(o) => ord_match(stored, o, &[Ordering::Less, Ordering::Equal]),
+        CompiledPredicate::In { sorted, .. } => in_sorted(sorted, stored),
+        CompiledPredicate::All(set) => match stored {
+            Value::Array(a) => set.iter().all(|s| a.iter().any(|e| values_equal(e, s))),
+            single => set.len() == 1 && values_equal(single, &set[0]),
+        },
+        CompiledPredicate::Size(n) => stored.as_array().map(|a| a.len() == *n).unwrap_or(false),
+        CompiledPredicate::Type(t) => type_name(stored) == t,
+        CompiledPredicate::Contains(s) => stored.as_str().map(|x| x.contains(s)).unwrap_or(false),
+        CompiledPredicate::StartsWith(s) => {
+            stored.as_str().map(|x| x.starts_with(s)).unwrap_or(false)
+        }
+        CompiledPredicate::Mod(d, r) => stored
+            .as_i64()
+            .map(|x| x.rem_euclid(*d) == (*r).rem_euclid(*d))
+            .unwrap_or(false),
+        CompiledPredicate::ElemMatch(cf) => stored
+            .as_array()
+            .map(|a| a.iter().any(|e| cf.matches(e)))
+            .unwrap_or(false),
+        // Handled in match_compiled:
+        CompiledPredicate::Ne(_)
+        | CompiledPredicate::Nin(_)
+        | CompiledPredicate::Exists(_)
+        | CompiledPredicate::Not(_) => false,
     }
 }
 

@@ -14,7 +14,7 @@ use crate::database::Database;
 use crate::error::{Result, StoreError};
 use crate::persist::JournalOp;
 use crate::query::Filter;
-use crate::value::get_path;
+use crate::value::{get_path, Docs};
 use mp_exec::WorkPool;
 use mp_sync::{LockRank, OrderedMutex};
 use serde_json::{json, Value};
@@ -81,9 +81,11 @@ impl ShardedCluster {
                     continue;
                 }
                 let id = doc.get("_id").cloned().unwrap_or(Value::Null);
+                // Migration is a write path: the destination takes its own
+                // copy of the document.
                 self.shards[target]
                     .collection(collection)
-                    .insert_one(doc.clone())?;
+                    .insert_one((*doc).clone())?;
                 coll.delete_one(&json!({ "_id": id }))?;
                 moved += 1;
             }
@@ -126,7 +128,7 @@ impl ShardedCluster {
 
     /// Find: targeted to one shard when the filter pins the shard key
     /// with an equality, otherwise scatter-gather across all shards.
-    pub fn find(&self, collection: &str, filter: &Value) -> Result<Vec<Value>> {
+    pub fn find(&self, collection: &str, filter: &Value) -> Result<Docs> {
         let parsed = Filter::parse(filter)?;
         if let Some(key_value) = parsed.equality_on(&self.shard_key) {
             self.stats.lock().0 += 1;
@@ -136,12 +138,14 @@ impl ShardedCluster {
                 .find(filter);
         }
         self.stats.lock().1 += 1;
-        // Scatter-gather: the filter is parsed once here and every shard
-        // is probed through the lean `find_filter` path on the pool; the
-        // merge keeps shard order, matching the sequential router.
+        // Scatter-gather: the filter is parsed and compiled once here and
+        // every shard is probed through the lean `find_filter` path on
+        // the pool, sharing the one compiled form; the merge keeps shard
+        // order, matching the sequential router.
+        let cf = parsed.compile();
         let shards: Vec<&Database> = self.shards.iter().collect();
         let parts =
-            WorkPool::global().scatter(shards, |s| s.collection(collection).find_filter(&parsed));
+            WorkPool::global().scatter(shards, |s| s.collection(collection).find_filter(&cf));
         Ok(parts.into_iter().flatten().collect())
     }
 
@@ -154,9 +158,10 @@ impl ShardedCluster {
                 .collection(collection)
                 .count(filter);
         }
+        let cf = parsed.compile();
         let shards: Vec<&Database> = self.shards.iter().collect();
         let counts =
-            WorkPool::global().scatter(shards, |s| s.collection(collection).count_filter(&parsed));
+            WorkPool::global().scatter(shards, |s| s.collection(collection).count_filter(&cf));
         Ok(counts.into_iter().sum())
     }
 
@@ -272,7 +277,7 @@ impl ReplicaSet {
             .expect("just inserted");
         self.oplog.lock().push(JournalOp::Insert {
             collection: collection.to_string(),
-            doc: stored,
+            doc: (*stored).clone(),
         });
         Ok(id)
     }
@@ -318,12 +323,7 @@ impl ReplicaSet {
     }
 
     /// Read with a preference.
-    pub fn find(
-        &self,
-        pref: ReadPreference,
-        collection: &str,
-        filter: &Value,
-    ) -> Result<Vec<Value>> {
+    pub fn find(&self, pref: ReadPreference, collection: &str, filter: &Value) -> Result<Docs> {
         match pref {
             ReadPreference::Primary => {
                 self.router.lock().primary_reads += 1;
@@ -357,7 +357,7 @@ impl ReplicaSet {
         max_lag: usize,
         collection: &str,
         filter: &Value,
-    ) -> Result<Vec<Value>> {
+    ) -> Result<Docs> {
         let lags = self.lag();
         let eligible: Vec<usize> = lags
             .iter()

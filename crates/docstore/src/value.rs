@@ -7,13 +7,89 @@
 
 use serde_json::{Map, Value};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// A document is a JSON object; this alias marks the intent.
 pub type Document = Value;
 
+/// A shared-ownership result set: the read path hands out `Arc`s to the
+/// stored documents instead of deep clones, so a match costs a pointer
+/// bump and returned documents are immutable snapshots (writers replace
+/// the `Arc` in the store; they never mutate through it).
+pub type Docs = Vec<Arc<Document>>;
+
+/// Wrap owned documents into the shared-ownership form used by the read
+/// path (handy for tests and benches that build corpora by hand).
+pub fn to_docs(docs: Vec<Value>) -> Docs {
+    docs.into_iter().map(Arc::new).collect()
+}
+
 /// Split a dotted path into segments. An empty path yields no segments.
 pub fn path_segments(path: &str) -> impl Iterator<Item = &str> {
     path.split('.').filter(|s| !s.is_empty())
+}
+
+/// One pre-split segment of a dotted path: the raw key plus its numeric
+/// parse, done once at compile time instead of per document per predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSeg {
+    /// The segment text (`"elements"` in `"spec.elements.0"`).
+    pub key: String,
+    /// `Some(n)` when the segment is a valid array index.
+    pub index: Option<usize>,
+}
+
+/// Pre-split a dotted path into segments (see [`PathSeg`]).
+pub fn compile_path(path: &str) -> Vec<PathSeg> {
+    path_segments(path)
+        .map(|s| PathSeg {
+            key: s.to_string(),
+            index: s.parse::<usize>().ok(),
+        })
+        .collect()
+}
+
+/// [`get_path`] over pre-split segments: no per-call splitting or numeric
+/// re-parsing. Same strict semantics (arrays only by numeric index).
+pub fn get_path_segs<'a>(doc: &'a Value, segs: &[PathSeg]) -> Option<&'a Value> {
+    let mut cur = doc;
+    for seg in segs {
+        match cur {
+            Value::Object(m) => cur = m.get(&seg.key)?,
+            Value::Array(a) => cur = a.get(seg.index?)?,
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+/// Zero-allocation twin of [`get_path_multi`]: visit every value reachable
+/// at the pre-split path (with MongoDB's implicit array traversal) until
+/// `pred` returns true. Returns whether any visited value satisfied it.
+/// Visit order is identical to the order `get_path_multi` collects in, so
+/// "first match" semantics agree between the two.
+pub fn any_at_path(doc: &Value, segs: &[PathSeg], pred: &mut dyn FnMut(&Value) -> bool) -> bool {
+    if segs.is_empty() {
+        return pred(doc);
+    }
+    let seg = &segs[0];
+    match doc {
+        Value::Object(m) => m
+            .get(&seg.key)
+            .is_some_and(|v| any_at_path(v, &segs[1..], pred)),
+        Value::Array(a) => {
+            if let Some(v) = seg.index.and_then(|idx| a.get(idx)) {
+                if any_at_path(v, &segs[1..], pred) {
+                    return true;
+                }
+            }
+            // Implicit traversal: apply the same path to each element.
+            a.iter()
+                .filter(|v| v.is_object())
+                .any(|v| any_at_path(v, segs, pred))
+        }
+        _ => false,
+    }
 }
 
 /// Fetch the value at `path` inside `doc`, if present.

@@ -57,6 +57,51 @@ fn collection_upsert_read_index_rebuild() {
     });
 }
 
+/// Snapshot scan racing a copy-on-write update. The scan clones `Arc`
+/// handles under the collection lock and matches outside it; the update
+/// replaces documents rather than writing through them. So every
+/// document a reader holds must be internally consistent (`a == b`,
+/// never torn), and nothing the writer does afterwards may show through
+/// handles the reader already obtained.
+#[test]
+fn snapshot_scan_vs_cow_update() {
+    loom::model(|| {
+        let db = Arc::new(Database::new());
+        let coll = db.collection("m");
+        for i in 0..3 {
+            coll.insert_one(json!({"_id": format!("d{i}"), "a": 0, "b": 0}))
+                .unwrap();
+        }
+
+        let writer = {
+            let db = db.clone();
+            thread::spawn(move || {
+                db.collection("m")
+                    .update_many(&json!({}), &json!({"$set": {"a": 1, "b": 1}}))
+                    .unwrap();
+            })
+        };
+
+        let held = db.collection("m").find(&json!({})).unwrap();
+        assert_eq!(held.len(), 3);
+        for d in &held {
+            assert_eq!(d["a"], d["b"], "torn document: {d}");
+        }
+        let frozen: Vec<i64> = held.iter().map(|d| d["a"].as_i64().unwrap()).collect();
+
+        writer.join().unwrap();
+
+        // The writer finished, but the snapshot the reader holds is
+        // immutable: re-reading the same handles yields the same bytes.
+        let now: Vec<i64> = held.iter().map(|d| d["a"].as_i64().unwrap()).collect();
+        assert_eq!(frozen, now, "held snapshot mutated by a later write");
+        for d in db.collection("m").find(&json!({})).unwrap() {
+            assert_eq!(d["a"], json!(1));
+            assert_eq!(d["b"], json!(1));
+        }
+    });
+}
+
 /// Two threads race `Database::collection` on a name that does not
 /// exist yet: the read-probe/write-upgrade in `collection` must yield
 /// one shared instance, so both inserts land in the same collection.

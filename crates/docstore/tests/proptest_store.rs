@@ -76,7 +76,7 @@ proptest! {
         ] {
             let mut a = db_plain.collection("c").find(&q).unwrap();
             let mut b = ixc.find(&q).unwrap();
-            let key = |d: &Value| d["_id"].as_str().unwrap_or("").to_string();
+            let key = |d: &std::sync::Arc<Value>| d["_id"].as_str().unwrap_or("").to_string();
             a.sort_by_key(key);
             b.sort_by_key(key);
             // Ids differ between DBs; compare the `n` multiset instead.

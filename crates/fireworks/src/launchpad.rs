@@ -9,9 +9,10 @@
 //! Mongo query over the job inputs (§III-B2).
 
 use crate::firework::{Firework, FuseCondition, FwState, Stage, Workflow};
-use mp_docstore::{Database, FindOptions, Result, SortDir, StoreError};
+use mp_docstore::{Database, Docs, Document, FindOptions, Result, SortDir, StoreError};
 use mp_sync::{LockRank, OrderedMutex};
 use serde_json::{json, Value};
+use std::sync::Arc;
 
 /// What a worker reports after executing a claimed firework. The
 /// *Analyzer* (arbitrary code run after completion, §III-C2) decides
@@ -245,7 +246,7 @@ impl LaunchPad {
     /// (a Mongo filter over the engine doc, e.g.
     /// `{"spec.elements": {"$all": ["Li","O"]}}`). Highest-priority =
     /// fewest launches first, then insertion order.
-    pub fn claim_next(&self, extra_query: &Value, worker: &str) -> Result<Option<Value>> {
+    pub fn claim_next(&self, extra_query: &Value, worker: &str) -> Result<Option<Arc<Document>>> {
         // mp-lint: allow(L003) — holding rank LaunchPad across store
         // operations is exactly what the rank table sanctions here.
         let _claim = self.claim_lock.lock();
@@ -379,7 +380,7 @@ impl LaunchPad {
                     .unwrap_or(fw_id)
                     .to_string();
                 let new_id = format!("{base_id}-d{}", detours + 1);
-                let mut new_doc = doc.clone();
+                let mut new_doc = (*doc).clone();
                 if let Some(obj) = new_doc.as_object_mut() {
                     obj.insert("_id".into(), json!(new_id));
                     obj.insert("state".into(), json!("READY"));
@@ -616,7 +617,7 @@ impl LaunchPad {
     }
 
     /// Workflows flagged for manual intervention.
-    pub fn needs_human(&self) -> Result<Vec<Value>> {
+    pub fn needs_human(&self) -> Result<Docs> {
         self.db
             .collection("workflows")
             .find(&json!({"state": "NEEDS_HUMAN"}))

@@ -5,6 +5,7 @@
 //! mp-lint workflow <workflow.json>
 //! mp-lint data <doc.json> [<doc.json> ...]
 //! mp-lint concurrency [<root>]
+//! mp-lint perf [<root>]
 //! ```
 //!
 //! `query` lints a Mongo-style filter document; with `--db` it recovers a
@@ -12,8 +13,10 @@
 //! the schema-aware checks too. `workflow` lints a serialized workflow
 //! document. `data` validates task documents against the default V&V
 //! contract. `concurrency` scans a source tree (default `.`) for lock
-//! facade violations (`L0xx`). Exit status is 1 when any Error-severity
-//! diagnostic fires, 2 on usage/IO problems.
+//! facade violations (`L0xx`). `perf` scans a source tree (default `.`)
+//! for read-path regressions (`P002`/`P003`: per-document deep clones
+//! and uncompiled filter matching in loops). Exit status is 1 when any
+//! Error-severity diagnostic fires, 2 on usage/IO problems.
 
 use std::process::ExitCode;
 
@@ -28,7 +31,8 @@ const USAGE: &str = "usage:
   mp-lint query <query.json> [--db <dir>] [--collection <name>]
   mp-lint workflow <workflow.json>
   mp-lint data <doc.json> [<doc.json> ...]
-  mp-lint concurrency [<root>]";
+  mp-lint concurrency [<root>]
+  mp-lint perf [<root>]";
 
 const SCHEMA_SAMPLE: usize = 256;
 
@@ -61,6 +65,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "workflow" => lint_workflow(&args[1..]),
         "data" => lint_data(&args[1..]),
         "concurrency" => lint_concurrency(&args[1..]),
+        "perf" => lint_perf(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -131,6 +136,24 @@ fn lint_concurrency(args: &[String]) -> Result<bool, String> {
         .map_err(|e| format!("scan `{root}`: {e}"))?;
     // Warnings block here too: the workspace invariant is *zero* L0xx
     // findings, with sanctioned nesting annotated at the site.
+    if diags.is_empty() {
+        println!("{root}: clean");
+        Ok(true)
+    } else {
+        println!("{}", render(&diags));
+        Ok(false)
+    }
+}
+
+fn lint_perf(args: &[String]) -> Result<bool, String> {
+    let root = args.first().map(String::as_str).unwrap_or(".");
+    if let Some(extra) = args.get(1) {
+        return Err(format!("perf: unexpected argument `{extra}`"));
+    }
+    let diags = mp_lint::analyze_perf_tree(std::path::Path::new(root))
+        .map_err(|e| format!("scan `{root}`: {e}"))?;
+    // Same policy as `concurrency`: the workspace invariant is zero
+    // P002/P003 findings, with sanctioned clones annotated at the site.
     if diags.is_empty() {
         println!("{root}: clean");
         Ok(true)

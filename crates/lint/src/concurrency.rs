@@ -288,7 +288,7 @@ pub fn analyze_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
 }
 
 /// Split a line at a `//` comment (string-literal-blind, good enough).
-fn split_comment(line: &str) -> (&str, &str) {
+pub(crate) fn split_comment(line: &str) -> (&str, &str) {
     match line.find("//") {
         Some(i) => (&line[..i], &line[i..]),
         None => (line, ""),
@@ -296,7 +296,7 @@ fn split_comment(line: &str) -> (&str, &str) {
 }
 
 /// Codes named in a `mp-lint: allow(Lxxx)` / `allow(Lxxx, Lyyy)` comment.
-fn parse_allows(comment: &str) -> Vec<String> {
+pub(crate) fn parse_allows(comment: &str) -> Vec<String> {
     let Some(start) = comment.find(ALLOW_MARK) else {
         return Vec::new();
     };
@@ -312,7 +312,7 @@ fn parse_allows(comment: &str) -> Vec<String> {
 }
 
 /// All start offsets of `pat` in `code`.
-fn match_positions(code: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn match_positions(code: &str, pat: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     while let Some(i) = code[from..].find(pat) {
@@ -333,7 +333,7 @@ fn preceded_by_ident(code: &str, pos: usize) -> bool {
 
 /// The receiver expression ending at `pos` (`self.accounts` for
 /// `self.accounts.write()`), walking back over path-ish characters.
-fn receiver_before(code: &str, pos: usize) -> String {
+pub(crate) fn receiver_before(code: &str, pos: usize) -> String {
     let bytes = code.as_bytes();
     let mut start = pos;
     while start > 0 {

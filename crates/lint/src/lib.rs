@@ -18,7 +18,10 @@
 //!    propagation, guards held across lock-taking calls, same-receiver
 //!    double locks. Codes `L001`–`L004`.
 //! 5. **Performance** ([`perf`]) — query shapes whose only possible plan
-//!    is a full collection scan regardless of indexes. Code `P001`.
+//!    is a full collection scan regardless of indexes (`P001`), plus a
+//!    source scan for read-path regressions: deep-clone-per-document
+//!    closures over shared result sets (`P002`) and uncompiled
+//!    `Filter::matches` calls inside loops (`P003`).
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -36,7 +39,7 @@ pub mod workflow;
 
 pub use concurrency::{analyze_source, analyze_tree};
 pub use diagnostics::{has_errors, render, Diagnostic, Severity};
-pub use perf::analyze_query_perf;
+pub use perf::{analyze_perf_source, analyze_perf_tree, analyze_query_perf};
 pub use query::{analyze_query, analyze_query_with_schema};
 pub use schema::{CollectionSchema, TypeSet};
 pub use vnv::{FieldCheck, FieldRule, Invariant, RuleSet};

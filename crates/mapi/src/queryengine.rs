@@ -7,7 +7,7 @@
 //! QueryEngine abstraction layer, all queries are sanitized and cannot
 //! access the database directly."
 
-use mp_docstore::{Database, FindOptions, Result, StoreError};
+use mp_docstore::{Database, Docs, FindOptions, Result, StoreError};
 use mp_exec::{CacheStats, QueryCache};
 use mp_lint::{CollectionSchema, Diagnostic};
 use serde_json::{Map, Value};
@@ -66,7 +66,9 @@ pub struct QueryEngine {
     /// Maximum filter nesting depth.
     max_depth: usize,
     /// Read-through result cache, invalidated by collection version.
-    cache: QueryCache<Arc<Vec<Value>>>,
+    /// Rows are shared `Arc<Document>` handles: a hit hands back the
+    /// cached result set without copying a single document.
+    cache: QueryCache<Arc<Docs>>,
 }
 
 impl QueryEngine {
@@ -235,8 +237,9 @@ impl QueryEngine {
         criteria: &Value,
         properties: &[&str],
         limit: Option<usize>,
-    ) -> Result<Vec<Value>> {
+    ) -> Result<Docs> {
         let (rows, _cached) = self.query_cached(collection, criteria, properties, limit)?;
+        // Cloning `Docs` copies Arc handles, not documents.
         Ok(rows.as_ref().clone())
     }
 
@@ -252,7 +255,7 @@ impl QueryEngine {
         criteria: &Value,
         properties: &[&str],
         limit: Option<usize>,
-    ) -> Result<(Arc<Vec<Value>>, bool)> {
+    ) -> Result<(Arc<Docs>, bool)> {
         let real_coll = self.resolve_collection(collection).to_string();
         let filter = self.sanitize(criteria)?;
         let real_props: Vec<String> = properties

@@ -18,6 +18,14 @@ use crate::weblog::WebLog;
 use serde_json::{json, Value};
 use std::time::Instant;
 
+/// Materialize shared result rows into an owned JSON array for the
+/// response envelope. This is the serialization boundary: the one place
+/// on the read path where documents are deep-copied, because the HTTP
+/// body must own its bytes.
+fn rows_to_json(docs: &[std::sync::Arc<Value>]) -> Value {
+    Value::Array(docs.iter().map(|d| (**d).clone()).collect()) // mp-lint: allow(P002)
+}
+
 /// An API request.
 #[derive(Debug, Clone)]
 pub struct ApiRequest {
@@ -277,7 +285,7 @@ impl MaterialsApi {
             Ok((docs, _)) if docs.is_empty() => {
                 ApiResponse::error(404, &format!("no {collection} match '{ident}'"))
             }
-            Ok((docs, cached)) => ApiResponse::ok(Value::Array(docs.as_ref().clone()))
+            Ok((docs, cached)) => ApiResponse::ok(rows_to_json(&docs))
                 .with_header("X-Cache", if cached { "HIT" } else { "MISS" }),
             Err(e) => ApiResponse::error(400, &e.to_string()),
         }
@@ -323,7 +331,7 @@ impl MaterialsApi {
             .qe
             .query_cached(collection, criteria, properties, Some(10_000))
         {
-            Ok((docs, cached)) => ApiResponse::ok(Value::Array(docs.as_ref().clone()))
+            Ok((docs, cached)) => ApiResponse::ok(rows_to_json(&docs))
                 .with_warnings(&warnings)
                 .with_header("X-Cache", if cached { "HIT" } else { "MISS" }),
             Err(e) => ApiResponse::error(400, &e.to_string()),

@@ -9,7 +9,7 @@
 //! `is_public` fields filtered through [`crate::auth::visibility_filter`].
 
 use crate::auth::visibility_filter;
-use mp_docstore::{Database, Result, StoreError};
+use mp_docstore::{Database, Docs, Result, StoreError};
 use serde_json::{json, Value};
 
 /// Sandbox operations over the shared datastore.
@@ -54,7 +54,7 @@ impl<'a> Sandbox<'a> {
     }
 
     /// Everything `viewer` may see (None = anonymous public view).
-    pub fn visible_to(&self, viewer: Option<&str>) -> Result<Vec<Value>> {
+    pub fn visible_to(&self, viewer: Option<&str>) -> Result<Docs> {
         self.db
             .collection("sandbox")
             .find(&visibility_filter(viewer))

@@ -176,6 +176,20 @@ impl<T: Serialize> Serialize for Box<T> {
     }
 }
 
+/// Mirrors serde's `rc` feature: a shared handle serializes as its
+/// pointee (needed for zero-copy `Arc<Value>` documents in `json!`).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
 /// Map keys must serialize to JSON strings.
 fn key_to_string(v: Value) -> String {
     match v {
