@@ -65,12 +65,15 @@ pub fn parse_pipeline(stages: &Value) -> Result<Vec<Stage>> {
         let obj = st
             .as_object()
             .ok_or_else(|| StoreError::BadQuery("stage must be an object".into()))?;
-        if obj.len() != 1 {
-            return Err(StoreError::BadQuery(
-                "each stage must have exactly one operator".into(),
-            ));
-        }
-        let (op, spec) = obj.iter().next().expect("len checked");
+        let mut ops = obj.iter();
+        let (op, spec) = match (ops.next(), ops.next()) {
+            (Some(kv), None) => kv,
+            _ => {
+                return Err(StoreError::BadQuery(
+                    "each stage must have exactly one operator".into(),
+                ))
+            }
+        };
         out.push(parse_stage(op, spec)?);
     }
     Ok(out)
@@ -122,12 +125,15 @@ fn parse_stage(op: &str, spec: &Value) -> Result<Stage> {
                 let acc_obj = acc_spec.as_object().ok_or_else(|| {
                     StoreError::BadQuery(format!("accumulator for {field} must be an object"))
                 })?;
-                if acc_obj.len() != 1 {
-                    return Err(StoreError::BadQuery(
-                        "accumulator must have exactly one operator".into(),
-                    ));
-                }
-                let (acc_op, input) = acc_obj.iter().next().expect("len checked");
+                let mut acc_ops = acc_obj.iter();
+                let (acc_op, input) = match (acc_ops.next(), acc_ops.next()) {
+                    (Some(kv), None) => kv,
+                    _ => {
+                        return Err(StoreError::BadQuery(
+                            "accumulator must have exactly one operator".into(),
+                        ))
+                    }
+                };
                 let acc = match acc_op.as_str() {
                     "$sum" => Accumulator::Sum,
                     "$avg" => Accumulator::Avg,
@@ -322,10 +328,10 @@ impl crate::collection::Collection {
     pub fn aggregate(&self, pipeline: &Value) -> Result<Docs> {
         let stages = parse_pipeline(pipeline)?;
         // A leading $match can use the index-assisted find path.
-        if let Some(Stage::Match(_)) = stages.first() {
+        if let Some((Stage::Match(_), rest)) = stages.split_first() {
             if let Some(first) = pipeline.as_array().and_then(|a| a.first()) {
                 let docs = self.find(&first["$match"])?;
-                return run_pipeline(docs, &stages[1..]);
+                return run_pipeline(docs, rest);
             }
         }
         run_pipeline(self.dump(), &stages)

@@ -599,6 +599,7 @@ impl Collection {
             .iter()
             .min_by_key(|p| (p.cost, p.kind.preference()))
             .cloned()
+            // mp-flow: allow(R001) — `considered` is non-empty: COLLSCAN is pushed unconditionally just above
             .expect("COLLSCAN is always a considered plan");
         (best, considered)
     }
@@ -638,6 +639,7 @@ impl Collection {
                 .range_on(&ix.path)
                 .map(|(lo, loi, hi, hii)| ix.lookup_range(lo, loi, hi, hii))
                 .unwrap_or_default(),
+            // mp-flow: allow(R001) — both variants return early before the index match
             PlanKind::IdLookup | PlanKind::Collscan => unreachable!("handled above"),
         }
     }

@@ -86,9 +86,9 @@ impl MapReduce for BuiltinEngine {
             });
         }
         let mut out = Vec::with_capacity(groups.len());
-        for (k, vs) in groups {
+        for (k, mut vs) in groups {
             let reduced = if vs.len() == 1 {
-                vs.into_iter().next().expect("len checked")
+                vs.remove(0)
             } else {
                 reduce(&k.0, &vs)
             };
@@ -144,9 +144,9 @@ impl MapReduce for HadoopEngine {
                 // Combiner: pre-reduce each key locally to shrink the
                 // shuffle, as Hadoop combiners do.
                 let mut combined: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
-                for (k, vs) in groups {
+                for (k, mut vs) in groups {
                     let v = if vs.len() == 1 {
-                        vs.into_iter().next().expect("len checked")
+                        vs.remove(0)
                     } else {
                         reduce(&k.0, &vs)
                     };
@@ -163,9 +163,9 @@ impl MapReduce for HadoopEngine {
             }
         }
         let mut out = Vec::with_capacity(groups.len());
-        for (k, vs) in groups {
+        for (k, mut vs) in groups {
             let reduced = if vs.len() == 1 {
-                vs.into_iter().next().expect("len checked")
+                vs.remove(0)
             } else {
                 reduce(&k.0, &vs)
             };

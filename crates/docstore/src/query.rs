@@ -444,7 +444,7 @@ fn match_compiled_single(stored: &Value, pred: &CompiledPredicate) -> bool {
         CompiledPredicate::In { sorted, .. } => in_sorted(sorted, stored),
         CompiledPredicate::All(set) => match stored {
             Value::Array(a) => set.iter().all(|s| a.iter().any(|e| values_equal(e, s))),
-            single => set.len() == 1 && values_equal(single, &set[0]),
+            single => matches!(&set[..], [only] if values_equal(single, only)),
         },
         CompiledPredicate::Size(n) => stored.as_array().map(|a| a.len() == *n).unwrap_or(false),
         CompiledPredicate::Type(t) => type_name(stored) == t,
@@ -548,18 +548,18 @@ fn parse_operator(op: &str, v: &Value) -> Result<Predicate> {
         }
         "$mod" => {
             let arr = expect_array(op, v)?;
-            if arr.len() != 2 {
+            let [dv, rv] = &arr[..] else {
                 return Err(StoreError::BadQuery(
                     "$mod expects [divisor, remainder]".into(),
                 ));
-            }
-            let d = arr[0]
+            };
+            let d = dv
                 .as_i64()
                 .ok_or_else(|| StoreError::BadQuery("$mod divisor must be integer".into()))?;
             if d == 0 {
                 return Err(StoreError::BadQuery("$mod divisor must be nonzero".into()));
             }
-            let r = arr[1]
+            let r = rv
                 .as_i64()
                 .ok_or_else(|| StoreError::BadQuery("$mod remainder must be integer".into()))?;
             Predicate::Mod(d, r)
@@ -636,7 +636,7 @@ fn match_single(stored: &Value, pred: &Predicate) -> bool {
         Predicate::In(set) => set.iter().any(|s| eq_or_contains(stored, s)),
         Predicate::All(set) => match stored {
             Value::Array(a) => set.iter().all(|s| a.iter().any(|e| values_equal(e, s))),
-            single => set.len() == 1 && values_equal(single, &set[0]),
+            single => matches!(&set[..], [only] if values_equal(single, only)),
         },
         Predicate::Size(n) => stored.as_array().map(|a| a.len() == *n).unwrap_or(false),
         Predicate::Type(t) => type_name(stored) == t,

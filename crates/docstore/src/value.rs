@@ -69,17 +69,14 @@ pub fn get_path_segs<'a>(doc: &'a Value, segs: &[PathSeg]) -> Option<&'a Value> 
 /// Visit order is identical to the order `get_path_multi` collects in, so
 /// "first match" semantics agree between the two.
 pub fn any_at_path(doc: &Value, segs: &[PathSeg], pred: &mut dyn FnMut(&Value) -> bool) -> bool {
-    if segs.is_empty() {
+    let Some((seg, rest)) = segs.split_first() else {
         return pred(doc);
-    }
-    let seg = &segs[0];
+    };
     match doc {
-        Value::Object(m) => m
-            .get(&seg.key)
-            .is_some_and(|v| any_at_path(v, &segs[1..], pred)),
+        Value::Object(m) => m.get(&seg.key).is_some_and(|v| any_at_path(v, rest, pred)),
         Value::Array(a) => {
             if let Some(v) = seg.index.and_then(|idx| a.get(idx)) {
-                if any_at_path(v, &segs[1..], pred) {
+                if any_at_path(v, rest, pred) {
                     return true;
                 }
             }
@@ -125,21 +122,20 @@ pub fn get_path_multi<'a>(doc: &'a Value, path: &str) -> Vec<&'a Value> {
 }
 
 fn descend<'a>(cur: &'a Value, segs: &[&str], out: &mut Vec<&'a Value>) {
-    if segs.is_empty() {
+    let Some((seg, rest)) = segs.split_first() else {
         out.push(cur);
         return;
-    }
-    let seg = segs[0];
+    };
     match cur {
         Value::Object(m) => {
             if let Some(v) = m.get(seg) {
-                descend(v, &segs[1..], out);
+                descend(v, rest, out);
             }
         }
         Value::Array(a) => {
             if let Ok(idx) = seg.parse::<usize>() {
                 if let Some(v) = a.get(idx) {
-                    descend(v, &segs[1..], out);
+                    descend(v, rest, out);
                 }
             }
             // Implicit traversal: apply the same path to each element.
@@ -157,6 +153,7 @@ fn descend<'a>(cur: &'a Value, segs: &[&str], out: &mut Vec<&'a Value>) {
 /// (MongoDB `$set` semantics). Numeric segments extend arrays with nulls.
 ///
 /// Returns an error string if the path traverses a scalar.
+// mp-flow: allow(R001, R002) — the `segs[i + 1]` lookahead is guarded by `!last`, array slots are grown by the `while a.len() <= idx` loop, and the loop returns on the last segment so the trailing `unreachable!` cannot fire.
 pub fn set_path(doc: &mut Value, path: &str, value: Value) -> Result<(), String> {
     let segs: Vec<&str> = path_segments(path).collect();
     if segs.is_empty() {

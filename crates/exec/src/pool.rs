@@ -66,6 +66,7 @@ impl WorkPool {
             std::thread::Builder::new()
                 .name(format!("mp-exec-{i}"))
                 .spawn(move || worker_loop(rx))
+                // mp-flow: allow(R001) — spawn failure at one-time pool construction is an unrecoverable resource exhaustion, not a request-path condition
                 .expect("spawn mp-exec worker");
             senders.push(tx);
         }
@@ -144,6 +145,7 @@ impl WorkPool {
             // execution.
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            // mp-flow: allow(R002) — index is reduced modulo `workers == self.senders.len()`, nonzero on this branch
             match self.senders[(start + idx) % workers].send(job) {
                 Ok(()) => dispatched += 1,
                 Err(mpsc::SendError(job)) => {
@@ -167,6 +169,7 @@ impl WorkPool {
             results.push((idx, out));
         }
         for _ in 0..dispatched {
+            // mp-flow: allow(R001) — every dispatched job sends exactly one completion (panic or not, see safety comment above), so recv cannot see a hung-up channel early
             let msg = done_rx.recv().expect("mp-exec worker completion");
             results.push(msg);
         }

@@ -6,6 +6,8 @@
 //! mp-lint data <doc.json> [<doc.json> ...]
 //! mp-lint concurrency [<root>]
 //! mp-lint perf [<root>]
+//! mp-lint flow [<root>] [--json]
+//! mp-lint callgraph [<root>] [--dot]
 //! ```
 //!
 //! `query` lints a Mongo-style filter document; with `--db` it recovers a
@@ -15,7 +17,12 @@
 //! contract. `concurrency` scans a source tree (default `.`) for lock
 //! facade violations (`L0xx`). `perf` scans a source tree (default `.`)
 //! for read-path regressions (`P002`/`P003`: per-document deep clones
-//! and uncompiled filter matching in loops). Exit status is 1 when any
+//! and uncompiled filter matching in loops). `flow` builds the workspace
+//! call graph and runs the interprocedural taint (`S0xx`) and
+//! panic-reachability (`R0xx`) passes; `--json` emits the diagnostics
+//! as a JSON array for machine consumers. `callgraph` prints the graph
+//! (GraphViz DOT with `--dot`, role-colored: sources blue, sanitizers
+//! green, sinks gold, panicking fns red). Exit status is 1 when any
 //! Error-severity diagnostic fires, 2 on usage/IO problems.
 
 use std::process::ExitCode;
@@ -32,7 +39,9 @@ const USAGE: &str = "usage:
   mp-lint workflow <workflow.json>
   mp-lint data <doc.json> [<doc.json> ...]
   mp-lint concurrency [<root>]
-  mp-lint perf [<root>]";
+  mp-lint perf [<root>]
+  mp-lint flow [<root>] [--json]
+  mp-lint callgraph [<root>] [--dot]";
 
 const SCHEMA_SAMPLE: usize = 256;
 
@@ -66,6 +75,8 @@ fn run(args: &[String]) -> Result<bool, String> {
         "data" => lint_data(&args[1..]),
         "concurrency" => lint_concurrency(&args[1..]),
         "perf" => lint_perf(&args[1..]),
+        "flow" => lint_flow(&args[1..]),
+        "callgraph" => print_callgraph(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -161,6 +172,62 @@ fn lint_perf(args: &[String]) -> Result<bool, String> {
         println!("{}", render(&diags));
         Ok(false)
     }
+}
+
+fn lint_flow(args: &[String]) -> Result<bool, String> {
+    let mut root = ".".to_string();
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with('-') => root.clone_from(a),
+            other => return Err(format!("flow: unknown flag `{other}`")),
+        }
+    }
+    let diags = mp_lint::analyze_flow_tree(std::path::Path::new(&root))
+        .map_err(|e| format!("scan `{root}`: {e}"))?;
+    if json {
+        println!("{}", mp_lint::render_json(&diags));
+        return Ok(diags.is_empty());
+    }
+    // Same policy as `concurrency`/`perf`: the workspace invariant is
+    // zero S0xx/R0xx findings, with sanctioned panic sites carrying a
+    // justified `mp-flow: allow(...)` comment.
+    if diags.is_empty() {
+        println!("{root}: clean");
+        Ok(true)
+    } else {
+        println!("{}", render(&diags));
+        Ok(false)
+    }
+}
+
+fn print_callgraph(args: &[String]) -> Result<bool, String> {
+    let mut root = ".".to_string();
+    let mut dot = false;
+    for a in args {
+        match a.as_str() {
+            "--dot" => dot = true,
+            other if !other.starts_with('-') => root.clone_from(a),
+            other => return Err(format!("callgraph: unknown flag `{other}`")),
+        }
+    }
+    let graph = mp_lint::scan_tree(std::path::Path::new(&root))
+        .map_err(|e| format!("scan `{root}`: {e}"))?;
+    let config = mp_lint::FlowConfig::materials_project_defaults();
+    if dot {
+        println!("{}", graph.to_dot(&mp_lint::flow::roles(&graph, &config)));
+    } else {
+        println!("{} functions, {} edges", graph.fns.len(), graph.edges.len());
+        for e in &graph.edges {
+            println!(
+                "{} -> {}",
+                graph.fns[e.from].qualified(),
+                graph.fns[e.to].qualified()
+            );
+        }
+    }
+    Ok(true)
 }
 
 fn lint_data(args: &[String]) -> Result<bool, String> {

@@ -97,6 +97,26 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
+/// Render a batch as a JSON array (errors first) for machine consumers:
+/// the CI `flow-lint` job and editor integrations parse this shape.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
+    let items: Vec<serde_json::Value> = sorted
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "severity": d.severity.to_string(),
+                "code": d.code,
+                "path": d.path,
+                "message": d.message,
+                "suggestion": d.suggestion,
+            })
+        })
+        .collect();
+    serde_json::Value::Array(items).to_string()
+}
+
 /// Render a batch one-per-line (errors first) for error bodies and CLI output.
 pub fn render(diags: &[Diagnostic]) -> String {
     let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
@@ -128,6 +148,20 @@ mod tests {
         let err = Diagnostic::error("Q002", "a", "always false");
         assert!(!has_errors(std::slice::from_ref(&warn)));
         assert!(has_errors(&[warn, err]));
+    }
+
+    #[test]
+    fn render_json_is_parseable_and_ordered() {
+        let out = render_json(&[
+            Diagnostic::warning("S001", "a", "tainted"),
+            Diagnostic::error("R001", "b", "panics").with_suggestion("handle the None"),
+        ]);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["severity"], "error");
+        assert_eq!(arr[0]["code"], "R001");
+        assert_eq!(arr[1]["suggestion"], serde_json::Value::Null);
     }
 
     #[test]

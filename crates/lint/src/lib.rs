@@ -22,6 +22,12 @@
 //!    source scan for read-path regressions: deep-clone-per-document
 //!    closures over shared result sets (`P002`) and uncompiled
 //!    `Filter::matches` calls inside loops (`P003`).
+//! 6. **Flow** ([`flow`]) — interprocedural passes over the workspace
+//!    call graph ([`callgraph`], built from per-function summaries in
+//!    [`summary`]): taint tracking from request/staging sources to
+//!    query sinks with sanitizer accounting (`S001`/`S002`), and
+//!    panic-reachability from the public API surface with shortest
+//!    panicking chains (`R001`–`R003`).
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -29,18 +35,24 @@
 
 #![deny(rust_2018_idioms)]
 
+pub mod callgraph;
 pub mod concurrency;
 pub mod diagnostics;
+pub mod flow;
 pub mod perf;
 pub mod query;
 pub mod schema;
+pub mod summary;
 pub mod vnv;
 pub mod workflow;
 
+pub use callgraph::{scan_tree, CallGraph};
 pub use concurrency::{analyze_source, analyze_tree};
-pub use diagnostics::{has_errors, render, Diagnostic, Severity};
+pub use diagnostics::{has_errors, render, render_json, Diagnostic, Severity};
+pub use flow::{analyze_flow, analyze_flow_tree, FlowConfig};
 pub use perf::{analyze_perf_source, analyze_perf_tree, analyze_query_perf};
 pub use query::{analyze_query, analyze_query_with_schema};
 pub use schema::{CollectionSchema, TypeSet};
+pub use summary::{summarize_source, FnSummary};
 pub use vnv::{FieldCheck, FieldRule, Invariant, RuleSet};
 pub use workflow::{analyze_workflow, WfNode};

@@ -163,14 +163,19 @@ fn levenshtein(a: &str, b: &str, cap: usize) -> usize {
     }
     let mut prev: Vec<usize> = (0..=b.len()).collect();
     for (i, ca) in a.iter().enumerate() {
-        let mut row = vec![i + 1];
+        let mut row = Vec::with_capacity(b.len() + 1);
+        let mut last = i + 1;
+        row.push(last);
         for (j, cb) in b.iter().enumerate() {
             let cost = usize::from(ca != cb);
-            row.push((prev[j] + cost).min(prev[j + 1] + 1).min(row[j] + 1));
+            let sub = prev.get(j).copied().unwrap_or(cap) + cost;
+            let del = prev.get(j + 1).copied().unwrap_or(cap) + 1;
+            last = sub.min(del).min(last + 1);
+            row.push(last);
         }
         prev = row;
     }
-    prev[b.len()].min(cap)
+    prev.last().copied().unwrap_or(cap).min(cap)
 }
 
 // ---------------------------------------------------------------------------
@@ -460,7 +465,10 @@ fn check_index_use(filter: &Filter, schema: &CollectionSchema, out: &mut Vec<Dia
         })
         .map(|(path, _)| path)
         .collect();
-    if driver_paths.is_empty() || driver_paths.iter().any(|p| schema.is_indexed(p)) {
+    let Some(first_path) = driver_paths.first() else {
+        return;
+    };
+    if driver_paths.iter().any(|p| schema.is_indexed(p)) {
         return;
     }
     let listed = driver_paths
@@ -471,15 +479,14 @@ fn check_index_use(filter: &Filter, schema: &CollectionSchema, out: &mut Vec<Dia
     out.push(
         Diagnostic::warning(
             "Q004",
-            driver_paths[0].as_str(),
+            first_path.as_str(),
             format!(
                 "no index covers {listed}; this scans all {} documents of `{}`",
                 schema.total_docs, schema.collection
             ),
         )
         .with_suggestion(format!(
-            "create_index(\"{}\") would serve this query",
-            driver_paths[0]
+            "create_index(\"{first_path}\") would serve this query"
         )),
     );
 }

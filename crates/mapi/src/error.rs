@@ -1,0 +1,84 @@
+//! Typed request-path errors for the Materials API.
+//!
+//! Route handlers return `Result<ApiResponse, ApiError>`; the
+//! dispatcher converts an error into the response envelope exactly
+//! once. Every failure on the request path — bad query, unknown key,
+//! exhausted rate bucket, missing record — has a variant here, so
+//! nothing between the router and the datastore needs to panic or
+//! hand-roll a status code. The mp-flow `R0xx` gate keeps it that way:
+//! a new `unwrap()` reachable from the public surface fails CI.
+
+use mp_docstore::StoreError;
+use std::fmt;
+
+/// A request-path failure with its HTTP-style status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// 400 — malformed request, rejected filter, or bad pipeline.
+    BadRequest(String),
+    /// 401 — missing or unknown API key.
+    Unauthorized,
+    /// 403 — authenticated but the resource is not served.
+    Forbidden(String),
+    /// 404 — no such route, datatype, or record.
+    NotFound(String),
+    /// 429 — the caller's rate bucket is empty.
+    RateLimited,
+}
+
+impl ApiError {
+    /// The HTTP-style status code for the envelope.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) => 400,
+            ApiError::Unauthorized => 401,
+            ApiError::Forbidden(_) => 403,
+            ApiError::NotFound(_) => 404,
+            ApiError::RateLimited => 429,
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => f.write_str(m),
+            ApiError::Unauthorized => f.write_str("unknown API key"),
+            ApiError::Forbidden(m) => f.write_str(m),
+            ApiError::NotFound(m) => f.write_str(m),
+            ApiError::RateLimited => f.write_str("rate limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Datastore failures surface as 400s: by the time a filter reaches
+/// the store it has passed sanitization, so a `StoreError` means the
+/// request itself was unservable, not that the server broke.
+impl From<StoreError> for ApiError {
+    fn from(e: StoreError) -> Self {
+        ApiError::BadRequest(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_match_variants() {
+        assert_eq!(ApiError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ApiError::Unauthorized.status(), 401);
+        assert_eq!(ApiError::Forbidden("x".into()).status(), 403);
+        assert_eq!(ApiError::NotFound("x".into()).status(), 404);
+        assert_eq!(ApiError::RateLimited.status(), 429);
+    }
+
+    #[test]
+    fn store_errors_become_bad_requests() {
+        let e: ApiError = StoreError::BadQuery("operator $where not permitted".into()).into();
+        assert_eq!(e.status(), 400);
+        assert!(e.to_string().contains("$where"));
+    }
+}

@@ -17,6 +17,7 @@
 pub mod auth;
 pub mod builder;
 pub mod client;
+pub mod error;
 pub mod queryengine;
 pub mod ratelimit;
 pub mod rest;
@@ -27,6 +28,7 @@ pub mod webui;
 pub use auth::{visibility_filter, Account, AuthError, AuthRegistry, Provider, ProviderAssertion};
 pub use builder::{build_materials_view, run_vnv_checks, vnv_clean, VnvViolations};
 pub use client::{ClientError, MpClient};
+pub use error::ApiError;
 pub use queryengine::QueryEngine;
 pub use ratelimit::{RateLimitConfig, RateLimiter};
 pub use rest::{ApiRequest, ApiResponse, MaterialsApi};

@@ -27,16 +27,16 @@ const QUERY_CACHE_CAPACITY: usize = 256;
 fn canonical_json(v: &Value, out: &mut String) {
     match v {
         Value::Object(m) => {
-            let mut keys: Vec<&String> = m.keys().collect();
-            keys.sort_unstable();
+            let mut pairs: Vec<(&String, &Value)> = m.iter().collect();
+            pairs.sort_unstable_by_key(|(k, _)| *k);
             out.push('{');
-            for (i, k) in keys.iter().enumerate() {
+            for (i, (k, v)) in pairs.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
                 out.push_str(&Value::String((*k).clone()).to_string());
                 out.push(':');
-                canonical_json(&m[k.as_str()], out);
+                canonical_json(v, out);
             }
             out.push('}');
         }
@@ -299,6 +299,57 @@ impl QueryEngine {
         let filter = self.sanitize(criteria)?;
         self.db.collection(&real).count(&filter)
     }
+
+    /// Sanitize a raw aggregation pipeline: every stage must be a
+    /// single-operator object drawn from the stage whitelist, and every
+    /// `$match` body passes the same [`sanitize`](Self::sanitize) gate
+    /// as query filters (operator whitelist, depth bound, aliasing,
+    /// static-analysis rejection) before it can reach `Filter::parse`.
+    pub fn sanitize_pipeline(&self, raw: &Value) -> Result<Value> {
+        const ALLOWED_STAGES: &[&str] = &[
+            "$match", "$project", "$unwind", "$group", "$sort", "$limit", "$count",
+        ];
+        let arr = raw
+            .as_array()
+            .ok_or_else(|| StoreError::BadQuery("pipeline must be an array".into()))?;
+        let mut out = Vec::with_capacity(arr.len());
+        for st in arr {
+            let obj = st
+                .as_object()
+                .ok_or_else(|| StoreError::BadQuery("stage must be an object".into()))?;
+            if obj.len() != 1 {
+                return Err(StoreError::BadQuery(
+                    "each stage must have exactly one operator".into(),
+                ));
+            }
+            let mut stage = Map::new();
+            for (op, spec) in obj {
+                if !ALLOWED_STAGES.contains(&op.as_str()) {
+                    return Err(StoreError::BadQuery(format!("stage {op} not permitted")));
+                }
+                let spec = if op == "$match" {
+                    self.sanitize(spec)?
+                } else {
+                    spec.clone()
+                };
+                stage.insert(op.clone(), spec);
+            }
+            out.push(Value::Object(stage));
+        }
+        Ok(Value::Array(out))
+    }
+
+    /// Run an aggregation pipeline through the abstraction layer. The
+    /// collection name is alias-resolved and the pipeline passes
+    /// [`sanitize_pipeline`](Self::sanitize_pipeline) — aggregation
+    /// callers get the same "all queries go through the QueryEngine"
+    /// guarantee as `query`/`count` instead of talking to the
+    /// collection directly.
+    pub fn aggregate(&self, collection: &str, pipeline: &Value) -> Result<Docs> {
+        let real = self.resolve_collection(collection).to_string();
+        let clean = self.sanitize_pipeline(pipeline)?;
+        self.db.collection(&real).aggregate(&clean)
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +368,38 @@ mod tests {
         ])
         .unwrap();
         QueryEngine::new(db)
+    }
+
+    #[test]
+    fn aggregate_sanitizes_match_and_resolves_aliases() {
+        let qe = engine();
+        let out = qe
+            .aggregate(
+                "materials",
+                &json!([
+                    {"$match": {"band_gap": {"$gt": 1.0}}},
+                    {"$group": {"_id": null, "n": {"$count": true}}},
+                ]),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0]["n"], json!(2));
+    }
+
+    #[test]
+    fn aggregate_rejects_where_inside_match() {
+        let qe = engine();
+        let err = qe.aggregate("materials", &json!([{"$match": {"$where": "evil()"}}]));
+        assert!(matches!(err, Err(StoreError::BadQuery(_))), "{err:?}");
+    }
+
+    #[test]
+    fn aggregate_rejects_unknown_stage() {
+        let qe = engine();
+        let err = qe.aggregate("materials", &json!([{"$merge": {"into": "other"}}]));
+        assert!(matches!(err, Err(StoreError::BadQuery(_))), "{err:?}");
+        let err = qe.aggregate("materials", &json!([{"$match": {}, "$limit": 1}]));
+        assert!(matches!(err, Err(StoreError::BadQuery(_))), "two ops");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! request is a method + path + key, a response is a status + JSON body.
 
 use crate::auth::AuthRegistry;
+use crate::error::ApiError;
 use crate::queryengine::QueryEngine;
 use crate::ratelimit::{RateLimitConfig, RateLimiter};
 use crate::weblog::WebLog;
@@ -128,6 +129,12 @@ impl ApiResponse {
     }
 }
 
+impl From<ApiError> for ApiResponse {
+    fn from(e: ApiError) -> Self {
+        ApiResponse::error(e.status(), &e.to_string())
+    }
+}
+
 /// The server: QueryEngine + auth + rate limiting + logging.
 pub struct MaterialsApi {
     qe: QueryEngine,
@@ -173,22 +180,32 @@ impl MaterialsApi {
         &self.qe
     }
 
-    /// Handle one request.
-    pub fn handle(&self, req: &ApiRequest) -> ApiResponse {
-        let started = Instant::now();
-        // Authenticate (anonymous allowed) and rate limit.
+    /// Authenticate (anonymous allowed) and rate limit. Auth failures
+    /// degrade to 401 and exhausted buckets to 429 — never a panic.
+    fn admit(&self, req: &ApiRequest) -> Result<(), ApiError> {
         let bucket_key = match &req.api_key {
-            Some(k) => match self.auth.authenticate(k) {
-                Ok(acct) => acct.api_key,
-                Err(_) => return ApiResponse::error(401, "unknown API key"),
-            },
+            Some(k) => {
+                self.auth
+                    .authenticate(k)
+                    .map_err(|_| ApiError::Unauthorized)?
+                    .api_key
+            }
             None => "anonymous".to_string(),
         };
         if !self.limiter.admit(&bucket_key, req.now) {
-            return ApiResponse::error(429, "rate limit exceeded");
+            return Err(ApiError::RateLimited);
+        }
+        Ok(())
+    }
+
+    /// Handle one request.
+    pub fn handle(&self, req: &ApiRequest) -> ApiResponse {
+        let started = Instant::now();
+        if let Err(e) = self.admit(req) {
+            return e.into();
         }
 
-        let resp = self.route(&req.path);
+        let resp = self.route(&req.path).unwrap_or_else(ApiResponse::from);
         let nrecords = match resp.payload() {
             Value::Array(a) => a.len(),
             Value::Null => 0,
@@ -199,20 +216,20 @@ impl MaterialsApi {
         resp
     }
 
-    fn route(&self, path: &str) -> ApiResponse {
+    fn route(&self, path: &str) -> Result<ApiResponse, ApiError> {
         let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
         // Expect ["rest", "v1", datatype, ...].
-        if parts.len() < 3 || parts[0] != "rest" {
-            return ApiResponse::error(404, "not found");
-        }
-        if parts[1] != "v1" {
-            return ApiResponse::error(400, "unsupported API version");
-        }
-        match parts[2] {
-            "materials" => self.route_materials(&parts[3..]),
-            "battery" => self.route_battery(&parts[3..]),
-            "tasks" => self.route_tasks(&parts[3..]),
-            other => ApiResponse::error(404, &format!("unknown datatype '{other}'")),
+        match parts.as_slice() {
+            ["rest", "v1", "materials", tail @ ..] => self.route_materials(tail),
+            ["rest", "v1", "battery", tail @ ..] => self.route_battery(tail),
+            ["rest", "v1", "tasks", tail @ ..] => self.route_tasks(tail),
+            ["rest", "v1", other, ..] => {
+                Err(ApiError::NotFound(format!("unknown datatype '{other}'")))
+            }
+            ["rest", version, _, ..] if *version != "v1" => {
+                Err(ApiError::BadRequest("unsupported API version".into()))
+            }
+            _ => Err(ApiError::NotFound("not found".into())),
         }
     }
 
@@ -228,67 +245,69 @@ impl MaterialsApi {
         }
     }
 
-    fn route_materials(&self, rest: &[&str]) -> ApiResponse {
+    fn route_materials(&self, rest: &[&str]) -> Result<ApiResponse, ApiError> {
         match rest {
-            [] => ApiResponse::error(400, "missing identifier"),
+            [] => Err(ApiError::BadRequest("missing identifier".into())),
             [ident] => self.fetch("materials", ident, None),
             [ident, "vasp"] => self.fetch("materials", ident, None),
             [ident, "vasp", prop] => {
                 if !VASP_PROPERTIES.contains(prop) {
-                    return ApiResponse::error(400, &format!("unknown property '{prop}'"));
+                    return Err(ApiError::BadRequest(format!("unknown property '{prop}'")));
                 }
                 self.fetch("materials", ident, Some(prop))
             }
-            _ => ApiResponse::error(404, "not found"),
+            _ => Err(ApiError::NotFound("not found".into())),
         }
     }
 
-    fn route_battery(&self, rest: &[&str]) -> ApiResponse {
+    fn route_battery(&self, rest: &[&str]) -> Result<ApiResponse, ApiError> {
         match rest {
-            [] => ApiResponse::error(400, "missing identifier"),
+            [] => Err(ApiError::BadRequest("missing identifier".into())),
             [ident] => {
                 let criteria = if ident.starts_with("bat-") {
                     json!({"_id": ident})
                 } else {
                     json!({"framework": ident})
                 };
-                match self.qe.query("batteries", &criteria, &[], Some(100)) {
-                    Ok(docs) => ApiResponse::ok(json!(docs)),
-                    Err(e) => ApiResponse::error(400, &e.to_string()),
-                }
+                let docs = self.qe.query("batteries", &criteria, &[], Some(100))?;
+                Ok(ApiResponse::ok(json!(docs)))
             }
-            _ => ApiResponse::error(404, "not found"),
+            _ => Err(ApiError::NotFound("not found".into())),
         }
     }
 
-    fn route_tasks(&self, rest: &[&str]) -> ApiResponse {
+    fn route_tasks(&self, rest: &[&str]) -> Result<ApiResponse, ApiError> {
         // Tasks are internal: only counts are exposed.
         match rest {
-            ["count"] => match self.qe.count("tasks", &json!({})) {
-                Ok(n) => ApiResponse::ok(json!({ "count": n })),
-                Err(e) => ApiResponse::error(400, &e.to_string()),
-            },
-            _ => ApiResponse::error(403, "tasks are not public"),
+            ["count"] => {
+                let n = self.qe.count("tasks", &json!({}))?;
+                Ok(ApiResponse::ok(json!({ "count": n })))
+            }
+            _ => Err(ApiError::Forbidden("tasks are not public".into())),
         }
     }
 
-    fn fetch(&self, collection: &str, ident: &str, prop: Option<&str>) -> ApiResponse {
+    fn fetch(
+        &self,
+        collection: &str,
+        ident: &str,
+        prop: Option<&str>,
+    ) -> Result<ApiResponse, ApiError> {
         let criteria = Self::identifier_criteria(ident);
         let props: Vec<&str> = match prop {
             Some(p) => vec![p],
             None => vec![],
         };
-        match self
+        let (docs, cached) = self
             .qe
-            .query_cached(collection, &criteria, &props, Some(500))
-        {
-            Ok((docs, _)) if docs.is_empty() => {
-                ApiResponse::error(404, &format!("no {collection} match '{ident}'"))
-            }
-            Ok((docs, cached)) => ApiResponse::ok(rows_to_json(&docs))
-                .with_header("X-Cache", if cached { "HIT" } else { "MISS" }),
-            Err(e) => ApiResponse::error(400, &e.to_string()),
+            .query_cached(collection, &criteria, &props, Some(500))?;
+        if docs.is_empty() {
+            return Err(ApiError::NotFound(format!(
+                "no {collection} match '{ident}'"
+            )));
         }
+        Ok(ApiResponse::ok(rows_to_json(&docs))
+            .with_header("X-Cache", if cached { "HIT" } else { "MISS" }))
     }
 
     /// POST-style structured query: sanitized criteria + properties
@@ -301,15 +320,8 @@ impl MaterialsApi {
         properties: &[&str],
     ) -> ApiResponse {
         let started = Instant::now();
-        let bucket_key = match &req.api_key {
-            Some(k) => match self.auth.authenticate(k) {
-                Ok(acct) => acct.api_key,
-                Err(_) => return ApiResponse::error(401, "unknown API key"),
-            },
-            None => "anonymous".to_string(),
-        };
-        if !self.limiter.admit(&bucket_key, req.now) {
-            return ApiResponse::error(429, "rate limit exceeded");
+        if let Err(e) = self.admit(req) {
+            return e.into();
         }
         // Schema-aware lint: Error findings become a 400 whose body carries
         // the rendered diagnostics; Warnings ride along in the envelope.

@@ -34,10 +34,26 @@ impl<'a> Sandbox<'a> {
         self.db.collection("sandbox").insert_one(doc)
     }
 
+    /// Reject non-scalar record ids before they are interpolated into a
+    /// filter. Without this, a caller-supplied object like
+    /// `{"$ne": null}` would become an operator inside the
+    /// `{"_id": …, "owner": …}` filter and match *every* record the
+    /// owner has — turning `share`/`publish` into bulk operations on
+    /// documents the caller never named.
+    pub fn scalar_only(record_id: &Value) -> Result<&Value> {
+        match record_id {
+            Value::String(_) | Value::Number(_) => Ok(record_id),
+            other => Err(StoreError::BadQuery(format!(
+                "record id must be a scalar, got {other}"
+            ))),
+        }
+    }
+
     /// Share a record with a collaborator.
     pub fn share(&self, owner: &str, record_id: &Value, collaborator: &str) -> Result<bool> {
+        let id = Self::scalar_only(record_id)?;
         let r = self.db.collection("sandbox").update_one(
-            &json!({"_id": record_id, "owner": owner}),
+            &json!({"_id": id, "owner": owner}),
             &json!({"$addToSet": {"collaborators": collaborator}}),
         )?;
         Ok(r.matched == 1)
@@ -46,8 +62,9 @@ impl<'a> Sandbox<'a> {
     /// Publish: flip the record public (Fig. 3 step (f)). Only the
     /// owner may do this.
     pub fn publish(&self, owner: &str, record_id: &Value) -> Result<bool> {
+        let id = Self::scalar_only(record_id)?;
         let r = self.db.collection("sandbox").update_one(
-            &json!({"_id": record_id, "owner": owner}),
+            &json!({"_id": id, "owner": owner}),
             &json!({"$set": {"is_public": true}}),
         )?;
         Ok(r.matched == 1)
@@ -94,6 +111,21 @@ mod tests {
         assert!(!sb.share("mallory@x", &id, "mallory@x").unwrap());
         assert!(!sb.publish("mallory@x", &id).unwrap());
         assert!(sb.visible_to(None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn operator_injection_in_record_id_rejected() {
+        let db = Database::new();
+        let sb = Sandbox::new(&db);
+        sb.upload("alice@x", json!({"d": 1})).unwrap();
+        sb.upload("alice@x", json!({"d": 2})).unwrap();
+        // `{"$ne": null}` as a record id would match every record the
+        // owner has; it must be rejected before reaching the filter.
+        let inj = json!({"$ne": null});
+        assert!(sb.publish("alice@x", &inj).is_err());
+        assert!(sb.share("alice@x", &inj, "mallory@x").is_err());
+        assert!(sb.visible_to(None).unwrap().is_empty(), "nothing published");
+        assert!(sb.visible_to(Some("mallory@x")).unwrap().is_empty());
     }
 
     #[test]

@@ -81,25 +81,21 @@ impl WebLog {
         let entries = self.entries.lock();
         let mut counts = vec![0usize; edges.len() + 1];
         for e in entries.iter() {
-            let mut placed = false;
-            for (i, edge) in edges.iter().enumerate() {
-                if e.latency_ms <= *edge {
-                    counts[i] += 1;
-                    placed = true;
-                    break;
-                }
-            }
-            if !placed {
-                counts[edges.len()] += 1;
+            let idx = edges
+                .iter()
+                .position(|edge| e.latency_ms <= *edge)
+                .unwrap_or(edges.len());
+            if let Some(c) = counts.get_mut(idx) {
+                *c += 1;
             }
         }
         let mut out = Vec::with_capacity(counts.len());
         let mut lo = 0.0;
-        for (i, edge) in edges.iter().enumerate() {
-            out.push((format!("{lo:.0}-{edge:.0}ms"), counts[i]));
+        for (edge, n) in edges.iter().zip(&counts) {
+            out.push((format!("{lo:.0}-{edge:.0}ms"), *n));
             lo = *edge;
         }
-        out.push((format!(">{lo:.0}ms"), counts[edges.len()]));
+        out.push((format!(">{lo:.0}ms"), counts.last().copied().unwrap_or(0)));
         out
     }
 
@@ -118,9 +114,9 @@ impl WebLog {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
-        Some(v[rank.min(v.len() - 1)])
+        v.get(rank.min(v.len() - 1)).copied()
     }
 }
 

@@ -142,26 +142,35 @@ impl<'a> WebUi<'a> {
     /// Statistics dashboard: element prevalence, gap distribution, and
     /// stability counts, computed with aggregation pipelines.
     pub fn stats_page(&self) -> Result<String> {
-        let db = self.qe.database();
-        let mats = db.collection("materials");
-
-        let by_element = mats.aggregate(&json!([
-            {"$unwind": "$elements"},
-            {"$group": {"_id": "$elements", "n": {"$sum": 1}}},
-            {"$sort": {"n": -1, "_id": 1}},
-            {"$limit": 12},
-        ]))?;
-        let stable = mats.aggregate(&json!([
-            {"$match": {"stability.is_stable": true}},
-            {"$count": "n"},
-        ]))?;
+        // All three pipelines go through the QueryEngine so the $match
+        // stage (and any future user-tunable one) crosses the sanitizer
+        // rather than reaching the collection directly.
+        let by_element = self.qe.aggregate(
+            "materials",
+            &json!([
+                {"$unwind": "$elements"},
+                {"$group": {"_id": "$elements", "n": {"$sum": 1}}},
+                {"$sort": {"n": -1, "_id": 1}},
+                {"$limit": 12},
+            ]),
+        )?;
+        let stable = self.qe.aggregate(
+            "materials",
+            &json!([
+                {"$match": {"stability.is_stable": true}},
+                {"$count": "n"},
+            ]),
+        )?;
         let n_stable = stable.first().and_then(|v| v["n"].as_u64()).unwrap_or(0);
-        let gap_stats = mats.aggregate(&json!([
-            {"$group": {"_id": null,
-                         "metals": {"$sum": 1},
-                         "avg_gap": {"$avg": "$output.band_gap"},
-                         "max_gap": {"$max": "$output.band_gap"}}},
-        ]))?;
+        let gap_stats = self.qe.aggregate(
+            "materials",
+            &json!([
+                {"$group": {"_id": null,
+                             "metals": {"$sum": 1},
+                             "avg_gap": {"$avg": "$output.band_gap"},
+                             "max_gap": {"$max": "$output.band_gap"}}},
+            ]),
+        )?;
 
         let mut bars = String::new();
         let max_n = by_element
@@ -183,7 +192,7 @@ impl<'a> WebUi<'a> {
              <p>{total} materials; {n_stable} thermodynamically stable; \
              mean band gap {avg:.2} eV (max {max:.2}).</p>\
              <h3>Most common elements</h3>\n{bars}",
-            total = mats.len(),
+            total = self.qe.count("materials", &json!({}))?,
             avg = gap_stats
                 .first()
                 .and_then(|g| g["avg_gap"].as_f64())
@@ -266,7 +275,17 @@ pub fn render_dos_svg(dos_doc: &Value, width: u32, height: u32) -> String {
     }
     let es: Vec<f64> = energies.iter().filter_map(Value::as_f64).collect();
     let ds: Vec<f64> = densities.iter().filter_map(Value::as_f64).collect();
-    let (emin, emax) = (es[0], *es.last().expect("len checked"));
+    // `filter_map` drops non-numeric entries, so the length checks on
+    // the raw arrays do not carry over to `es`/`ds`.
+    if es.len() < 2 || es.len() != ds.len() {
+        return String::new();
+    }
+    let (Some(&emin), Some(&emax)) = (es.first(), es.last()) else {
+        return String::new();
+    };
+    if emax <= emin {
+        return String::new();
+    }
     let dmax = ds.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
     let px = |e: f64| (e - emin) / (emax - emin) * width as f64;
     let py = |d: f64| height as f64 * (1.0 - d / dmax);
@@ -462,10 +481,10 @@ pub fn render_binary_hull_svg(
     width: u32,
     height: u32,
 ) -> Option<String> {
-    if pd.elements.len() != 2 {
-        return None;
-    }
-    let x_el = pd.elements[1];
+    let (base_el, x_el) = match pd.elements[..] {
+        [a, b] => (a, b),
+        _ => return None,
+    };
     // (x fraction of second element, formation energy, stable?, label)
     let mut points: Vec<(f64, f64, bool, String)> = Vec::new();
     for (i, e) in pd.entries.iter().enumerate() {
@@ -490,7 +509,7 @@ pub fn render_binary_hull_svg(
     );
     // Hull line through the stable points, in x order.
     let mut stable: Vec<&(f64, f64, bool, String)> = points.iter().filter(|p| p.2).collect();
-    stable.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+    stable.sort_by(|a, b| a.0.total_cmp(&b.0));
     let path: Vec<String> = stable
         .iter()
         .map(|p| format!("{:.1},{:.1}", px(p.0), py(p.1)))
@@ -520,7 +539,7 @@ pub fn render_binary_hull_svg(
          <text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>\n</svg>\n",
         px(0.0) - 10.0,
         height - 2,
-        esc(pd.elements[0].symbol()),
+        esc(base_el.symbol()),
         px(1.0) - 10.0,
         height - 2,
         esc(x_el.symbol()),

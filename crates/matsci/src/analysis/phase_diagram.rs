@@ -142,9 +142,12 @@ impl PhaseDiagram {
         solve_min(&c, &a, &b).map(|s| s.objective)
     }
 
-    /// Energy above hull for entry `idx` (eV/atom). Stable phases → ~0.
+    /// Energy above hull for entry `idx` (eV/atom). Stable phases → ~0;
+    /// out-of-range ids → 0.
     pub fn e_above_hull(&self, idx: usize) -> f64 {
-        let e = &self.entries[idx];
+        let Some(e) = self.entries.get(idx) else {
+            return 0.0;
+        };
         // Hull without this entry (so stable entries get their distance to
         // the *rest* — 0 only if degenerate); Materials Project convention
         // instead keeps the entry in and reports max(E - hull, 0).
@@ -156,9 +159,11 @@ impl PhaseDiagram {
 
     /// Ids of the stable entries (on the hull within `tol` eV/atom).
     pub fn stable_entries(&self, tol: f64) -> Vec<&PdEntry> {
-        (0..self.entries.len())
-            .filter(|&i| self.e_above_hull(i) <= tol)
-            .map(|i| &self.entries[i])
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.e_above_hull(i) <= tol)
+            .map(|(_, e)| e)
             .collect()
     }
 

@@ -26,6 +26,7 @@ const EPS: f64 = 1e-9;
 ///
 /// Returns `None` when infeasible. The problem must be bounded (phase
 /// diagram LPs always are, because Σλ = 1 is among the constraints).
+// mp-flow: allow(R002) — dense tableau algebra; every index ranges over dimensions fixed at tableau construction (m rows, n + m + 1 cols), asserted on entry
 pub fn solve_min(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<LpSolution> {
     let m = a.len();
     let n = c.len();
@@ -97,6 +98,7 @@ pub fn solve_min(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<LpSolution> {
 
 /// Run simplex iterations (Bland's rule) until no negative reduced cost
 /// among the first `allowed_cols` columns. Returns `None` if unbounded.
+// mp-flow: allow(R002) — row/column loops range over `t.len()` and `obj.len()`; tableau shape is invariant across pivots
 fn pivot_until_optimal(
     t: &mut [Vec<f64>],
     obj: &mut [f64],
@@ -131,6 +133,7 @@ fn pivot_until_optimal(
     None // Iteration cap: treat as failure rather than looping forever.
 }
 
+// mp-flow: allow(R002) — callers pass `row < t.len()` and `col < cols` from the ratio test; every row of `t` has `cols` entries by construction
 fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, basis: &mut [usize]) {
     let cols = t[row].len();
     let p = t[row][col];

@@ -62,10 +62,9 @@ impl Composition {
     pub fn parse(formula: &str) -> Result<Composition, FormulaError> {
         let chars: Vec<char> = formula.chars().collect();
         let (c, pos) = parse_group(&chars, 0, 0)?;
-        if pos != chars.len() {
+        if let Some(&stray) = chars.get(pos) {
             return Err(FormulaError::Malformed(format!(
-                "unexpected character '{}' at {pos}",
-                chars[pos]
+                "unexpected character '{stray}' at {pos}"
             )));
         }
         if c.amounts.is_empty() {
@@ -276,11 +275,10 @@ fn parse_group(
         return Err(FormulaError::Malformed("nesting too deep".into()));
     }
     let mut comp = Composition::new();
-    while pos < chars.len() {
-        let c = chars[pos];
+    while let Some(&c) = chars.get(pos) {
         if c == '(' {
             let (inner, after) = parse_group(chars, pos + 1, depth + 1)?;
-            if after >= chars.len() || chars[after] != ')' {
+            if chars.get(after) != Some(&')') {
                 return Err(FormulaError::Malformed("unbalanced parentheses".into()));
             }
             pos = after + 1;
@@ -297,8 +295,8 @@ fn parse_group(
         } else if c.is_ascii_uppercase() {
             let mut sym = c.to_string();
             pos += 1;
-            if pos < chars.len() && chars[pos].is_ascii_lowercase() {
-                sym.push(chars[pos]);
+            if let Some(&lc) = chars.get(pos).filter(|lc| lc.is_ascii_lowercase()) {
+                sym.push(lc);
                 pos += 1;
             }
             let el = Element::from_symbol(&sym)?;
@@ -322,13 +320,16 @@ fn parse_group(
 /// Parse an optional (possibly fractional) amount; default 1.
 fn parse_number(chars: &[char], mut pos: usize) -> (f64, usize) {
     let start = pos;
-    while pos < chars.len() && (chars[pos].is_ascii_digit() || chars[pos] == '.') {
+    while chars
+        .get(pos)
+        .is_some_and(|c| c.is_ascii_digit() || *c == '.')
+    {
         pos += 1;
     }
     if pos == start {
         return (1.0, pos);
     }
-    let s: String = chars[start..pos].iter().collect();
+    let s: String = chars.iter().take(pos).skip(start).collect();
     (s.parse().unwrap_or(1.0), pos)
 }
 

@@ -168,6 +168,7 @@ impl Element {
 
     /// The static data record for this element.
     pub fn data(&self) -> &'static ElementData {
+        // mp-flow: allow(R002) — index is clamped into the non-empty static table
         &PERIODIC_TABLE[(self.0 as usize)
             .saturating_sub(1)
             .min(PERIODIC_TABLE.len() - 1)]
