@@ -8,10 +8,12 @@
 //! `$group` (with sum/avg/min/max/count/push accumulators), `$sort`,
 //! `$skip`, `$limit`, and `$count`.
 
-use crate::cursor::{FindOptions, SortDir};
+use crate::cursor::{CompiledProjection, FindOptions, SortDir};
 use crate::error::{Result, StoreError};
 use crate::query::Filter;
-use crate::value::{cmp_values, get_path, set_path, Docs, Document, OrderedValue};
+use crate::value::{
+    cmp_values, compile_path, get_path_segs, set_path_segs, Docs, Document, OrderedValue, PathSeg,
+};
 use serde_json::{json, Map, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -203,88 +205,109 @@ fn parse_stage(op: &str, spec: &Value) -> Result<Stage> {
 pub fn run_pipeline(docs: Docs, stages: &[Stage]) -> Result<Docs> {
     let mut stream = docs;
     for stage in stages {
-        stream = match stage {
-            Stage::Match(f) => {
-                let cf = f.compile();
-                stream.into_iter().filter(|d| cf.matches(d)).collect()
-            }
-            Stage::Project(paths) => {
-                let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
-                let opts = FindOptions::all().project(&refs);
-                stream
-                    .iter()
-                    .map(|d| Arc::new(opts.project_doc(d)))
-                    .collect()
-            }
-            Stage::Unwind(path) => {
-                let mut out = Vec::new();
-                for doc in stream {
-                    match get_path(&doc, path) {
-                        Some(Value::Array(items)) => {
-                            for item in items.clone() {
-                                let mut copy = (*doc).clone();
-                                set_path(&mut copy, path, item).map_err(StoreError::BadQuery)?;
-                                out.push(Arc::new(copy));
-                            }
-                        }
-                        Some(_) => out.push(doc), // scalar passes through
-                        None => {}                // missing drops the doc
-                    }
-                }
-                out
-            }
-            Stage::Group { key, accumulators } => {
-                let mut groups: BTreeMap<OrderedValue, Docs> = BTreeMap::new();
-                for doc in stream {
-                    let k = match key {
-                        Some(path) => get_path(&doc, path).cloned().unwrap_or(Value::Null),
-                        None => Value::Null,
-                    };
-                    groups.entry(OrderedValue(k)).or_default().push(doc);
-                }
-                let mut out = Vec::with_capacity(groups.len());
-                for (k, members) in groups {
-                    let mut row = Map::new();
-                    row.insert("_id".into(), k.0);
-                    for (field, acc, input) in accumulators {
-                        row.insert(field.clone(), accumulate(*acc, input, &members));
-                    }
-                    out.push(Arc::new(Value::Object(row)));
-                }
-                out
-            }
-            Stage::Sort(keys) => {
-                let mut opts = FindOptions::all();
-                opts.sort = keys.clone();
-                let mut s = stream;
-                s.sort_by(|a, b| opts.compare(a, b));
-                s
-            }
-            Stage::Skip(n) => stream.into_iter().skip(*n).collect(),
-            Stage::Limit(n) => stream.into_iter().take(*n).collect(),
-            Stage::Count(field) => {
-                vec![Arc::new(json!({ field.as_str(): stream.len() }))]
-            }
-        };
+        stream = run_stage(stream, stage)?;
     }
     Ok(stream)
 }
 
-fn accumulate(acc: Accumulator, input: &str, members: &[Arc<Document>]) -> Value {
+/// Apply one stage to the stream. Per-stage artifacts — compiled filters,
+/// pre-split paths, compiled projections and sort keys — are built once
+/// here, before any per-document loop runs, so the loops themselves do
+/// pure traversal.
+fn run_stage(stream: Docs, stage: &Stage) -> Result<Docs> {
+    Ok(match stage {
+        Stage::Match(f) => {
+            let cf = f.compile();
+            stream.into_iter().filter(|d| cf.matches(d)).collect()
+        }
+        Stage::Project(paths) => {
+            let proj = CompiledProjection::compile(paths);
+            stream
+                .iter()
+                .map(|d| Arc::new(proj.project_one(d)))
+                .collect()
+        }
+        Stage::Unwind(path) => {
+            let segs = compile_path(path);
+            let mut out = Vec::new();
+            for doc in stream {
+                match get_path_segs(&doc, &segs) {
+                    Some(Value::Array(items)) => {
+                        for item in items {
+                            // mp-lint: allow(H001) — $unwind synthesizes one new document per array element by definition; the copies are the stage's output.
+                            let mut copy = (*doc).clone();
+                            // mp-lint: allow(H001) — the element value becomes the unwound copy's field; one owned value per output document.
+                            let item = item.clone();
+                            set_path_segs(&mut copy, &segs, item).map_err(StoreError::BadQuery)?;
+                            out.push(Arc::new(copy));
+                        }
+                    }
+                    Some(_) => out.push(doc), // scalar passes through
+                    None => {}                // missing drops the doc
+                }
+            }
+            out
+        }
+        Stage::Group { key, accumulators } => {
+            // mp-lint: allow(H004) — one compile per query for the group key; the adapter maps an Option, not the document stream.
+            let key_segs = key.as_ref().map(|k| compile_path(k));
+            let specs: Vec<(String, Accumulator, Option<Vec<PathSeg>>)> = accumulators
+                .iter()
+                .map(|(field, acc, input)| {
+                    let segs = if input.is_empty() {
+                        None
+                    } else {
+                        Some(compile_path(input)) // mp-lint: allow(H004) — one compile per accumulator spec, per query
+                    };
+                    (field.clone(), *acc, segs) // mp-lint: allow(H001) — owned spec tuple built once per query, not per document
+                })
+                .collect();
+            let mut groups: BTreeMap<OrderedValue, Docs> = BTreeMap::new();
+            for doc in stream {
+                let k = match &key_segs {
+                    Some(segs) => get_path_segs(&doc, segs).cloned().unwrap_or(Value::Null),
+                    None => Value::Null,
+                };
+                groups.entry(OrderedValue(k)).or_default().push(doc);
+            }
+            let mut out = Vec::with_capacity(groups.len());
+            for (k, members) in groups {
+                let mut row = Map::with_capacity(specs.len() + 1);
+                row.insert("_id".into(), k.0);
+                for (field, acc, segs) in &specs {
+                    // mp-lint: allow(H001) — one owned field name per output row; the row is the stage's product, not per-document scratch.
+                    let field = field.clone();
+                    row.insert(field, accumulate(*acc, segs.as_deref(), &members));
+                }
+                out.push(Arc::new(Value::Object(row)));
+            }
+            out
+        }
+        Stage::Sort(keys) => {
+            let mut spec = FindOptions::all();
+            spec.sort = keys.clone();
+            let copts = spec.compile();
+            let mut s = stream;
+            s.sort_by(|a, b| copts.cmp_docs(a, b));
+            s
+        }
+        Stage::Skip(n) => stream.into_iter().skip(*n).collect(),
+        Stage::Limit(n) => stream.into_iter().take(*n).collect(),
+        Stage::Count(field) => {
+            vec![Arc::new(json!({ field.as_str(): stream.len() }))]
+        }
+    })
+}
+
+fn accumulate(acc: Accumulator, input: Option<&[PathSeg]>, members: &[Arc<Document>]) -> Value {
     let values: Vec<&Value> = members
         .iter()
-        .filter_map(|d| {
-            if input.is_empty() {
-                None
-            } else {
-                get_path(d, input)
-            }
-        })
+        .filter_map(|d| input.and_then(|segs| get_path_segs(d, segs)))
         .collect();
     match acc {
         Accumulator::Count => json!(members.len()),
         Accumulator::Sum => {
-            if input.is_empty() {
+            if input.is_none() {
                 // `$sum: 1` idiom.
                 json!(members.len())
             } else {
@@ -303,14 +326,15 @@ fn accumulate(acc: Accumulator, input: &str, members: &[Arc<Document>]) -> Value
         Accumulator::Min => values
             .iter()
             .min_by(|a, b| cmp_values(a, b))
-            .map(|&v| v.clone())
+            .map(|&v| v.clone()) // mp-lint: allow(H001) — one owned winning value per group is the accumulator's output
             .unwrap_or(Value::Null),
         Accumulator::Max => values
             .iter()
             .max_by(|a, b| cmp_values(a, b))
-            .map(|&v| v.clone())
+            .map(|&v| v.clone()) // mp-lint: allow(H001) — one owned winning value per group is the accumulator's output
             .unwrap_or(Value::Null),
         Accumulator::Push => json!(values),
+        // mp-lint: allow(H001) — one owned first value per group is the accumulator's output
         Accumulator::First => values.first().map(|&v| v.clone()).unwrap_or(Value::Null),
     }
 }

@@ -2,7 +2,7 @@
 //! secondary indexes, and atomic find-and-modify (the primitive FireWorks
 //! uses to claim queue entries without double-running jobs).
 
-use crate::cursor::FindOptions;
+use crate::cursor::{CompiledProjection, FindOptions};
 use crate::error::{Result, StoreError};
 use crate::index::{DocId, Index};
 use crate::profiler::{OpKind, Profiler};
@@ -222,15 +222,37 @@ impl Collection {
     /// Find with sort/skip/limit/projection.
     ///
     /// Returns shared documents ([`Docs`]): no deep copy is made on the
-    /// way out, and a projection materializes only the projected fields
-    /// from the borrowed document.
+    /// way out. The options are compiled once per query — sort keys and
+    /// projection paths are pre-split before the first document is
+    /// touched — and a projection materializes only the projected fields
+    /// from the borrowed documents (in parallel chunks for large result
+    /// sets).
+    ///
+    /// An unsorted projected find takes the pushdown path: each matching
+    /// document is projected in the same pass that matched it (see
+    /// [`filter_project_matches`]), and a skip/limit window ends the scan
+    /// as soon as it is full. A sorted find must keep the full source
+    /// documents until after ordering (the sort keys need not be
+    /// projected fields), so it projects the ordered window afterwards.
     pub fn find_with(&self, filter: &Value, opts: &FindOptions) -> Result<Docs> {
         let _t = self.profiler.start(&self.name, OpKind::Find);
         let cf = Filter::parse(filter)?.compile();
+        let copts = opts.compile();
+        if let (false, Some(proj)) = (copts.has_sort(), copts.projection()) {
+            let candidates = self.snapshot(&cf);
+            return Ok(filter_project_matches(
+                WorkPool::global(),
+                candidates,
+                &cf,
+                proj,
+                copts.skip(),
+                copts.limit(),
+            ));
+        }
         let mut out = self.scan(&cf);
-        opts.apply_order(&mut out);
-        if opts.projection.is_some() {
-            out = out.iter().map(|d| Arc::new(opts.project_doc(d))).collect();
+        copts.apply_order(&mut out);
+        if let Some(proj) = copts.projection() {
+            out = project_matches(WorkPool::global(), &out, proj);
         }
         Ok(out)
     }
@@ -384,7 +406,8 @@ impl Collection {
             return Ok(None);
         }
         if let Some(opts) = sort {
-            matches.sort_by(|a, b| opts.compare(a.1, b.1));
+            let copts = opts.compile();
+            matches.sort_by(|a, b| copts.cmp_docs(a.1, b.1));
         }
         let (id, old_ref) = matches[0];
         let old = Arc::clone(old_ref);
@@ -659,19 +682,26 @@ impl Collection {
     /// behind a large scan. A COLLSCAN walks document values directly
     /// instead of materializing every id and re-probing the tree per id.
     fn scan(&self, cf: &CompiledFilter) -> Docs {
-        let candidates: Docs = {
-            let inner = self.inner.read();
-            let (plan, _) = Self::plan_query(&inner, cf);
-            self.profiler.bump(plan.kind.counter());
-            match plan.kind {
-                PlanKind::Collscan => inner.docs.values().cloned().collect(),
-                _ => Self::plan_candidates(&inner, cf, &plan)
-                    .into_iter()
-                    .filter_map(|id| inner.docs.get(&id).cloned())
-                    .collect(),
-            }
-        };
+        let candidates = self.snapshot(cf);
         filter_matches(WorkPool::global(), candidates, cf)
+    }
+
+    /// The snapshot half of [`Collection::scan`]: choose a plan and clone
+    /// the `Arc`s of its candidate set under the read lock, releasing it
+    /// before any match evaluation. The shard router uses this directly
+    /// so one scatter can span every shard's candidates at once instead
+    /// of dispatching one opaque job per shard.
+    pub(crate) fn snapshot(&self, cf: &CompiledFilter) -> Docs {
+        let inner = self.inner.read();
+        let (plan, _) = Self::plan_query(&inner, cf);
+        self.profiler.bump(plan.kind.counter());
+        match plan.kind {
+            PlanKind::Collscan => inner.docs.values().cloned().collect(),
+            _ => Self::plan_candidates(&inner, cf, &plan)
+                .into_iter()
+                .filter_map(|id| inner.docs.get(&id).cloned())
+                .collect(),
+        }
     }
 
     /// Counting twin of `scan`: same planner; counts under the read lock
@@ -710,13 +740,15 @@ impl Collection {
 }
 
 /// Match-filter a snapshot of candidate documents, splitting large sets
-/// into one chunk per pool slot and evaluating them on the work pool.
-/// Chunk results are concatenated in chunk order, so the output order is
-/// identical to the sequential path. A match retains the `Arc` (pointer
-/// bump) — the documents themselves are never copied.
-fn filter_matches(pool: &WorkPool, docs: Docs, cf: &CompiledFilter) -> Docs {
+/// into a few chunks per pool slot (see [`WorkPool::chunk_size`]) and
+/// evaluating them on the work pool. Chunk results are concatenated in
+/// chunk order, so the output order is identical to the sequential path.
+/// A match retains the `Arc` (pointer bump) — the documents themselves
+/// are never copied. The shard router funnels its cross-shard candidate
+/// union through here too, so one scatter covers every shard.
+pub(crate) fn filter_matches(pool: &WorkPool, docs: Docs, cf: &CompiledFilter) -> Docs {
     if docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
-        let per_chunk = docs.len().div_ceil(pool.size());
+        let per_chunk = pool.chunk_size(docs.len(), PARALLEL_SCAN_THRESHOLD / 4);
         let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
         let parts = pool.scatter(chunks, |chunk| {
             chunk
@@ -728,6 +760,78 @@ fn filter_matches(pool: &WorkPool, docs: Docs, cf: &CompiledFilter) -> Docs {
         parts.into_iter().flatten().collect()
     } else {
         docs.into_iter().filter(|d| cf.matches(d)).collect()
+    }
+}
+
+/// Fused filter + projection over a snapshot, for unsorted projected
+/// finds: each matching document is projected immediately, while its
+/// cache lines are still warm from match evaluation. Re-walking the
+/// matched set afterwards (match everything, then project everything)
+/// pays a second pass of memory stalls over a set that long since fell
+/// out of cache — on a collection-sized scan that second pass, not the
+/// materialization itself, is the projection cliff. Skip/limit apply to
+/// the match stream *before* materialization, so a bounded window
+/// projects only the documents it returns and stops the scan as soon as
+/// it is full. Output is identical to `filter_matches` → `apply_order`
+/// (without sort) → `project_matches` over the same snapshot.
+pub(crate) fn filter_project_matches(
+    pool: &WorkPool,
+    docs: Docs,
+    cf: &CompiledFilter,
+    proj: &CompiledProjection,
+    skip: usize,
+    limit: Option<usize>,
+) -> Docs {
+    // An unbounded window parallelizes exactly like the unfused pair; a
+    // bounded one runs sequentially so the early exit stays exact.
+    if skip == 0 && limit.is_none() && docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
+        let per_chunk = pool.chunk_size(docs.len(), PARALLEL_SCAN_THRESHOLD / 4);
+        let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
+        let parts = pool.scatter(chunks, |chunk| {
+            chunk
+                .iter()
+                .filter(|d| cf.matches(d))
+                .map(|d| Arc::new(proj.project_one(d)))
+                .collect::<Docs>()
+        });
+        parts.into_iter().flatten().collect()
+    } else {
+        let mut out = Docs::new();
+        let mut matched = 0usize;
+        for d in docs.iter() {
+            if limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+            if !cf.matches(d) {
+                continue;
+            }
+            matched += 1;
+            if matched <= skip {
+                continue;
+            }
+            out.push(Arc::new(proj.project_one(d)));
+        }
+        out
+    }
+}
+
+/// Materialize a compiled projection over a matched result set, in
+/// parallel chunks for large sets (same policy as [`filter_matches`]).
+/// Output order is the input order; each output document holds only the
+/// projected fields.
+fn project_matches(pool: &WorkPool, docs: &[Arc<Document>], proj: &CompiledProjection) -> Docs {
+    if docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
+        let per_chunk = pool.chunk_size(docs.len(), PARALLEL_SCAN_THRESHOLD / 4);
+        let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
+        let parts = pool.scatter(chunks, |chunk| {
+            chunk
+                .iter()
+                .map(|d| Arc::new(proj.project_one(d)))
+                .collect::<Docs>()
+        });
+        parts.into_iter().flatten().collect()
+    } else {
+        docs.iter().map(|d| Arc::new(proj.project_one(d))).collect()
     }
 }
 

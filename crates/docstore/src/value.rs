@@ -217,6 +217,75 @@ pub fn set_path(doc: &mut Value, path: &str, value: Value) -> Result<(), String>
     unreachable!("loop returns on last segment")
 }
 
+/// [`set_path`] over pre-split segments: the path is compiled once per
+/// query ([`compile_path`]) instead of re-split and re-parsed per
+/// document. Semantics are identical, including array creation when the
+/// next segment is numeric and null-padding of extended arrays.
+// mp-lint: allow(H001, H002, H003) — building an owned output document requires owned keys and fresh containers; the format! calls are error paths.
+// mp-flow: allow(R001, R002) — same shape as `set_path`: the `segs[i + 1]` lookahead is guarded by `!last` and the loop returns on the last segment, so the trailing `unreachable!` cannot fire.
+pub fn set_path_segs(doc: &mut Value, segs: &[PathSeg], value: Value) -> Result<(), String> {
+    if segs.is_empty() {
+        return Err("empty path".into());
+    }
+    let mut cur = doc;
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i == segs.len() - 1;
+        match cur {
+            Value::Object(m) => {
+                if last {
+                    m.insert(seg.key.clone(), value);
+                    return Ok(());
+                }
+                let next_is_index = segs[i + 1].index.is_some();
+                let entry = m.entry(seg.key.clone()).or_insert_with(|| {
+                    if next_is_index {
+                        Value::Array(vec![])
+                    } else {
+                        Value::Object(Map::new())
+                    }
+                });
+                if entry.is_null() {
+                    *entry = if next_is_index {
+                        Value::Array(vec![])
+                    } else {
+                        Value::Object(Map::new())
+                    };
+                }
+                cur = entry;
+            }
+            Value::Array(a) => {
+                let idx: usize = seg
+                    .index
+                    .ok_or_else(|| format!("cannot index array with '{}'", seg.key))?;
+                while a.len() <= idx {
+                    a.push(Value::Null);
+                }
+                if last {
+                    a[idx] = value;
+                    return Ok(());
+                }
+                if a[idx].is_null() {
+                    let next_is_index = segs[i + 1].index.is_some();
+                    a[idx] = if next_is_index {
+                        Value::Array(vec![])
+                    } else {
+                        Value::Object(Map::new())
+                    };
+                }
+                cur = &mut a[idx];
+            }
+            other => {
+                return Err(format!(
+                    "cannot traverse scalar {} at segment '{}'",
+                    type_name(other),
+                    seg.key
+                ))
+            }
+        }
+    }
+    unreachable!("loop returns on last segment")
+}
+
 /// Remove the value at `path`. Returns the removed value if it existed.
 pub fn remove_path(doc: &mut Value, path: &str) -> Option<Value> {
     let segs: Vec<&str> = path_segments(path).collect();
@@ -419,6 +488,24 @@ mod tests {
         let mut doc = json!({"xs": [1, 2, 3]});
         assert_eq!(remove_path(&mut doc, "xs.1"), Some(json!(2)));
         assert_eq!(doc, json!({"xs": [1, null, 3]}));
+    }
+
+    #[test]
+    fn set_segs_matches_set_path() {
+        for path in ["a.b.c", "xs.3", "xs.1.y", "top"] {
+            let mut a = json!({"xs": [1]});
+            let mut b = a.clone();
+            let r1 = set_path(&mut a, path, json!(9));
+            let r2 = set_path_segs(&mut b, &compile_path(path), json!(9));
+            assert_eq!(r1, r2, "result mismatch for {path}");
+            assert_eq!(a, b, "doc mismatch for {path}");
+        }
+        // Error paths agree too: scalar traversal and empty paths.
+        let mut a = json!({"a": 1});
+        let mut b = a.clone();
+        assert!(set_path(&mut a, "a.b", json!(2)).is_err());
+        assert!(set_path_segs(&mut b, &compile_path("a.b"), json!(2)).is_err());
+        assert!(set_path_segs(&mut b, &compile_path(""), json!(2)).is_err());
     }
 
     #[test]

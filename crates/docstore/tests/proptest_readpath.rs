@@ -1,0 +1,230 @@
+//! Property tests pinning the compiled read path to its naive oracles.
+//!
+//! [`FindOptions`] keeps the pre-compilation implementations
+//! (`compare`, `apply_order`, `project_doc`) precisely so these tests
+//! can diff the compiled forms ([`FindOptions::compile`] →
+//! `CompiledFindOptions` / `CompiledProjection`) against them:
+//!
+//! * the compiled comparator orders exactly like the naive one over
+//!   mixed-type sort keys (numbers vs strings vs null vs missing);
+//! * compiled sort + skip + limit returns the identical window,
+//!   including the edges (skip past the end, limit 0, limit past the
+//!   end, both combined);
+//! * the compiled projection — both the trie plan and the sequential
+//!   fallback for numeric segments — emits byte-identical output for
+//!   nested paths, missing fields, overlapping/duplicate paths, and
+//!   paths through arrays.
+//!
+//! Documents are generated nested (objects, arrays, mixed scalar
+//! leaves) so paths resolve, partially resolve, or miss entirely.
+
+use mp_docstore::{FindOptions, SortDir};
+use proptest::prelude::*;
+use serde_json::{json, Map, Value};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Mixed scalar leaves: sorting keys of different types against each
+/// other exercises `cmp_values`' cross-type total order.
+fn leaf() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        (-40i64..40).prop_map(Value::from),
+        (-8.0f64..8.0).prop_map(|f| json!(f)),
+        "[a-c]{0,3}".prop_map(Value::from),
+    ]
+}
+
+fn object_of(inner: impl Strategy<Value = Value> + 'static) -> impl Strategy<Value = Value> {
+    prop::collection::vec(("[a-d]", inner), 0..4).prop_map(|pairs| {
+        let mut m = Map::new();
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    })
+}
+
+/// A nested value: scalar, object of known-alphabet keys, or array.
+/// Explicit depth levels stand in for `prop_recursive` (the shim has
+/// no recursion combinator); three levels is enough for the generated
+/// paths (max three segments) to fully resolve.
+fn nested() -> impl Strategy<Value = Value> {
+    let level0 = leaf().boxed();
+    let level1 = prop_oneof![
+        leaf(),
+        object_of(level0.clone()),
+        prop::collection::vec(level0, 0..3).prop_map(Value::Array),
+    ]
+    .boxed();
+    prop_oneof![
+        leaf(),
+        object_of(level1.clone()),
+        prop::collection::vec(level1, 0..3).prop_map(Value::Array),
+    ]
+}
+
+/// A document: an object whose top-level keys come from the same
+/// alphabet the generated paths use, so paths hit, partially hit, or
+/// miss. `_id` is present half the time (projection always includes it
+/// when present).
+fn document() -> impl Strategy<Value = Value> {
+    (
+        prop::collection::vec(("[a-d]", nested()), 0..5),
+        prop_oneof![Just(None), "[a-z]{1,6}".prop_map(Some)],
+    )
+        .prop_map(|(pairs, id)| {
+            let mut m = Map::new();
+            if let Some(id) = id {
+                m.insert("_id".to_string(), Value::String(id));
+            }
+            for (k, v) in pairs {
+                m.insert(k, v);
+            }
+            Value::Object(m)
+        })
+}
+
+/// A dotted path over the document alphabet, with numeric segments (to
+/// force the sequential projection fallback) and a never-present key.
+fn path() -> impl Strategy<Value = Value> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("a"),
+            Just("b"),
+            Just("c"),
+            Just("d"),
+            Just("0"),
+            Just("1"),
+            Just("zz"),
+        ],
+        1..4,
+    )
+    .prop_map(|segs| Value::String(segs.join(".")))
+}
+
+fn path_string() -> impl Strategy<Value = String> {
+    path().prop_map(|v| v.as_str().unwrap().to_string())
+}
+
+fn sort_spec() -> impl Strategy<Value = Vec<(String, SortDir)>> {
+    prop::collection::vec(
+        (
+            path_string(),
+            prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)],
+        ),
+        0..3,
+    )
+}
+
+/// FindOptions with edge-heavy skip/limit: the ranges comfortably
+/// exceed the generated collection size, so skip==len, skip>len,
+/// limit 0, and limit>len all occur.
+fn options() -> impl Strategy<Value = FindOptions> {
+    (
+        sort_spec(),
+        0usize..40,
+        prop_oneof![Just(None), (0usize..40).prop_map(Some)],
+        prop_oneof![
+            Just(None),
+            prop::collection::vec(path_string(), 0..4).prop_map(Some)
+        ],
+    )
+        .prop_map(|(sort, skip, limit, projection)| FindOptions {
+            sort,
+            skip,
+            limit,
+            projection,
+        })
+}
+
+fn byte_identical(a: &[Value], b: &[Value]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        serde_json::to_string(&a.to_vec()).unwrap(),
+        serde_json::to_string(&b.to_vec()).unwrap()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The compiled comparator agrees with the naive one on every pair,
+    /// including mixed-type and missing keys, in both directions.
+    #[test]
+    fn compiled_comparator_matches_naive(
+        a in document(),
+        b in document(),
+        sort in sort_spec(),
+    ) {
+        let opts = FindOptions { sort, ..FindOptions::all() };
+        let copts = opts.compile();
+        prop_assert_eq!(copts.cmp_docs(&a, &b), opts.compare(&a, &b));
+        prop_assert_eq!(copts.cmp_docs(&b, &a), opts.compare(&b, &a));
+    }
+
+    /// Compiled sort + skip + limit produces the identical result
+    /// window (content *and* order) to the naive reference.
+    #[test]
+    fn compiled_order_matches_naive(
+        docs in prop::collection::vec(document(), 0..30),
+        opts in options(),
+    ) {
+        let copts = opts.compile();
+        let mut naive = docs.clone();
+        let mut compiled = docs;
+        opts.apply_order(&mut naive);
+        copts.apply_order(&mut compiled);
+        byte_identical(&compiled, &naive)?;
+    }
+
+    /// The compiled projection is byte-identical to the naive
+    /// `project_doc` on every document — nested paths, missing fields,
+    /// duplicate and overlapping paths, and numeric segments (the
+    /// sequential-fallback strategy) alike.
+    #[test]
+    fn compiled_projection_matches_naive(
+        docs in prop::collection::vec(document(), 0..20),
+        paths in prop::collection::vec(path_string(), 0..4),
+    ) {
+        let opts = FindOptions::all().project(
+            &paths.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        let copts = opts.compile();
+        let proj = copts.projection().expect("projection compiled");
+        let compiled: Vec<Value> = docs.iter().map(|d| proj.project_one(d)).collect();
+        let naive: Vec<Value> = docs.iter().map(|d| opts.project_doc(d)).collect();
+        byte_identical(&compiled, &naive)?;
+    }
+
+    /// End to end: the full compiled pipeline (sort, skip, limit, then
+    /// project) equals the naive pipeline on the same input.
+    #[test]
+    fn compiled_pipeline_matches_naive(
+        docs in prop::collection::vec(document(), 0..25),
+        opts in options(),
+    ) {
+        let copts = opts.compile();
+
+        let mut naive = docs.clone();
+        opts.apply_order(&mut naive);
+        if opts.projection.is_some() {
+            naive = naive.iter().map(|d| opts.project_doc(d)).collect();
+        }
+
+        let mut compiled = docs;
+        copts.apply_order(&mut compiled);
+        if let Some(proj) = copts.projection() {
+            compiled = compiled.iter().map(|d| proj.project_one(d)).collect();
+        }
+
+        byte_identical(&compiled, &naive)?;
+    }
+}

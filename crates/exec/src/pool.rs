@@ -25,6 +25,11 @@ use std::sync::{mpsc, OnceLock};
 /// Type-erased unit of work shipped to a worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Chunks each execution slot should receive from [`WorkPool::chunk_size`].
+/// More than one so the slots stay busy when chunks finish unevenly; small
+/// enough that per-chunk dispatch overhead stays negligible.
+const CHUNKS_PER_SLOT: usize = 4;
+
 thread_local! {
     /// Set for the lifetime of a pool worker thread: a nested scatter
     /// issued from inside a job runs inline instead of re-entering the
@@ -94,6 +99,16 @@ impl WorkPool {
     /// Snapshot of the usage counters.
     pub fn stats(&self) -> PoolStats {
         *self.stats.lock()
+    }
+
+    /// Items per chunk when splitting `n` items for a scatter: aims for
+    /// [`CHUNKS_PER_SLOT`] chunks per execution slot — enough slack that
+    /// one slow chunk cannot straggle the whole scatter behind an idle
+    /// pool — while never dropping below `floor` items per chunk, so tiny
+    /// chunks never pay more in dispatch than they earn in overlap.
+    pub fn chunk_size(&self, n: usize, floor: usize) -> usize {
+        let target_chunks = (self.size() * CHUNKS_PER_SLOT).max(1);
+        n.div_ceil(target_chunks).max(floor.max(1))
     }
 
     /// Map `inputs` through `f` in parallel, returning outputs in input
@@ -297,6 +312,19 @@ mod tests {
         let out = pool.scatter((0..16).collect::<Vec<u32>>(), |i| i + 1);
         assert_eq!(out.len(), 16);
         assert_eq!(out[15], 16);
+    }
+
+    #[test]
+    fn chunk_size_targets_a_few_chunks_per_slot() {
+        let pool = WorkPool::new(4);
+        // 100k items on 4 slots: 16 target chunks of 6250.
+        assert_eq!(pool.chunk_size(100_000, 1024), 6250);
+        // The floor wins when the even split would go finer.
+        assert_eq!(pool.chunk_size(5_000, 1024), 1024);
+        // Degenerate inputs still give a usable (>= 1) chunk size.
+        assert_eq!(pool.chunk_size(0, 0), 1);
+        let single = WorkPool::new(1);
+        assert_eq!(single.chunk_size(10_000, 1024), 2500);
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! CLI front-end for the three analysis passes.
+//! CLI front-end for the analysis passes.
 //!
 //! ```text
-//! mp-lint query <query.json> [--db <dir>] [--collection <name>]
-//! mp-lint workflow <workflow.json>
-//! mp-lint data <doc.json> [<doc.json> ...]
-//! mp-lint concurrency [<root>]
-//! mp-lint perf [<root>]
+//! mp-lint query <query.json> [--db <dir>] [--collection <name>] [--json]
+//! mp-lint workflow <workflow.json> [--json]
+//! mp-lint data <doc.json> [<doc.json> ...] [--json]
+//! mp-lint concurrency [<root>] [--json]
+//! mp-lint perf [<root>] [--json]
 //! mp-lint flow [<root>] [--json]
+//! mp-lint hotpath [<root>] [--json]
 //! mp-lint callgraph [<root>] [--dot]
 //! ```
 //!
@@ -16,31 +17,39 @@
 //! document. `data` validates task documents against the default V&V
 //! contract. `concurrency` scans a source tree (default `.`) for lock
 //! facade violations (`L0xx`). `perf` scans a source tree (default `.`)
-//! for read-path regressions (`P002`/`P003`: per-document deep clones
-//! and uncompiled filter matching in loops). `flow` builds the workspace
-//! call graph and runs the interprocedural taint (`S0xx`) and
-//! panic-reachability (`R0xx`) passes; `--json` emits the diagnostics
-//! as a JSON array for machine consumers. `callgraph` prints the graph
-//! (GraphViz DOT with `--dot`, role-colored: sources blue, sanitizers
-//! green, sinks gold, panicking fns red). Exit status is 1 when any
-//! Error-severity diagnostic fires, 2 on usage/IO problems.
+//! for read-path regressions (`P002`/`P003`). `flow` builds the
+//! workspace call graph and runs the interprocedural taint (`S0xx`) and
+//! panic-reachability (`R0xx`) passes. `hotpath` runs the
+//! interprocedural hot-path cost analysis (`H0xx`): per-document
+//! allocation anti-patterns in hot regions, with the full hot call
+//! chain. `callgraph` prints the graph (GraphViz DOT with `--dot`,
+//! role-colored: sources blue, sanitizers green, sinks gold, panicking
+//! fns red).
+//!
+//! Every pass obeys one contract: diagnostics are ordered by
+//! (file, line, code); `--json` emits the shared envelope
+//! `{"pass": ..., "findings": [...], "counts": {...}}` (schema in
+//! DESIGN.md §12); the exit status is 1 when *any* finding fires —
+//! warnings included, the workspace invariant is zero — and 2 on
+//! usage/IO problems.
 
 use std::process::ExitCode;
 
 use mp_docstore::Persister;
 use mp_lint::{
-    analyze_query, analyze_query_with_schema, analyze_workflow, has_errors, render,
-    CollectionSchema, RuleSet, WfNode,
+    analyze_query, analyze_query_with_schema, analyze_workflow, render, render_envelope,
+    CollectionSchema, Diagnostic, RuleSet, WfNode,
 };
 use serde_json::Value;
 
 const USAGE: &str = "usage:
-  mp-lint query <query.json> [--db <dir>] [--collection <name>]
-  mp-lint workflow <workflow.json>
-  mp-lint data <doc.json> [<doc.json> ...]
-  mp-lint concurrency [<root>]
-  mp-lint perf [<root>]
+  mp-lint query <query.json> [--db <dir>] [--collection <name>] [--json]
+  mp-lint workflow <workflow.json> [--json]
+  mp-lint data <doc.json> [<doc.json> ...] [--json]
+  mp-lint concurrency [<root>] [--json]
+  mp-lint perf [<root>] [--json]
   mp-lint flow [<root>] [--json]
+  mp-lint hotpath [<root>] [--json]
   mp-lint callgraph [<root>] [--dot]";
 
 const SCHEMA_SAMPLE: usize = 256;
@@ -63,20 +72,31 @@ fn main() -> ExitCode {
     }
 }
 
-/// Returns `Ok(true)` when no Error-severity diagnostics fired.
+/// Returns `Ok(true)` when the pass reported zero findings.
 fn run(args: &[String]) -> Result<bool, String> {
     let mode = args
         .first()
         .map(String::as_str)
         .ok_or("missing subcommand")?;
+    let json = args[1..].iter().any(|a| a == "--json");
+    let rest: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .cloned()
+        .collect();
     match mode {
-        "query" => lint_query(&args[1..]),
-        "workflow" => lint_workflow(&args[1..]),
-        "data" => lint_data(&args[1..]),
-        "concurrency" => lint_concurrency(&args[1..]),
-        "perf" => lint_perf(&args[1..]),
-        "flow" => lint_flow(&args[1..]),
-        "callgraph" => print_callgraph(&args[1..]),
+        "query" => lint_query(&rest, json),
+        "workflow" => lint_workflow(&rest, json),
+        "data" => lint_data(&rest, json),
+        "concurrency" => lint_tree("concurrency", &rest, json, |root| {
+            mp_lint::analyze_tree(root)
+        }),
+        "perf" => lint_tree("perf", &rest, json, mp_lint::analyze_perf_tree),
+        "flow" => lint_tree("flow", &rest, json, mp_lint::analyze_flow_tree),
+        "hotpath" => lint_tree("hotpath", &rest, json, |root| {
+            mp_lint::analyze_hotpath_tree(root)
+        }),
+        "callgraph" => print_callgraph(&rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -86,17 +106,38 @@ fn read_json(path: &str) -> Result<Value, String> {
     serde_json::from_str(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))
 }
 
-fn report(label: &str, diags: &[mp_lint::Diagnostic]) -> bool {
-    if diags.is_empty() {
+/// The one reporting contract shared by every pass: the envelope under
+/// `--json`, `(file, line, code)`-ordered text otherwise, and a clean
+/// bit that is true only at zero findings.
+fn report(pass: &str, label: &str, diags: &[Diagnostic], json: bool) -> bool {
+    if json {
+        println!("{}", render_envelope(pass, diags));
+    } else if diags.is_empty() {
         println!("{label}: clean");
-        true
     } else {
         println!("{}", render(diags));
-        !has_errors(diags)
     }
+    diags.is_empty()
 }
 
-fn lint_query(args: &[String]) -> Result<bool, String> {
+/// Shared driver for the source-tree passes (`concurrency`, `perf`,
+/// `flow`, `hotpath`): one optional root argument, one reporting
+/// contract.
+fn lint_tree(
+    pass: &'static str,
+    args: &[String],
+    json: bool,
+    analyze: impl Fn(&std::path::Path) -> std::io::Result<Vec<Diagnostic>>,
+) -> Result<bool, String> {
+    let root = args.first().map(String::as_str).unwrap_or(".");
+    if let Some(extra) = args.get(1) {
+        return Err(format!("{pass}: unexpected argument `{extra}`"));
+    }
+    let diags = analyze(std::path::Path::new(root)).map_err(|e| format!("scan `{root}`: {e}"))?;
+    Ok(report(pass, root, &diags, json))
+}
+
+fn lint_query(args: &[String], json: bool) -> Result<bool, String> {
     let file = args.first().ok_or("query: missing <query.json>")?;
     let mut db_dir = None;
     let mut collection = "tasks".to_string();
@@ -128,78 +169,36 @@ fn lint_query(args: &[String]) -> Result<bool, String> {
             analyze_query_with_schema(&raw, &schema, &std::collections::BTreeMap::new())
         }
     };
-    Ok(report(file, &diags))
+    Ok(report("query", file, &diags, json))
 }
 
-fn lint_workflow(args: &[String]) -> Result<bool, String> {
+fn lint_workflow(args: &[String], json: bool) -> Result<bool, String> {
     let file = args.first().ok_or("workflow: missing <workflow.json>")?;
+    if let Some(extra) = args.get(1) {
+        return Err(format!("workflow: unexpected argument `{extra}`"));
+    }
     let doc = read_json(file)?;
     let nodes = WfNode::from_workflow_json(&doc)?;
-    Ok(report(file, &analyze_workflow(&nodes)))
+    Ok(report("workflow", file, &analyze_workflow(&nodes), json))
 }
 
-fn lint_concurrency(args: &[String]) -> Result<bool, String> {
-    let root = args.first().map(String::as_str).unwrap_or(".");
-    if let Some(extra) = args.get(1) {
-        return Err(format!("concurrency: unexpected argument `{extra}`"));
+fn lint_data(args: &[String], json: bool) -> Result<bool, String> {
+    if args.is_empty() {
+        return Err("data: missing <doc.json>".to_string());
     }
-    let diags = mp_lint::analyze_tree(std::path::Path::new(root))
-        .map_err(|e| format!("scan `{root}`: {e}"))?;
-    // Warnings block here too: the workspace invariant is *zero* L0xx
-    // findings, with sanctioned nesting annotated at the site.
-    if diags.is_empty() {
-        println!("{root}: clean");
-        Ok(true)
-    } else {
-        println!("{}", render(&diags));
-        Ok(false)
+    let rules = RuleSet::task_defaults();
+    let mut all = Vec::new();
+    for file in args {
+        let doc = read_json(file)?;
+        // Prefix each finding's path with the originating file so the
+        // merged batch stays attributable and deterministically ordered.
+        all.extend(rules.validate(&doc).into_iter().map(|mut d| {
+            d.path = format!("{file}:{}", d.path);
+            d
+        }));
     }
-}
-
-fn lint_perf(args: &[String]) -> Result<bool, String> {
-    let root = args.first().map(String::as_str).unwrap_or(".");
-    if let Some(extra) = args.get(1) {
-        return Err(format!("perf: unexpected argument `{extra}`"));
-    }
-    let diags = mp_lint::analyze_perf_tree(std::path::Path::new(root))
-        .map_err(|e| format!("scan `{root}`: {e}"))?;
-    // Same policy as `concurrency`: the workspace invariant is zero
-    // P002/P003 findings, with sanctioned clones annotated at the site.
-    if diags.is_empty() {
-        println!("{root}: clean");
-        Ok(true)
-    } else {
-        println!("{}", render(&diags));
-        Ok(false)
-    }
-}
-
-fn lint_flow(args: &[String]) -> Result<bool, String> {
-    let mut root = ".".to_string();
-    let mut json = false;
-    for a in args {
-        match a.as_str() {
-            "--json" => json = true,
-            other if !other.starts_with('-') => root.clone_from(a),
-            other => return Err(format!("flow: unknown flag `{other}`")),
-        }
-    }
-    let diags = mp_lint::analyze_flow_tree(std::path::Path::new(&root))
-        .map_err(|e| format!("scan `{root}`: {e}"))?;
-    if json {
-        println!("{}", mp_lint::render_json(&diags));
-        return Ok(diags.is_empty());
-    }
-    // Same policy as `concurrency`/`perf`: the workspace invariant is
-    // zero S0xx/R0xx findings, with sanctioned panic sites carrying a
-    // justified `mp-flow: allow(...)` comment.
-    if diags.is_empty() {
-        println!("{root}: clean");
-        Ok(true)
-    } else {
-        println!("{}", render(&diags));
-        Ok(false)
-    }
+    let label = args.join(", ");
+    Ok(report("data", &label, &all, json))
 }
 
 fn print_callgraph(args: &[String]) -> Result<bool, String> {
@@ -228,17 +227,4 @@ fn print_callgraph(args: &[String]) -> Result<bool, String> {
         }
     }
     Ok(true)
-}
-
-fn lint_data(args: &[String]) -> Result<bool, String> {
-    if args.is_empty() {
-        return Err("data: missing <doc.json>".to_string());
-    }
-    let rules = RuleSet::task_defaults();
-    let mut clean = true;
-    for file in args {
-        let doc = read_json(file)?;
-        clean &= report(file, &rules.validate(&doc));
-    }
-    Ok(clean)
 }

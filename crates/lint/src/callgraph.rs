@@ -244,8 +244,15 @@ pub fn scan_tree(root: &Path) -> std::io::Result<CallGraph> {
 
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
-        for entry in std::fs::read_dir(&crates_dir)? {
-            let entry = entry?;
+        // Sort the directory walk so summary order — and with it node
+        // indexes, edge order, and diagnostic order — is deterministic
+        // across filesystems.
+        let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .collect();
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
             let name = entry.file_name().to_string_lossy().to_string();
             if !entry.path().is_dir() || skip_crate(&name) {
                 continue;
@@ -275,8 +282,12 @@ fn collect_rs(dir: &Path, root: &Path, fns: &mut Vec<FnSummary>) -> std::io::Res
     if !dir.is_dir() {
         return Ok(());
     }
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
         let path = entry.path();
         let name = entry.file_name().to_string_lossy().to_string();
         if path.is_dir() {

@@ -97,31 +97,72 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
-/// Render a batch as a JSON array (errors first) for machine consumers:
-/// the CI `flow-lint` job and editor integrations parse this shape.
+/// Deterministic ordering shared by every renderer: by file, then
+/// numeric line, then code (then message, for full stability). The
+/// `path` field is `file:line` for the source passes; a trailing
+/// `:NNN` is parsed as the line. Span-less paths (field paths,
+/// `fw_id`s) sort as line 0 of themselves.
+fn sort_key(d: &Diagnostic) -> (&str, usize, &'static str, &str) {
+    let (file, line) = match d.path.rsplit_once(':') {
+        Some((f, n)) => match n.parse::<usize>() {
+            Ok(l) => (f, l),
+            Err(_) => (d.path.as_str(), 0),
+        },
+        None => (d.path.as_str(), 0),
+    };
+    (file, line, d.code, d.message.as_str())
+}
+
+fn sorted(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+    let mut v: Vec<&Diagnostic> = diags.iter().collect();
+    v.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    v
+}
+
+fn finding_json(d: &Diagnostic) -> serde_json::Value {
+    serde_json::json!({
+        "severity": d.severity.to_string(),
+        "code": d.code,
+        "path": d.path,
+        "message": d.message,
+        "suggestion": d.suggestion,
+    })
+}
+
+/// Render a batch as a JSON array, ordered by (file, line, code), for
+/// machine consumers and editor integrations.
 pub fn render_json(diags: &[Diagnostic]) -> String {
-    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
-    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
-    let items: Vec<serde_json::Value> = sorted
-        .iter()
-        .map(|d| {
-            serde_json::json!({
-                "severity": d.severity.to_string(),
-                "code": d.code,
-                "path": d.path,
-                "message": d.message,
-                "suggestion": d.suggestion,
-            })
-        })
-        .collect();
+    let items: Vec<serde_json::Value> = sorted(diags).iter().map(|d| finding_json(d)).collect();
     serde_json::Value::Array(items).to_string()
 }
 
-/// Render a batch one-per-line (errors first) for error bodies and CLI output.
+/// The one `--json` envelope every `mp-lint` subcommand emits:
+/// `{"pass": <name>, "findings": [...], "counts": {"error": n,
+/// "warning": n, "total": n}}`, findings ordered by (file, line, code).
+/// CI jobs and editor integrations parse this shape; the schema is
+/// documented in DESIGN.md §12.
+pub fn render_envelope(pass: &str, diags: &[Diagnostic]) -> String {
+    let findings: Vec<serde_json::Value> = sorted(diags).iter().map(|d| finding_json(d)).collect();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    serde_json::json!({
+        "pass": pass,
+        "findings": findings,
+        "counts": {
+            "error": errors,
+            "warning": diags.len() - errors,
+            "total": diags.len(),
+        },
+    })
+    .to_string()
+}
+
+/// Render a batch one-per-line, ordered by (file, line, code), for
+/// error bodies and CLI output.
 pub fn render(diags: &[Diagnostic]) -> String {
-    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
-    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
-    sorted
+    sorted(diags)
         .iter()
         .map(|d| d.to_string())
         .collect::<Vec<_>>()
@@ -153,24 +194,51 @@ mod tests {
     #[test]
     fn render_json_is_parseable_and_ordered() {
         let out = render_json(&[
-            Diagnostic::warning("S001", "a", "tainted"),
-            Diagnostic::error("R001", "b", "panics").with_suggestion("handle the None"),
+            Diagnostic::warning("S001", "b.rs:3", "tainted"),
+            Diagnostic::error("R001", "a.rs:7", "panics").with_suggestion("handle the None"),
         ]);
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let arr = v.as_array().unwrap();
         assert_eq!(arr.len(), 2);
-        assert_eq!(arr[0]["severity"], "error");
+        // Ordered by (file, line, code): a.rs before b.rs.
         assert_eq!(arr[0]["code"], "R001");
         assert_eq!(arr[1]["suggestion"], serde_json::Value::Null);
     }
 
     #[test]
-    fn render_puts_errors_first() {
+    fn render_orders_by_file_line_code() {
         let out = render(&[
-            Diagnostic::warning("Q004", "a", "unindexed"),
-            Diagnostic::error("Q001", "b", "mismatch"),
+            Diagnostic::warning("Q004", "x.rs:10", "later line"),
+            Diagnostic::error("Q001", "x.rs:2", "earlier line"),
+            Diagnostic::error("H001", "x.rs:2", "same line, smaller code"),
+            Diagnostic::warning("W001", "a-field-path", "span-less"),
         ]);
-        let first = out.lines().next().unwrap();
-        assert!(first.starts_with("error"), "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        // Span-less paths sort as line 0 of themselves; `:10` sorts
+        // after `:2` numerically, not lexically.
+        assert!(lines[0].contains("a-field-path"), "{out}");
+        assert!(lines[1].contains("H001"), "{out}");
+        assert!(lines[2].contains("Q001"), "{out}");
+        assert!(lines[3].contains("Q004"), "{out}");
+    }
+
+    #[test]
+    fn envelope_carries_pass_findings_and_counts() {
+        let out = render_envelope(
+            "hotpath",
+            &[
+                Diagnostic::error("H001", "x.rs:2", "clone per doc"),
+                Diagnostic::warning("P001", "f", "collscan"),
+            ],
+        );
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["pass"], "hotpath");
+        assert_eq!(v["counts"]["error"], 1);
+        assert_eq!(v["counts"]["warning"], 1);
+        assert_eq!(v["counts"]["total"], 2);
+        assert_eq!(v["findings"].as_array().unwrap().len(), 2);
+        let empty: serde_json::Value = serde_json::from_str(&render_envelope("flow", &[])).unwrap();
+        assert_eq!(empty["counts"]["total"], 0);
+        assert_eq!(empty["findings"].as_array().unwrap().len(), 0);
     }
 }

@@ -53,7 +53,7 @@ impl FnRef {
         }
     }
 
-    fn is_match(&self, f: &FnSummary) -> bool {
+    pub(crate) fn is_match(&self, f: &FnSummary) -> bool {
         if f.name != self.name {
             return false;
         }
@@ -63,7 +63,7 @@ impl FnRef {
         }
     }
 
-    fn display(&self) -> String {
+    pub(crate) fn display(&self) -> String {
         match &self.type_name {
             Some(t) => format!("{}::{}", t, self.name),
             None => self.name.clone(),

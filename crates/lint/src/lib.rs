@@ -28,6 +28,13 @@
 //!    query sinks with sanitizer accounting (`S001`/`S002`), and
 //!    panic-reachability from the public API surface with shortest
 //!    panicking chains (`R001`–`R003`).
+//! 7. **Hot path** ([`hotpath`]) — interprocedural allocation/cost
+//!    analysis over the same call graph: hotness seeds at the
+//!    per-document roots of the read path (compiled matcher/projection/
+//!    comparator) and the loop regions of the scan/projection/
+//!    aggregation/MapReduce drivers, propagates through calls, and
+//!    flags per-document allocation anti-patterns (`H001`–`H007`) with
+//!    the full hot call chain.
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -39,6 +46,7 @@ pub mod callgraph;
 pub mod concurrency;
 pub mod diagnostics;
 pub mod flow;
+pub mod hotpath;
 pub mod perf;
 pub mod query;
 pub mod schema;
@@ -48,8 +56,9 @@ pub mod workflow;
 
 pub use callgraph::{scan_tree, CallGraph};
 pub use concurrency::{analyze_source, analyze_tree};
-pub use diagnostics::{has_errors, render, render_json, Diagnostic, Severity};
-pub use flow::{analyze_flow, analyze_flow_tree, FlowConfig};
+pub use diagnostics::{has_errors, render, render_envelope, render_json, Diagnostic, Severity};
+pub use flow::{analyze_flow, analyze_flow_tree, FlowConfig, FnRef};
+pub use hotpath::{analyze_hotpath, analyze_hotpath_tree, HotConfig};
 pub use perf::{analyze_perf_source, analyze_perf_tree, analyze_query_perf};
 pub use query::{analyze_query, analyze_query_with_schema};
 pub use schema::{CollectionSchema, TypeSet};
