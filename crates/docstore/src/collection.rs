@@ -21,7 +21,7 @@ use std::sync::Arc;
 const PARALLEL_SCAN_THRESHOLD: usize = 4096;
 
 /// Outcome of an update call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct UpdateResult {
     /// Documents that matched the filter.
     pub matched: usize,
@@ -29,6 +29,10 @@ pub struct UpdateResult {
     pub modified: usize,
     /// Whether an upsert inserted a new document.
     pub upserted: bool,
+    /// `_id` the upsert-inserted document got (`None` unless `upserted`).
+    /// Write-behind journaling re-logs the upsert as an insert of the
+    /// materialized document, which needs the assigned id.
+    pub upserted_id: Option<Value>,
 }
 
 /// Access-path kind a query plan uses.
@@ -144,8 +148,16 @@ impl Collection {
         self.version.load(AtomicOrdering::Acquire)
     }
 
-    fn bump_version(&self) {
+    pub(crate) fn bump_version(&self) {
         self.version.fetch_add(1, AtomicOrdering::AcqRel);
+    }
+
+    /// Raise the generation to at least `floor`. A database re-creating
+    /// a dropped collection seeds the successor past every generation
+    /// the predecessor ever published, so `(name, generation)` cache
+    /// keys can never alias across the drop.
+    pub(crate) fn set_version_floor(&self, floor: u64) {
+        self.version.fetch_max(floor, AtomicOrdering::AcqRel);
     }
 
     /// Collection name.
@@ -374,7 +386,7 @@ impl Collection {
             drop(inner);
             let mut seed = filter_equality_seed(&f);
             u.apply(&mut seed, now, true)?;
-            self.insert_one(seed)?;
+            res.upserted_id = Some(self.insert_one(seed)?);
             res.upserted = true;
         }
         Ok(res)
@@ -499,6 +511,18 @@ impl Collection {
         }
         self.bump_version();
         Ok(())
+    }
+
+    /// `(path, unique)` of the existing indexes, in creation order.
+    /// Snapshots persist these so recovery rebuilds the same plans and
+    /// unique constraints, not just the same documents.
+    pub fn index_specs(&self) -> Vec<(String, bool)> {
+        self.inner
+            .read()
+            .indexes
+            .iter()
+            .map(|ix| (ix.path.clone(), ix.unique))
+            .collect()
     }
 
     /// Paths of the existing indexes.

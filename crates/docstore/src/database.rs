@@ -15,8 +15,22 @@ pub struct Database {
     inner: Arc<DbInner>,
 }
 
+/// The collection map plus the generation floors of dropped
+/// collections. Both live under one lock: the floor a re-created
+/// collection must inherit is decided by the same critical section that
+/// inserts it, so no interleaving can observe the successor at a
+/// generation the predecessor already published.
+#[derive(Default)]
+struct Registry {
+    map: BTreeMap<String, Arc<Collection>>,
+    /// `name → generation the dropped collection had reached`. A
+    /// successor seeds its version past this floor so `(name,
+    /// generation)` cache keys never alias across a drop/recreate.
+    floors: BTreeMap<String, u64>,
+}
+
 struct DbInner {
-    collections: OrderedRwLock<BTreeMap<String, Arc<Collection>>>,
+    collections: OrderedRwLock<Registry>,
     profiler: Arc<Profiler>,
     clock: Arc<OrderedRwLock<f64>>,
 }
@@ -32,7 +46,7 @@ impl Database {
     pub fn new() -> Self {
         Database {
             inner: Arc::new(DbInner {
-                collections: OrderedRwLock::new(LockRank::Database, BTreeMap::new()),
+                collections: OrderedRwLock::new(LockRank::Database, Registry::default()),
                 profiler: Arc::new(Profiler::new(65_536)),
                 clock: Arc::new(OrderedRwLock::new(LockRank::Clock, 0.0)),
             }),
@@ -46,29 +60,44 @@ impl Database {
     /// loser's closure never runs and both callers get the same `Arc`
     /// (asserted by `concurrent_creation_yields_one_instance`).
     pub fn collection(&self, name: &str) -> Arc<Collection> {
-        if let Some(c) = self.inner.collections.read().get(name) {
+        if let Some(c) = self.inner.collections.read().map.get(name) {
             return c.clone();
         }
-        let mut map = self.inner.collections.write();
-        map.entry(name.to_string())
+        let mut reg = self.inner.collections.write();
+        let floor = reg.floors.get(name).copied().unwrap_or(0);
+        reg.map
+            .entry(name.to_string())
             .or_insert_with(|| {
-                Arc::new(Collection::new(
-                    name,
-                    self.inner.profiler.clone(),
-                    self.inner.clock.clone(),
-                ))
+                let c =
+                    Collection::new(name, self.inner.profiler.clone(), self.inner.clock.clone());
+                c.set_version_floor(floor);
+                Arc::new(c)
             })
             .clone()
     }
 
     /// Names of all existing collections.
     pub fn collection_names(&self) -> Vec<String> {
-        self.inner.collections.read().keys().cloned().collect()
+        self.inner.collections.read().map.keys().cloned().collect()
     }
 
     /// Drop a collection entirely.
+    ///
+    /// The drop is itself a mutation of the dropped collection: its
+    /// generation is bumped one last time and recorded as the floor a
+    /// future same-named collection starts above, so query-cache entries
+    /// keyed to the old `(name, generation)` can never be served from
+    /// the successor.
     pub fn drop_collection(&self, name: &str) -> bool {
-        self.inner.collections.write().remove(name).is_some()
+        let mut reg = self.inner.collections.write();
+        match reg.map.remove(name) {
+            Some(c) => {
+                c.bump_version();
+                reg.floors.insert(name.to_string(), c.version());
+                true
+            }
+            None => false,
+        }
     }
 
     /// The shared operation profiler.
@@ -91,6 +120,7 @@ impl Database {
         self.inner
             .collections
             .read()
+            .map
             .values()
             .map(|c| c.len())
             .sum()
@@ -139,6 +169,25 @@ mod tests {
         assert!(db.drop_collection("c"));
         assert!(!db.drop_collection("c"));
         assert!(db.collection_names().is_empty());
+    }
+
+    #[test]
+    fn drop_and_recreate_never_reuses_generations() {
+        // Regression: a re-created collection restarting at generation 0
+        // could reach a generation the dropped one had already
+        // published, falsely validating stale (name, generation) cache
+        // entries. The successor must start strictly above the floor.
+        let db = Database::new();
+        let c = db.collection("c");
+        c.insert_one(json!({"_id": 1, "v": "old"})).unwrap();
+        let seen = c.version();
+        assert!(db.drop_collection("c"));
+        let c2 = db.collection("c");
+        assert!(
+            c2.version() > seen,
+            "successor starts at {} which aliases generation {seen}",
+            c2.version()
+        );
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Write-behind durability seam: a [`Database`] paired with a
+//! [`Persister`], where every mutation the public surface offers is
+//! applied live and then journaled as a [`JournalOp`].
+//!
+//! This is the journal-coverage contract `mp-lint effects` (E002)
+//! enforces statically: each `DurableDatabase` method that reaches a
+//! collection mutation primitive must also reach the journal, so a
+//! recovered database replays to the same documents, index definitions,
+//! and collection set as the live one. The proptest in
+//! `tests/durable_replay.rs` checks the same property dynamically with
+//! random operation sequences.
+//!
+//! ## Semantics and limitations (the WAL PR inherits these)
+//!
+//! * **Write-behind, not write-ahead.** The live mutation commits
+//!   before the journal append; a crash between the two loses that one
+//!   operation (MongoDB's default `j:false` acknowledgment has the same
+//!   window). The ROADMAP's WAL engine flips the order; this seam pins
+//!   the coverage contract it must keep.
+//! * **Replay determinism.** Document ids are assigned in insertion
+//!   order and recovery preserves it, so filter-addressed replay
+//!   (`update_one`, `delete_one`) selects the same documents. The one
+//!   sorted selector, [`find_one_and_update`](Self::find_one_and_update),
+//!   is journaled as an `_id`-targeted update so replay does not depend
+//!   on re-running the sort.
+//! * **`$currentDate`** reads the simulated clock, which is not
+//!   persisted; replaying such an update under a different clock gives
+//!   a different timestamp.
+//! * **Checkpointing** ([`Self::checkpoint`]) excludes concurrent
+//!   journal appenders for the duration of the snapshot write, but an
+//!   operation applied live and not yet journaled when the checkpoint
+//!   runs is captured by the snapshot *and* journaled after it —
+//!   harmless for inserts (duplicate `_id` replays are ignored) but an
+//!   `$inc`-style update would replay twice. Quiesce writers around
+//!   checkpoints; the WAL PR removes the caveat.
+
+use crate::collection::UpdateResult;
+use crate::cursor::FindOptions;
+use crate::database::Database;
+use crate::error::{Result, StoreError};
+use crate::persist::{JournalOp, Persister};
+use crate::value::Document;
+use mp_sync::{LockRank, OrderedMutex};
+use serde_json::{json, Value};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A database whose mutations are journaled for crash recovery.
+pub struct DurableDatabase {
+    db: Database,
+    /// Journal writer. `LockRank::Journal` (380) sits *outside*
+    /// `Database` (400) so [`Self::checkpoint`] may read collections
+    /// while excluding appenders; mutation paths take it with no other
+    /// lock held (live apply completes, and releases its locks, first).
+    journal: OrderedMutex<Persister>,
+}
+
+impl DurableDatabase {
+    /// Open the directory, recovering whatever snapshot + journal it
+    /// holds (an empty directory yields an empty database).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let persister = Persister::open(dir)?;
+        let db = persister.recover()?;
+        Ok(DurableDatabase {
+            db,
+            journal: OrderedMutex::new(LockRank::Journal, persister),
+        })
+    }
+
+    /// The live database, for reads. Mutating through this handle
+    /// bypasses the journal — mutate via the `DurableDatabase` methods.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Fetch the stored form of a just-inserted document so the journal
+    /// records what the store holds (assigned `_id` included), not what
+    /// the caller passed in.
+    fn stored_doc(&self, collection: &str, id: &Value) -> Result<Arc<Document>> {
+        self.db.collection(collection).get(id).ok_or_else(|| {
+            StoreError::Persistence(format!(
+                "inserted document {id} vanished from '{collection}' before journaling"
+            ))
+        })
+    }
+
+    /// Insert one document; journals the post-insert form.
+    pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
+        let id = self.db.collection(collection).insert_one(doc)?;
+        let stored = self.stored_doc(collection, &id)?;
+        self.journal.lock().log(&JournalOp::Insert {
+            collection: collection.to_string(),
+            doc: (*stored).clone(),
+        })?;
+        Ok(id)
+    }
+
+    /// Insert many documents; stops at the first error. The successful
+    /// prefix is journaled even when a later document fails, so the
+    /// journal never trails the live state.
+    pub fn insert_many(&self, collection: &str, docs: Vec<Value>) -> Result<Vec<Value>> {
+        let coll = self.db.collection(collection);
+        let mut ids = Vec::with_capacity(docs.len());
+        let mut ops = Vec::with_capacity(docs.len());
+        let mut failure = None;
+        for doc in docs {
+            match coll.insert_one(doc) {
+                Ok(id) => {
+                    let stored = self.stored_doc(collection, &id)?;
+                    ops.push(JournalOp::Insert {
+                        collection: collection.to_string(),
+                        doc: (*stored).clone(),
+                    });
+                    ids.push(id);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.journal.lock().log_many(&ops)?;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(ids),
+        }
+    }
+
+    /// Update all matching documents.
+    pub fn update_many(
+        &self,
+        collection: &str,
+        filter: &Value,
+        update: &Value,
+    ) -> Result<UpdateResult> {
+        let r = self.db.collection(collection).update_many(filter, update)?;
+        if r.modified > 0 {
+            self.journal.lock().log(&JournalOp::Update {
+                collection: collection.to_string(),
+                filter: filter.clone(),
+                update: update.clone(),
+                many: true,
+            })?;
+        }
+        Ok(r)
+    }
+
+    /// Update the first matching document.
+    pub fn update_one(
+        &self,
+        collection: &str,
+        filter: &Value,
+        update: &Value,
+    ) -> Result<UpdateResult> {
+        let r = self.db.collection(collection).update_one(filter, update)?;
+        if r.modified > 0 {
+            self.journal.lock().log(&JournalOp::Update {
+                collection: collection.to_string(),
+                filter: filter.clone(),
+                update: update.clone(),
+                many: false,
+            })?;
+        }
+        Ok(r)
+    }
+
+    /// Update one; insert a new document from the update if none
+    /// matched. An upsert-insert is journaled as the insert of the
+    /// materialized document (the filter seed plus the applied update),
+    /// so replay does not re-run the upsert decision.
+    pub fn upsert(&self, collection: &str, filter: &Value, update: &Value) -> Result<UpdateResult> {
+        let r = self.db.collection(collection).upsert(filter, update)?;
+        if r.upserted {
+            let id = r.upserted_id.clone().ok_or_else(|| {
+                StoreError::Persistence("upsert inserted but reported no _id".into())
+            })?;
+            let stored = self.stored_doc(collection, &id)?;
+            self.journal.lock().log(&JournalOp::Insert {
+                collection: collection.to_string(),
+                doc: (*stored).clone(),
+            })?;
+        } else if r.modified > 0 {
+            self.journal.lock().log(&JournalOp::Update {
+                collection: collection.to_string(),
+                filter: filter.clone(),
+                update: update.clone(),
+                many: false,
+            })?;
+        }
+        Ok(r)
+    }
+
+    /// Atomic find-and-modify (the queue-claim primitive). Journaled as
+    /// an `_id`-targeted `update_one` on the claimed document — replay
+    /// must touch exactly the document the live sort selected, without
+    /// depending on candidate order. (`_id` is immutable through
+    /// updates, so the returned document's id addresses the pre-image.)
+    pub fn find_one_and_update(
+        &self,
+        collection: &str,
+        filter: &Value,
+        update: &Value,
+        sort: Option<&FindOptions>,
+        return_new: bool,
+    ) -> Result<Option<Arc<Document>>> {
+        let got = self
+            .db
+            .collection(collection)
+            .find_one_and_update(filter, update, sort, return_new)?;
+        if let Some(doc) = &got {
+            let id = doc.get("_id").cloned().unwrap_or(Value::Null);
+            self.journal.lock().log(&JournalOp::Update {
+                collection: collection.to_string(),
+                filter: json!({ "_id": id }),
+                update: update.clone(),
+                many: false,
+            })?;
+        }
+        Ok(got)
+    }
+
+    /// Delete all matching documents; returns how many.
+    pub fn delete_many(&self, collection: &str, filter: &Value) -> Result<usize> {
+        let n = self.db.collection(collection).delete_many(filter)?;
+        if n > 0 {
+            self.journal.lock().log(&JournalOp::Delete {
+                collection: collection.to_string(),
+                filter: filter.clone(),
+                many: true,
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// Delete the first matching document. Returns true if one was
+    /// removed.
+    pub fn delete_one(&self, collection: &str, filter: &Value) -> Result<bool> {
+        let removed = self.db.collection(collection).delete_one(filter)?;
+        if removed {
+            self.journal.lock().log(&JournalOp::Delete {
+                collection: collection.to_string(),
+                filter: filter.clone(),
+                many: false,
+            })?;
+        }
+        Ok(removed)
+    }
+
+    /// Remove every document (index definitions survive).
+    pub fn clear(&self, collection: &str) -> Result<()> {
+        self.db.collection(collection).clear();
+        self.journal.lock().log(&JournalOp::Clear {
+            collection: collection.to_string(),
+        })
+    }
+
+    /// Create a secondary index. Journaled unconditionally — replaying
+    /// an index that already exists is a no-op.
+    pub fn create_index(&self, collection: &str, path: &str, unique: bool) -> Result<()> {
+        self.db.collection(collection).create_index(path, unique)?;
+        self.journal.lock().log(&JournalOp::CreateIndex {
+            collection: collection.to_string(),
+            path: path.to_string(),
+            unique,
+        })
+    }
+
+    /// Drop the secondary index on `path`.
+    pub fn drop_index(&self, collection: &str, path: &str) -> Result<()> {
+        self.db.collection(collection).drop_index(path)?;
+        self.journal.lock().log(&JournalOp::DropIndex {
+            collection: collection.to_string(),
+            path: path.to_string(),
+        })
+    }
+
+    /// Drop a collection entirely. Returns true if it existed.
+    pub fn drop_collection(&self, collection: &str) -> Result<bool> {
+        let existed = self.db.drop_collection(collection);
+        if existed {
+            self.journal.lock().log(&JournalOp::DropCollection {
+                collection: collection.to_string(),
+            })?;
+        }
+        Ok(existed)
+    }
+
+    /// Write a full snapshot and truncate the journal.
+    ///
+    /// The journal guard is held across the snapshot write on purpose:
+    /// an append landing mid-snapshot would be truncated away while its
+    /// effect is only partially captured. `Journal` (380) ranks outside
+    /// `Database` (400)/`Collection` (500), so the reads inside
+    /// `snapshot` stay rank-clean.
+    // mp-lint: allow(E003) — the journal mutex exists to serialize journal-file I/O; a checkpoint must exclude appenders for exactly the duration of the snapshot write (see the rank note above)
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut persister = self.journal.lock();
+        persister.snapshot(&self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mp-durable-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn reopen(dir: &Path) -> DurableDatabase {
+        DurableDatabase::open(dir).unwrap()
+    }
+
+    #[test]
+    fn mutations_survive_reopen_without_checkpoint() {
+        let dir = tmpdir("reopen");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            d.insert_one("c", json!({"_id": 1, "n": 0})).unwrap();
+            d.insert_many("c", vec![json!({"_id": 2}), json!({"_id": 3})])
+                .unwrap();
+            d.update_one("c", &json!({"_id": 1}), &json!({"$inc": {"n": 5}}))
+                .unwrap();
+            d.delete_one("c", &json!({"_id": 3})).unwrap();
+        }
+        let d = reopen(&dir);
+        let db = d.database();
+        assert_eq!(db.collection("c").len(), 2);
+        assert_eq!(db.collection("c").get(&json!(1)).unwrap()["n"], json!(5));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ddl_survives_reopen() {
+        let dir = tmpdir("ddl");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            d.create_index("c", "k", true).unwrap();
+            d.insert_one("c", json!({"k": 1})).unwrap();
+            d.clear("c").unwrap();
+            d.insert_one("gone", json!({"x": 1})).unwrap();
+            d.drop_collection("gone").unwrap();
+        }
+        let d = reopen(&dir);
+        let db = d.database();
+        assert_eq!(db.collection("c").len(), 0);
+        assert_eq!(db.collection("c").index_specs(), vec![("k".into(), true)]);
+        assert_eq!(db.collection_names(), vec!["c".to_string()]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn upsert_journals_the_materialized_insert() {
+        let dir = tmpdir("upsert");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            let r = d
+                .upsert("c", &json!({"key": "k1"}), &json!({"$set": {"v": 1}}))
+                .unwrap();
+            assert!(r.upserted);
+            let r = d
+                .upsert("c", &json!({"key": "k1"}), &json!({"$set": {"v": 2}}))
+                .unwrap();
+            assert!(!r.upserted);
+        }
+        let d = reopen(&dir);
+        let c = d.database().collection("c");
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.find_one(&json!({"key": "k1"})).unwrap().unwrap()["v"],
+            json!(2)
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn find_one_and_update_replays_the_sorted_claim() {
+        let dir = tmpdir("claim");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            d.insert_many(
+                "q",
+                vec![
+                    json!({"_id": "a", "state": "READY", "prio": 1}),
+                    json!({"_id": "b", "state": "READY", "prio": 9}),
+                ],
+            )
+            .unwrap();
+            // The sort claims "b"; a naive update_one replay would have
+            // claimed "a" (first candidate in _id order).
+            let claimed = d
+                .find_one_and_update(
+                    "q",
+                    &json!({"state": "READY"}),
+                    &json!({"$set": {"state": "RUNNING"}}),
+                    Some(&FindOptions::all().sort_by("prio", crate::cursor::SortDir::Desc)),
+                    true,
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(claimed["_id"], json!("b"));
+        }
+        let d = reopen(&dir);
+        let c = d.database().collection("q");
+        assert_eq!(c.get(&json!("b")).unwrap()["state"], json!("RUNNING"));
+        assert_eq!(c.get(&json!("a")).unwrap()["state"], json!("READY"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_journal_and_survives() {
+        let dir = tmpdir("ckpt");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            for i in 0..20 {
+                d.insert_one("c", json!({"_id": i})).unwrap();
+            }
+            d.checkpoint().unwrap();
+            assert!(
+                !dir.join("journal.jsonl").exists(),
+                "checkpoint must truncate the journal"
+            );
+            d.insert_one("c", json!({"_id": 100})).unwrap();
+        }
+        let d = reopen(&dir);
+        assert_eq!(d.database().collection("c").len(), 21);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn insert_many_journals_the_successful_prefix() {
+        let dir = tmpdir("prefix");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            let r = d.insert_many(
+                "c",
+                vec![
+                    json!({"_id": 1}),
+                    json!({"_id": 2}),
+                    json!({"_id": 1}), // duplicate: fails here
+                    json!({"_id": 4}),
+                ],
+            );
+            assert!(r.is_err());
+            assert_eq!(d.database().collection("c").len(), 2);
+        }
+        let d = reopen(&dir);
+        assert_eq!(
+            d.database().collection("c").len(),
+            2,
+            "journal must cover exactly the applied prefix"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -18,7 +18,9 @@
 //!   histograms — [`profiler`];
 //! * document **structure statistics** (nodes/depth/mean depth) exactly
 //!   as Table I reports them — [`docgraph`];
-//! * snapshot + journal **persistence** with crash recovery — [`persist`].
+//! * snapshot + journal **persistence** with crash recovery — [`persist`];
+//! * a **write-behind durable database** whose every mutation is
+//!   journaled, so recovery replays to the live state — [`durable`].
 //!
 //! ```
 //! use mp_docstore::Database;
@@ -43,6 +45,7 @@ pub mod collection;
 pub mod cursor;
 pub mod database;
 pub mod docgraph;
+pub mod durable;
 pub mod error;
 pub mod index;
 pub mod mapreduce;
@@ -58,10 +61,11 @@ pub use collection::{Collection, PlanKind, QueryPlan, UpdateResult};
 pub use cursor::{CompiledFindOptions, CompiledProjection, FindOptions, SortDir};
 pub use database::Database;
 pub use docgraph::{doc_stats, schema_stats, DocStats};
+pub use durable::DurableDatabase;
 pub use error::{Result, StoreError};
 pub use index::{DocId, Index};
 pub use mapreduce::{BuiltinEngine, HadoopEngine, HdfsStage, MapReduce};
-pub use persist::{JournalOp, Persister};
+pub use persist::{JournalOp, Persister, RecoveryReport};
 pub use profiler::{OpKind, Profiler, RemoteLatencyModel};
 pub use query::{CompiledFilter, Filter};
 pub use shard::{ReadPreference, ReplicaSet, ShardedCluster};

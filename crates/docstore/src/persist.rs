@@ -3,8 +3,27 @@
 //! The production MongoDB deployment journals writes and snapshots data
 //! files; we reproduce the same recovery semantics with JSON-lines files:
 //! a `snapshot.jsonl` (one line per document: `{"c": collection, "d":
-//! doc}`) plus a `journal.jsonl` of operations applied after the
-//! snapshot. Recovery loads the snapshot then replays the journal.
+//! doc}`, plus one line per index definition: `{"c": collection, "idx":
+//! {"path": p, "unique": u}}`) and a `journal.jsonl` of operations
+//! applied after the snapshot. Recovery loads the snapshot then replays
+//! the journal.
+//!
+//! Every mutation the public store surface offers has a journal
+//! representation — not just document CRUD but the DDL ops too (`clear`,
+//! index create/drop, collection drop) — so a replayed database reaches
+//! the same documents *and* the same plans/constraints as the live one.
+//! `mp-lint effects` (E002) statically checks that the write-behind
+//! seam ([`crate::durable::DurableDatabase`]) keeps that coverage.
+//!
+//! ## Crash-tail policy
+//!
+//! A crash can tear the final journal record (partial line, possibly
+//! mid-UTF-8-code-point). Recovery distinguishes the two failure
+//! shapes: an unparseable **final** record is a torn tail — skipped
+//! with a warning, recovery succeeds ([`RecoveryReport::torn_tail`]) —
+//! while an unparseable record **followed by more records** is real
+//! corruption and recovery fails rather than silently dropping the
+//! valid tail (which is what the pre-PR-7 replay did).
 
 use crate::database::Database;
 use crate::error::{Result, StoreError};
@@ -31,6 +50,18 @@ pub enum JournalOp {
         filter: Value,
         many: bool,
     },
+    /// Remove every document (index definitions survive).
+    Clear { collection: String },
+    /// Create a secondary index on `path`.
+    CreateIndex {
+        collection: String,
+        path: String,
+        unique: bool,
+    },
+    /// Drop the secondary index on `path`.
+    DropIndex { collection: String, path: String },
+    /// Drop the collection entirely.
+    DropCollection { collection: String },
 }
 
 impl JournalOp {
@@ -50,6 +81,16 @@ impl JournalOp {
                 filter,
                 many,
             } => json!({"op": "d", "c": collection, "q": filter, "m": many}),
+            JournalOp::Clear { collection } => json!({"op": "cl", "c": collection}),
+            JournalOp::CreateIndex {
+                collection,
+                path,
+                unique,
+            } => json!({"op": "ci", "c": collection, "p": path, "uq": unique}),
+            JournalOp::DropIndex { collection, path } => {
+                json!({"op": "di", "c": collection, "p": path})
+            }
+            JournalOp::DropCollection { collection } => json!({"op": "dc", "c": collection}),
         }
     }
 
@@ -59,6 +100,12 @@ impl JournalOp {
             .as_str()
             .ok_or_else(|| StoreError::Persistence("journal entry missing collection".into()))?
             .to_string();
+        let index_path = |v: &Value| -> Result<String> {
+            v["p"]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| StoreError::Persistence("journal index op missing path".into()))
+        };
         Ok(match op {
             "i" => JournalOp::Insert {
                 collection,
@@ -75,6 +122,17 @@ impl JournalOp {
                 filter: v["q"].clone(),
                 many: v["m"].as_bool().unwrap_or(true),
             },
+            "cl" => JournalOp::Clear { collection },
+            "ci" => JournalOp::CreateIndex {
+                path: index_path(v)?,
+                unique: v["uq"].as_bool().unwrap_or(false),
+                collection,
+            },
+            "di" => JournalOp::DropIndex {
+                path: index_path(v)?,
+                collection,
+            },
+            "dc" => JournalOp::DropCollection { collection },
             other => {
                 return Err(StoreError::Persistence(format!(
                     "unknown journal op '{other}'"
@@ -82,6 +140,70 @@ impl JournalOp {
             }
         })
     }
+
+    /// Apply this operation to a live database. Journal replay and the
+    /// replica-set secondary apply path share this, so "what an op
+    /// means" is defined exactly once.
+    pub fn apply(&self, db: &Database) -> Result<()> {
+        match self {
+            JournalOp::Insert { collection, doc } => {
+                // Re-inserting after a snapshot race is idempotent.
+                let _ = db.collection(collection).insert_one(doc.clone());
+            }
+            JournalOp::Update {
+                collection,
+                filter,
+                update,
+                many,
+            } => {
+                let c = db.collection(collection);
+                if *many {
+                    c.update_many(filter, update)?;
+                } else {
+                    c.update_one(filter, update)?;
+                }
+            }
+            JournalOp::Delete {
+                collection,
+                filter,
+                many,
+            } => {
+                let c = db.collection(collection);
+                if *many {
+                    c.delete_many(filter)?;
+                } else {
+                    c.delete_one(filter)?;
+                }
+            }
+            JournalOp::Clear { collection } => db.collection(collection).clear(),
+            JournalOp::CreateIndex {
+                collection,
+                path,
+                unique,
+            } => db.collection(collection).create_index(path, *unique)?,
+            JournalOp::DropIndex { collection, path } => {
+                // An already-absent index (snapshot race) is a no-op.
+                let _ = db.collection(collection).drop_index(path);
+            }
+            JournalOp::DropCollection { collection } => {
+                db.drop_collection(collection);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What recovery found and did, for callers that need more than the
+/// database itself (operational logging, the crash-tail tests).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Documents loaded from `snapshot.jsonl`.
+    pub snapshot_docs: usize,
+    /// Journal operations replayed.
+    pub replayed_ops: usize,
+    /// Description of a torn trailing journal record that was skipped,
+    /// when the crash interrupted the final append.
+    pub torn_tail: Option<String>,
 }
 
 /// Snapshot/journal manager rooted at a directory.
@@ -107,7 +229,8 @@ impl Persister {
         self.dir.join("journal.jsonl")
     }
 
-    /// Write a full snapshot of `db` and truncate the journal.
+    /// Write a full snapshot of `db` — index definitions first, then
+    /// every document — and truncate the journal.
     pub fn snapshot(&mut self, db: &Database) -> Result<()> {
         let tmp = self.dir.join("snapshot.jsonl.tmp");
         {
@@ -116,6 +239,13 @@ impl Persister {
             let mut w = BufWriter::new(f);
             for name in db.collection_names() {
                 let coll = db.collection(&name);
+                // Index definitions precede the documents so unique
+                // constraints are enforced while the docs stream back in.
+                for (path, unique) in coll.index_specs() {
+                    let line = json!({"c": name, "idx": {"path": path, "unique": unique}});
+                    writeln!(w, "{line}")
+                        .map_err(|e| StoreError::Persistence(format!("snapshot write: {e}")))?;
+                }
                 for doc in coll.dump() {
                     // `doc` is a shared Arc handle; borrow it into the
                     // snapshot line rather than cloning the document.
@@ -135,8 +265,7 @@ impl Persister {
         Ok(())
     }
 
-    /// Append an operation to the journal (opens it lazily).
-    pub fn log(&mut self, op: &JournalOp) -> Result<()> {
+    fn ensure_journal(&mut self) -> Result<&mut BufWriter<File>> {
         if self.journal.is_none() {
             let f = OpenOptions::new()
                 .create(true)
@@ -145,18 +274,52 @@ impl Persister {
                 .map_err(|e| StoreError::Persistence(format!("journal open: {e}")))?;
             self.journal = Some(BufWriter::new(f));
         }
-        let w = self.journal.as_mut().expect("opened above");
-        writeln!(w, "{}", op.to_json())
-            .map_err(|e| StoreError::Persistence(format!("journal write: {e}")))?;
+        match self.journal.as_mut() {
+            Some(w) => Ok(w),
+            None => Err(StoreError::Persistence("journal writer unavailable".into())),
+        }
+    }
+
+    /// Append one operation to the journal (opens it lazily).
+    pub fn log(&mut self, op: &JournalOp) -> Result<()> {
+        self.log_many(std::slice::from_ref(op))
+    }
+
+    /// Append a batch of operations with a single flush. The
+    /// write-behind seam ([`crate::durable::DurableDatabase`]) journals
+    /// through this so one logical mutation hits the file once.
+    pub fn log_many(&mut self, ops: &[JournalOp]) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let w = self.ensure_journal()?;
+        for op in ops {
+            writeln!(w, "{}", op.to_json())
+                .map_err(|e| StoreError::Persistence(format!("journal write: {e}")))?;
+        }
         w.flush()
             .map_err(|e| StoreError::Persistence(format!("journal flush: {e}")))?;
         Ok(())
     }
 
-    /// Rebuild a database from snapshot + journal replay. Torn trailing
-    /// journal lines (partial writes at crash) are tolerated and skipped.
+    /// Rebuild a database from snapshot + journal replay. See
+    /// [`Persister::recover_with_report`] for the crash-tail policy.
     pub fn recover(&self) -> Result<Database> {
+        self.recover_with_report().map(|(db, _)| db)
+    }
+
+    /// Rebuild a database from snapshot + journal replay, reporting what
+    /// was loaded.
+    ///
+    /// The journal is read at the byte level so a record torn anywhere —
+    /// including mid-UTF-8-code-point — is classified precisely: an
+    /// unreadable **final** record is skipped with a warning (the crash
+    /// interrupted that append; its operation never completed), while an
+    /// unreadable record with valid records after it means the file is
+    /// corrupt and recovery fails instead of silently dropping data.
+    pub fn recover_with_report(&self) -> Result<(Database, RecoveryReport)> {
         let db = Database::new();
+        let mut report = RecoveryReport::default();
         if let Ok(f) = File::open(self.snapshot_path()) {
             for line in BufReader::new(f).lines() {
                 let line =
@@ -169,55 +332,69 @@ impl Persister {
                 let cname = v["c"]
                     .as_str()
                     .ok_or_else(|| StoreError::Persistence("snapshot entry missing c".into()))?;
-                db.collection(cname).insert_one(v["d"].clone())?;
+                if let Some(idx) = v.get("idx") {
+                    let path = idx["path"].as_str().ok_or_else(|| {
+                        StoreError::Persistence("snapshot index entry missing path".into())
+                    })?;
+                    let unique = idx["unique"].as_bool().unwrap_or(false);
+                    db.collection(cname).create_index(path, unique)?;
+                } else {
+                    db.collection(cname).insert_one(v["d"].clone())?;
+                    report.snapshot_docs += 1;
+                }
             }
         }
-        if let Ok(f) = File::open(self.journal_path()) {
-            for line in BufReader::new(f).lines() {
-                let line =
-                    line.map_err(|e| StoreError::Persistence(format!("journal read: {e}")))?;
-                if line.trim().is_empty() {
+        if let Ok(bytes) = std::fs::read(self.journal_path()) {
+            // Newline-delimited records with their byte offsets. A file
+            // not ending in '\n' contributes its remainder as a final
+            // (possibly torn) record.
+            let mut records: Vec<(usize, &[u8])> = Vec::new();
+            let mut start = 0;
+            for (i, &b) in bytes.iter().enumerate() {
+                if b == b'\n' {
+                    // mp-flow: allow(R002) — start <= i < len by the enumerate loop
+                    records.push((start, &bytes[start..i]));
+                    start = i + 1;
+                }
+            }
+            if start < bytes.len() {
+                // mp-flow: allow(R002) — start < len checked on the line above
+                records.push((start, &bytes[start..]));
+            }
+            let blank = |seg: &[u8]| seg.iter().all(u8::is_ascii_whitespace);
+            let last = records.iter().rposition(|(_, seg)| !blank(seg));
+            for (ri, (off, seg)) in records.iter().enumerate() {
+                if blank(seg) {
                     continue;
                 }
-                // A torn final line parses as invalid JSON: stop replay there.
-                let v: Value = match serde_json::from_str(&line) {
-                    Ok(v) => v,
-                    Err(_) => break,
-                };
-                match JournalOp::from_json(&v)? {
-                    JournalOp::Insert { collection, doc } => {
-                        // Re-inserting after a snapshot race is idempotent.
-                        let _ = db.collection(&collection).insert_one(doc);
+                let parsed = std::str::from_utf8(seg)
+                    .map_err(|e| StoreError::Persistence(format!("not UTF-8: {e}")))
+                    .and_then(|s| {
+                        serde_json::from_str::<Value>(s)
+                            .map_err(|e| StoreError::Persistence(format!("not JSON: {e}")))
+                    })
+                    .and_then(|v| JournalOp::from_json(&v));
+                match parsed {
+                    Ok(op) => {
+                        op.apply(&db)?;
+                        report.replayed_ops += 1;
                     }
-                    JournalOp::Update {
-                        collection,
-                        filter,
-                        update,
-                        many,
-                    } => {
-                        let c = db.collection(&collection);
-                        if many {
-                            c.update_many(&filter, &update)?;
-                        } else {
-                            c.update_one(&filter, &update)?;
-                        }
+                    Err(e) if Some(ri) == last => {
+                        let msg = format!("skipping torn journal tail at byte offset {off}: {e}");
+                        eprintln!("mp-docstore: warning: {msg}");
+                        report.torn_tail = Some(msg);
+                        break;
                     }
-                    JournalOp::Delete {
-                        collection,
-                        filter,
-                        many,
-                    } => {
-                        let c = db.collection(&collection);
-                        if many {
-                            c.delete_many(&filter)?;
-                        } else {
-                            c.delete_one(&filter)?;
-                        }
+                    Err(e) => {
+                        return Err(StoreError::Persistence(format!(
+                            "journal corrupt at byte offset {off} (followed by further \
+                             records, so not a torn tail): {e}"
+                        )))
                     }
                 }
             }
         }
-        Ok(db)
+        Ok((db, report))
     }
 }
 
@@ -255,6 +432,28 @@ mod tests {
                 .unwrap()["formula"],
             json!("Fe2O3")
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn snapshot_preserves_index_definitions() {
+        let dir = tmpdir("snapidx");
+        let db = Database::new();
+        let c = db.collection("c");
+        c.create_index("k", true).unwrap();
+        c.create_index("grp", false).unwrap();
+        c.insert_one(json!({"_id": 1, "k": 1, "grp": "a"})).unwrap();
+
+        let mut p = Persister::open(&dir).unwrap();
+        p.snapshot(&db).unwrap();
+
+        let rec = Persister::open(&dir).unwrap().recover().unwrap();
+        assert_eq!(
+            rec.collection("c").index_specs(),
+            vec![("k".to_string(), true), ("grp".to_string(), false)]
+        );
+        // The unique constraint is live again, not just the plan.
+        assert!(rec.collection("c").insert_one(json!({"k": 1})).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -300,6 +499,61 @@ mod tests {
     }
 
     #[test]
+    fn ddl_ops_replay_to_same_state() {
+        let dir = tmpdir("ddl");
+        let db = Database::new();
+        let mut p = Persister::open(&dir).unwrap();
+        p.snapshot(&db).unwrap();
+
+        p.log_many(&[
+            JournalOp::CreateIndex {
+                collection: "c".into(),
+                path: "k".into(),
+                unique: true,
+            },
+            JournalOp::Insert {
+                collection: "c".into(),
+                doc: json!({"_id": 1, "k": 1}),
+            },
+            JournalOp::Insert {
+                collection: "c".into(),
+                doc: json!({"_id": 2, "k": 2}),
+            },
+            JournalOp::DropIndex {
+                collection: "c".into(),
+                path: "k".into(),
+            },
+            JournalOp::Clear {
+                collection: "c".into(),
+            },
+            JournalOp::Insert {
+                collection: "c".into(),
+                doc: json!({"_id": 3}),
+            },
+            JournalOp::Insert {
+                collection: "gone".into(),
+                doc: json!({"_id": 9}),
+            },
+            JournalOp::DropCollection {
+                collection: "gone".into(),
+            },
+        ])
+        .unwrap();
+
+        let (rec, report) = Persister::open(&dir)
+            .unwrap()
+            .recover_with_report()
+            .unwrap();
+        assert_eq!(report.replayed_ops, 8);
+        assert!(report.torn_tail.is_none());
+        assert_eq!(rec.collection("c").len(), 1);
+        assert!(rec.collection("c").get(&json!(3)).is_some());
+        assert!(rec.collection("c").index_specs().is_empty());
+        assert_eq!(rec.collection_names(), vec!["c".to_string()]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn torn_journal_line_tolerated() {
         let dir = tmpdir("torn");
         let db = Database::new();
@@ -320,8 +574,95 @@ mod tests {
             .unwrap();
         drop(f);
 
-        let rec = Persister::open(&dir).unwrap().recover().unwrap();
+        let (rec, report) = Persister::open(&dir)
+            .unwrap()
+            .recover_with_report()
+            .unwrap();
         assert_eq!(rec.collection("c").len(), 1);
+        assert!(report.torn_tail.is_some(), "{report:?}");
+        assert_eq!(report.replayed_ops, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// The crash-tail contract, exhaustively: truncating the journal at
+    /// every byte offset of the final record must always recover, with
+    /// the tail either cleanly absent, skipped as torn, or (when only
+    /// the trailing newline is missing) fully replayed. The final
+    /// document carries multibyte content so some offsets tear a UTF-8
+    /// code point, not just a JSON token.
+    #[test]
+    fn crash_tail_truncated_at_every_byte_offset_recovers() {
+        let dir = tmpdir("crashtail");
+        let db = Database::new();
+        let mut p = Persister::open(&dir).unwrap();
+        p.snapshot(&db).unwrap();
+        for (id, formula) in [(1, "Fe2O3"), (2, "LiFePO4"), (3, "α-Fe₂O₃")] {
+            p.log(&JournalOp::Insert {
+                collection: "c".into(),
+                doc: json!({"_id": id, "formula": formula}),
+            })
+            .unwrap();
+        }
+        drop(p);
+        let full = std::fs::read(dir.join("journal.jsonl")).unwrap();
+        let tail_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap();
+        for cut in tail_start..full.len() {
+            std::fs::write(dir.join("journal.jsonl"), &full[..cut]).unwrap();
+            let (rec, report) = Persister::open(&dir)
+                .unwrap()
+                .recover_with_report()
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must recover: {e}"));
+            if cut == full.len() - 1 {
+                // Only the newline is missing: the record is complete.
+                assert_eq!(rec.collection("c").len(), 3, "cut {cut}");
+                assert!(report.torn_tail.is_none(), "cut {cut}: {report:?}");
+            } else if cut == tail_start {
+                // The tail never started: a clean two-record journal.
+                assert_eq!(rec.collection("c").len(), 2, "cut {cut}");
+                assert!(report.torn_tail.is_none(), "cut {cut}: {report:?}");
+            } else {
+                assert_eq!(rec.collection("c").len(), 2, "cut {cut}");
+                assert!(report.torn_tail.is_some(), "cut {cut}: {report:?}");
+            }
+            assert!(rec.collection("c").get(&json!(1)).is_some(), "cut {cut}");
+            assert!(rec.collection("c").get(&json!(2)).is_some(), "cut {cut}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_silent_truncation() {
+        let dir = tmpdir("midcorrupt");
+        let db = Database::new();
+        let mut p = Persister::open(&dir).unwrap();
+        p.snapshot(&db).unwrap();
+        p.log(&JournalOp::Insert {
+            collection: "c".into(),
+            doc: json!({"_id": 1}),
+        })
+        .unwrap();
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("journal.jsonl"))
+                .unwrap();
+            use std::io::Write as _;
+            f.write_all(b"{not json at all\n").unwrap();
+        }
+        // A valid record *after* the bad one proves this is corruption,
+        // not a torn tail — replay must refuse, not drop the tail.
+        p.log(&JournalOp::Insert {
+            collection: "c".into(),
+            doc: json!({"_id": 2}),
+        })
+        .unwrap();
+
+        let err = Persister::open(&dir).unwrap().recover().err();
+        assert!(err.is_some(), "mid-file corruption must fail recovery");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -317,9 +317,16 @@ impl ReplicaSet {
 
     /// One replication round: each secondary applies up to `batch`
     /// pending oplog entries. Returns the max remaining lag (entries).
+    // mp-lint: allow(E003) — oplog-ordered application is the replication
+    // contract: the oplog/applied guards must span the whole round so no
+    // concurrent round interleaves ops, and scatter workers never take
+    // the replication locks.
     pub fn replicate(&self) -> Result<usize> {
         // mp-lint: allow(L003) — ReplOplog(300) -> ReplApplied(310) ->
-        // Collection (via apply_op) is the sanctioned replication chain.
+        // Collection (via JournalOp::apply) is the sanctioned
+        // replication chain.
+        // mp-lint: allow(E002) — secondaries are replicas, not an origin
+        // of new writes; the op being applied IS the journal record.
         let oplog = self.oplog.lock();
         let mut applied = self.applied.lock();
         let mut max_lag = 0;
@@ -327,7 +334,7 @@ impl ReplicaSet {
             let from = applied[i];
             let to = (from + self.batch).min(oplog.len());
             for op in &oplog[from..to] {
-                apply_op(sec, op)?;
+                op.apply(sec)?;
             }
             applied[i] = to;
             max_lag = max_lag.max(oplog.len() - to);
@@ -423,40 +430,6 @@ impl ReplicaSet {
         }
         Ok(lost)
     }
-}
-
-fn apply_op(db: &Database, op: &JournalOp) -> Result<()> {
-    match op {
-        JournalOp::Insert { collection, doc } => {
-            db.collection(collection).insert_one(doc.clone())?;
-        }
-        JournalOp::Update {
-            collection,
-            filter,
-            update,
-            many,
-        } => {
-            let c = db.collection(collection);
-            if *many {
-                c.update_many(filter, update)?;
-            } else {
-                c.update_one(filter, update)?;
-            }
-        }
-        JournalOp::Delete {
-            collection,
-            filter,
-            many,
-        } => {
-            let c = db.collection(collection);
-            if *many {
-                c.delete_many(filter)?;
-            } else {
-                c.delete_one(filter)?;
-            }
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

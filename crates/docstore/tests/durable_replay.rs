@@ -1,0 +1,236 @@
+//! Property test for the write-behind journal: any sequence of
+//! mutations through the public [`DurableDatabase`] API must leave the
+//! journal in a state whose replay reproduces the live database —
+//! collection by collection, document by document, index by index.
+//!
+//! No external proptest dependency: a seeded xorshift64* generator
+//! drives random op sequences, so failures are reproducible from the
+//! printed seed alone.
+
+use mp_docstore::{Database, DurableDatabase, FindOptions, SortDir};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+/// xorshift64* — deterministic, no deps, good enough to shuffle ops.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+const COLLECTIONS: &[&str] = &["alpha", "beta", "gamma"];
+const TAGS: &[&str] = &["li", "fe", "o2", "po4"];
+
+fn random_doc(rng: &mut Rng) -> Value {
+    let mut doc = json!({
+        "k": rng.below(5),
+        "n": rng.below(100),
+        "tag": *rng.pick(TAGS),
+    });
+    // Half the documents carry an explicit small _id so that duplicate
+    // inserts, id-targeted updates, and unique-index conflicts all
+    // actually happen; the rest exercise id auto-assignment.
+    if rng.below(2) == 0 {
+        doc["_id"] = json!(format!("d{}", rng.below(40)));
+    }
+    doc
+}
+
+fn random_filter(rng: &mut Rng) -> Value {
+    match rng.below(4) {
+        0 => json!({"k": rng.below(5)}),
+        1 => json!({"_id": format!("d{}", rng.below(40))}),
+        2 => json!({"tag": *rng.pick(TAGS)}),
+        _ => json!({"n": {"$lte": rng.below(100)}}),
+    }
+}
+
+fn random_update(rng: &mut Rng) -> Value {
+    match rng.below(5) {
+        0 => json!({"$set": {"k": rng.below(5)}}),
+        1 => json!({"$inc": {"n": 1}}),
+        2 => json!({"$unset": {"tag": 1}}),
+        3 => json!({"$push": {"hist": rng.below(10)}}),
+        _ => json!({"$set": {"tag": *rng.pick(TAGS)}}),
+    }
+}
+
+/// One random mutation through the public API. Ops that legitimately
+/// fail (duplicate `_id`, unique-index conflict, dropping a missing
+/// index) are ignored — a failed op must journal nothing, which is
+/// exactly what the end-state comparison verifies.
+fn random_op(rng: &mut Rng, d: &DurableDatabase) {
+    let c = *rng.pick(COLLECTIONS);
+    match rng.below(13) {
+        0..=2 => {
+            let _ = d.insert_one(c, random_doc(rng));
+        }
+        3 => {
+            let docs = (0..rng.below(4) + 1).map(|_| random_doc(rng)).collect();
+            let _ = d.insert_many(c, docs);
+        }
+        4 => {
+            let _ = d.update_one(c, &random_filter(rng), &random_update(rng));
+        }
+        5 => {
+            let _ = d.update_many(c, &random_filter(rng), &random_update(rng));
+        }
+        6 => {
+            let _ = d.upsert(c, &random_filter(rng), &random_update(rng));
+        }
+        7 => {
+            let opts = FindOptions::all().sort_by("n", SortDir::Desc);
+            let _ = d.find_one_and_update(
+                c,
+                &random_filter(rng),
+                &random_update(rng),
+                Some(&opts),
+                true,
+            );
+        }
+        8 => {
+            let _ = d.delete_one(c, &random_filter(rng));
+        }
+        9 => {
+            let _ = d.delete_many(c, &random_filter(rng));
+        }
+        10 => match rng.below(4) {
+            0 => {
+                let _ = d.create_index(c, "k", false);
+            }
+            1 => {
+                let _ = d.create_index(c, "tag", false);
+            }
+            2 => {
+                // Unique index: only committable while `_id`s happen to
+                // be distinct in `k` — conflict is the interesting case.
+                let _ = d.create_index(c, "n", true);
+            }
+            _ => {
+                let _ = d.drop_index(c, "k");
+            }
+        },
+        11 => {
+            if rng.below(8) == 0 {
+                let _ = d.drop_collection(c);
+            } else {
+                let _ = d.clear(c);
+            }
+        }
+        _ => {
+            if rng.below(4) == 0 {
+                d.checkpoint().unwrap();
+            } else {
+                let _ = d.insert_one(c, random_doc(rng));
+            }
+        }
+    }
+}
+
+/// (collection name, sorted index specs, documents in DocId order).
+type CollectionState = (String, Vec<(String, bool)>, Vec<Value>);
+
+/// Observable state for every collection with any documents or
+/// indexes. Empty index-less collections are excluded: read-path
+/// access creates them lazily in the live map, and an op that modified
+/// nothing journals nothing — by design only *state* is durable, not
+/// map entries.
+fn state_of(db: &Database) -> Vec<CollectionState> {
+    let mut names = db.collection_names();
+    names.sort();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let c = db.collection(&name);
+            let mut specs = c.index_specs();
+            specs.sort();
+            // mp-lint: allow(P002) — the whole point is a deep equality
+            // snapshot of every document; this is a test-only boundary.
+            let docs: Vec<Value> = c.dump().iter().map(|d| (**d).clone()).collect();
+            if docs.is_empty() && specs.is_empty() {
+                None
+            } else {
+                Some((name, specs, docs))
+            }
+        })
+        .collect()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mp-durable-replay-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn replay_round_trips(seed: u64, ops: usize, checkpoint_at_end: bool) {
+    let dir = tmpdir(&format!("s{seed}"));
+    let mut rng = Rng::new(seed);
+    let live = {
+        let d = DurableDatabase::open(&dir).unwrap_or_else(|e| panic!("seed {seed}: open: {e}"));
+        for _ in 0..ops {
+            random_op(&mut rng, &d);
+        }
+        if checkpoint_at_end {
+            d.checkpoint().unwrap();
+        }
+        state_of(d.database())
+    };
+    let reopened =
+        DurableDatabase::open(&dir).unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+    let replayed = state_of(reopened.database());
+    assert_eq!(
+        replayed, live,
+        "seed {seed}: journal replay diverged from live state"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn random_mutation_sequences_replay_to_the_live_state() {
+    for seed in [1, 2, 3, 0xDEAD_BEEF, 0xCAFE_F00D, 42, 4242, 777] {
+        replay_round_trips(seed, 300, false);
+    }
+}
+
+#[test]
+fn random_mutation_sequences_with_final_checkpoint_replay_identically() {
+    for seed in [5, 6, 0xFACE_FEED] {
+        replay_round_trips(seed, 200, true);
+    }
+}
+
+#[test]
+fn replay_is_idempotent_across_repeated_reopens() {
+    let dir = tmpdir("idem");
+    let mut rng = Rng::new(99);
+    {
+        let d = DurableDatabase::open(&dir).unwrap();
+        for _ in 0..150 {
+            random_op(&mut rng, &d);
+        }
+    }
+    // Reopening without mutating must not change what the next
+    // recovery sees: open N times, state is a fixed point.
+    let first = state_of(DurableDatabase::open(&dir).unwrap().database());
+    for _ in 0..3 {
+        let again = state_of(DurableDatabase::open(&dir).unwrap().database());
+        assert_eq!(again, first);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -246,6 +246,9 @@ impl LaunchPad {
     /// (a Mongo filter over the engine doc, e.g.
     /// `{"spec.elements": {"$all": ["Li","O"]}}`). Highest-priority =
     /// fewest launches first, then insertion order.
+    // mp-lint: allow(E003) — the claim lock exists precisely to
+    // serialize claimants across the find-and-modify + dedup sequence;
+    // scatter workers inside the store never take LaunchPad-rank locks.
     pub fn claim_next(&self, extra_query: &Value, worker: &str) -> Result<Option<Arc<Document>>> {
         // mp-lint: allow(L003) — holding rank LaunchPad across store
         // operations is exactly what the rank table sanctions here.

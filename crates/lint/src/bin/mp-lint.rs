@@ -8,7 +8,9 @@
 //! mp-lint perf [<root>] [--json]
 //! mp-lint flow [<root>] [--json]
 //! mp-lint hotpath [<root>] [--json]
-//! mp-lint callgraph [<root>] [--dot]
+//! mp-lint effects [<root>] [--json]
+//! mp-lint all [<root>] [--json]
+//! mp-lint callgraph [<root>] [--dot [--effects] | --json]
 //! ```
 //!
 //! `query` lints a Mongo-style filter document; with `--db` it recovers a
@@ -22,9 +24,16 @@
 //! panic-reachability (`R0xx`) passes. `hotpath` runs the
 //! interprocedural hot-path cost analysis (`H0xx`): per-document
 //! allocation anti-patterns in hot regions, with the full hot call
-//! chain. `callgraph` prints the graph (GraphViz DOT with `--dot`,
+//! chain. `effects` runs the interprocedural mutation-effect analysis
+//! (`E0xx`): generation-bump, journal-coverage, and
+//! no-I/O-under-lock invariants. `all` runs every source-tree pass
+//! (`concurrency`, `perf`, `flow`, `hotpath`, `effects`) and merges the
+//! findings into one envelope with per-pass counts and one exit code.
+//! `callgraph` prints the graph (GraphViz DOT with `--dot`,
 //! role-colored: sources blue, sanitizers green, sinks gold, panicking
-//! fns red).
+//! fns red; add `--effects` to color by effect instead), or the
+//! effect-annotated graph as JSON with `--json` (the artifact CI
+//! uploads).
 //!
 //! Every pass obeys one contract: diagnostics are ordered by
 //! (file, line, code); `--json` emits the shared envelope
@@ -50,7 +59,9 @@ const USAGE: &str = "usage:
   mp-lint perf [<root>] [--json]
   mp-lint flow [<root>] [--json]
   mp-lint hotpath [<root>] [--json]
-  mp-lint callgraph [<root>] [--dot]";
+  mp-lint effects [<root>] [--json]
+  mp-lint all [<root>] [--json]
+  mp-lint callgraph [<root>] [--dot [--effects] | --json]";
 
 const SCHEMA_SAMPLE: usize = 256;
 
@@ -96,7 +107,11 @@ fn run(args: &[String]) -> Result<bool, String> {
         "hotpath" => lint_tree("hotpath", &rest, json, |root| {
             mp_lint::analyze_hotpath_tree(root)
         }),
-        "callgraph" => print_callgraph(&rest),
+        "effects" => lint_tree("effects", &rest, json, |root| {
+            mp_lint::analyze_effects_tree(root)
+        }),
+        "all" => lint_all(&rest, json),
+        "callgraph" => print_callgraph(&rest, json),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -201,20 +216,100 @@ fn lint_data(args: &[String], json: bool) -> Result<bool, String> {
     Ok(report("data", &label, &all, json))
 }
 
-fn print_callgraph(args: &[String]) -> Result<bool, String> {
+/// One named source-tree pass: (subcommand name, tree analyzer).
+type TreePass = (
+    &'static str,
+    fn(&std::path::Path) -> std::io::Result<Vec<Diagnostic>>,
+);
+
+/// The five source-tree passes `all` runs, in envelope order.
+const TREE_PASSES: &[TreePass] = &[
+    ("concurrency", |root| mp_lint::analyze_tree(root)),
+    ("perf", mp_lint::analyze_perf_tree),
+    ("flow", mp_lint::analyze_flow_tree),
+    ("hotpath", |root| mp_lint::analyze_hotpath_tree(root)),
+    ("effects", |root| mp_lint::analyze_effects_tree(root)),
+];
+
+/// `mp-lint all`: every source-tree pass over one workspace scan
+/// target, one merged envelope (findings ordered by the shared
+/// contract, counts broken out per pass), one exit code.
+fn lint_all(args: &[String], json: bool) -> Result<bool, String> {
+    let root = args.first().map(String::as_str).unwrap_or(".");
+    if let Some(extra) = args.get(1) {
+        return Err(format!("all: unexpected argument `{extra}`"));
+    }
+    let path = std::path::Path::new(root);
+    let mut merged: Vec<Diagnostic> = Vec::new();
+    let mut by_pass = serde_json::Map::new();
+    for (name, analyze) in TREE_PASSES {
+        let diags = analyze(path).map_err(|e| format!("scan `{root}` ({name}): {e}"))?;
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == mp_lint::Severity::Error)
+            .count();
+        by_pass.insert(
+            name.to_string(),
+            serde_json::json!({
+                "error": errors,
+                "warning": diags.len() - errors,
+                "total": diags.len(),
+            }),
+        );
+        merged.extend(diags);
+    }
+    if json {
+        // The shared envelope, plus a per-pass counts breakdown: the
+        // `findings`/`counts` fields parse exactly like any single
+        // pass's envelope.
+        let envelope: serde_json::Value = serde_json::from_str(&render_envelope("all", &merged))
+            .map_err(|e| format!("internal envelope error: {e}"))?;
+        let mut obj = envelope.as_object().cloned().unwrap_or_default();
+        obj.insert("passes".to_string(), serde_json::Value::Object(by_pass));
+        println!("{}", serde_json::Value::Object(obj));
+    } else if merged.is_empty() {
+        println!("{root}: clean ({} passes)", TREE_PASSES.len());
+    } else {
+        println!("{}", render(&merged));
+    }
+    Ok(merged.is_empty())
+}
+
+fn print_callgraph(args: &[String], as_json: bool) -> Result<bool, String> {
     let mut root = ".".to_string();
     let mut dot = false;
+    let mut effects = false;
     for a in args {
         match a.as_str() {
             "--dot" => dot = true,
+            "--effects" => effects = true,
             other if !other.starts_with('-') => root.clone_from(a),
             other => return Err(format!("callgraph: unknown flag `{other}`")),
         }
     }
-    let graph = mp_lint::scan_tree(std::path::Path::new(&root))
-        .map_err(|e| format!("scan `{root}`: {e}"))?;
-    let config = mp_lint::FlowConfig::materials_project_defaults();
-    if dot {
+    let path = std::path::Path::new(&root);
+    let graph = mp_lint::scan_tree(path).map_err(|e| format!("scan `{root}`: {e}"))?;
+    if as_json || (dot && effects) {
+        // Both annotated exports need the sources for effect scanning.
+        let mut sources = std::collections::BTreeMap::new();
+        for f in &graph.fns {
+            if !sources.contains_key(&f.file) {
+                let text = std::fs::read_to_string(path.join(&f.file))
+                    .map_err(|e| format!("read `{}`: {e}", f.file))?;
+                sources.insert(f.file.clone(), text);
+            }
+        }
+        let config = mp_lint::EffectConfig::materials_project_defaults();
+        if as_json {
+            println!("{}", mp_lint::effect_graph_json(&graph, &sources, &config));
+        } else {
+            println!(
+                "{}",
+                graph.to_dot(&mp_lint::effect_roles(&graph, &sources, &config))
+            );
+        }
+    } else if dot {
+        let config = mp_lint::FlowConfig::materials_project_defaults();
         println!("{}", graph.to_dot(&mp_lint::flow::roles(&graph, &config)));
     } else {
         println!("{} functions, {} edges", graph.fns.len(), graph.edges.len());

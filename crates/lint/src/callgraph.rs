@@ -181,7 +181,9 @@ impl CallGraph {
     }
 
     /// GraphViz DOT rendering. `roles` maps function index → a fill
-    /// color key: `source` / `sanitizer` / `sink` / `panics`.
+    /// color key: the flow roles `source` / `sanitizer` / `sink` /
+    /// `panics`, or the effect roles `mutates` / `journals` / `bumps` /
+    /// `io` (see [`crate::effects::effect_roles`]).
     pub fn to_dot(&self, roles: &BTreeMap<usize, &str>) -> String {
         let mut s = String::from("digraph mpflow {\n  rankdir=LR;\n  node [shape=box, fontsize=10, style=filled, fillcolor=white];\n");
         for (i, f) in self.fns.iter().enumerate() {
@@ -192,10 +194,10 @@ impl CallGraph {
                 continue;
             }
             let color = match roles.get(&i).copied() {
-                Some("source") => "lightskyblue",
-                Some("sanitizer") => "palegreen",
-                Some("sink") => "gold",
-                Some("panics") => "lightcoral",
+                Some("source") | Some("bumps") => "lightskyblue",
+                Some("sanitizer") | Some("journals") => "palegreen",
+                Some("sink") | Some("mutates") => "gold",
+                Some("panics") | Some("io") => "lightcoral",
                 _ => "white",
             };
             let locks = if f.locks.is_empty() {

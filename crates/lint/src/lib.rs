@@ -35,6 +35,12 @@
 //!    aggregation/MapReduce drivers, propagates through calls, and
 //!    flags per-document allocation anti-patterns (`H001`–`H007`) with
 //!    the full hot call chain.
+//! 8. **Effects** ([`effects`]) — interprocedural mutation-effect
+//!    analysis over the same call graph: per-function effect summaries
+//!    (mutates / bumps-generation / appends-journal / blocking-I/O /
+//!    scatter) propagated bottom-up, proving the generation-bump,
+//!    journal-coverage, and no-I/O-under-lock invariants
+//!    (`E001`–`E007`).
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -45,6 +51,7 @@
 pub mod callgraph;
 pub mod concurrency;
 pub mod diagnostics;
+pub mod effects;
 pub mod flow;
 pub mod hotpath;
 pub mod perf;
@@ -57,6 +64,10 @@ pub mod workflow;
 pub use callgraph::{scan_tree, CallGraph};
 pub use concurrency::{analyze_source, analyze_tree};
 pub use diagnostics::{has_errors, render, render_envelope, render_json, Diagnostic, Severity};
+pub use effects::{
+    analyze_effects, analyze_effects_tree, effect_graph_json, effect_roles, effect_summaries,
+    EffectConfig, FnEffects,
+};
 pub use flow::{analyze_flow, analyze_flow_tree, FlowConfig, FnRef};
 pub use hotpath::{analyze_hotpath, analyze_hotpath_tree, HotConfig};
 pub use perf::{analyze_perf_source, analyze_perf_tree, analyze_query_perf};

@@ -12,6 +12,9 @@ use serde_json::{json, Value};
 /// Build (or rebuild) the `materials` collection by grouping converged
 /// `tasks` by `mps_id` and keeping the lowest-energy result per
 /// material. Returns the number of materials written.
+// mp-lint: allow(E002) — the materials collection is a derived view,
+// rebuilt deterministically from the tasks collection; durability is the
+// journaled tasks data, not this MapReduce output.
 pub fn build_materials_view(db: &Database, engine: &dyn MapReduce) -> Result<usize> {
     let tasks = db.collection("tasks").dump();
     let map = |doc: &Value, emit: &mut dyn FnMut(Value, Value)| {

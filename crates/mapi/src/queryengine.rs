@@ -517,6 +517,32 @@ mod tests {
     }
 
     #[test]
+    fn drop_and_recreate_cannot_serve_stale_cached_rows() {
+        let qe = engine();
+        let crit = json!({"band_gap": {"$gt": 1.0}});
+        let (rows1, _) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert_eq!(rows1.len(), 2);
+        // Drop the whole collection and rebuild it with one different
+        // document. The successor collection seeds its generation above
+        // the dropped one's final version (the registry floor), so the
+        // cached (key, generation) pair can never alias the rebuilt
+        // collection — a hit here would serve two dropped documents.
+        assert!(qe.database().drop_collection("materials"));
+        qe.database()
+            .collection("materials")
+            .insert_one(json!({"_id": "mp-9", "formula": "LiCoO2",
+                               "output": {"band_gap": 2.7}}))
+            .unwrap();
+        let (rows2, hit2) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(
+            !hit2,
+            "recreated collection must not serve the dropped collection's cached rows"
+        );
+        assert_eq!(rows2.len(), 1);
+        assert_eq!(rows2[0]["formula"], json!("LiCoO2"));
+    }
+
+    #[test]
     fn cache_key_is_order_insensitive() {
         let qe = engine();
         let a = json!({"band_gap": {"$gt": 1.0}, "formula": "Fe2O3"});

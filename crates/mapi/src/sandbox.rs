@@ -24,6 +24,9 @@ impl<'a> Sandbox<'a> {
     }
 
     /// Upload a record into the owner's sandbox (private by default).
+    // mp-lint: allow(E002) — sandbox uploads are pre-publication scratch
+    // space; publish() exports into the curated store, which is where the
+    // journal-coverage contract applies.
     pub fn upload(&self, owner: &str, mut doc: Value) -> Result<Value> {
         let obj = doc
             .as_object_mut()

@@ -17,7 +17,8 @@
 //! outermost (acquired first)                         innermost (acquired last)
 //! LaunchPad → RateLimit → AuthAccounts → AuthKeyCounter → WebLog
 //!   → QueryCache → ReplOplog → ReplApplied → ReplRouter → ShardStats
-//!   → Database → Collection → Index → ExecPool → Clock → Profiler
+//!   → Journal → Database → Collection → Index → ExecPool → Clock
+//!   → Profiler
 //! ```
 //!
 //! The docstore chain mirrors the containment hierarchy (a `Database`
@@ -67,6 +68,9 @@ pub enum LockRank {
     ReplRouter = 330,
     /// Shard-router statistics.
     ShardStats = 350,
+    /// Durable-database journal writer (outside `Database` so a
+    /// checkpoint may read collections while serializing appenders).
+    Journal = 380,
     /// Database collection map.
     Database = 400,
     /// Collection contents (docs + indexes).
@@ -101,6 +105,7 @@ impl LockRank {
             LockRank::ReplApplied => "ReplApplied",
             LockRank::ReplRouter => "ReplRouter",
             LockRank::ShardStats => "ShardStats",
+            LockRank::Journal => "Journal",
             LockRank::Database => "Database",
             LockRank::Collection => "Collection",
             LockRank::Index => "Index",
