@@ -217,8 +217,11 @@ pub fn run_pipeline(docs: Docs, stages: &[Stage]) -> Result<Docs> {
 fn run_stage(stream: Docs, stage: &Stage) -> Result<Docs> {
     Ok(match stage {
         Stage::Match(f) => {
+            // Routed through the shared scan path: the crossover model
+            // decides whether this stage's stream is big enough for a
+            // morsel fan-out, exactly as a collection scan would.
             let cf = f.compile();
-            stream.into_iter().filter(|d| cf.matches(d)).collect()
+            crate::collection::filter_matches(mp_exec::WorkPool::global(), stream, &cf)
         }
         Stage::Project(paths) => {
             let proj = CompiledProjection::compile(paths);

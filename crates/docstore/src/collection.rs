@@ -9,16 +9,25 @@ use crate::profiler::{OpKind, Profiler};
 use crate::query::{CompiledFilter, Filter};
 use crate::update::Update;
 use crate::value::{Docs, Document, OrderedValue};
-use mp_exec::WorkPool;
+use mp_exec::{Crossover, WorkPool};
 use mp_sync::{LockRank, OrderedRwLock};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// Candidate sets at or above this size are match-evaluated in parallel
-/// chunks on the global work pool (when it has more than one slot).
-const PARALLEL_SCAN_THRESHOLD: usize = 4096;
+/// Fewest documents a morsel may carry when a scan fans out: finer
+/// morsels pay more in claim traffic than they earn in overlap.
+const MORSEL_FLOOR: usize = 1024;
+
+/// Seq-vs-parallel decision point for the match-evaluation scan family:
+/// filter and fused filter+project scans here, the shard router's
+/// segmented union, and parallel counting all share one cost model,
+/// since all of them are dominated by `CompiledFilter::matches` per
+/// candidate. Sequential scans feed the model; `decide` prices fan-out
+/// against the pool's calibrated dispatch overhead (DESIGN §14).
+pub(crate) static SCAN_CROSSOVER: Crossover = Crossover::new();
 
 /// Outcome of an update call.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -285,11 +294,7 @@ impl Collection {
     pub fn count(&self, filter: &Value) -> Result<usize> {
         let _t = self.profiler.start(&self.name, OpKind::Count);
         let cf = Filter::parse(filter)?.compile();
-        let inner = self.inner.read();
-        if cf.is_empty() {
-            return Ok(inner.docs.len());
-        }
-        Ok(self.count_in(&inner, &cf))
+        Ok(self.count_exec(&cf))
     }
 
     /// Find with a pre-compiled filter: the lean path the shard router's
@@ -302,11 +307,71 @@ impl Collection {
     /// Count with a pre-compiled filter (lean scatter path, see
     /// [`Collection::find_filter`]).
     pub fn count_filter(&self, cf: &CompiledFilter) -> usize {
-        let inner = self.inner.read();
-        if cf.is_empty() {
-            return inner.docs.len();
+        self.count_exec(cf)
+    }
+
+    /// Route a count seq-vs-parallel: small (or unpriced) candidate sets
+    /// count under the read lock with no snapshot at all; when the
+    /// crossover predicts fan-out pays, the candidates are snapshotted
+    /// (releasing the lock) and match-counted in morsels on the pool.
+    fn count_exec(&self, cf: &CompiledFilter) -> usize {
+        let pool = WorkPool::global();
+        let estimate = {
+            let inner = self.inner.read();
+            if cf.is_empty() {
+                return inner.docs.len();
+            }
+            Self::plan_query(&inner, cf).0.cost
+        };
+        if !SCAN_CROSSOVER.decide(pool, estimate).parallel {
+            let t = Instant::now();
+            let count = {
+                let inner = self.inner.read();
+                self.count_in(&inner, cf)
+            };
+            SCAN_CROSSOVER.record_seq(estimate, t.elapsed());
+            return count;
         }
-        self.count_in(&inner, cf)
+        let candidates = self.snapshot(cf);
+        let per_morsel = pool.chunk_size(candidates.len(), MORSEL_FLOOR);
+        pool.scatter_morsels(&candidates, per_morsel, |morsel| {
+            morsel.iter().filter(|d| cf.matches(d)).count()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Lean sequential scan for the shard router: plan and match *under*
+    /// the read lock, appending matches straight to `out` — no candidate
+    /// snapshot is ever materialized, so a low-selectivity filter clones
+    /// one `Arc` per **match** instead of one per candidate. The price is
+    /// that writers wait behind the match pass, which is why the router
+    /// only takes this arm when the crossover predicts sequential
+    /// execution (fan-out wouldn't pay) and latency is the priority.
+    pub(crate) fn filter_into(&self, cf: &CompiledFilter, out: &mut Docs) {
+        let t = Instant::now();
+        let examined;
+        {
+            let inner = self.inner.read();
+            let (plan, _) = Self::plan_query(&inner, cf);
+            self.profiler.bump(plan.kind.counter());
+            match plan.kind {
+                PlanKind::Collscan => {
+                    examined = inner.docs.len();
+                    out.extend(inner.docs.values().filter(|d| cf.matches(d)).cloned());
+                }
+                _ => {
+                    let ids = Self::plan_candidates(&inner, cf, &plan);
+                    examined = ids.len();
+                    out.extend(
+                        ids.into_iter().filter_map(|id| {
+                            inner.docs.get(&id).filter(|d| cf.matches(d)).cloned()
+                        }),
+                    );
+                }
+            }
+        }
+        SCAN_CROSSOVER.record_seq(examined, t.elapsed());
     }
 
     /// Distinct values at `path` among documents matching `filter`.
@@ -563,12 +628,19 @@ impl Collection {
     /// same planner).
     pub fn explain(&self, filter: &Value) -> Result<Value> {
         let cf = Filter::parse(filter)?.compile();
-        let inner = self.inner.read();
-        let (plan, considered) = Self::plan_query(&inner, &cf);
-        let docs_examined = match plan.kind {
-            PlanKind::Collscan => inner.docs.len(),
-            _ => Self::plan_candidates(&inner, &cf, &plan).len(),
+        let (plan, considered, docs_examined, docs_total) = {
+            let inner = self.inner.read();
+            let (plan, considered) = Self::plan_query(&inner, &cf);
+            let docs_examined = match plan.kind {
+                PlanKind::Collscan => inner.docs.len(),
+                _ => Self::plan_candidates(&inner, &cf, &plan).len(),
+            };
+            (plan, considered, docs_examined, inner.docs.len())
         };
+        // Priced after the guard is dropped: the crossover may calibrate
+        // the pool's dispatch overhead on first use, and a scatter must
+        // never run under a collection lock.
+        let exec = SCAN_CROSSOVER.decide(WorkPool::global(), docs_examined);
         let considered: Vec<Value> = considered
             .iter()
             .map(|p| {
@@ -584,10 +656,29 @@ impl Collection {
             "plan": plan.kind.name(),
             "index": plan.index,
             "docs_examined": docs_examined,
-            "docs_total": inner.docs.len(),
+            "docs_total": docs_total,
             "filter_paths": cf.touched_paths(),
             "considered": considered,
+            "exec": {
+                "mode": if exec.parallel { "parallel_morsels" } else { "sequential" },
+                "slots": exec.slots,
+                "per_item_ns": exec.per_item_ns,
+                "dispatch_ns": exec.dispatch_ns,
+                "parallel_threshold_items": if exec.threshold_items == usize::MAX {
+                    Value::Null
+                } else {
+                    json!(exec.threshold_items)
+                },
+            },
         }))
+    }
+
+    /// Estimated documents the chosen plan must examine, without
+    /// materializing a candidate set — the shard router sums this across
+    /// shards to price a scatter before paying for any snapshot.
+    pub(crate) fn estimate_cost(&self, cf: &CompiledFilter) -> usize {
+        let inner = self.inner.read();
+        Self::plan_query(&inner, cf).0.cost
     }
 
     /// The plan `find`/`count` would execute for `filter` right now.
@@ -763,19 +854,20 @@ impl Collection {
     }
 }
 
-/// Match-filter a snapshot of candidate documents, splitting large sets
-/// into a few chunks per pool slot (see [`WorkPool::chunk_size`]) and
-/// evaluating them on the work pool. Chunk results are concatenated in
-/// chunk order, so the output order is identical to the sequential path.
+/// Match-filter a snapshot of candidate documents. When the crossover
+/// model predicts fan-out pays (see [`SCAN_CROSSOVER`]), the snapshot is
+/// cut into morsels of a few chunks per pool slot (see
+/// [`WorkPool::chunk_size`]) and workers claim them off the shared slice
+/// — morsel results land in pre-allocated slots in morsel order, so the
+/// output order is identical to the sequential path by construction.
 /// A match retains the `Arc` (pointer bump) — the documents themselves
-/// are never copied. The shard router funnels its cross-shard candidate
-/// union through here too, so one scatter covers every shard.
+/// are never copied. Sequential runs feed their observed per-item cost
+/// back into the crossover model.
 pub(crate) fn filter_matches(pool: &WorkPool, docs: Docs, cf: &CompiledFilter) -> Docs {
-    if docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
-        let per_chunk = pool.chunk_size(docs.len(), PARALLEL_SCAN_THRESHOLD / 4);
-        let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
-        let parts = pool.scatter(chunks, |chunk| {
-            chunk
+    if SCAN_CROSSOVER.decide(pool, docs.len()).parallel {
+        let per_morsel = pool.chunk_size(docs.len(), MORSEL_FLOOR);
+        let parts = pool.scatter_morsels(&docs, per_morsel, |morsel| {
+            morsel
                 .iter()
                 .filter(|d| cf.matches(d))
                 .cloned()
@@ -783,8 +875,45 @@ pub(crate) fn filter_matches(pool: &WorkPool, docs: Docs, cf: &CompiledFilter) -
         });
         parts.into_iter().flatten().collect()
     } else {
-        docs.into_iter().filter(|d| cf.matches(d)).collect()
+        let n = docs.len();
+        let t = Instant::now();
+        let out: Docs = docs.into_iter().filter(|d| cf.matches(d)).collect();
+        SCAN_CROSSOVER.record_seq(n, t.elapsed());
+        out
     }
+}
+
+/// Match-filter several per-shard snapshots as **one** morsel scatter,
+/// without first flattening them into a single candidate vector: each
+/// segment is cut into morsels in place and the morsel list (slice
+/// descriptors, not documents) is what the workers claim from. Output
+/// preserves segment order, then document order within each segment —
+/// exactly what flattening would have produced. The sequential arm of
+/// the shard router doesn't come through here at all (it matches under
+/// each shard's read lock, see [`Collection::filter_into`]); this is the
+/// parallel arm only.
+pub(crate) fn filter_matches_segmented(
+    pool: &WorkPool,
+    segments: &[Docs],
+    cf: &CompiledFilter,
+) -> Docs {
+    let total: usize = segments.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return Docs::new();
+    }
+    let per_morsel = pool.chunk_size(total, MORSEL_FLOOR);
+    let morsels: Vec<&[Arc<Document>]> = segments
+        .iter()
+        .flat_map(|seg| seg.chunks(per_morsel))
+        .collect();
+    let parts = pool.scatter_morsels(&morsels, 1, |one| {
+        one[0]
+            .iter()
+            .filter(|d| cf.matches(d))
+            .cloned()
+            .collect::<Docs>()
+    });
+    parts.into_iter().flatten().collect()
 }
 
 /// Fused filter + projection over a snapshot, for unsorted projected
@@ -808,11 +937,11 @@ pub(crate) fn filter_project_matches(
 ) -> Docs {
     // An unbounded window parallelizes exactly like the unfused pair; a
     // bounded one runs sequentially so the early exit stays exact.
-    if skip == 0 && limit.is_none() && docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
-        let per_chunk = pool.chunk_size(docs.len(), PARALLEL_SCAN_THRESHOLD / 4);
-        let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
-        let parts = pool.scatter(chunks, |chunk| {
-            chunk
+    let unbounded = skip == 0 && limit.is_none();
+    if unbounded && SCAN_CROSSOVER.decide(pool, docs.len()).parallel {
+        let per_morsel = pool.chunk_size(docs.len(), MORSEL_FLOOR);
+        let parts = pool.scatter_morsels(&docs, per_morsel, |morsel| {
+            morsel
                 .iter()
                 .filter(|d| cf.matches(d))
                 .map(|d| Arc::new(proj.project_one(d)))
@@ -820,6 +949,8 @@ pub(crate) fn filter_project_matches(
         });
         parts.into_iter().flatten().collect()
     } else {
+        let n = docs.len();
+        let t = Instant::now();
         let mut out = Docs::new();
         let mut matched = 0usize;
         for d in docs.iter() {
@@ -835,6 +966,11 @@ pub(crate) fn filter_project_matches(
             }
             out.push(Arc::new(proj.project_one(d)));
         }
+        // A bounded window early-exits, so its timing says nothing about
+        // full-scan per-item cost; only unbounded runs feed the model.
+        if unbounded {
+            SCAN_CROSSOVER.record_seq(n, t.elapsed());
+        }
         out
     }
 }
@@ -844,11 +980,10 @@ pub(crate) fn filter_project_matches(
 /// Output order is the input order; each output document holds only the
 /// projected fields.
 fn project_matches(pool: &WorkPool, docs: &[Arc<Document>], proj: &CompiledProjection) -> Docs {
-    if docs.len() >= PARALLEL_SCAN_THRESHOLD && pool.size() > 1 {
-        let per_chunk = pool.chunk_size(docs.len(), PARALLEL_SCAN_THRESHOLD / 4);
-        let chunks: Vec<&[Arc<Document>]> = docs.chunks(per_chunk).collect();
-        let parts = pool.scatter(chunks, |chunk| {
-            chunk
+    if SCAN_CROSSOVER.decide(pool, docs.len()).parallel {
+        let per_morsel = pool.chunk_size(docs.len(), MORSEL_FLOOR);
+        let parts = pool.scatter_morsels(docs, per_morsel, |morsel| {
+            morsel
                 .iter()
                 .map(|d| Arc::new(proj.project_one(d)))
                 .collect::<Docs>()
@@ -1231,20 +1366,27 @@ mod tests {
 
     #[test]
     #[cfg_attr(miri, ignore = "10k docs and real threads are slow under miri")]
-    fn parallel_chunked_scan_matches_sequential() {
-        let pool = WorkPool::new(4);
+    fn morsel_scan_matches_sequential() {
         let docs: Docs = (0..10_000)
             .map(|i| Arc::new(json!({"n": i, "grp": i % 7})))
             .collect();
         let cf = Filter::parse(&json!({"grp": 3})).unwrap().compile();
-        let par = filter_matches(&pool, docs.clone(), &cf);
-        let seq: Docs = docs.into_iter().filter(|d| cf.matches(d)).collect();
-        assert_eq!(par, seq, "chunked parallel scan must preserve order");
-        assert_eq!(
-            pool.stats().scatters,
-            1,
-            "a 10k-candidate scan on a 4-slot pool must use the pool"
-        );
+        let seq: Docs = docs.iter().filter(|d| cf.matches(d)).cloned().collect();
+        // The crossover-routed entry point must agree with the
+        // sequential path whichever arm it picks on this host.
+        let routed = filter_matches(&WorkPool::new(4), docs.clone(), &cf);
+        assert_eq!(routed, seq, "routed scan must preserve order");
+        // The parallel arm itself, pinned on a fresh pool: a segmented
+        // union fans out as ONE morsel scatter and must come back in
+        // segment-major order.
+        let pool = WorkPool::new(4);
+        let mid = docs.len() / 2;
+        let segments = vec![docs[..mid].to_vec(), docs[mid..].to_vec()];
+        let par = filter_matches_segmented(&pool, &segments, &cf);
+        assert_eq!(par, seq, "morsel scan must preserve segment-major order");
+        let st = pool.stats();
+        assert_eq!(st.morsel_scatters, 1, "one fan-out for the whole union");
+        assert_eq!(st.jobs_dispatched, 0, "no per-chunk boxed jobs");
     }
 
     #[test]

@@ -129,12 +129,12 @@ impl MapReduce for HadoopEngine {
         let nw = self.workers.min(docs.len().max(1));
         let chunk = docs.len().div_ceil(nw);
 
-        // Scatter one partition per configured worker over the shared
-        // pool; chunk outputs come back in partition order, so the merge
-        // below is deterministic regardless of scheduling.
-        let parts: Vec<&[Arc<Document>]> = docs.chunks(chunk.max(1)).collect();
+        // Morsel-scatter the map phase: partitions are claimed off the
+        // input slice by whichever pool slot frees up first (no boxed
+        // job per partition), and partials come back in partition order,
+        // so the merge below is deterministic regardless of scheduling.
         let partials: Vec<BTreeMap<OrderedValue, Vec<Value>>> = mp_exec::WorkPool::global()
-            .scatter(parts, |part| {
+            .scatter_morsels(docs, chunk.max(1), |part| {
                 let mut groups: BTreeMap<OrderedValue, Vec<Value>> = BTreeMap::new();
                 for doc in part {
                     map(doc, &mut |k, v| {

@@ -138,28 +138,51 @@ impl ShardedCluster {
                 .find(filter);
         }
         self.stats.lock().1 += 1;
-        // Scatter-gather: the filter is parsed and compiled once here.
-        // Each shard's planner picks its own candidate snapshot (index-
-        // assisted where possible, lock held only for the Arc clones);
-        // the union is then match-evaluated as ONE chunked scatter that
-        // spans shard boundaries. With one opaque job per shard the
-        // parallelism was capped at the shard count and each job's
-        // nested scan ran inline on its worker — sub-shard chunks let
-        // every pool slot help with every shard, which is what makes
-        // scatter beat the sequential router at 100k documents. Chunk
-        // order is shard-major, so result order matches the sequential
-        // router's shard-by-shard concatenation.
+        // Scatter-gather: the filter is parsed and compiled once here,
+        // then the crossover model prices the union scan (summed
+        // per-shard plan estimates, no candidates materialized yet).
+        //
+        // Parallel arm: each shard's planner picks its own candidate
+        // snapshot (index-assisted where possible, lock held only for
+        // the Arc clones) and the segments are match-evaluated as ONE
+        // morsel scatter spanning shard boundaries — every pool slot
+        // helps with every shard, and nothing is flattened into an
+        // intermediate union vector first.
+        //
+        // Sequential arm (small scans, or hosts where fan-out can't
+        // pay): match under each shard's read lock in turn, cloning one
+        // Arc per *match* instead of materializing every candidate —
+        // this is what keeps a sequential cross-shard scan cheaper than
+        // a collscan of the same documents, not slower.
+        //
+        // Both arms produce shard-major order, identical to the old
+        // shard-by-shard concatenation.
         let cf = parsed.compile();
-        let candidates: Docs = self
+        let pool = WorkPool::global();
+        let estimate: usize = self
             .shards
             .iter()
-            .flat_map(|s| s.collection(collection).snapshot(&cf))
-            .collect();
-        Ok(crate::collection::filter_matches(
-            WorkPool::global(),
-            candidates,
-            &cf,
-        ))
+            .map(|s| s.collection(collection).estimate_cost(&cf))
+            .sum();
+        if crate::collection::SCAN_CROSSOVER
+            .decide(pool, estimate)
+            .parallel
+        {
+            let segments: Vec<Docs> = self
+                .shards
+                .iter()
+                .map(|s| s.collection(collection).snapshot(&cf))
+                .collect();
+            Ok(crate::collection::filter_matches_segmented(
+                pool, &segments, &cf,
+            ))
+        } else {
+            let mut out = Docs::new();
+            for s in &self.shards {
+                s.collection(collection).filter_into(&cf, &mut out);
+            }
+            Ok(out)
+        }
     }
 
     /// Count across the cluster (targeted when possible).
@@ -172,9 +195,16 @@ impl ShardedCluster {
                 .count(filter);
         }
         let cf = parsed.compile();
+        // One morsel per shard: counting needs no gather order and each
+        // shard's count is itself crossover-routed (it runs inline on
+        // its claiming worker), so the router pays O(workers) dispatch
+        // rather than one boxed job per shard.
         let shards: Vec<&Database> = self.shards.iter().collect();
-        let counts =
-            WorkPool::global().scatter(shards, |s| s.collection(collection).count_filter(&cf));
+        let counts = WorkPool::global().scatter_morsels(&shards, 1, |m| {
+            m.iter()
+                .map(|s| s.collection(collection).count_filter(&cf))
+                .sum::<usize>()
+        });
         Ok(counts.into_iter().sum())
     }
 

@@ -4,11 +4,21 @@
 //! and the Materials API concurrently; this crate provides the two
 //! execution primitives the rest of the workspace fans work out on:
 //!
-//! * [`WorkPool`] — a fixed-size pool of persistent worker threads with a
-//!   scoped [`WorkPool::scatter`] primitive: N inputs are mapped through a
-//!   borrowing closure in parallel and the outputs returned in input
-//!   order. The caller participates as worker zero, so a pool of size 1
-//!   degrades to a plain sequential map with no thread traffic at all.
+//! * [`WorkPool`] — a fixed-size pool of persistent worker threads with
+//!   two scoped fan-out primitives. [`WorkPool::scatter`] maps N owned
+//!   inputs through a borrowing closure (one boxed job per input — right
+//!   for heterogeneous work like per-shard updates). For the homogeneous
+//!   chunk-scans that dominate the read path, [`WorkPool::scatter_morsels`]
+//!   is morsel-driven: workers claim contiguous morsels off a shared
+//!   slice via an atomic cursor and write into pre-allocated output
+//!   slots — O(workers) boxes and channel sends per scatter instead of
+//!   O(jobs), order preserved by construction. The caller participates
+//!   as worker zero, so a pool of size 1 degrades to a plain sequential
+//!   map with no thread traffic at all.
+//! * [`Crossover`] — an adaptive seq-vs-parallel decision point: a
+//!   learned per-item cost (EWMA over sequential scans) and a per-pool
+//!   calibrated dispatch overhead decide, per query, whether fan-out
+//!   pays for itself (DESIGN §14).
 //! * [`QueryCache`] — a bounded read-through cache keyed by a normalized
 //!   query string and guarded by per-collection *generation counters*:
 //!   every write bumps the collection's generation, and a cached entry
@@ -24,7 +34,9 @@
 #![deny(rust_2018_idioms)]
 
 pub mod cache;
+pub mod crossover;
 pub mod pool;
 
 pub use cache::{CacheStats, QueryCache};
+pub use crossover::{Crossover, Decision};
 pub use pool::{PoolStats, WorkPool};

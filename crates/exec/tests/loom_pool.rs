@@ -1,0 +1,127 @@
+//! Loom model-checking of the morsel-claim protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; each body runs under
+//! `loom::model`, which explores thread interleavings (the vendored
+//! shim drives a seeded randomized scheduler for `LOOM_ITERS`
+//! iterations). Two things are checked: a direct model of the
+//! cursor/slot claim loop (the unsafe core of `scatter_morsels`), and
+//! the real `WorkPool` morsel path end to end — workers and the
+//! scattering caller racing the shared cursor, the completion barrier,
+//! and panic unwinding.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use mp_exec::WorkPool;
+
+/// Direct model of the claim loop: two claimers race `fetch_add` on a
+/// shared cursor over N morsels. Every morsel must be claimed exactly
+/// once, and the union of both claimers' work must cover all morsels —
+/// no double execution, no hole, regardless of interleaving.
+#[test]
+fn cursor_claims_are_exactly_once() {
+    loom::model(|| {
+        const MORSELS: usize = 6;
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..MORSELS).map(|_| AtomicUsize::new(0)).collect());
+
+        let claimer = |cursor: Arc<AtomicUsize>, hits: Arc<Vec<AtomicUsize>>| {
+            move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= MORSELS {
+                    break;
+                }
+                hits[k].fetch_add(1, Ordering::Relaxed);
+                thread::yield_now();
+            }
+        };
+
+        let t1 = thread::spawn(claimer(cursor.clone(), hits.clone()));
+        let t2 = thread::spawn(claimer(cursor.clone(), hits.clone()));
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        for (k, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "morsel {k} claim count");
+        }
+    });
+}
+
+/// Abort-flag model: a claimer that observes the abort flag must stop
+/// claiming, and morsels claimed before the abort was raised are the
+/// only ones executed — mirroring the panic path's "stop the fleet,
+/// finish nothing new" contract.
+#[test]
+fn abort_flag_stops_new_claims() {
+    loom::model(|| {
+        const MORSELS: usize = 8;
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let executed = Arc::new(AtomicUsize::new(0));
+
+        let worker = {
+            let (cursor, abort, executed) = (cursor.clone(), abort.clone(), executed.clone());
+            thread::spawn(move || loop {
+                if abort.load(Ordering::Acquire) {
+                    break;
+                }
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= MORSELS {
+                    break;
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+                thread::yield_now();
+            })
+        };
+        // The "panicking" claimer: executes one morsel, then aborts.
+        if cursor.fetch_add(1, Ordering::Relaxed) < MORSELS {
+            executed.fetch_add(1, Ordering::Relaxed);
+        }
+        abort.store(true, Ordering::Release);
+        worker.join().unwrap();
+
+        let done = executed.load(Ordering::Relaxed);
+        let claimed = cursor.load(Ordering::Relaxed).min(MORSELS);
+        assert_eq!(done, claimed, "every claimed morsel ran exactly once");
+        assert!(done <= MORSELS);
+    });
+}
+
+/// The real pool under the model scheduler: a 2-worker pool and the
+/// scattering caller race the shared cursor across more morsels than
+/// claimers. Results must come back in input order with every morsel
+/// present exactly once.
+#[test]
+fn real_pool_morsel_scatter_is_ordered_and_complete() {
+    loom::model(|| {
+        let pool = WorkPool::new(2);
+        let items: Vec<usize> = (0..24).collect();
+        let got = pool.scatter_morsels(&items, 3, |c: &[usize]| c.to_vec());
+        let want: Vec<Vec<usize>> = items.chunks(3).map(<[usize]>::to_vec).collect();
+        assert_eq!(got, want);
+    });
+}
+
+/// The real pool's panic path under the model scheduler: the caller
+/// observes the unwind whichever claimer hits the poisoned morsel, and
+/// the same pool completes a follow-up scatter.
+#[test]
+fn real_pool_panic_unwinds_cleanly_under_model() {
+    loom::model(|| {
+        let pool = WorkPool::new(2);
+        let items: Vec<usize> = (0..12).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scatter_morsels(&items, 2, |c: &[usize]| {
+                if c.contains(&7) {
+                    panic!("poisoned morsel");
+                }
+                c.len()
+            })
+        }));
+        assert!(r.is_err());
+        let counts = pool.scatter_morsels(&items, 2, |c: &[usize]| c.len());
+        assert_eq!(counts.iter().sum::<usize>(), items.len());
+    });
+}

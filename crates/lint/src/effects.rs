@@ -88,10 +88,11 @@ const IO_PATTERNS: &[&str] = &[
     concat!("read_to_", "string("),
 ];
 
-/// Work-pool scatter marker: the call that fans work out to every pool
-/// thread. Holding a lock across it parks the whole pool behind one
-/// guard.
-const SCATTER_PATTERNS: &[&str] = &[concat!(".scat", "ter(")];
+/// Work-pool scatter markers: the calls that fan work out to every pool
+/// thread — the classic per-job `scatter` and the morsel-driven
+/// `scatter_morsels` (which also runs on the calling thread, so a held
+/// guard both parks the pool and re-enters with work of its own).
+const SCATTER_PATTERNS: &[&str] = &[concat!(".scat", "ter("), concat!(".scatter_", "morsels(")];
 
 /// In-place mutation of `Arc`-shared data (E004): the read path hands
 /// out clones of shared `Arc<Document>`s, so mutating through them
@@ -1169,6 +1170,29 @@ mod tests {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, "E003");
         assert!(diags[0].path.ends_with(":5"), "{}", diags[0].path);
+    }
+
+    /// The morsel-driven fan-out is a scatter too: dispatching
+    /// `scatter_morsels` while a guard is bound parks the pool behind it
+    /// exactly like the classic per-job `scatter`.
+    #[test]
+    fn e003_morsel_scatter_under_bound_guard() {
+        let src = concat!(
+            "pub struct S;\nimpl S {\n",
+            "  pub fn scan_all(&self) {\n",
+            "    let g = self.state.lock();\n",
+            "    let _ = self.pool.scatter_",
+            "morsels(&g.docs, 64, |m| m.len());\n",
+            "    drop(g);\n",
+            "  }\n",
+            "}\n"
+        );
+        let (g, s) = graph_and_sources(&[("crates/a/src/lib.rs", src)]);
+        let diags = analyze_effects(&g, &s, &cfg(&[], &[], &[], &[], &[]), None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "E003");
+        assert!(diags[0].path.ends_with(":5"), "{}", diags[0].path);
+        assert!(diags[0].message.contains("`g`"), "{}", diags[0].message);
     }
 
     #[test]

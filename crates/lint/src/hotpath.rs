@@ -190,9 +190,11 @@ pub struct HotConfig {
 }
 
 impl HotConfig {
-    /// The Materials Project workspace defaults: the chunked scan and
-    /// projection drivers, the aggregation stage runner, and the
-    /// MapReduce engines own the loops; the compiled matcher, compiled
+    /// The Materials Project workspace defaults: the morsel/chunked scan
+    /// and projection drivers (including the segmented shard union, the
+    /// lean in-lock union `filter_into`, the crossover-routed counter,
+    /// and the executor's morsel dispatch/claim loops), the aggregation
+    /// stage runner, and the MapReduce engines own the loops; the compiled
     /// projection, and compiled sort comparator run per document; the
     /// uncompiled `Filter::matches` and the naive `FindOptions`
     /// reference implementations are cold spec oracles.
@@ -201,12 +203,17 @@ impl HotConfig {
         HotConfig {
             driver_roots: parse(&[
                 "filter_matches",
+                "filter_matches_segmented",
                 "filter_project_matches",
                 "project_matches",
+                "Collection::filter_into",
+                "Collection::count_exec",
                 "CompiledFindOptions::apply_order",
                 "run_stage",
                 "BuiltinEngine::run",
                 "HadoopEngine::run",
+                "WorkPool::scatter_morsels",
+                "MorselRun::claim",
             ]),
             per_doc_roots: parse(&[
                 "CompiledFilter::matches",
@@ -751,6 +758,34 @@ mod tests {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, "H003");
         assert!(diags[0].path.ends_with(":5"), "{}", diags[0].path);
+    }
+
+    /// The workspace defaults classify the morsel executor's dispatch
+    /// and claim loops as hot roots: a per-morsel deep copy inside
+    /// `WorkPool::scatter_morsels` is a finding out of the box.
+    #[test]
+    fn morsel_executor_is_a_default_hot_root() {
+        let src = concat!(
+            "pub struct WorkPool;\nimpl WorkPool {\n",
+            "  pub fn scatter_morsels(&self, items: &[Value]) -> Vec<Value> {\n",
+            "    let mut out = Vec::with_capacity(items.len());\n",
+            "    for m in items.chunks(4) {\n",
+            "      out.push(m[0]",
+            ".clone",
+            "());\n",
+            "    }\n",
+            "    out\n",
+            "  }\n}\n"
+        );
+        let (g, s) = graph_and_sources(&[("crates/a/src/lib.rs", src)]);
+        let diags = analyze_hotpath(&g, &s, &HotConfig::materials_project_defaults());
+        let h001: Vec<_> = diags.iter().filter(|d| d.code == "H001").collect();
+        assert_eq!(h001.len(), 1, "{diags:?}");
+        assert!(
+            h001[0].message.contains("scatter_morsels"),
+            "{}",
+            h001[0].message
+        );
     }
 
     #[test]

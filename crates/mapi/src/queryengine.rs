@@ -34,7 +34,7 @@ fn canonical_json(v: &Value, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                out.push_str(&Value::String((*k).clone()).to_string());
+                push_json_string(k, out);
                 out.push(':');
                 canonical_json(v, out);
             }
@@ -50,8 +50,37 @@ fn canonical_json(v: &Value, out: &mut String) {
             }
             out.push(']');
         }
-        other => out.push_str(&other.to_string()),
+        other => {
+            use std::fmt::Write as _;
+            // serde_json's `Display` serializes straight into the
+            // formatter — no intermediate `String` per leaf. This runs
+            // on the cache-hit path, where a handful of cold small
+            // allocations used to cost more than the probe itself.
+            let _ = write!(out, "{other}");
+        }
     }
+}
+
+/// JSON-escape `s` into `out` without allocating (key emission for
+/// [`canonical_json`]; only self-consistency matters for a cache key,
+/// but the escapes match serde_json's for readability in debug dumps).
+fn push_json_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Central query gateway with aliasing and sanitization.
@@ -122,13 +151,20 @@ impl QueryEngine {
     }
 
     /// Install or change a field alias.
+    ///
+    /// Clears the result cache: cached entries are keyed on the *raw*
+    /// request (see [`query_cached`](Self::query_cached)), and an alias
+    /// edit changes what a raw request means.
     pub fn alias_field(&mut self, alias: &str, real: &str) {
         self.field_aliases.insert(alias.into(), real.into());
+        self.cache.clear();
     }
 
-    /// Install or change a collection alias.
+    /// Install or change a collection alias. Clears the result cache
+    /// (see [`alias_field`](Self::alias_field)).
     pub fn alias_collection(&mut self, alias: &str, real: &str) {
         self.collection_aliases.insert(alias.into(), real.into());
+        self.cache.clear();
     }
 
     /// The underlying database (for trusted internal callers).
@@ -249,6 +285,19 @@ impl QueryEngine {
     /// collection's version counter is unchanged since the entry was
     /// stored — every write bumps it, so hits never serve pre-write
     /// data.
+    ///
+    /// The cache is keyed on the **raw** request — canonicalized
+    /// criteria, property list, limit, collection name, all pre-alias,
+    /// pre-sanitize — so the probe runs *before* sanitization. That is
+    /// sound because an entry can only exist if an identical raw request
+    /// previously passed sanitize and produced these rows (an alias edit
+    /// changes what a raw request means, so alias installers clear the
+    /// cache), and it is what makes hits O(1): sanitize rebuilds the
+    /// filter object and walks it through the static analyzer on every
+    /// call, allocation churn that used to scale a "hit" with the size
+    /// of whatever scan ran before it. A hit now touches one small key
+    /// buffer, one version load, and one cache probe — it clones `Arc`
+    /// handles, never documents.
     pub fn query_cached(
         &self,
         collection: &str,
@@ -256,15 +305,22 @@ impl QueryEngine {
         properties: &[&str],
         limit: Option<usize>,
     ) -> Result<(Arc<Docs>, bool)> {
-        let real_coll = self.resolve_collection(collection).to_string();
-        let filter = self.sanitize(criteria)?;
-        let real_props: Vec<String> = properties
-            .iter()
-            .map(|p| self.resolve_field(p).to_string())
-            .collect();
-        let mut key = format!("{real_coll}|{limit:?}|{real_props:?}|");
-        canonical_json(&filter, &mut key);
-        let coll = self.db.collection(&real_coll);
+        use std::fmt::Write as _;
+        let mut key = String::with_capacity(96);
+        key.push_str(collection);
+        key.push('|');
+        if let Some(l) = limit {
+            let _ = write!(key, "{l}");
+        }
+        key.push('|');
+        for p in properties {
+            key.push_str(p);
+            key.push(',');
+        }
+        key.push('|');
+        canonical_json(criteria, &mut key);
+        let real_coll = self.resolve_collection(collection);
+        let coll = self.db.collection(real_coll);
         // Snapshot the version *before* running the query: a write
         // racing the scan can only make this entry stale (dropped on
         // the next probe), never let a hit serve pre-write rows as
@@ -275,13 +331,14 @@ impl QueryEngine {
             return Ok((rows, true));
         }
         self.db.profiler().bump("cache.miss");
+        let filter = self.sanitize(criteria)?;
+        let real_props: Vec<&str> = properties.iter().map(|p| self.resolve_field(p)).collect();
         let mut opts = FindOptions::all();
         if let Some(l) = limit {
             opts = opts.limit(l);
         }
         if !real_props.is_empty() {
-            let refs: Vec<&str> = real_props.iter().map(String::as_str).collect();
-            opts = opts.project(&refs);
+            opts = opts.project(&real_props);
         }
         let rows = Arc::new(coll.find_with(&filter, &opts)?);
         self.cache.put(key, generation, Arc::clone(&rows));
@@ -291,6 +348,17 @@ impl QueryEngine {
     /// Hit/miss/invalidation/eviction counters of the query cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Explain a query through the abstraction layer: alias-resolve and
+    /// sanitize the criteria, then report the collection's chosen access
+    /// path, its cost, the considered alternatives, and the executor's
+    /// seq-vs-parallel verdict for the estimated candidate set (the
+    /// `"exec"` object — see DESIGN §14), without running the scan.
+    pub fn explain(&self, collection: &str, criteria: &Value) -> Result<Value> {
+        let real = self.resolve_collection(collection).to_string();
+        let filter = self.sanitize(criteria)?;
+        self.db.collection(&real).explain(&filter)
     }
 
     /// Count documents matching sanitized criteria.
@@ -556,6 +624,53 @@ mod tests {
         assert!(!h3, "projection changes the key");
         let (_, h4) = qe.query_cached("materials", &a, &[], Some(1)).unwrap();
         assert!(!h4, "limit changes the key");
+    }
+
+    #[test]
+    fn alias_edit_invalidates_raw_keyed_cache() {
+        let mut qe = engine();
+        let crit = json!({"band_gap": {"$gt": 1.0}});
+        let (rows1, h1) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(!h1);
+        assert_eq!(rows1.len(), 2);
+        let (_, h2) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(h2);
+        // Repoint the alias: the same raw request now means a different
+        // query, so the raw-keyed entry must not survive.
+        qe.alias_field("band_gap", "no.such.path");
+        let (rows3, h3) = qe.query_cached("materials", &crit, &[], None).unwrap();
+        assert!(!h3, "alias edit must clear raw-keyed entries");
+        assert!(rows3.is_empty(), "repointed alias matches nothing");
+    }
+
+    #[test]
+    fn invalid_requests_are_never_cached_and_always_rejected() {
+        let qe = engine();
+        // A rejected query must be rejected again on the retry — the
+        // probe-before-sanitize path can only hit entries stored by a
+        // request that already passed sanitize.
+        for _ in 0..2 {
+            let err = qe.query_cached("materials", &json!({"$where": "evil()"}), &[], None);
+            assert!(matches!(err, Err(StoreError::BadQuery(_))), "{err:?}");
+        }
+        assert_eq!(qe.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn explain_reports_plan_and_exec_decision() {
+        let qe = engine();
+        let ex = qe
+            .explain("materials", &json!({"band_gap": {"$gt": 1.0}}))
+            .unwrap();
+        assert_eq!(ex["plan"], json!("COLLSCAN"));
+        // Aliases resolved before planning.
+        let paths = ex["filter_paths"].to_string();
+        assert!(paths.contains("output.band_gap"), "{paths}");
+        let mode = ex["exec"]["mode"].as_str().unwrap();
+        assert!(mode == "sequential" || mode == "parallel_morsels", "{mode}");
+        assert!(ex["exec"]["slots"].as_u64().unwrap() >= 1);
+        // And the sanitize gate still guards explain.
+        assert!(qe.explain("materials", &json!({"$where": "x"})).is_err());
     }
 
     #[test]
