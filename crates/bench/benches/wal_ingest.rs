@@ -1,0 +1,256 @@
+//! Write-ahead logging cost: what durability actually charges the
+//! ingest path, and what group commit + compaction buy back.
+//!
+//! Three experiments, written to `BENCH_wal.json`:
+//!
+//! * **Ingest sweep** — sustained `insert_many` ingest at batch sizes
+//!   1/8/64, write-ahead (`fsync: true`, the acknowledged-durable
+//!   default) vs write-behind (`fsync: false`, bytes reach the OS but
+//!   the barrier is skipped — MongoDB's `j:false`). Batch 1 pays one
+//!   fsync per document and shows the raw barrier price; batch 64
+//!   amortizes it across the batch, which is the deployment shape.
+//! * **Group commit** — the same ingest from 4 concurrent writer
+//!   threads at batch 1. Committers pile up on the sync lock and one
+//!   leader fsync covers the queue, so `fsyncs_issued` falls below
+//!   `barriers_requested`; the gap is reported.
+//! * **Recovery** — time to `DurableDatabase::open` as a function of
+//!   WAL length, with and without log-structured compaction: the
+//!   uncompacted curve grows with total writes, the compacted one
+//!   tracks the compaction threshold.
+//!
+//! Perf-smoke gate: at batch 64 the write-ahead ingest may cost at
+//! most 1.5x the write-behind baseline — if amortized durability costs
+//! more than half the ingest path again, group commit or the batch
+//! barrier has regressed to fsync-per-op (that regression measures
+//! ~10-100x at batch 1, far outside the margin).
+//!
+//! Usage: `cargo bench --bench wal_ingest [-- --quick]`
+//! `--quick` shrinks document counts for CI smoke runs.
+
+use mp_docstore::{DurableDatabase, DurableOptions};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A materials task document at realistic size (~3 KB: structure
+/// sites with forces plus a coarse DOS), so the sweep measures
+/// durability against the real per-document ingest cost, not against
+/// trivially small records that no batching could amortize an fsync
+/// across.
+fn doc(i: usize) -> Value {
+    let els = ["Li", "Na", "Fe", "Co", "Ni", "Mn", "O", "S", "P", "F"];
+    let e1 = els[i % els.len()];
+    let e2 = els[(i * 3 + 1) % els.len()];
+    let nsites = i % 10 + 12;
+    let sites: Vec<Value> = (0..nsites)
+        .map(|s| {
+            json!({
+                "species": if s % 2 == 0 { e1 } else { e2 },
+                "xyz": [s as f64 * 0.5, (s * i % 17) as f64 * 0.25, s as f64 * 0.125],
+                "forces": [0.01 * s as f64, -0.02 * s as f64, 0.003],
+            })
+        })
+        .collect();
+    let dos: Vec<f64> = (0..128)
+        .map(|e| ((e * (i + 3)) % 97) as f64 / 10.0)
+        .collect();
+    json!({
+        "_id": format!("mp-{i}"),
+        "formula": format!("{e1}{e2}{}", i % 7 + 1),
+        "chemsys": format!("{e1}-{e2}"),
+        "elements": [e1, e2],
+        "nsites": nsites,
+        "structure": {"lattice": [[4.1, 0.0, 0.0], [0.0, 4.1, 0.0], [0.0, 0.0, 4.1]],
+                      "sites": sites},
+        "output": {"energy_per_atom": -((i % 9) as f64) - 1.0,
+                   "band_gap": (i % 50) as f64 / 10.0,
+                   "dos": dos},
+    })
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mp-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Median of a sample set, in place.
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Ingest `total` documents in `batch`-sized `insert_many` calls into a
+/// fresh store; returns (elapsed us, (barriers requested, fsyncs
+/// issued)).
+fn ingest(tag: &str, total: usize, batch: usize, fsync: bool) -> (f64, (u64, u64)) {
+    let dir = tmpdir(tag);
+    let opts = DurableOptions {
+        fsync,
+        compact_after_bytes: None,
+    };
+    let d = DurableDatabase::open_with(&dir, opts).unwrap();
+    let t = Instant::now();
+    let mut i = 0;
+    while i < total {
+        let hi = (i + batch).min(total);
+        d.insert_many("mats", (i..hi).map(doc).collect()).unwrap();
+        i = hi;
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6;
+    let stats = d.commit_stats();
+    drop(d);
+    let _ = std::fs::remove_dir_all(dir);
+    (us, stats)
+}
+
+/// Batch-1 ingest of `total` documents split across `threads` writers;
+/// returns (elapsed us, (barriers requested, fsyncs issued)). The
+/// fsync gap is the group-commit batching win.
+fn ingest_concurrent(tag: &str, total: usize, threads: usize) -> (f64, (u64, u64)) {
+    let dir = tmpdir(tag);
+    let opts = DurableOptions {
+        fsync: true,
+        compact_after_bytes: None,
+    };
+    let d = DurableDatabase::open_with(&dir, opts).unwrap();
+    let per = total / threads;
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let d = &d;
+            s.spawn(move || {
+                for i in (w * per)..((w + 1) * per) {
+                    d.insert_one("mats", doc(i)).unwrap();
+                }
+            });
+        }
+    });
+    let us = t.elapsed().as_secs_f64() * 1e6;
+    let stats = d.commit_stats();
+    drop(d);
+    let _ = std::fs::remove_dir_all(dir);
+    (us, stats)
+}
+
+/// Build a WAL of `ops` single-document inserts, then time recovery
+/// (`DurableDatabase::open` replays the whole log). `compact` turns on
+/// log-structured compaction at a threshold far below the log size.
+fn recovery_probe(tag: &str, ops: usize, compact: bool) -> Value {
+    let dir = tmpdir(tag);
+    let opts = DurableOptions {
+        // Building the log is not what's measured; skip the barriers.
+        fsync: false,
+        compact_after_bytes: if compact { Some(32 * 1024) } else { None },
+    };
+    {
+        let d = DurableDatabase::open_with(&dir, opts).unwrap();
+        for i in 0..ops {
+            d.insert_one("mats", doc(i)).unwrap();
+        }
+    }
+    let wal_bytes = std::fs::metadata(dir.join("journal.wal")).map_or(0, |m| m.len());
+    let t = Instant::now();
+    let d = DurableDatabase::open(&dir).unwrap();
+    let recover_us = t.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(d.database().collection("mats").len(), ops);
+    drop(d);
+    let _ = std::fs::remove_dir_all(dir);
+    json!({
+        "ops": ops,
+        "compacted": compact,
+        "wal_bytes": wal_bytes,
+        "recover_us": (recover_us * 100.0).round() / 100.0,
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total, reps) = if quick { (320, 2) } else { (1_280, 3) };
+    let recovery_scales: &[usize] = if quick {
+        &[200, 400, 800]
+    } else {
+        &[500, 1_000, 2_000, 4_000]
+    };
+
+    // Ingest sweep: medians over reps, fresh store per rep so every
+    // sample starts from an empty WAL.
+    let mut sweep = Vec::new();
+    for &batch in &[1usize, 8, 64] {
+        let mut ahead = Vec::with_capacity(reps);
+        let mut behind = Vec::with_capacity(reps);
+        let mut stats = (0, 0);
+        for r in 0..reps {
+            let (us, s) = ingest(&format!("a{batch}-{r}"), total, batch, true);
+            ahead.push(us);
+            stats = s;
+            let (us, _) = ingest(&format!("b{batch}-{r}"), total, batch, false);
+            behind.push(us);
+        }
+        let (ahead_us, behind_us) = (median(ahead), median(behind));
+        eprintln!(
+            "  batch {batch:>2}: write-ahead {:.0}us, write-behind {:.0}us ({:.2}x)",
+            ahead_us,
+            behind_us,
+            ahead_us / behind_us.max(1.0)
+        );
+        sweep.push(json!({
+            "batch": batch,
+            "docs": total,
+            "write_ahead_us": ahead_us,
+            "write_behind_us": behind_us,
+            "durability_factor": ((ahead_us / behind_us.max(1.0)) * 100.0).round() / 100.0,
+            "barriers_requested": stats.0,
+            "fsyncs_issued": stats.1,
+        }));
+    }
+
+    // Group commit under contention.
+    let threads = 4;
+    let (gc_us, gc_stats) = ingest_concurrent("gc", total, threads);
+    eprintln!(
+        "  group commit: {threads} writers, {} barriers -> {} fsyncs",
+        gc_stats.0, gc_stats.1
+    );
+    let group_commit = json!({
+        "threads": threads,
+        "docs": total,
+        "elapsed_us": gc_us,
+        "barriers_requested": gc_stats.0,
+        "fsyncs_issued": gc_stats.1,
+        "fsyncs_saved": gc_stats.0.saturating_sub(gc_stats.1),
+    });
+
+    // Recovery time vs log length, compacted and not.
+    let mut recovery = Vec::new();
+    for &ops in recovery_scales {
+        recovery.push(recovery_probe(&format!("r{ops}"), ops, false));
+    }
+    let compacted = recovery_probe("rc", *recovery_scales.last().unwrap(), true);
+
+    let report = json!({
+        "bench": "wal_ingest",
+        "mode": if quick { "quick" } else { "full" },
+        "ingest": sweep,
+        "group_commit": group_commit,
+        "recovery": recovery,
+        "recovery_compacted": compacted,
+    });
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    std::fs::write(out, serde_json::to_string_pretty(&report).unwrap() + "\n").unwrap();
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+
+    // The gate: amortized durability must stay cheap.
+    let b64 = &sweep[2];
+    let factor = b64["durability_factor"].as_f64().unwrap();
+    if factor > 1.5 {
+        eprintln!(
+            "PERF GATE FAILED: write-ahead ingest at batch 64 costs {factor:.2}x \
+             the write-behind baseline (bound 1.5x) — the batch barrier or group \
+             commit has regressed toward fsync-per-op"
+        );
+        std::process::exit(1);
+    }
+    println!("ok: write-ahead ingest at batch 64 stays within 1.5x of write-behind ({factor:.2}x)");
+}

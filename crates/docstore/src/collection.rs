@@ -235,6 +235,28 @@ impl Collection {
         docs.into_iter().map(|d| self.insert_one(d)).collect()
     }
 
+    /// Reserve a fresh `_id` from the collection's id sequence without
+    /// inserting anything. The write-ahead seam
+    /// ([`crate::durable::DurableDatabase`]) assigns ids *before*
+    /// journaling so the WAL records the document the store will hold;
+    /// the burned sequence slot is harmless (ids only need uniqueness).
+    pub fn reserve_id(&self) -> Value {
+        let id_num = self.next_id.fetch_add(1, AtomicOrdering::Relaxed);
+        json!(format!("oid{:012x}", id_num))
+    }
+
+    /// Materialize the document an upsert-insert would create from
+    /// `filter`'s equality fields plus the applied `update` — without
+    /// touching the collection. The write-ahead seam journals this
+    /// materialized form so replay does not re-run the upsert decision.
+    pub fn materialize_upsert(&self, filter: &Value, update: &Value) -> Result<Value> {
+        let f = Filter::parse(filter)?;
+        let u = Update::parse(update)?;
+        let mut seed = filter_equality_seed(&f);
+        u.apply(&mut seed, self.now(), true)?;
+        Ok(seed)
+    }
+
     /// Find documents matching a JSON filter with default options.
     pub fn find(&self, filter: &Value) -> Result<Docs> {
         self.find_with(filter, &FindOptions::all())
@@ -407,6 +429,10 @@ impl Collection {
     }
 
     /// Update one; insert a new document from the update if none matched.
+    // mp-lint: allow(E002) — in-memory convenience only: the durable
+    // surface decomposes upserts via materialize_upsert into a resolved
+    // insert-or-update op so the WAL records the exact document, and
+    // never calls this combined primitive.
     pub fn upsert(&self, filter: &Value, update: &Value) -> Result<UpdateResult> {
         self.update_inner(filter, update, true, true)
     }

@@ -1,125 +1,249 @@
-//! Write-behind durability seam: a [`Database`] paired with a
-//! [`Persister`], where every mutation the public surface offers is
-//! applied live and then journaled as a [`JournalOp`].
+//! Write-ahead durability seam: a [`Database`] paired with a
+//! [`Persister`] WAL, where every mutation the public surface offers is
+//! journaled as a [`JournalOp`] *before* it is applied live, and
+//! acknowledged only after a group-commit durability barrier.
 //!
-//! This is the journal-coverage contract `mp-lint effects` (E002)
-//! enforces statically: each `DurableDatabase` method that reaches a
-//! collection mutation primitive must also reach the journal, so a
-//! recovered database replays to the same documents, index definitions,
-//! and collection set as the live one. The proptest in
-//! `tests/durable_replay.rs` checks the same property dynamically with
-//! random operation sequences.
+//! Two lint contracts pin this seam statically. `mp-lint effects`
+//! (E002) proves *coverage*: each `DurableDatabase` method that reaches
+//! a collection mutation primitive also reaches the journal. `mp-lint
+//! order` (O0xx) proves *ordering*: in every method's sequenced effect
+//! trace the journal append precedes the in-memory apply (O001) and the
+//! last append is followed by a durability barrier before the caller
+//! sees `Ok` (O002). The proptest in `tests/durable_replay.rs` checks
+//! replay equivalence dynamically; `tests/wal_crash_matrix.rs` kills
+//! the write path at every event boundary and byte offset.
 //!
-//! ## Semantics and limitations (the WAL PR inherits these)
+//! ## The commit protocol
 //!
-//! * **Write-behind, not write-ahead.** The live mutation commits
-//!   before the journal append; a crash between the two loses that one
-//!   operation (MongoDB's default `j:false` acknowledgment has the same
-//!   window). The ROADMAP's WAL engine flips the order; this seam pins
-//!   the coverage contract it must keep.
-//! * **Replay determinism.** Document ids are assigned in insertion
-//!   order and recovery preserves it, so filter-addressed replay
-//!   (`update_one`, `delete_one`) selects the same documents. The one
-//!   sorted selector, [`find_one_and_update`](Self::find_one_and_update),
-//!   is journaled as an `_id`-targeted update so replay does not depend
-//!   on re-running the sort.
-//! * **`$currentDate`** reads the simulated clock, which is not
-//!   persisted; replaying such an update under a different clock gives
-//!   a different timestamp.
-//! * **Checkpointing** ([`Self::checkpoint`]) excludes concurrent
-//!   journal appenders for the duration of the snapshot write, but an
-//!   operation applied live and not yet journaled when the checkpoint
-//!   runs is captured by the snapshot *and* journaled after it —
-//!   harmless for inserts (duplicate `_id` replays are ignored) but an
-//!   `$inc`-style update would replay twice. Quiesce writers around
-//!   checkpoints; the WAL PR removes the caveat.
+//! ```text
+//! materialize → append frames (WAL lock) → apply in memory (same lock)
+//!             → release → group-commit fsync barrier → Ok
+//! ```
+//!
+//! * **Materialize first.** Anything the live apply would decide —
+//!   assigned `_id`s, the upsert insert-vs-update branch, the sorted
+//!   find-and-modify target — is decided *before* the append, so the
+//!   WAL records exactly what the store will do and replay re-decides
+//!   nothing.
+//! * **Append and apply under one guard.** Journal order is apply
+//!   order; replay applies ops in WAL order and reaches the same state.
+//! * **Barrier outside the guard.** The fsync happens after the WAL
+//!   lock is released, so committers pile up on the [`GroupCommit`]
+//!   sync lock and one leader fsync covers the whole queue — batching
+//!   without timers. A crash after append but before the barrier may
+//!   preserve the op (the OS got the bytes) or tear it; either way the
+//!   caller never saw `Ok`, so both outcomes are correct.
+//! * **An op that fails to apply stays in the WAL.** Replay is
+//!   best-effort ([`JournalOp::apply`]) and fails the same
+//!   deterministic way, converging on the live outcome.
+//!
+//! **`$currentDate`** reads the simulated clock, which is not
+//! persisted; replaying such an update under a different clock gives a
+//! different timestamp.
+//!
+//! Compaction is log-structured: when the WAL outgrows
+//! [`DurableOptions::compact_after_bytes`], the committing call
+//! checkpoints — snapshot, fsync, truncate the WAL — so recovery time
+//! tracks the compaction threshold, not total writes (the
+//! recovery-time-vs-log-length curve in `BENCH_wal.json`).
 
-use crate::collection::UpdateResult;
+use crate::collection::{Collection, UpdateResult};
 use crate::cursor::FindOptions;
 use crate::database::Database;
 use crate::error::{Result, StoreError};
-use crate::persist::{JournalOp, Persister};
+use crate::persist::{GroupCommit, JournalOp, Persister};
+use crate::query::Filter;
+use crate::update::Update;
 use crate::value::Document;
 use mp_sync::{LockRank, OrderedMutex};
 use serde_json::{json, Value};
 use std::path::Path;
 use std::sync::Arc;
 
-/// A database whose mutations are journaled for crash recovery.
+/// Tunables for the write-ahead store.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Issue the group-commit fsync barrier before acknowledging. `false`
+    /// degrades acknowledgment to write-behind durability (the bytes
+    /// reach the OS but not necessarily the disk) — the bench baseline,
+    /// and MongoDB's `j:false`.
+    pub fsync: bool,
+    /// Checkpoint (snapshot + WAL truncate) once the WAL exceeds this
+    /// many bytes. `None` disables auto-compaction.
+    pub compact_after_bytes: Option<u64>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            fsync: true,
+            compact_after_bytes: Some(16 * 1024 * 1024),
+        }
+    }
+}
+
+/// A database whose mutations are write-ahead journaled for crash
+/// recovery.
 pub struct DurableDatabase {
     db: Database,
-    /// Journal writer. `LockRank::Journal` (380) sits *outside*
-    /// `Database` (400) so [`Self::checkpoint`] may read collections
-    /// while excluding appenders; mutation paths take it with no other
-    /// lock held (live apply completes, and releases its locks, first).
+    /// WAL writer. `LockRank::Journal` (380) sits *outside* `Database`
+    /// (400) so the commit protocol may apply collection mutations while
+    /// holding it (append order == apply order), and so
+    /// [`Self::checkpoint`] may read collections while excluding
+    /// appenders.
     journal: OrderedMutex<Persister>,
+    /// Group-commit barrier (`LockRank::JournalSync`, taken with the
+    /// WAL lock released).
+    sync: Arc<GroupCommit>,
+    opts: DurableOptions,
 }
 
 impl DurableDatabase {
-    /// Open the directory, recovering whatever snapshot + journal it
-    /// holds (an empty directory yields an empty database).
+    /// Open the directory with default options, recovering whatever
+    /// snapshot + WAL it holds (an empty directory yields an empty
+    /// database).
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
-        let persister = Persister::open(dir)?;
+        Self::open_with(dir, DurableOptions::default())
+    }
+
+    /// Open with explicit [`DurableOptions`].
+    pub fn open_with(dir: impl AsRef<Path>, opts: DurableOptions) -> Result<Self> {
+        let mut persister = Persister::open(dir)?;
         let db = persister.recover()?;
+        let sync = persister.sync_handle();
         Ok(DurableDatabase {
             db,
             journal: OrderedMutex::new(LockRank::Journal, persister),
+            sync,
+            opts,
         })
     }
 
     /// The live database, for reads. Mutating through this handle
-    /// bypasses the journal — mutate via the `DurableDatabase` methods.
+    /// bypasses the WAL — mutate via the `DurableDatabase` methods.
     pub fn database(&self) -> &Database {
         &self.db
     }
 
-    /// Fetch the stored form of a just-inserted document so the journal
-    /// records what the store holds (assigned `_id` included), not what
-    /// the caller passed in.
-    fn stored_doc(&self, collection: &str, id: &Value) -> Result<Arc<Document>> {
-        self.db.collection(collection).get(id).ok_or_else(|| {
-            StoreError::Persistence(format!(
-                "inserted document {id} vanished from '{collection}' before journaling"
-            ))
-        })
+    /// (`sync_to` barriers requested, fsyncs actually issued): the gap
+    /// is the group-commit batching win.
+    pub fn commit_stats(&self) -> (u64, u64) {
+        self.sync.stats()
     }
 
-    /// Insert one document; journals the post-insert form.
-    pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
-        let id = self.db.collection(collection).insert_one(doc)?;
-        let stored = self.stored_doc(collection, &id)?;
-        self.journal.lock().log(&JournalOp::Insert {
-            collection: collection.to_string(),
-            doc: (*stored).clone(),
-        })?;
-        Ok(id)
+    /// Current WAL length in bytes (the compaction trigger input).
+    pub fn wal_len(&self) -> u64 {
+        self.journal.lock().wal_len()
     }
 
-    /// Insert many documents; stops at the first error. The successful
-    /// prefix is journaled even when a later document fails, so the
-    /// journal never trails the live state.
-    pub fn insert_many(&self, collection: &str, docs: Vec<Value>) -> Result<Vec<Value>> {
-        let coll = self.db.collection(collection);
-        let mut ids = Vec::with_capacity(docs.len());
-        let mut ops = Vec::with_capacity(docs.len());
-        let mut failure = None;
-        for doc in docs {
-            match coll.insert_one(doc) {
-                Ok(id) => {
-                    let stored = self.stored_doc(collection, &id)?;
-                    ops.push(JournalOp::Insert {
-                        collection: collection.to_string(),
-                        doc: (*stored).clone(),
-                    });
-                    ids.push(id);
+    /// Assign a fresh `_id` if `doc` lacks one, so the WAL records the
+    /// document the store will hold.
+    fn materialize_id(coll: &Collection, mut doc: Value) -> Result<Value> {
+        if doc.get("_id").is_none() {
+            match doc.as_object_mut() {
+                Some(obj) => {
+                    obj.insert("_id".into(), coll.reserve_id());
                 }
-                Err(e) => {
-                    failure = Some(e);
-                    break;
+                None => {
+                    return Err(StoreError::InvalidDocument(
+                        "document must be a JSON object".into(),
+                    ))
                 }
             }
         }
-        self.journal.lock().log_many(&ops)?;
+        Ok(doc)
+    }
+
+    /// The write-ahead commit core: append `ops` to the WAL, apply them
+    /// in memory under the same guard, then issue the durability
+    /// barrier with the guard released.
+    // mp-lint: allow(E003) — write-ahead core: the frames must hit the WAL before the in-memory apply, and both must happen under one guard so journal order is apply order; the barrier waits outside
+    fn commit<T>(
+        &self,
+        ops: &[JournalOp],
+        apply: impl FnOnce(&Database) -> Result<T>,
+    ) -> Result<T> {
+        let lsn;
+        let out;
+        {
+            let mut wal = self.journal.lock();
+            lsn = wal.append_ops(ops)?;
+            out = apply(&self.db);
+        }
+        self.barrier(lsn)?;
+        self.maybe_compact()?;
+        out
+    }
+
+    /// Group-commit durability barrier for byte offset `lsn`.
+    fn barrier(&self, lsn: u64) -> Result<()> {
+        if self.opts.fsync {
+            self.sync.sync_to(lsn)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint if the WAL outgrew the compaction threshold.
+    fn maybe_compact(&self) -> Result<()> {
+        let Some(limit) = self.opts.compact_after_bytes else {
+            return Ok(());
+        };
+        if self.wal_len() > limit {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Insert one document; the WAL records its materialized form
+    /// (assigned `_id` included) before the live insert.
+    pub fn insert_one(&self, collection: &str, doc: Value) -> Result<Value> {
+        let coll = self.db.collection(collection);
+        let doc = Self::materialize_id(&coll, doc)?;
+        self.commit(
+            &[JournalOp::Insert {
+                collection: collection.to_string(),
+                doc: doc.clone(),
+            }],
+            |db| db.collection(collection).insert_one(doc),
+        )
+    }
+
+    /// Insert many documents; stops at the first error. Each document's
+    /// frame is appended before its insert, interleaved under one guard
+    /// hold, so the WAL covers the applied prefix (plus at most the one
+    /// op that failed, which replays as the same failure); a single
+    /// barrier covers the whole batch.
+    // mp-lint: allow(E003) — write-ahead core: per-document append-then-apply must interleave under one guard so the WAL orders exactly the applied prefix; one barrier then covers the batch
+    pub fn insert_many(&self, collection: &str, docs: Vec<Value>) -> Result<Vec<Value>> {
+        let coll = self.db.collection(collection);
+        let mut ids = Vec::with_capacity(docs.len());
+        let mut failure = None;
+        let mut lsn = 0;
+        {
+            let mut wal = self.journal.lock();
+            for doc in docs {
+                let doc = match Self::materialize_id(&coll, doc) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                };
+                lsn = wal.append_ops(&[JournalOp::Insert {
+                    collection: collection.to_string(),
+                    doc: doc.clone(),
+                }])?;
+                match coll.insert_one(doc) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        self.barrier(lsn)?;
+        self.maybe_compact()?;
         match failure {
             Some(e) => Err(e),
             None => Ok(ids),
@@ -133,16 +257,17 @@ impl DurableDatabase {
         filter: &Value,
         update: &Value,
     ) -> Result<UpdateResult> {
-        let r = self.db.collection(collection).update_many(filter, update)?;
-        if r.modified > 0 {
-            self.journal.lock().log(&JournalOp::Update {
+        Filter::parse(filter)?;
+        Update::parse(update)?;
+        self.commit(
+            &[JournalOp::Update {
                 collection: collection.to_string(),
                 filter: filter.clone(),
                 update: update.clone(),
                 many: true,
-            })?;
-        }
-        Ok(r)
+            }],
+            |db| db.collection(collection).update_many(filter, update),
+        )
     }
 
     /// Update the first matching document.
@@ -152,49 +277,66 @@ impl DurableDatabase {
         filter: &Value,
         update: &Value,
     ) -> Result<UpdateResult> {
-        let r = self.db.collection(collection).update_one(filter, update)?;
-        if r.modified > 0 {
-            self.journal.lock().log(&JournalOp::Update {
+        Filter::parse(filter)?;
+        Update::parse(update)?;
+        self.commit(
+            &[JournalOp::Update {
                 collection: collection.to_string(),
                 filter: filter.clone(),
                 update: update.clone(),
                 many: false,
-            })?;
-        }
-        Ok(r)
+            }],
+            |db| db.collection(collection).update_one(filter, update),
+        )
     }
 
     /// Update one; insert a new document from the update if none
-    /// matched. An upsert-insert is journaled as the insert of the
-    /// materialized document (the filter seed plus the applied update),
-    /// so replay does not re-run the upsert decision.
+    /// matched. The insert-vs-update decision is made under the WAL
+    /// guard and journaled in its decided form — an upsert-insert as
+    /// the insert of the materialized document (filter seed plus
+    /// applied update, `_id` assigned) — so replay re-decides nothing.
+    // mp-lint: allow(E003) — write-ahead core: the upsert branch decision, its append, and its apply must share one guard hold or a concurrent upsert could double-insert; the barrier waits outside
     pub fn upsert(&self, collection: &str, filter: &Value, update: &Value) -> Result<UpdateResult> {
-        let r = self.db.collection(collection).upsert(filter, update)?;
-        if r.upserted {
-            let id = r.upserted_id.clone().ok_or_else(|| {
-                StoreError::Persistence("upsert inserted but reported no _id".into())
-            })?;
-            let stored = self.stored_doc(collection, &id)?;
-            self.journal.lock().log(&JournalOp::Insert {
-                collection: collection.to_string(),
-                doc: (*stored).clone(),
-            })?;
-        } else if r.modified > 0 {
-            self.journal.lock().log(&JournalOp::Update {
-                collection: collection.to_string(),
-                filter: filter.clone(),
-                update: update.clone(),
-                many: false,
-            })?;
+        let coll = self.db.collection(collection);
+        let lsn;
+        let res;
+        {
+            let mut wal = self.journal.lock();
+            if coll.find_one(filter)?.is_some() {
+                lsn = wal.append_ops(&[JournalOp::Update {
+                    collection: collection.to_string(),
+                    filter: filter.clone(),
+                    update: update.clone(),
+                    many: false,
+                }])?;
+                res = coll.update_one(filter, update);
+            } else {
+                let seed = coll.materialize_upsert(filter, update)?;
+                let seed = Self::materialize_id(&coll, seed)?;
+                lsn = wal.append_ops(&[JournalOp::Insert {
+                    collection: collection.to_string(),
+                    doc: seed.clone(),
+                }])?;
+                res = coll.insert_one(seed).map(|id| UpdateResult {
+                    matched: 0,
+                    modified: 0,
+                    upserted: true,
+                    upserted_id: Some(id),
+                });
+            }
         }
-        Ok(r)
+        self.barrier(lsn)?;
+        self.maybe_compact()?;
+        res
     }
 
-    /// Atomic find-and-modify (the queue-claim primitive). Journaled as
-    /// an `_id`-targeted `update_one` on the claimed document — replay
-    /// must touch exactly the document the live sort selected, without
-    /// depending on candidate order. (`_id` is immutable through
-    /// updates, so the returned document's id addresses the pre-image.)
+    /// Atomic find-and-modify (the queue-claim primitive). The sorted
+    /// claim target is chosen under the WAL guard and journaled as an
+    /// `_id`-targeted `update_one` — replay must touch exactly the
+    /// document the live sort selected, without re-running the sort.
+    /// (`_id` is immutable through updates, so the pre-image's id
+    /// addresses the claimed document.)
+    // mp-lint: allow(E003) — write-ahead core: the sorted target choice, its append, and its apply must share one guard hold or a concurrent claim could pick the same document; the barrier waits outside
     pub fn find_one_and_update(
         &self,
         collection: &str,
@@ -203,96 +345,124 @@ impl DurableDatabase {
         sort: Option<&FindOptions>,
         return_new: bool,
     ) -> Result<Option<Arc<Document>>> {
-        let got = self
-            .db
-            .collection(collection)
-            .find_one_and_update(filter, update, sort, return_new)?;
-        if let Some(doc) = &got {
-            let id = doc.get("_id").cloned().unwrap_or(Value::Null);
-            self.journal.lock().log(&JournalOp::Update {
+        Update::parse(update)?;
+        let coll = self.db.collection(collection);
+        let lsn;
+        let pre;
+        {
+            let mut wal = self.journal.lock();
+            let mut candidates = coll.find(filter)?;
+            if let Some(s) = sort {
+                s.apply_order(&mut candidates);
+            }
+            let Some(first) = candidates.first() else {
+                return Ok(None);
+            };
+            pre = Arc::clone(first);
+            let id = pre.get("_id").cloned().unwrap_or(Value::Null);
+            lsn = wal.append_ops(&[JournalOp::Update {
                 collection: collection.to_string(),
                 filter: json!({ "_id": id }),
                 update: update.clone(),
                 many: false,
-            })?;
+            }])?;
+            coll.update_one(&json!({ "_id": id }), update)?;
         }
-        Ok(got)
+        self.barrier(lsn)?;
+        self.maybe_compact()?;
+        if return_new {
+            let id = pre.get("_id").cloned().unwrap_or(Value::Null);
+            Ok(coll.get(&id))
+        } else {
+            Ok(Some(pre))
+        }
     }
 
     /// Delete all matching documents; returns how many.
     pub fn delete_many(&self, collection: &str, filter: &Value) -> Result<usize> {
-        let n = self.db.collection(collection).delete_many(filter)?;
-        if n > 0 {
-            self.journal.lock().log(&JournalOp::Delete {
+        Filter::parse(filter)?;
+        self.commit(
+            &[JournalOp::Delete {
                 collection: collection.to_string(),
                 filter: filter.clone(),
                 many: true,
-            })?;
-        }
-        Ok(n)
+            }],
+            |db| db.collection(collection).delete_many(filter),
+        )
     }
 
     /// Delete the first matching document. Returns true if one was
     /// removed.
     pub fn delete_one(&self, collection: &str, filter: &Value) -> Result<bool> {
-        let removed = self.db.collection(collection).delete_one(filter)?;
-        if removed {
-            self.journal.lock().log(&JournalOp::Delete {
+        Filter::parse(filter)?;
+        self.commit(
+            &[JournalOp::Delete {
                 collection: collection.to_string(),
                 filter: filter.clone(),
                 many: false,
-            })?;
-        }
-        Ok(removed)
+            }],
+            |db| db.collection(collection).delete_one(filter),
+        )
     }
 
     /// Remove every document (index definitions survive).
     pub fn clear(&self, collection: &str) -> Result<()> {
-        self.db.collection(collection).clear();
-        self.journal.lock().log(&JournalOp::Clear {
-            collection: collection.to_string(),
-        })
+        self.commit(
+            &[JournalOp::Clear {
+                collection: collection.to_string(),
+            }],
+            |db| {
+                db.collection(collection).clear();
+                Ok(())
+            },
+        )
     }
 
     /// Create a secondary index. Journaled unconditionally — replaying
     /// an index that already exists is a no-op.
     pub fn create_index(&self, collection: &str, path: &str, unique: bool) -> Result<()> {
-        self.db.collection(collection).create_index(path, unique)?;
-        self.journal.lock().log(&JournalOp::CreateIndex {
-            collection: collection.to_string(),
-            path: path.to_string(),
-            unique,
-        })
+        self.commit(
+            &[JournalOp::CreateIndex {
+                collection: collection.to_string(),
+                path: path.to_string(),
+                unique,
+            }],
+            |db| db.collection(collection).create_index(path, unique),
+        )
     }
 
     /// Drop the secondary index on `path`.
     pub fn drop_index(&self, collection: &str, path: &str) -> Result<()> {
-        self.db.collection(collection).drop_index(path)?;
-        self.journal.lock().log(&JournalOp::DropIndex {
-            collection: collection.to_string(),
-            path: path.to_string(),
-        })
+        self.commit(
+            &[JournalOp::DropIndex {
+                collection: collection.to_string(),
+                path: path.to_string(),
+            }],
+            |db| db.collection(collection).drop_index(path),
+        )
     }
 
     /// Drop a collection entirely. Returns true if it existed.
     pub fn drop_collection(&self, collection: &str) -> Result<bool> {
-        let existed = self.db.drop_collection(collection);
-        if existed {
-            self.journal.lock().log(&JournalOp::DropCollection {
+        self.commit(
+            &[JournalOp::DropCollection {
                 collection: collection.to_string(),
-            })?;
-        }
-        Ok(existed)
+            }],
+            |db| Ok(db.drop_collection(collection)),
+        )
     }
 
-    /// Write a full snapshot and truncate the journal.
+    /// Write a full snapshot (fsynced) and truncate the WAL.
     ///
-    /// The journal guard is held across the snapshot write on purpose:
-    /// an append landing mid-snapshot would be truncated away while its
+    /// The WAL guard is held across the snapshot write on purpose: an
+    /// append landing mid-snapshot would be truncated away while its
     /// effect is only partially captured. `Journal` (380) ranks outside
     /// `Database` (400)/`Collection` (500), so the reads inside
-    /// `snapshot` stay rank-clean.
-    // mp-lint: allow(E003) — the journal mutex exists to serialize journal-file I/O; a checkpoint must exclude appenders for exactly the duration of the snapshot write (see the rank note above)
+    /// `snapshot` stay rank-clean. With the write-ahead protocol the
+    /// PR 7 caveat is gone: nothing is ever applied live without being
+    /// in the WAL first, so the snapshot can never capture an
+    /// un-journaled op.
+    // mp-lint: allow(E003) — the WAL mutex exists to serialize journal-file I/O; a checkpoint must exclude appenders for exactly the duration of the snapshot write (see the rank note above)
     pub fn checkpoint(&self) -> Result<()> {
         let mut persister = self.journal.lock();
         persister.snapshot(&self.db)
@@ -361,6 +531,7 @@ mod tests {
                 .upsert("c", &json!({"key": "k1"}), &json!({"$set": {"v": 1}}))
                 .unwrap();
             assert!(r.upserted);
+            assert!(r.upserted_id.is_some());
             let r = d
                 .upsert("c", &json!({"key": "k1"}), &json!({"$set": {"v": 2}}))
                 .unwrap();
@@ -411,7 +582,31 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_truncates_journal_and_survives() {
+    fn find_one_and_update_returns_pre_image_when_asked() {
+        let dir = tmpdir("preimage");
+        let d = DurableDatabase::open(&dir).unwrap();
+        d.insert_one("q", json!({"_id": 1, "state": "READY"}))
+            .unwrap();
+        let pre = d
+            .find_one_and_update(
+                "q",
+                &json!({"state": "READY"}),
+                &json!({"$set": {"state": "RUNNING"}}),
+                None,
+                false,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(pre["state"], json!("READY"));
+        assert_eq!(
+            d.database().collection("q").get(&json!(1)).unwrap()["state"],
+            json!("RUNNING")
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives() {
         let dir = tmpdir("ckpt");
         {
             let d = DurableDatabase::open(&dir).unwrap();
@@ -420,9 +615,10 @@ mod tests {
             }
             d.checkpoint().unwrap();
             assert!(
-                !dir.join("journal.jsonl").exists(),
-                "checkpoint must truncate the journal"
+                !dir.join("journal.wal").exists(),
+                "checkpoint must truncate the WAL"
             );
+            assert_eq!(d.wal_len(), 0);
             d.insert_one("c", json!({"_id": 100})).unwrap();
         }
         let d = reopen(&dir);
@@ -431,7 +627,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_many_journals_the_successful_prefix() {
+    fn insert_many_stops_at_first_error_and_replays_identically() {
         let dir = tmpdir("prefix");
         {
             let d = DurableDatabase::open(&dir).unwrap();
@@ -447,12 +643,88 @@ mod tests {
             assert!(r.is_err());
             assert_eq!(d.database().collection("c").len(), 2);
         }
+        // The WAL holds the two applied inserts plus the journaled
+        // duplicate, which replays as the same rejection — never the
+        // post-failure documents.
         let d = reopen(&dir);
         assert_eq!(
             d.database().collection("c").len(),
             2,
-            "journal must cover exactly the applied prefix"
+            "replay must converge on the live outcome"
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejected_write_replays_as_the_same_rejection() {
+        let dir = tmpdir("reject");
+        {
+            let d = DurableDatabase::open(&dir).unwrap();
+            d.create_index("c", "k", true).unwrap();
+            d.insert_one("c", json!({"_id": 1, "k": 7})).unwrap();
+            // Journaled (write-ahead), then rejected by the unique index.
+            assert!(d.insert_one("c", json!({"_id": 2, "k": 7})).is_err());
+            d.insert_one("c", json!({"_id": 3, "k": 8})).unwrap();
+        }
+        let d = reopen(&dir);
+        assert_eq!(d.database().collection("c").len(), 2);
+        assert!(d.database().collection("c").get(&json!(2)).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn group_commit_batches_a_multi_op_burst() {
+        let dir = tmpdir("batch");
+        let d = DurableDatabase::open(&dir).unwrap();
+        d.insert_many("c", (0..64).map(|i| json!({"_id": i})).collect())
+            .unwrap();
+        let (commits, syncs) = d.commit_stats();
+        assert_eq!(commits, 1, "one barrier per insert_many batch");
+        assert!(syncs <= 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn write_behind_mode_skips_the_barrier() {
+        let dir = tmpdir("wb");
+        let d = DurableDatabase::open_with(
+            &dir,
+            DurableOptions {
+                fsync: false,
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        d.insert_one("c", json!({"_id": 1})).unwrap();
+        let (commits, syncs) = d.commit_stats();
+        assert_eq!((commits, syncs), (0, 0));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn wal_compaction_triggers_at_threshold() {
+        let dir = tmpdir("compact");
+        let d = DurableDatabase::open_with(
+            &dir,
+            DurableOptions {
+                fsync: true,
+                compact_after_bytes: Some(1024),
+            },
+        )
+        .unwrap();
+        for i in 0..200 {
+            d.insert_one("c", json!({"_id": i, "pad": "x".repeat(32)}))
+                .unwrap();
+        }
+        assert!(
+            d.wal_len() <= 1024 + 256,
+            "auto-checkpoint must keep the WAL near the threshold, got {}",
+            d.wal_len()
+        );
+        assert!(dir.join("snapshot.jsonl").exists());
+        drop(d);
+        let d = reopen(&dir);
+        assert_eq!(d.database().collection("c").len(), 200);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -61,11 +61,11 @@ pub use collection::{Collection, PlanKind, QueryPlan, UpdateResult};
 pub use cursor::{CompiledFindOptions, CompiledProjection, FindOptions, SortDir};
 pub use database::Database;
 pub use docgraph::{doc_stats, schema_stats, DocStats};
-pub use durable::DurableDatabase;
+pub use durable::{DurableDatabase, DurableOptions};
 pub use error::{Result, StoreError};
 pub use index::{DocId, Index};
 pub use mapreduce::{BuiltinEngine, HadoopEngine, HdfsStage, MapReduce};
-pub use persist::{JournalOp, Persister, RecoveryReport};
+pub use persist::{GroupCommit, JournalOp, Persister, RecoveryReport};
 pub use profiler::{OpKind, Profiler, RemoteLatencyModel};
 pub use query::{CompiledFilter, Filter};
 pub use shard::{ReadPreference, ReplicaSet, ShardedCluster};

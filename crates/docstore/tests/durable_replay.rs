@@ -1,4 +1,4 @@
-//! Property test for the write-behind journal: any sequence of
+//! Property test for the write-ahead journal: any sequence of
 //! mutations through the public [`DurableDatabase`] API must leave the
 //! journal in a state whose replay reproduces the live database —
 //! collection by collection, document by document, index by index.

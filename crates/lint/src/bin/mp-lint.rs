@@ -9,6 +9,7 @@
 //! mp-lint flow [<root>] [--json]
 //! mp-lint hotpath [<root>] [--json]
 //! mp-lint effects [<root>] [--json]
+//! mp-lint order [<root>] [--json]
 //! mp-lint all [<root>] [--json]
 //! mp-lint callgraph [<root>] [--dot [--effects] | --json]
 //! ```
@@ -26,14 +27,19 @@
 //! allocation anti-patterns in hot regions, with the full hot call
 //! chain. `effects` runs the interprocedural mutation-effect analysis
 //! (`E0xx`): generation-bump, journal-coverage, and
-//! no-I/O-under-lock invariants. `all` runs every source-tree pass
-//! (`concurrency`, `perf`, `flow`, `hotpath`, `effects`) and merges the
-//! findings into one envelope with per-pass counts and one exit code.
-//! `callgraph` prints the graph (GraphViz DOT with `--dot`,
-//! role-colored: sources blue, sanitizers green, sinks gold, panicking
-//! fns red; add `--effects` to color by effect instead), or the
-//! effect-annotated graph as JSON with `--json` (the artifact CI
-//! uploads).
+//! no-I/O-under-lock invariants. `order` runs the interprocedural
+//! write-ahead ordering proofs (`O0xx`): sequenced effect traces
+//! checking append-before-apply, barrier-before-ack, checksum
+//! framing, verified recovery, and fsync-per-op loops. `all` runs
+//! every source-tree pass (`concurrency`, `perf`, `flow`, `hotpath`,
+//! `effects`, `order`) and merges the findings into one envelope with
+//! per-pass counts and one exit code. `callgraph` prints the graph
+//! (GraphViz DOT with `--dot`, role-colored: sources blue, sanitizers
+//! green, sinks gold, panicking fns red; add `--effects` to color by
+//! effect instead, with the write-ahead ordering edges — journal /
+//! barrier / mutate / frame / verify / apply — colored and labeled),
+//! or the effect-annotated graph as JSON with `--json` (the artifact
+//! CI uploads, including each function's sequenced ordering trace).
 //!
 //! Every pass obeys one contract: diagnostics are ordered by
 //! (file, line, code); `--json` emits the shared envelope
@@ -60,6 +66,7 @@ const USAGE: &str = "usage:
   mp-lint flow [<root>] [--json]
   mp-lint hotpath [<root>] [--json]
   mp-lint effects [<root>] [--json]
+  mp-lint order [<root>] [--json]
   mp-lint all [<root>] [--json]
   mp-lint callgraph [<root>] [--dot [--effects] | --json]";
 
@@ -109,6 +116,9 @@ fn run(args: &[String]) -> Result<bool, String> {
         }),
         "effects" => lint_tree("effects", &rest, json, |root| {
             mp_lint::analyze_effects_tree(root)
+        }),
+        "order" => lint_tree("order", &rest, json, |root| {
+            mp_lint::analyze_order_tree(root)
         }),
         "all" => lint_all(&rest, json),
         "callgraph" => print_callgraph(&rest, json),
@@ -175,7 +185,7 @@ fn lint_query(args: &[String], json: bool) -> Result<bool, String> {
     let diags = match db_dir {
         None => analyze_query(&raw),
         Some(dir) => {
-            let persister = Persister::open(&dir).map_err(|e| format!("open `{dir}`: {e}"))?;
+            let mut persister = Persister::open(&dir).map_err(|e| format!("open `{dir}`: {e}"))?;
             let db = persister
                 .recover()
                 .map_err(|e| format!("recover `{dir}`: {e}"))?;
@@ -222,13 +232,14 @@ type TreePass = (
     fn(&std::path::Path) -> std::io::Result<Vec<Diagnostic>>,
 );
 
-/// The five source-tree passes `all` runs, in envelope order.
+/// The six source-tree passes `all` runs, in envelope order.
 const TREE_PASSES: &[TreePass] = &[
     ("concurrency", |root| mp_lint::analyze_tree(root)),
     ("perf", mp_lint::analyze_perf_tree),
     ("flow", mp_lint::analyze_flow_tree),
     ("hotpath", |root| mp_lint::analyze_hotpath_tree(root)),
     ("effects", |root| mp_lint::analyze_effects_tree(root)),
+    ("order", |root| mp_lint::analyze_order_tree(root)),
 ];
 
 /// `mp-lint all`: every source-tree pass over one workspace scan
@@ -300,17 +311,27 @@ fn print_callgraph(args: &[String], as_json: bool) -> Result<bool, String> {
             }
         }
         let config = mp_lint::EffectConfig::materials_project_defaults();
+        let order_config = mp_lint::OrderConfig::materials_project_defaults();
         if as_json {
             println!("{}", mp_lint::effect_graph_json(&graph, &sources, &config));
         } else {
             println!(
                 "{}",
-                graph.to_dot(&mp_lint::effect_roles(&graph, &sources, &config))
+                graph.to_dot(
+                    &mp_lint::effect_roles(&graph, &sources, &config),
+                    &mp_lint::order_edge_roles(&graph, &order_config),
+                )
             );
         }
     } else if dot {
         let config = mp_lint::FlowConfig::materials_project_defaults();
-        println!("{}", graph.to_dot(&mp_lint::flow::roles(&graph, &config)));
+        println!(
+            "{}",
+            graph.to_dot(
+                &mp_lint::flow::roles(&graph, &config),
+                &std::collections::BTreeMap::new(),
+            )
+        );
     } else {
         println!("{} functions, {} edges", graph.fns.len(), graph.edges.len());
         for e in &graph.edges {

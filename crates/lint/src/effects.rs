@@ -162,11 +162,7 @@ impl EffectConfig {
                 "Database::drop_collection",
             ]),
             bump_fns: parse(&["Collection::bump_version"]),
-            journal_fns: parse(&[
-                "Persister::log",
-                "Persister::log_many",
-                "Persister::snapshot",
-            ]),
+            journal_fns: parse(&["Persister::append_ops", "Persister::snapshot"]),
             durable_surface: vec!["DurableDatabase".to_string()],
             surface_crates: vec!["mapi".to_string()],
         }
@@ -526,14 +522,21 @@ pub fn effect_summaries(
 }
 
 /// The effect-annotated call graph as JSON: every function with its
-/// effect summary and lock sites, plus the resolved edges. This is the
-/// artifact CI uploads.
+/// effect summary, lock sites, and sequenced ordering trace
+/// ([`crate::order::order_traces`] with the Materials Project
+/// defaults), plus the resolved edges. This is the artifact CI
+/// uploads.
 pub fn effect_graph_json(
     graph: &CallGraph,
     sources: &BTreeMap<String, String>,
     config: &EffectConfig,
 ) -> String {
     let effects = effect_summaries(graph, sources, config);
+    let traces = crate::order::order_traces(
+        graph,
+        sources,
+        &crate::order::OrderConfig::materials_project_defaults(),
+    );
     let fns: Vec<serde_json::Value> = graph
         .fns
         .iter()
@@ -557,6 +560,11 @@ pub fn effect_graph_json(
                 "locks": e.locks.iter().map(|(recv, op, line, rank)| {
                     serde_json::json!({
                         "receiver": recv, "op": op, "line": line, "rank": rank,
+                    })
+                }).collect::<Vec<_>>(),
+                "trace": traces[i].iter().map(|t| {
+                    serde_json::json!({
+                        "kind": t.kind, "line": t.line, "via": t.via,
                     })
                 }).collect::<Vec<_>>(),
             })

@@ -345,8 +345,14 @@ fn marker_spills(seg: &str, pos: usize, marker: &str) -> bool {
 
 /// 1-based lines of the body that sit inside a loop region: inside a
 /// block opened after a loop marker, or carrying a marker themselves
-/// (single-line adapter closures).
-fn loop_lines(masked: &[String], open_line: usize, open_col: usize, end: usize) -> BTreeSet<usize> {
+/// (single-line adapter closures). Shared with the ordering pass
+/// ([`crate::order`]), whose `O004` charges fsyncs inside these lines.
+pub(crate) fn loop_lines(
+    masked: &[String],
+    open_line: usize,
+    open_col: usize,
+    end: usize,
+) -> BTreeSet<usize> {
     let mut set = BTreeSet::new();
     let mut stack: Vec<bool> = Vec::new();
     let mut pending = false;

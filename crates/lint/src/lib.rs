@@ -41,6 +41,13 @@
 //!    scatter) propagated bottom-up, proving the generation-bump,
 //!    journal-coverage, and no-I/O-under-lock invariants
 //!    (`E001`–`E007`).
+//! 9. **Order** ([`order`]) — interprocedural write-ahead ordering
+//!    proofs over the same call graph: per-function *sequenced effect
+//!    traces* (ordered journal/mutate/barrier/frame/verify/apply
+//!    events, calls inlined at their call line) proving the WAL
+//!    protocol — append before apply, barrier before ack, framed
+//!    records, verified recovery, no fsync-per-op loops
+//!    (`O001`–`O007`).
 //!
 //! `Error`-severity findings are used as hard gates by
 //! `QueryEngine::sanitize`, `LaunchPad::add_workflow`, and
@@ -54,6 +61,7 @@ pub mod diagnostics;
 pub mod effects;
 pub mod flow;
 pub mod hotpath;
+pub mod order;
 pub mod perf;
 pub mod query;
 pub mod schema;
@@ -70,6 +78,9 @@ pub use effects::{
 };
 pub use flow::{analyze_flow, analyze_flow_tree, FlowConfig, FnRef};
 pub use hotpath::{analyze_hotpath, analyze_hotpath_tree, HotConfig};
+pub use order::{
+    analyze_order, analyze_order_tree, order_edge_roles, order_traces, OrderConfig, TraceEvent,
+};
 pub use perf::{analyze_perf_source, analyze_perf_tree, analyze_query_perf};
 pub use query::{analyze_query, analyze_query_with_schema};
 pub use schema::{CollectionSchema, TypeSet};

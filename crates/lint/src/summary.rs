@@ -967,6 +967,9 @@ fn call_args(masked_lines: &[&str], line_idx: usize, col: usize) -> Option<usize
     let mut depth = 0i32;
     let mut commas = 0usize;
     let mut any = false;
+    // A depth-1 comma immediately before the closing `)` is a trailing
+    // comma (idiomatic in multi-line calls), not an extra argument.
+    let mut trailing = false;
     for (li, line) in masked_lines.iter().enumerate().skip(line_idx).take(40) {
         let seg: &str = if li == line_idx {
             if col >= line.len() {
@@ -982,11 +985,18 @@ fn call_args(masked_lines: &[&str], line_idx: usize, col: usize) -> Option<usize
                 ')' | ']' | '}' => {
                     depth -= 1;
                     if depth == 0 {
-                        return Some(if any { commas + 1 } else { 0 });
+                        let args = if any { commas + 1 } else { 0 };
+                        return Some(args.saturating_sub(usize::from(trailing)));
                     }
                 }
-                ',' if depth == 1 => commas += 1,
-                c if depth >= 1 && !c.is_whitespace() => any = true,
+                ',' if depth == 1 => {
+                    commas += 1;
+                    trailing = true;
+                }
+                c if depth >= 1 && !c.is_whitespace() => {
+                    any = true;
+                    trailing = false;
+                }
                 _ => {}
             }
         }
@@ -1045,6 +1055,33 @@ fn helper(s: &str) -> Vec<usize> { vec![s.len()] }
         assert_eq!(h.panics.len(), 1);
         assert_eq!(h.panics[0].kind, PanicKind::Unwrap);
         assert!(!fns[1].is_pub);
+    }
+
+    #[test]
+    fn multiline_call_trailing_comma_is_not_an_argument() {
+        let src = "\
+impl Store {
+    fn save(&self, op: &Op) {
+        self.commit(
+            &[op.clone()],
+            |db| db.apply(op),
+        );
+        self.commit(&[op.clone()], |db| db.apply(op));
+    }
+    fn commit(&self, ops: &[Op], f: impl FnOnce(&Db)) {}
+}
+";
+        let fns = summarize_source("crates/demo/src/lib.rs", src);
+        let commits: Vec<_> = fns[0]
+            .calls
+            .iter()
+            .filter(|c| c.callee == Callee::Method("commit".into()))
+            .collect();
+        assert_eq!(commits.len(), 2, "{:?}", fns[0].calls);
+        assert!(
+            commits.iter().all(|c| c.args == Some(2)),
+            "trailing comma must not inflate arity: {commits:?}"
+        );
     }
 
     #[test]

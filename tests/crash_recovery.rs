@@ -83,18 +83,18 @@ fn journal_replay_reconstructs_queue_mutations() {
             &json!({"$set": {"state": "RUNNING"}, "$inc": {"launches": 1}}),
         )
         .unwrap();
-    p.log(&claim).unwrap();
+    p.append_ops(&[claim]).unwrap();
     db.collection("tasks")
         .insert_one(json!({"_id": "task-fw-1-1", "fw_id": "fw-1", "status": "converged"}))
         .unwrap();
-    p.log(&task).unwrap();
+    p.append_ops(&[task]).unwrap();
     db.collection("engines")
         .update_one(
             &json!({"_id": "fw-1"}),
             &json!({"$set": {"state": "COMPLETED", "task_id": "task-fw-1-1"}}),
         )
         .unwrap();
-    p.log(&complete).unwrap();
+    p.append_ops(&[complete]).unwrap();
 
     let rec = Persister::open(&dir).unwrap().recover().unwrap();
     let fw = rec
@@ -115,15 +115,15 @@ fn snapshot_after_journal_truncates_journal() {
     db.collection("c").insert_one(json!({"_id": 1})).unwrap();
     let mut p = Persister::open(&dir).unwrap();
     p.snapshot(&db).unwrap();
-    p.log(&JournalOp::Insert {
+    p.append_ops(&[JournalOp::Insert {
         collection: "c".into(),
         doc: json!({"_id": 2}),
-    })
+    }])
     .unwrap();
     db.collection("c").insert_one(json!({"_id": 2})).unwrap();
     // Compaction: new snapshot supersedes the journal.
     p.snapshot(&db).unwrap();
-    assert!(!dir.join("journal.jsonl").exists());
+    assert!(!dir.join("journal.wal").exists());
     let rec = Persister::open(&dir).unwrap().recover().unwrap();
     assert_eq!(rec.collection("c").len(), 2);
     let _ = std::fs::remove_dir_all(dir);
